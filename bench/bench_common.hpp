@@ -1,0 +1,53 @@
+// Shared helpers for the benchmark harness: lowering single PDEs of the
+// P1/P2 models to optimized IR kernels, and formatting.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "pfc/app/compiler.hpp"
+#include "pfc/app/params.hpp"
+
+namespace pfc::bench {
+
+enum class Which { PhiP1, MuP1, PhiP2, MuP2 };
+
+inline const char* which_name(Which w) {
+  switch (w) {
+    case Which::PhiP1: return "P1 phi";
+    case Which::MuP1: return "P1 mu";
+    case Which::PhiP2: return "P2 phi";
+    case Which::MuP2: return "P2 mu";
+  }
+  return "?";
+}
+
+/// Lowers one kernel family (full: 1 kernel; split: staggered + main).
+inline std::vector<ir::Kernel> lower_kernels(Which w, bool split,
+                                             int dims = 3) {
+  const app::GrandChemParams params =
+      (w == Which::PhiP1 || w == Which::MuP1) ? app::make_p1(dims)
+                                              : app::make_p2(dims);
+  app::GrandChemModel model(params);
+  const bool is_phi = w == Which::PhiP1 || w == Which::PhiP2;
+
+  fd::DiscretizeOptions d;
+  d.dims = dims;
+  d.dx = params.dx;
+  d.dt = params.dt;
+  d.split_staggered = split;
+  d.clamp_unit_interval = is_phi;
+  d.renormalize_simplex = is_phi;
+  std::optional<FieldPtr> flux;
+  return app::ModelCompiler::lower(
+      is_phi ? model.phi_update() : model.mu_update(), d,
+      app::CompileOptions{}, &flux);
+}
+
+inline void print_rule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace pfc::bench

@@ -1,0 +1,97 @@
+// Regenerates paper Fig. 2 (left): ECM model prediction vs benchmark for
+// the P1 µ-split and µ-full kernels, MLUP/s per core over the cores of one
+// socket.
+//
+// The ECM curves cover the full modelled Skylake socket (24 cores); the
+// measured curves run the JIT-compiled kernels on this host's cores (the
+// environment substitutes for SuperMUC-NG — see DESIGN.md §2). The paper's
+// qualitative result under test: µ-full scales flat (compute bound,
+// saturation ~83 cores), µ-split decays per core (data bound, saturation
+// ~32 cores), with a crossover that makes µ-split the right choice for
+// full-socket runs.
+#include "bench_common.hpp"
+
+#include "pfc/app/simulation.hpp"
+#include "pfc/perf/ecm.hpp"
+#include "pfc/support/thread_pool.hpp"
+
+using namespace pfc;
+using namespace pfc::bench;
+
+namespace {
+
+/// Measured MLUP/s of the mu kernels for a P1 simulation on `threads`.
+double measure_mu(bool split, int threads, int steps,
+                  const std::array<long long, 3>& cells) {
+  app::GrandChemParams params = app::make_p1(3);
+  app::GrandChemModel model(params);
+  app::SimulationOptions o;
+  o.cells = cells;
+  o.threads = threads;
+  o.compile.split_mu = split;
+  app::Simulation sim(model, o);
+  sim.init_phi([](long long x, long long, long long, int c) {
+    const double s = app::interface_profile(double(x % 16) - 8.0, 10.0);
+    if (c == 0) return 1.0 - s;
+    return c == 1 ? s : 0.0;
+  });
+  sim.init_mu([](long long, long long, long long, int) { return 0.0; });
+  sim.run(steps);
+  double mu_seconds = 0;
+  for (const auto& [name, s] : sim.kernel_seconds()) {
+    if (name.rfind("mu", 0) == 0) mu_seconds += s;
+  }
+  const double cellcount =
+      double(cells[0]) * double(cells[1]) * double(cells[2]);
+  return cellcount * steps / mu_seconds / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  const perf::MachineModel machine = perf::MachineModel::skylake_sp();
+  const std::array<long long, 3> block{60, 60, 60};
+
+  std::printf("=== Fig 2 (left): ECM model vs measurement, P1 mu kernels, "
+              "60^3 blocks ===\n\n");
+
+  // --- model curves over the full modelled socket ---
+  auto full_kernels = lower_kernels(Which::MuP1, false);
+  auto split_kernels = lower_kernels(Which::MuP1, true);
+  const auto full_ecm = perf::ecm_predict(full_kernels[0], block, machine);
+  // split = staggered + consumer kernels; combine as harmonic throughput
+  const auto stag_ecm = perf::ecm_predict(split_kernels[0], block, machine);
+  const auto main_ecm = perf::ecm_predict(split_kernels[1], block, machine);
+  const auto split_mlups = [&](int c) {
+    const double a = stag_ecm.mlups(machine, c);
+    const double b = main_ecm.mlups(machine, c);
+    return 1.0 / (1.0 / a + 1.0 / b);
+  };
+
+  std::printf("%6s %22s %22s\n", "cores", "ECM mu-split [MLUP/s/core]",
+              "ECM mu-full [MLUP/s/core]");
+  for (int c : {1, 4, 8, 12, 16, 20, 24}) {
+    std::printf("%6d %22.2f %22.2f\n", c, split_mlups(c) / c,
+                full_ecm.mlups(machine, c) / c);
+  }
+  std::printf("\nECM saturation points: mu-split %d cores, mu-full %d cores "
+              "(paper: 32 and 83)\n",
+              std::min(main_ecm.saturation_cores(machine),
+                       stag_ecm.saturation_cores(machine)),
+              full_ecm.saturation_cores(machine));
+
+  // --- measured curves on this host ---
+  const int max_threads = ThreadPool::hardware_threads();
+  const std::array<long long, 3> meas{48, 48, 48};
+  std::printf("\n%6s %22s %22s   (measured, %lldx%lldx%lld block)\n",
+              "cores", "Bench mu-split", "Bench mu-full", meas[0], meas[1],
+              meas[2]);
+  for (int t = 1; t <= max_threads; ++t) {
+    const double ms = measure_mu(true, t, 3, meas);
+    const double mf = measure_mu(false, t, 3, meas);
+    std::printf("%6d %22.2f %22.2f\n", t, ms / t, mf / t);
+  }
+  std::printf("\n[absolute numbers are host-dependent; the paper's shapes "
+              "under test: decaying split vs flat full per-core rates]\n");
+  return 0;
+}

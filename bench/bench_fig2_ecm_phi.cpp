@@ -1,0 +1,94 @@
+// Regenerates paper Fig. 2 (middle): ECM model vs measurement for the
+// φ-split and φ-full kernels under P1 and P2. The paper's result under
+// test: the faster variant flips between configurations — P1 favours
+// φ-full, P2 (anisotropic, much heavier compute) favours φ-split — and the
+// model predicts the right choice in both cases.
+#include "bench_common.hpp"
+
+#include "pfc/app/simulation.hpp"
+#include "pfc/perf/ecm.hpp"
+#include "pfc/support/thread_pool.hpp"
+
+using namespace pfc;
+using namespace pfc::bench;
+
+namespace {
+
+double model_mlups(Which w, bool split, int cores,
+                   const perf::MachineModel& m,
+                   const std::array<long long, 3>& block) {
+  const auto kernels = lower_kernels(w, split);
+  double inv = 0;
+  for (const auto& k : kernels) {
+    inv += 1.0 / perf::ecm_predict(k, block, m).mlups(m, cores);
+  }
+  return 1.0 / inv;
+}
+
+double measure_phi(Which w, bool split, int threads, int steps,
+                   const std::array<long long, 3>& cells) {
+  app::GrandChemParams params =
+      w == Which::PhiP1 ? app::make_p1(3) : app::make_p2(3);
+  app::GrandChemModel model(params);
+  app::SimulationOptions o;
+  o.cells = cells;
+  o.threads = threads;
+  o.compile.split_phi = split;
+  app::Simulation sim(model, o);
+  sim.init_phi([](long long x, long long, long long, int c) {
+    const double s = app::interface_profile(double(x % 16) - 8.0, 10.0);
+    if (c == 0) return 1.0 - s;
+    return c == 1 ? s : 0.0;
+  });
+  sim.init_mu([](long long, long long, long long, int) { return 0.0; });
+  sim.run(steps);
+  double phi_seconds = 0;
+  for (const auto& [name, s] : sim.kernel_seconds()) {
+    if (name.rfind("phi", 0) == 0) phi_seconds += s;
+  }
+  return double(cells[0]) * double(cells[1]) * double(cells[2]) * steps /
+         phi_seconds / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  const perf::MachineModel machine = perf::MachineModel::skylake_sp();
+  const std::array<long long, 3> block{60, 60, 60};
+
+  std::printf("=== Fig 2 (middle): ECM model vs measurement, phi kernels, "
+              "P1 and P2 ===\n\n");
+  std::printf("%6s %16s %16s %16s %16s   [ECM, MLUP/s per core]\n", "cores",
+              "P1 phi-split", "P1 phi-full", "P2 phi-split", "P2 phi-full");
+  for (int c : {1, 4, 8, 12, 16, 20, 24}) {
+    std::printf("%6d %16.2f %16.2f %16.2f %16.2f\n", c,
+                model_mlups(Which::PhiP1, true, c, machine, block) / c,
+                model_mlups(Which::PhiP1, false, c, machine, block) / c,
+                model_mlups(Which::PhiP2, true, c, machine, block) / c,
+                model_mlups(Which::PhiP2, false, c, machine, block) / c);
+  }
+  const int socket = machine.cores;
+  const bool p1_full_wins =
+      model_mlups(Which::PhiP1, false, socket, machine, block) >
+      model_mlups(Which::PhiP1, true, socket, machine, block);
+  const bool p2_split_wins =
+      model_mlups(Which::PhiP2, true, socket, machine, block) >
+      model_mlups(Which::PhiP2, false, socket, machine, block);
+  std::printf("\nfull-socket model choice: P1 -> %s (paper: full), "
+              "P2 -> %s (paper: split)\n",
+              p1_full_wins ? "phi-full" : "phi-split",
+              p2_split_wins ? "phi-split" : "phi-full");
+
+  const int max_threads = ThreadPool::hardware_threads();
+  const std::array<long long, 3> meas{40, 40, 40};
+  std::printf("\n%6s %16s %16s %16s %16s   [measured]\n", "cores",
+              "P1 phi-split", "P1 phi-full", "P2 phi-split", "P2 phi-full");
+  for (int t = 1; t <= max_threads; ++t) {
+    std::printf("%6d %16.2f %16.2f %16.2f %16.2f\n", t,
+                measure_phi(Which::PhiP1, true, t, 3, meas) / t,
+                measure_phi(Which::PhiP1, false, t, 3, meas) / t,
+                measure_phi(Which::PhiP2, true, t, 2, meas) / t,
+                measure_phi(Which::PhiP2, false, t, 2, meas) / t);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Regenerates paper Table 2: communication options on Piz Daint with 128
+// GPUs, setup P1 with 400^3 cells per GPU — MLUP/s per GPU for the four
+// combinations of communication overlap and GPUDirect. Runs on the analytic
+// GPU + network models (DESIGN.md §2); the paper's numbers are 395 / 403 /
+// 422 / 440.
+#include "bench_common.hpp"
+
+#include "pfc/perf/gpu_model.hpp"
+#include "pfc/perf/netmodel.hpp"
+
+using namespace pfc;
+using namespace pfc::bench;
+
+int main() {
+  const perf::GpuModel gpu = perf::GpuModel::p100();
+  const perf::NetworkModel net;
+  const std::array<long long, 3> block{400, 400, 400};
+  const double cells = 400.0 * 400.0 * 400.0;
+
+  // per-step compute time: all four P1 kernels (phi-full + mu-split pair,
+  // the paper's best combination) with full transformations
+  perf::GpuTransformConfig cfg;
+  cfg.schedule = cfg.remat = cfg.fences = true;
+  std::vector<ir::Kernel> kernels;
+  for (auto& k : lower_kernels(Which::PhiP1, false)) kernels.push_back(k);
+  for (auto& k : lower_kernels(Which::MuP1, true)) kernels.push_back(k);
+  const double compute_mlups = perf::gpu_step_mlups(kernels, cfg, gpu, block);
+  const double compute_s = cells / (compute_mlups * 1e6);
+
+  const double bytes = perf::ghost_bytes_per_step(block, 4, 2);
+  const int msgs = perf::messages_per_step(3);
+
+  std::printf("=== Table 2: communication options, P1, 400^3 per GPU, 128 "
+              "GPUs ===\n\n");
+  std::printf("kernel-only rate: %.0f MLUP/s per GPU; ghost volume %.1f MB "
+              "per step\n\n", compute_mlups, bytes / 1e6);
+  std::printf("%-9s %-10s %16s %14s\n", "overlap", "GPUDirect",
+              "MLUP/s per GPU", "paper");
+  print_rule(55);
+  const int paper[4] = {395, 403, 422, 440};
+  int i = 0;
+  for (bool overlap : {false, true}) {
+    for (bool gpudirect : {false, true}) {
+      const double t =
+          perf::step_time(compute_s, bytes, msgs, {overlap, gpudirect}, net);
+      std::printf("%-9s %-10s %16.0f %14d\n", overlap ? "yes" : "no",
+                  gpudirect ? "yes" : "no", cells / t / 1e6, paper[i++]);
+    }
+  }
+  print_rule(55);
+  std::printf("\n[structure under test: overlap > GPUDirect > neither, "
+              "with ~5-12%% total spread]\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Inspect the code-generation pipeline: dump the continuum PDEs, the
+// generated C and CUDA sources, per-kernel operation counts and the ECM
+// performance prediction for the P1 model — everything the paper's
+// abstraction-layer diagram (Fig. 1) produces.
+//
+//   ./codegen_inspect [p1|p2] [--split] [--cuda] [--full-source]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "pfc/app/compiler.hpp"
+#include "pfc/app/params.hpp"
+#include "pfc/backend/c_emitter.hpp"
+#include "pfc/backend/cuda_emitter.hpp"
+#include "pfc/ir/opcount.hpp"
+#include "pfc/perf/ecm.hpp"
+#include "pfc/sym/printer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pfc;
+  bool split = false, cuda = false, full_source = false;
+  std::string which = "p1";
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--split")) split = true;
+    else if (!std::strcmp(argv[i], "--cuda")) cuda = true;
+    else if (!std::strcmp(argv[i], "--full-source")) full_source = true;
+    else which = argv[i];
+  }
+
+  app::GrandChemParams params =
+      which == "p2" ? app::make_p2(3) : app::make_p1(3);
+  app::GrandChemModel model(params);
+
+  std::printf("=== model %s: %d phases, %d components, %dD ===\n\n",
+              which.c_str(), params.phases, params.components, params.dims);
+  std::printf("temperature: T = %s\n\n",
+              sym::to_string(model.temperature()).c_str());
+
+  // continuum layer: one variational derivative, abbreviated
+  const std::string vd = sym::to_string(model.variational_derivative_phi(0));
+  std::printf("deltaPsi/deltaPhi_0 (continuum, %zu chars):\n  %.300s...\n\n",
+              vd.size(), vd.c_str());
+
+  app::CompileOptions co;
+  co.split_phi = split;
+  co.split_mu = split;
+  fd::DiscretizeOptions dopts;
+  dopts.dims = params.dims;
+  dopts.dx = params.dx;
+  dopts.dt = params.dt;
+
+  const perf::MachineModel machine = perf::MachineModel::skylake_sp();
+  for (const auto& pde : {model.phi_update(), model.mu_update()}) {
+    fd::DiscretizeOptions d = dopts;
+    d.split_staggered = split;
+    d.clamp_unit_interval = pde.name == "phi";
+    d.renormalize_simplex = d.clamp_unit_interval;
+    std::optional<FieldPtr> flux;
+    for (const auto& k : app::ModelCompiler::lower(pde, d, co, &flux)) {
+      const auto ops = ir::count_ops(k);
+      std::printf("--- kernel %s ---\n", k.name.c_str());
+      std::printf("  %s\n", ops.to_string().c_str());
+      std::printf("  body statements: %zu (hoisted per-z: %zu)\n",
+                  k.body.size(), k.at_level(ir::Level::PerZ).size());
+      const auto ecm = perf::ecm_predict(k, {60, 60, 60}, machine);
+      std::printf(
+          "  ECM: Tcomp %.0f cy/CL, Tmem %.1f cy/CL, saturation at %d "
+          "cores, %.1f MLUP/s single core\n",
+          ecm.t_comp, ecm.t_mem, ecm.saturation_cores(machine),
+          ecm.mlups(machine, 1));
+      const std::string c_src = backend::emit_c(k);
+      std::printf("  generated C: %zu bytes\n", c_src.size());
+      if (full_source) std::printf("%s\n", c_src.c_str());
+      if (cuda) {
+        const std::string cu = backend::emit_cuda(k);
+        std::printf("  generated CUDA: %zu bytes\n", cu.size());
+        if (full_source) std::printf("%s\n", cu.c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Dendritic solidification with cubic anisotropy — the paper's P2 scenario
+// (Fig. 4 right): two differently-oriented seeds grow dendritic arms into
+// an undercooled binary melt; Philox fluctuations promote side branches.
+//
+//   ./dendritic_solidification [steps] [out.vtk]
+#include <cmath>
+#include <cstdio>
+
+#include "pfc/app/analysis.hpp"
+#include "pfc/app/params.hpp"
+#include "pfc/app/simulation.hpp"
+#include "pfc/grid/vtk.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pfc;
+  const int total_steps = argc > 1 ? std::atoi(argv[1]) : 1500;
+  const char* path = argc > 2 ? argv[2] : "dendrite.vtk";
+
+  app::GrandChemParams params = app::make_p2(/*dims=*/2);
+  params.dt = 0.004;
+  params.noise_amplitude = 0.02;
+  app::GrandChemModel model(params);
+
+  app::SimulationOptions opts;
+  opts.cells = {160, 160, 1};
+  opts.boundary = grid::BoundaryKind::ZeroGradient;
+  opts.threads = 4;
+  app::Simulation sim(model, opts);
+
+  // two seeds with different phase identity (modelling two orientations)
+  sim.init_phi([&](long long x, long long y, long long, int c) {
+    const double d1 =
+        std::sqrt(double((x - 50) * (x - 50) + (y - 40) * (y - 40))) - 7.0;
+    const double d2 =
+        std::sqrt(double((x - 115) * (x - 115) + (y - 30) * (y - 30))) - 7.0;
+    const double s1 = app::interface_profile(d1, 2.5 * params.epsilon);
+    const double s2 = app::interface_profile(d2, 2.5 * params.epsilon);
+    if (c == 1) return s1;
+    if (c == 2) return s2;
+    return std::max(0.0, 1.0 - s1 - s2);
+  });
+  sim.init_mu([](long long, long long, long long, int) { return 0.0; });
+
+  std::printf("%8s %10s %10s %12s\n", "step", "grain 1", "grain 2",
+              "interface");
+  for (int b = 0; b <= 6; ++b) {
+    const auto st = app::phase_statistics(sim.phi());
+    std::printf("%8lld %10.4f %10.4f %12.4f\n", sim.step_count(),
+                st.fractions[1], st.fractions[2],
+                app::interface_measure(sim.phi(), params.dx, 2));
+    if (b < 6) sim.run(total_steps / 6);
+  }
+  grid::write_vtk(path, {&sim.phi(), &sim.mu()});
+  std::printf("kernel throughput: %.2f MLUP/s; wrote %s\n", sim.mlups(),
+              path);
+  return 0;
+}

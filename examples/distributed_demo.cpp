@@ -1,0 +1,49 @@
+// Distributed run: four in-process ranks share a 2x2 block decomposition of
+// a two-phase curvature-flow problem and exchange ghost layers every step
+// (the waLBerla-style runtime of paper §4).
+//
+//   ./distributed_demo [ranks] [steps]
+#include <cmath>
+#include <cstdio>
+
+#include "pfc/app/distributed.hpp"
+#include "pfc/app/params.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pfc;
+  const int ranks = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 200;
+
+  app::GrandChemParams params = app::make_two_phase(2);
+  app::GrandChemModel model(params);
+
+  mpi::run(ranks, [&](mpi::Comm& comm) {
+    app::DistributedOptions opts;
+    opts.global_cells = {96, 96, 1};
+    opts.blocks_per_dim = {2, 2, 1};
+    app::DistributedSimulation sim(model, opts, &comm);
+
+    sim.init(
+        [&](long long x, long long y, long long, int c) {
+          const double d = std::sqrt(double((x - 48) * (x - 48) +
+                                            (y - 48) * (y - 48))) -
+                           28.0;
+          const double s = app::interface_profile(d, 2.5 * params.epsilon);
+          return c == 1 ? s : 1.0 - s;
+        },
+        [](long long, long long, long long, int) { return 0.0; });
+
+    for (int b = 0; b <= 4; ++b) {
+      const double solid = comm.allreduce_sum(sim.local_phi_sum(1));
+      if (comm.rank() == 0) {
+        std::printf("rank 0 | step %4lld | global solid area %9.1f | "
+                    "%d local blocks | %zu B exchanged/step\n",
+                    sim.step_count(), solid, sim.num_local_blocks(),
+                    sim.last_exchange_bytes());
+      }
+      if (b < 4) sim.run(steps / 4);
+    }
+  });
+  std::printf("done.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ternary eutectic directional solidification — the paper's P1 scenario
+// (Fig. 4 left): three solid phases grow as lamellae from the bottom into
+// an undercooled ternary melt, pulled by an analytic temperature gradient.
+//
+//   ./eutectic_solidification [steps] [out_prefix]
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "pfc/app/analysis.hpp"
+#include "pfc/app/params.hpp"
+#include "pfc/app/simulation.hpp"
+#include "pfc/grid/vtk.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pfc;
+  const int total_steps = argc > 1 ? std::atoi(argv[1]) : 1200;
+  const std::string prefix = argc > 2 ? argv[2] : "eutectic";
+
+  app::GrandChemParams params = app::make_p1(/*dims=*/2);
+  params.dt = 0.005;
+  app::GrandChemModel model(params);
+
+  app::SimulationOptions opts;
+  opts.cells = {96, 192, 1};
+  opts.boundary = grid::BoundaryKind::ZeroGradient;
+  opts.threads = 4;
+  app::Simulation sim(model, opts);
+
+  // six alternating lamellae seeds along the bottom
+  sim.init_phi([&](long long x, long long y, long long, int c) {
+    const double front =
+        app::interface_profile(double(y) - 14.0, 2.5 * params.epsilon);
+    if (c == 0) return 1.0 - front;
+    const int lamella = 1 + int((x * 6) / 96) % 3;
+    return c == lamella ? front : 0.0;
+  });
+  sim.init_mu([](long long, long long, long long, int) { return 0.0; });
+
+  std::printf("%8s %8s %10s %10s %10s %10s\n", "step", "front", "liquid",
+              "alpha", "beta", "gamma");
+  const int bursts = 8;
+  for (int b = 0; b <= bursts; ++b) {
+    const auto st = app::phase_statistics(sim.phi());
+    std::printf("%8lld %8lld %10.4f %10.4f %10.4f %10.4f\n",
+                sim.step_count(), app::front_position(sim.phi(), 0, 1),
+                st.fractions[0], st.fractions[1], st.fractions[2],
+                st.fractions[3]);
+    grid::append_csv(prefix + "_front.csv",
+                     {"step", "front", "liquid", "alpha", "beta", "gamma"},
+                     {double(sim.step_count()),
+                      double(app::front_position(sim.phi(), 0, 1)),
+                      st.fractions[0], st.fractions[1], st.fractions[2],
+                      st.fractions[3]});
+    if (b < bursts) sim.run(total_steps / bursts);
+  }
+  grid::write_vtk(prefix + ".vtk", {&sim.phi(), &sim.mu()});
+  std::printf("kernel throughput: %.2f MLUP/s; wrote %s.vtk and %s_front.csv\n",
+              sim.mlups(), prefix.c_str(), prefix.c_str());
+  return 0;
+}

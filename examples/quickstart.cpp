@@ -1,0 +1,54 @@
+// Quickstart: define a minimal two-phase model, let the pipeline generate
+// and JIT-compile its kernels, run mean-curvature flow of a shrinking disk,
+// and write VTK output.
+//
+//   ./quickstart [output.vtk]
+#include <cmath>
+#include <cstdio>
+
+#include "pfc/app/analysis.hpp"
+#include "pfc/app/params.hpp"
+#include "pfc/app/simulation.hpp"
+#include "pfc/grid/vtk.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pfc;
+
+  // 1. model: two phases, curvature-driven (no chemical driving force)
+  app::GrandChemParams params = app::make_two_phase(/*dims=*/2);
+  app::GrandChemModel model(params);
+
+  // 2. compile: energy functional -> PDEs -> stencils -> optimized C -> JIT
+  app::SimulationOptions opts;
+  opts.cells = {128, 128, 1};
+  opts.threads = 4;
+  app::Simulation sim(model, opts);
+  std::printf("generated %zu bytes of C, compiled in %.2f s\n",
+              sim.compiled().generated_source().size(),
+              sim.compiled().compile_seconds);
+
+  // 3. initial condition: a solid disk in melt
+  sim.init_phi([&](long long x, long long y, long long, int c) {
+    const double d = std::sqrt(double((x - 64) * (x - 64) +
+                                      (y - 64) * (y - 64))) -
+                     40.0;
+    const double solid = app::interface_profile(d, 2.5 * params.epsilon);
+    return c == 1 ? solid : 1.0 - solid;
+  });
+  sim.init_mu([](long long, long long, long long, int) { return 0.0; });
+
+  // 4. time loop: the disk shrinks at a rate independent of its radius
+  std::printf("%8s %12s %12s\n", "step", "solid area", "interface");
+  for (int burst = 0; burst < 10; ++burst) {
+    const auto st = app::phase_statistics(sim.phi());
+    std::printf("%8lld %12.1f %12.4f\n", sim.step_count(),
+                st.fractions[1] * 128 * 128, st.interface_fraction);
+    sim.run(100);
+  }
+  std::printf("kernel throughput: %.2f MLUP/s\n", sim.mlups());
+
+  const char* path = argc > 1 ? argv[1] : "quickstart.vtk";
+  grid::write_vtk(path, {&sim.phi()});
+  std::printf("wrote %s\n", path);
+  return 0;
+}

@@ -1,0 +1,149 @@
+#include "pfc/app/analysis.hpp"
+
+#include <cmath>
+
+#include "pfc/sym/simplify.hpp"
+
+namespace pfc::app {
+
+PhaseStats phase_statistics(const Array& phi) {
+  PhaseStats s;
+  const auto& n = phi.size();
+  const double cells = double(n[0]) * double(n[1]) * double(n[2]);
+  s.fractions.assign(std::size_t(phi.components()), 0.0);
+  long long interface_cells = 0;
+  for (std::int64_t z = 0; z < n[2]; ++z) {
+    for (std::int64_t y = 0; y < n[1]; ++y) {
+      for (std::int64_t x = 0; x < n[0]; ++x) {
+        double sum = 0.0;
+        bool diffuse = false;
+        for (int c = 0; c < phi.components(); ++c) {
+          const double v = phi.at(x, y, z, c);
+          s.fractions[std::size_t(c)] += v;
+          sum += v;
+          diffuse = diffuse || (v > 0.01 && v < 0.99);
+        }
+        if (diffuse) ++interface_cells;
+        s.simplex_violation =
+            std::max(s.simplex_violation, std::abs(sum - 1.0));
+      }
+    }
+  }
+  for (auto& f : s.fractions) f /= cells;
+  s.interface_fraction = double(interface_cells) / cells;
+  return s;
+}
+
+long long front_position(const Array& phi, int liquid_phase, int axis) {
+  const auto& n = phi.size();
+  long long front = -1;
+  for (std::int64_t z = 0; z < n[2]; ++z) {
+    for (std::int64_t y = 0; y < n[1]; ++y) {
+      for (std::int64_t x = 0; x < n[0]; ++x) {
+        if (phi.at(x, y, z, liquid_phase) < 0.5) {
+          const std::int64_t pos = axis == 0 ? x : axis == 1 ? y : z;
+          front = std::max(front, (long long)pos);
+        }
+      }
+    }
+  }
+  return front;
+}
+
+double interface_measure(const Array& phi, double dx, int dims) {
+  const auto& n = phi.size();
+  double total = 0.0;
+  for (int c = 0; c < phi.components(); ++c) {
+    for (std::int64_t z = 0; z < n[2]; ++z) {
+      for (std::int64_t y = 0; y < n[1]; ++y) {
+        for (std::int64_t x = 0; x < n[0]; ++x) {
+          double g2 = 0.0;
+          const auto cd = [&](int d) {
+            const std::int64_t xs = d == 0, ys = d == 1, zs = d == 2;
+            // one-sided at the boundary, central inside
+            const std::int64_t xm = std::max<std::int64_t>(x - xs, 0);
+            const std::int64_t ym = std::max<std::int64_t>(y - ys, 0);
+            const std::int64_t zm = std::max<std::int64_t>(z - zs, 0);
+            const std::int64_t xp = std::min(x + xs, n[0] - 1);
+            const std::int64_t yp = std::min(y + ys, n[1] - 1);
+            const std::int64_t zp = std::min(z + zs, n[2] - 1);
+            const double span = double((xp - xm) + (yp - ym) + (zp - zm));
+            if (span == 0) return 0.0;
+            return (phi.at(xp, yp, zp, c) - phi.at(xm, ym, zm, c)) /
+                   (span * dx);
+          };
+          for (int d = 0; d < dims; ++d) {
+            const double gd = cd(d);
+            g2 += gd * gd;
+          }
+          total += std::sqrt(g2);
+        }
+      }
+    }
+  }
+  double cell_volume = 1.0;
+  for (int d = 0; d < dims; ++d) cell_volume *= dx;
+  return total * cell_volume;
+}
+
+std::vector<double> total_concentration(const GrandChemModel& model,
+                                        const Array& phi, const Array& mu,
+                                        double t) {
+  const auto& p = model.params();
+  const int nmu = p.num_mu();
+  // extract numeric fit coefficients once
+  struct NumFit {
+    std::vector<std::vector<double>> a0, a1;
+    std::vector<double> b0, b1;
+  };
+  sym::EvalContext empty;
+  std::vector<NumFit> fits;
+  for (const auto& f : p.fits) {
+    NumFit nf;
+    nf.a0.resize(std::size_t(nmu));
+    nf.a1.resize(std::size_t(nmu));
+    for (int i = 0; i < nmu; ++i) {
+      for (int j = 0; j < nmu; ++j) {
+        nf.a0[std::size_t(i)].push_back(
+            sym::evaluate(f.a0[std::size_t(i)][std::size_t(j)], empty));
+        nf.a1[std::size_t(i)].push_back(
+            sym::evaluate(f.a1[std::size_t(i)][std::size_t(j)], empty));
+      }
+      nf.b0.push_back(sym::evaluate(f.b0[std::size_t(i)], empty));
+      nf.b1.push_back(sym::evaluate(f.b1[std::size_t(i)], empty));
+    }
+    fits.push_back(std::move(nf));
+  }
+
+  const auto& n = phi.size();
+  const int grad_dim = p.dims - 1;
+  std::vector<double> total(std::size_t(nmu), 0.0);
+  for (std::int64_t z = 0; z < n[2]; ++z) {
+    for (std::int64_t y = 0; y < n[1]; ++y) {
+      for (std::int64_t x = 0; x < n[0]; ++x) {
+        const double coord =
+            double(grad_dim == 0 ? x : grad_dim == 1 ? y : z);
+        const double T = p.temp0 + p.temp_gradient *
+                                       (coord * p.dx - p.pull_velocity * t);
+        for (int a = 0; a < p.phases; ++a) {
+          const double pa = phi.at(x, y, z, a);
+          const double h = pa * pa * (3.0 - 2.0 * pa);
+          const auto& nf = fits[std::size_t(a)];
+          for (int i = 0; i < nmu; ++i) {
+            double ci = nf.b0[std::size_t(i)] + T * nf.b1[std::size_t(i)];
+            for (int j = 0; j < nmu; ++j) {
+              ci += 2.0 *
+                    (nf.a0[std::size_t(i)][std::size_t(j)] +
+                     T * nf.a1[std::size_t(i)][std::size_t(j)]) *
+                    mu.at(x, y, z, j);
+            }
+            total[std::size_t(i)] += ci * h;
+          }
+        }
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace pfc::app

@@ -1,0 +1,35 @@
+// Post-processing / in-situ analysis of simulation state: phase fractions,
+// interface measures, solidification front tracking and conserved-quantity
+// checks (the role of waLBerla's evaluation infrastructure in the paper).
+#pragma once
+
+#include <vector>
+
+#include "pfc/app/grandchem.hpp"
+#include "pfc/field/array.hpp"
+
+namespace pfc::app {
+
+struct PhaseStats {
+  std::vector<double> fractions;   ///< mean of each φ_α over the interior
+  double interface_fraction = 0;   ///< cells with any φ in (0.01, 0.99)
+  double simplex_violation = 0;    ///< max |Σ_α φ_α − 1|
+};
+
+PhaseStats phase_statistics(const Array& phi);
+
+/// Position of the solidification front along `axis`: the largest index
+/// where the liquid fraction drops below 1/2 (−1 if fully liquid).
+long long front_position(const Array& phi, int liquid_phase, int axis);
+
+/// Interface area estimate: Σ |∇φ_α| dx^d over all phases (a standard
+/// diffuse-interface surface measure), for the first `axis`-many dims.
+double interface_measure(const Array& phi, double dx, int dims);
+
+/// Total conserved concentration ∫ c(φ,µ,T) dV per component, evaluated
+/// numerically from the model's parabolic fits (requires numeric fits).
+std::vector<double> total_concentration(const GrandChemModel& model,
+                                        const Array& phi, const Array& mu,
+                                        double t);
+
+}  // namespace pfc::app

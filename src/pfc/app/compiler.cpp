@@ -1,0 +1,119 @@
+#include "pfc/app/compiler.hpp"
+
+#include "pfc/backend/c_emitter.hpp"
+#include "pfc/ir/schedule.hpp"
+#include "pfc/support/timer.hpp"
+
+namespace pfc::app {
+
+void CompiledKernel::run(const backend::Binding& b,
+                         const std::array<long long, 3>& n, double t,
+                         long long t_step, ThreadPool* pool) const {
+  if (fn_ != nullptr) {
+    backend::run_compiled(ir, fn_, b, n, t, t_step, pool);
+  } else {
+    PFC_ASSERT(interp_ != nullptr, "CompiledKernel has no backend");
+    interp_->run(b, n, t, t_step, pool);
+  }
+}
+
+std::vector<ir::Kernel> ModelCompiler::lower(
+    const fd::PdeUpdate& pde, const fd::DiscretizeOptions& dopts,
+    const CompileOptions& opts, std::optional<FieldPtr>* flux_field) {
+  fd::DiscretizeResult dres = fd::discretize(pde, dopts);
+  if (flux_field != nullptr) *flux_field = dres.flux_field;
+
+  ir::BuildOptions bo;
+  bo.cse = opts.cse;
+  bo.hoist_invariants = opts.hoist_invariants;
+  bo.dims = dopts.dims;
+
+  std::vector<ir::Kernel> kernels;
+  kernels.reserve(dres.kernels.size());
+  for (const auto& sk : dres.kernels) {
+    ir::Kernel k = ir::build_kernel(sk, bo);
+    if (opts.schedule) {
+      ir::ScheduleOptions so;
+      so.beam_width = opts.schedule_beam_width;
+      ir::schedule_min_register(k, so);
+    }
+    kernels.push_back(std::move(k));
+  }
+  return kernels;
+}
+
+CompiledModel ModelCompiler::compile_updates(
+    const std::vector<fd::PdeUpdate>& pdes,
+    const fd::DiscretizeOptions& dopts) const {
+  PFC_REQUIRE(pdes.size() >= 1 && pdes.size() <= 2,
+              "compile_updates expects [phi] or [phi, mu] updates");
+  Timer gen_timer;
+  CompiledModel out;
+
+  std::vector<std::vector<ir::Kernel>> groups;
+  for (std::size_t i = 0; i < pdes.size(); ++i) {
+    fd::DiscretizeOptions d = dopts;
+    d.split_staggered = i == 0 ? opts_.split_phi : opts_.split_mu;
+    d.clamp_unit_interval = i == 0 && opts_.clamp_phi;
+    d.renormalize_simplex = d.clamp_unit_interval;
+    std::optional<FieldPtr> flux;
+    groups.push_back(lower(pdes[i], d, opts_, &flux));
+    (i == 0 ? out.phi_flux_field : out.mu_flux_field) = flux;
+  }
+  out.generation_seconds = gen_timer.seconds();
+
+  const auto attach = [&](const std::vector<ir::Kernel>& ks,
+                          std::vector<CompiledKernel>& dst) {
+    for (const auto& k : ks) {
+      CompiledKernel ck;
+      ck.ir = k;
+      dst.push_back(std::move(ck));
+    }
+  };
+  attach(groups[0], out.phi_kernels);
+  if (groups.size() > 1) attach(groups[1], out.mu_kernels);
+
+  if (opts_.backend == Backend::Interpreter) {
+    for (auto* group : {&out.phi_kernels, &out.mu_kernels}) {
+      for (auto& ck : *group) {
+        ck.interp_ = std::make_shared<backend::InterpreterKernel>(ck.ir);
+      }
+    }
+    return out;
+  }
+
+  // Emit all kernels into one translation unit and JIT it.
+  backend::CEmitOptions eo;
+  eo.fast_math = opts_.fast_math;
+  std::string source;
+  bool first = true;
+  for (auto* group : {&out.phi_kernels, &out.mu_kernels}) {
+    for (auto& ck : *group) {
+      eo.include_preamble = first;
+      first = false;
+      source += backend::emit_c(ck.ir, eo);
+      source += "\n";
+    }
+  }
+  out.source_ = source;
+  out.library_ = std::make_shared<backend::JitLibrary>(
+      backend::JitLibrary::compile(source));
+  out.compile_seconds = out.library_->compile_seconds();
+  for (auto* group : {&out.phi_kernels, &out.mu_kernels}) {
+    for (auto& ck : *group) {
+      ck.fn_ = out.library_->get(backend::entry_name(ck.ir));
+    }
+  }
+  return out;
+}
+
+CompiledModel ModelCompiler::compile(const GrandChemModel& model) const {
+  fd::DiscretizeOptions dopts;
+  dopts.dims = model.params().dims;
+  dopts.dx = model.params().dx;
+  dopts.dt = model.params().dt;
+  dopts.rng_seed = model.params().rng_seed;
+  return compile_updates({model.phi_update(), model.mu_update()}, dopts);
+}
+
+}  // namespace pfc::app

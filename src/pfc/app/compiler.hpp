@@ -1,0 +1,90 @@
+// ModelCompiler: drives the complete code-generation pipeline for one model
+// instance (paper Fig. 1): continuum PDEs → discretization (full or split
+// staggered kernels) → IR build (CSE, hoisting) → backend (C source + JIT,
+// or interpreter) — and exposes every knob the paper's evaluation varies.
+#pragma once
+
+#include <memory>
+
+#include "pfc/app/grandchem.hpp"
+#include "pfc/backend/interp.hpp"
+#include "pfc/backend/jit.hpp"
+#include "pfc/ir/kernel.hpp"
+
+namespace pfc::app {
+
+enum class Backend { Jit, Interpreter };
+
+struct CompileOptions {
+  Backend backend = Backend::Jit;
+  /// Split staggered-flux precompute kernels ("φ-split"/"µ-split") instead
+  /// of recompute-on-both-sides ("φ-full"/"µ-full").
+  bool split_phi = false;
+  bool split_mu = false;
+  bool fast_math = false;   ///< approximate div/sqrt/rsqrt (paper §3.5)
+  bool cse = true;
+  bool hoist_invariants = true;
+  bool clamp_phi = true;    ///< project φ updates back into [0,1]
+  /// Register-minimizing statement scheduling (GPU transformation; also
+  /// valid for CPU code).
+  bool schedule = false;
+  std::size_t schedule_beam_width = 20;
+};
+
+/// One executable kernel: the optimized IR plus a backend handle.
+class CompiledKernel {
+ public:
+  ir::Kernel ir;
+
+  void run(const backend::Binding& b, const std::array<long long, 3>& n,
+           double t, long long t_step, ThreadPool* pool = nullptr) const;
+
+ private:
+  friend class ModelCompiler;
+  backend::KernelFn fn_ = nullptr;  // JIT entry (library owned by model)
+  std::shared_ptr<backend::InterpreterKernel> interp_;
+};
+
+/// The compiled model: kernels in execution order per PDE.
+class CompiledModel {
+ public:
+  std::vector<CompiledKernel> phi_kernels;  ///< staggered first if split
+  std::vector<CompiledKernel> mu_kernels;
+  std::optional<FieldPtr> phi_flux_field;
+  std::optional<FieldPtr> mu_flux_field;
+
+  double generation_seconds = 0.0;  ///< symbolic pipeline time
+  double compile_seconds = 0.0;     ///< external compiler time (JIT only)
+
+  /// The generated C translation unit (empty for interpreter backend).
+  const std::string& generated_source() const { return source_; }
+
+ private:
+  friend class ModelCompiler;
+  std::string source_;
+  std::shared_ptr<backend::JitLibrary> library_;
+};
+
+class ModelCompiler {
+ public:
+  explicit ModelCompiler(CompileOptions opts = {}) : opts_(opts) {}
+
+  /// Runs the full pipeline on a model instance.
+  CompiledModel compile(const GrandChemModel& model) const;
+
+  /// Lower-level entry: compiles arbitrary PDE updates (used by tests and
+  /// by the benchmark harness for single-kernel studies).
+  CompiledModel compile_updates(const std::vector<fd::PdeUpdate>& pdes,
+                                const fd::DiscretizeOptions& dopts) const;
+
+  /// Pipeline front half only: PDE update -> optimized IR kernels.
+  static std::vector<ir::Kernel> lower(const fd::PdeUpdate& pde,
+                                       const fd::DiscretizeOptions& dopts,
+                                       const CompileOptions& opts,
+                                       std::optional<FieldPtr>* flux_field);
+
+ private:
+  CompileOptions opts_;
+};
+
+}  // namespace pfc::app

@@ -1,0 +1,219 @@
+#include "pfc/app/distributed.hpp"
+
+namespace pfc::app {
+
+namespace {
+
+std::array<std::int64_t, 3> flux_size(const std::array<long long, 3>& n,
+                                      int dims) {
+  std::array<std::int64_t, 3> s{1, 1, 1};
+  for (int d = 0; d < dims; ++d) s[std::size_t(d)] = n[std::size_t(d)] + 1;
+  return s;
+}
+
+}  // namespace
+
+DistributedSimulation::DistributedSimulation(const GrandChemModel& model,
+                                             const DistributedOptions& opts,
+                                             mpi::Comm* comm)
+    : model_(model),
+      opts_(opts),
+      forest_(opts.global_cells, opts.blocks_per_dim,
+              comm != nullptr ? comm->size() : 1, model.params().dims,
+              opts.boundary),
+      comm_(comm),
+      compiled_(ModelCompiler(opts.compile).compile(model)),
+      exchange_(forest_, comm) {
+  const int my_rank = comm != nullptr ? comm->rank() : 0;
+  const int dims = model.params().dims;
+  for (const grid::Block* b : forest_.blocks_of_rank(my_rank)) {
+    auto lb = std::make_unique<LocalBlock>(LocalBlock{
+        b,
+        Array(model.phi_src(), {b->size[0], b->size[1], b->size[2]}, 1),
+        Array(model.phi_dst(), {b->size[0], b->size[1], b->size[2]}, 1),
+        Array(model.mu_src(), {b->size[0], b->size[1], b->size[2]}, 1),
+        Array(model.mu_dst(), {b->size[0], b->size[1], b->size[2]}, 1),
+        std::nullopt, std::nullopt});
+    if (compiled_.phi_flux_field) {
+      lb->phi_flux.emplace(*compiled_.phi_flux_field,
+                           flux_size(b->size, dims), 0);
+    }
+    if (compiled_.mu_flux_field) {
+      lb->mu_flux.emplace(*compiled_.mu_flux_field, flux_size(b->size, dims),
+                          0);
+    }
+    locals_.push_back(std::move(lb));
+  }
+}
+
+backend::Binding DistributedSimulation::bind(const ir::Kernel& k,
+                                             LocalBlock& lb) const {
+  backend::Binding b;
+  b.block_offset = {lb.block->offset[0], lb.block->offset[1],
+                    lb.block->offset[2]};
+  for (const auto& f : k.fields) {
+    Array* a = nullptr;
+    if (f->id() == model_.phi_src()->id()) a = &lb.phi_src;
+    else if (f->id() == model_.phi_dst()->id()) a = &lb.phi_dst;
+    else if (f->id() == model_.mu_src()->id()) a = &lb.mu_src;
+    else if (f->id() == model_.mu_dst()->id()) a = &lb.mu_dst;
+    else if (compiled_.phi_flux_field &&
+             f->id() == (*compiled_.phi_flux_field)->id()) {
+      a = &*lb.phi_flux;
+    } else if (compiled_.mu_flux_field &&
+               f->id() == (*compiled_.mu_flux_field)->id()) {
+      a = &*lb.mu_flux;
+    }
+    PFC_REQUIRE(a != nullptr, "distributed: unknown field " + f->name());
+    b.arrays.push_back(a);
+  }
+  return b;
+}
+
+std::vector<grid::LocalBlockField> DistributedSimulation::field_view(
+    Array LocalBlock::* member) {
+  std::vector<grid::LocalBlockField> v;
+  v.reserve(locals_.size());
+  for (auto& lb : locals_) {
+    v.push_back({lb->block, &((*lb).*member)});
+  }
+  return v;
+}
+
+void DistributedSimulation::init(
+    const std::function<double(long long, long long, long long, int)>& phi_f,
+    const std::function<double(long long, long long, long long, int)>& mu_f) {
+  for (auto& lb : locals_) {
+    const auto& off = lb->block->offset;
+    const auto& n = lb->block->size;
+    for (int c = 0; c < lb->phi_src.components(); ++c) {
+      for (long long z = 0; z < n[2]; ++z) {
+        for (long long y = 0; y < n[1]; ++y) {
+          for (long long x = 0; x < n[0]; ++x) {
+            lb->phi_src.at(x, y, z, c) =
+                phi_f(x + off[0], y + off[1], z + off[2], c);
+          }
+        }
+      }
+    }
+    for (int c = 0; c < lb->mu_src.components(); ++c) {
+      for (long long z = 0; z < n[2]; ++z) {
+        for (long long y = 0; y < n[1]; ++y) {
+          for (long long x = 0; x < n[0]; ++x) {
+            lb->mu_src.at(x, y, z, c) =
+                mu_f(x + off[0], y + off[1], z + off[2], c);
+          }
+        }
+      }
+    }
+  }
+  auto phi_view = field_view(&LocalBlock::phi_src);
+  exchange_.exchange(phi_view, /*field_tag=*/0);
+  auto mu_view = field_view(&LocalBlock::mu_src);
+  exchange_.exchange(mu_view, /*field_tag=*/1);
+}
+
+void DistributedSimulation::run(int steps) {
+  for (int it = 0; it < steps; ++it) {
+    const double t = double(step_) * model_.params().dt;
+    for (auto& lb : locals_) {
+      const std::array<long long, 3> n = lb->block->size;
+      for (const auto& ck : compiled_.phi_kernels) {
+        ck.run(bind(ck.ir, *lb), n, t, step_);
+      }
+    }
+    auto phi_view = field_view(&LocalBlock::phi_dst);
+    exchange_.exchange(phi_view, /*field_tag=*/2);
+
+    for (auto& lb : locals_) {
+      const std::array<long long, 3> n = lb->block->size;
+      for (const auto& ck : compiled_.mu_kernels) {
+        ck.run(bind(ck.ir, *lb), n, t, step_);
+      }
+    }
+    auto mu_view = field_view(&LocalBlock::mu_dst);
+    exchange_.exchange(mu_view, /*field_tag=*/3);
+
+    for (auto& lb : locals_) {
+      lb->phi_src.swap_data(lb->phi_dst);
+      lb->mu_src.swap_data(lb->mu_dst);
+    }
+    ++step_;
+  }
+}
+
+double DistributedSimulation::local_phi_sum(int c) const {
+  double s = 0.0;
+  for (const auto& lb : locals_) s += lb->phi_src.interior_sum(c);
+  return s;
+}
+
+std::vector<double> DistributedSimulation::gather_phi() const {
+  const auto& g = forest_.global_cells();
+  const int comps = model_.phi_src()->components();
+  const std::size_t plane = std::size_t(g[0] * g[1] * g[2]);
+  std::vector<double> out(plane * std::size_t(comps), 0.0);
+
+  const auto put_block = [&](const grid::Block& b,
+                             const std::vector<double>& data) {
+    std::size_t i = 0;
+    for (int c = 0; c < comps; ++c) {
+      for (long long z = 0; z < b.size[2]; ++z) {
+        for (long long y = 0; y < b.size[1]; ++y) {
+          for (long long x = 0; x < b.size[0]; ++x) {
+            const std::size_t gi =
+                std::size_t((x + b.offset[0]) +
+                            g[0] * ((y + b.offset[1]) +
+                                    g[1] * (z + b.offset[2])));
+            out[gi + plane * std::size_t(c)] = data[i++];
+          }
+        }
+      }
+    }
+  };
+  const auto block_data = [&](const LocalBlock& lb) {
+    std::vector<double> d;
+    d.reserve(std::size_t(lb.block->size[0] * lb.block->size[1] *
+                          lb.block->size[2] * comps));
+    for (int c = 0; c < comps; ++c) {
+      for (long long z = 0; z < lb.block->size[2]; ++z) {
+        for (long long y = 0; y < lb.block->size[1]; ++y) {
+          for (long long x = 0; x < lb.block->size[0]; ++x) {
+            d.push_back(lb.phi_src.at(x, y, z, c));
+          }
+        }
+      }
+    }
+    return d;
+  };
+
+  for (const auto& lb : locals_) put_block(*lb->block, block_data(*lb));
+  if (comm_ == nullptr) return out;
+
+  constexpr int kGatherTag = 7000000;
+  if (comm_->rank() == 0) {
+    for (const auto& b : forest_.blocks()) {
+      if (b.owner == 0) continue;
+      std::vector<double> data(
+          std::size_t(b.size[0] * b.size[1] * b.size[2] * comps));
+      comm_->recv_vec(b.owner, kGatherTag + b.linear_id, data);
+      put_block(b, data);
+    }
+    for (int r = 1; r < comm_->size(); ++r) {
+      comm_->send_vec(r, kGatherTag - 1, out);
+    }
+  } else {
+    for (const auto& lb : locals_) {
+      comm_->send_vec(0, kGatherTag + lb->block->linear_id,
+                      block_data(*lb));
+    }
+    comm_->recv_vec(0, kGatherTag - 1, out);
+  }
+  return out;
+}
+
+std::size_t DistributedSimulation::last_exchange_bytes() const {
+  return exchange_.last_bytes_sent();
+}
+
+}  // namespace pfc::app

@@ -1,0 +1,280 @@
+#include "pfc/app/grandchem.hpp"
+
+#include <cmath>
+
+#include "pfc/continuum/varder.hpp"
+#include "pfc/support/assert.hpp"
+
+#ifndef M_PI
+#define M_PI 3.14159265358979323846
+#endif
+
+namespace pfc::app {
+
+using continuum::Matrix;
+using continuum::Vec;
+using sym::Expr;
+using sym::num;
+
+void GrandChemParams::validate() const {
+  PFC_REQUIRE(phases >= 2, "grandchem needs at least 2 phases");
+  PFC_REQUIRE(components >= 2 && components <= 4,
+              "grandchem supports 2..4 components (µ dimension 1..3)");
+  PFC_REQUIRE(dims >= 1 && dims <= 3, "dims must be 1..3");
+  PFC_REQUIRE(liquid_phase >= 0 && liquid_phase < phases,
+              "liquid_phase out of range");
+  PFC_REQUIRE(gamma.has_value() && gamma->phases() == phases,
+              "gamma PairTable missing or wrong size");
+  PFC_REQUIRE(tau.has_value() && tau->phases() == phases,
+              "tau PairTable missing or wrong size");
+  PFC_REQUIRE(static_cast<int>(fits.size()) == phases,
+              "need one ParabolicFit per phase");
+  for (const auto& f : fits) {
+    PFC_REQUIRE(f.num_mu() == components - 1,
+                "ParabolicFit dimension must equal components-1");
+  }
+  PFC_REQUIRE(static_cast<int>(diffusivity.size()) == phases,
+              "need one diffusivity per phase");
+  PFC_REQUIRE(anisotropy.empty() ||
+                  static_cast<int>(anisotropy.size()) ==
+                      phases * (phases - 1) / 2,
+              "anisotropy list must be empty or one entry per pair");
+  PFC_REQUIRE(dt > 0 && dx > 0 && epsilon > 0, "dx, dt, epsilon must be > 0");
+}
+
+GrandChemModel::GrandChemModel(GrandChemParams params)
+    : params_(std::move(params)) {
+  params_.validate();
+  phi_src_ = Field::create("phi_src", params_.dims, params_.phases);
+  phi_dst_ = Field::create("phi_dst", params_.dims, params_.phases);
+  mu_src_ = Field::create("mu_src", params_.dims, params_.num_mu());
+  mu_dst_ = Field::create("mu_dst", params_.dims, params_.num_mu());
+}
+
+Expr GrandChemModel::temperature() const {
+  const int grad_dim = params_.dims - 1;
+  return num(params_.temp0) +
+         params_.temp_gradient *
+             (sym::coord(grad_dim) * params_.dx -
+              params_.pull_velocity * sym::time());
+}
+
+Expr GrandChemModel::energy_density() const {
+  const auto& p = params_;
+  std::vector<Anisotropy> aniso = p.anisotropy;
+  if (aniso.empty()) {
+    aniso.assign(std::size_t(p.phases * (p.phases - 1) / 2), Anisotropy{});
+  }
+  const Expr a =
+      continuum::gradient_energy(phi_src_, p.dims, *p.gamma, aniso);
+  const Expr w =
+      continuum::obstacle_potential(phi_src_, *p.gamma, p.gamma_triple);
+
+  Vec mu;
+  for (int k = 0; k < p.num_mu(); ++k) mu.push_back(sym::at(mu_src_, k));
+  const Expr psi =
+      continuum::driving_force(phi_src_, p.fits, mu, temperature());
+
+  return num(p.epsilon) * a + w / p.epsilon + psi;
+}
+
+Expr GrandChemModel::variational_derivative_phi(int alpha) const {
+  return continuum::variational_derivative(energy_density(), phi_src_, alpha,
+                                           params_.dims);
+}
+
+Expr GrandChemModel::interp_tau() const {
+  // τ_ip = (Σ τ_αβ φ_α φ_β + ε τ̄) / (Σ φ_α φ_β + ε): the ε-regularization
+  // makes the interpolation limit to the mean kinetic coefficient in bulk
+  // cells where every pairwise product vanishes exactly (after clamping),
+  // instead of 0/0.
+  const auto& p = params_;
+  std::vector<Expr> numer, denom, taus;
+  for (int a = 0; a < p.phases; ++a) {
+    for (int b = a + 1; b < p.phases; ++b) {
+      const Expr pab = sym::at(phi_src_, a) * sym::at(phi_src_, b);
+      numer.push_back((*p.tau)(a, b) * pab);
+      denom.push_back(pab);
+      taus.push_back((*p.tau)(a, b));
+    }
+  }
+  const double num_pairs = double(taus.size());
+  const Expr tau_mean = sym::add(std::move(taus)) / num_pairs;
+  return (sym::add(std::move(numer)) + p.guard_eps * tau_mean) /
+         (sym::add(std::move(denom)) + p.guard_eps);
+}
+
+fd::PdeUpdate GrandChemModel::phi_update() const {
+  const auto& p = params_;
+  std::vector<Expr> var_ders;
+  var_ders.reserve(std::size_t(p.phases));
+  for (int a = 0; a < p.phases; ++a) {
+    var_ders.push_back(variational_derivative_phi(a));
+  }
+  // Lagrange multiplier keeps the sum of phase fields conserved
+  Expr lambda = sym::add(var_ders) / double(p.phases);
+
+  const Expr tau_eps = interp_tau() * p.epsilon;
+  fd::PdeUpdate pde;
+  pde.name = "phi";
+  pde.src = phi_src_;
+  pde.dst = phi_dst_;
+  for (int a = 0; a < p.phases; ++a) {
+    Expr rhs = (lambda - var_ders[std::size_t(a)]) / tau_eps;
+    if (p.noise_amplitude != 0.0) {
+      const Expr pa = sym::at(phi_src_, a);
+      rhs = rhs + p.noise_amplitude * pa * (num(1.0) - pa) *
+                      sym::random_uniform(a);
+    }
+    pde.rhs.push_back(rhs);
+  }
+  return pde;
+}
+
+Vec GrandChemModel::dphi_dt() const {
+  Vec v;
+  for (int a = 0; a < params_.phases; ++a) {
+    v.push_back((sym::at(phi_dst_, a) - sym::at(phi_src_, a)) / params_.dt);
+  }
+  return v;
+}
+
+Vec GrandChemModel::concentration() const {
+  const auto& p = params_;
+  Vec mu;
+  for (int k = 0; k < p.num_mu(); ++k) mu.push_back(sym::at(mu_src_, k));
+  const Expr T = temperature();
+  Vec c(std::size_t(p.num_mu()), num(0.0));
+  for (int a = 0; a < p.phases; ++a) {
+    const Expr h = continuum::interpolation_h(sym::at(phi_src_, a));
+    const Vec ca = p.fits[std::size_t(a)].concentration(mu, T);
+    for (int k = 0; k < p.num_mu(); ++k) {
+      c[std::size_t(k)] = c[std::size_t(k)] + ca[std::size_t(k)] * h;
+    }
+  }
+  return c;
+}
+
+fd::PdeUpdate GrandChemModel::mu_update() const {
+  const auto& p = params_;
+  const int nmu = p.num_mu();
+  const Expr T = temperature();
+
+  Vec mu;
+  for (int k = 0; k < nmu; ++k) mu.push_back(sym::at(mu_src_, k));
+
+  // susceptibility chi = dc/dµ = sum_a 2 A_a(T) h(phi_a)
+  Matrix chi(std::size_t(nmu), std::vector<Expr>(std::size_t(nmu), num(0.0)));
+  // mobility M = sum_a D_a (2 A_a(T)) g_a(phi), g_a = phi_a (paper: simpler
+  // interpolation than h_a)
+  Matrix mob = chi;
+  // per-phase concentrations and their h-interpolated T-derivative
+  std::vector<Vec> c_of_phase;
+  Vec dc_dT(std::size_t(nmu), num(0.0));
+  for (int a = 0; a < p.phases; ++a) {
+    const auto& fit = p.fits[std::size_t(a)];
+    const Expr h = continuum::interpolation_h(sym::at(phi_src_, a));
+    const Matrix dca = fit.dc_dmu(T);  // 2 A_a(T)
+    const Vec dct = fit.dc_dT(mu);
+    for (int i = 0; i < nmu; ++i) {
+      for (int j = 0; j < nmu; ++j) {
+        chi[std::size_t(i)][std::size_t(j)] =
+            chi[std::size_t(i)][std::size_t(j)] +
+            dca[std::size_t(i)][std::size_t(j)] * h;
+        mob[std::size_t(i)][std::size_t(j)] =
+            mob[std::size_t(i)][std::size_t(j)] +
+            p.diffusivity[std::size_t(a)] *
+                dca[std::size_t(i)][std::size_t(j)] *
+                sym::at(phi_src_, a);
+      }
+      dc_dT[std::size_t(i)] = dc_dT[std::size_t(i)] + dct[std::size_t(i)] * h;
+    }
+    c_of_phase.push_back(fit.concentration(mu, T));
+  }
+
+  // flux F_k = sum_j M_kj grad(mu_j) - Jat_k  (per spatial dim)
+  const auto grad_mu = [&](int j) {
+    return continuum::grad(mu_src_, j, p.dims);
+  };
+  std::vector<Vec> flux(std::size_t(nmu),
+                        Vec(std::size_t(p.dims), num(0.0)));
+  for (int k = 0; k < nmu; ++k) {
+    for (int j = 0; j < nmu; ++j) {
+      const Vec gj = grad_mu(j);
+      for (int d = 0; d < p.dims; ++d) {
+        flux[std::size_t(k)][std::size_t(d)] =
+            flux[std::size_t(k)][std::size_t(d)] +
+            mob[std::size_t(k)][std::size_t(j)] * gj[std::size_t(d)];
+      }
+    }
+  }
+
+  // anti-trapping current (Eq. 10): only solid phases alpha != liquid
+  const int l = p.liquid_phase;
+  const Vec dphidt = dphi_dt();
+  const Vec grad_phi_l = continuum::grad(phi_src_, l, p.dims);
+  const Expr norm_l =
+      sym::rsqrt(sym::max_(continuum::norm_sq(grad_phi_l), num(p.guard_eps)));
+  for (int a = 0; a < p.phases; ++a) {
+    if (a == l) continue;
+    const Vec grad_phi_a = continuum::grad(phi_src_, a, p.dims);
+    const Expr norm_a = sym::rsqrt(
+        sym::max_(continuum::norm_sq(grad_phi_a), num(p.guard_eps)));
+    // n_a · n_l projection
+    const Expr proj =
+        continuum::dot(grad_phi_a, grad_phi_l) * norm_a * norm_l;
+    const Expr indicator = sym::sqrt_(sym::max_(
+        sym::at(phi_src_, a) * sym::at(phi_src_, l), num(0.0)));
+    const Expr pref = num(M_PI * p.epsilon / 4.0) * indicator *
+                      dphidt[std::size_t(a)] * proj;
+    for (int k = 0; k < nmu; ++k) {
+      const Expr dc = c_of_phase[std::size_t(l)][std::size_t(k)] -
+                      c_of_phase[std::size_t(a)][std::size_t(k)];
+      for (int d = 0; d < p.dims; ++d) {
+        // F -= J_at
+        flux[std::size_t(k)][std::size_t(d)] =
+            flux[std::size_t(k)][std::size_t(d)] -
+            pref * dc * grad_phi_a[std::size_t(d)] * norm_a;
+      }
+    }
+  }
+
+  // rhs_k = [chi^-1 ( div(F) - sum_a c_a dh/dt - dc/dT dT/dt )]_k
+  Vec bracket(std::size_t(nmu), num(0.0));
+  for (int k = 0; k < nmu; ++k) {
+    bracket[std::size_t(k)] = continuum::div(flux[std::size_t(k)]);
+  }
+  for (int a = 0; a < p.phases; ++a) {
+    const Expr hprime =
+        continuum::interpolation_h_prime(sym::at(phi_src_, a));
+    for (int k = 0; k < nmu; ++k) {
+      bracket[std::size_t(k)] =
+          bracket[std::size_t(k)] - c_of_phase[std::size_t(a)][std::size_t(k)] *
+                                        hprime * dphidt[std::size_t(a)];
+    }
+  }
+  const double dT_dt = -p.temp_gradient * p.pull_velocity;
+  if (dT_dt != 0.0) {
+    for (int k = 0; k < nmu; ++k) {
+      bracket[std::size_t(k)] =
+          bracket[std::size_t(k)] - dc_dT[std::size_t(k)] * dT_dt;
+    }
+  }
+
+  const Matrix chi_inv = continuum::inverse(chi);
+  fd::PdeUpdate pde;
+  pde.name = "mu";
+  pde.src = mu_src_;
+  pde.dst = mu_dst_;
+  for (int k = 0; k < nmu; ++k) {
+    Expr rhs = num(0.0);
+    for (int j = 0; j < nmu; ++j) {
+      rhs = rhs +
+            chi_inv[std::size_t(k)][std::size_t(j)] * bracket[std::size_t(j)];
+    }
+    pde.rhs.push_back(rhs);
+  }
+  return pde;
+}
+
+}  // namespace pfc::app

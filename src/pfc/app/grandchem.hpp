@@ -1,0 +1,115 @@
+// The grand-potential (grand-chemical) multi-phase-field model — the
+// paper's application (Eqs. 3–10, following Choudhury & Nestler and Hötzer
+// et al.):
+//
+//   * N phase fields φ_α on the Gibbs simplex, evolving by Allen–Cahn
+//     dynamics from the variational derivative of
+//     Ψ = ∫ ε a(φ,∇φ) + ω(φ)/ε + ψ(φ,µ,T) dV, corrected by a Lagrange
+//     multiplier and an optional Philox fluctuation;
+//   * K−1 chemical potentials µ evolving non-variationally (Eq. 8) with
+//     mobility M(φ,µ,T) (Eq. 9) and anti-trapping current J_at (Eq. 10);
+//   * analytic temperature T(z, t) = T0 + G (z·dx − v t) — the "frozen
+//     temperature" approximation whose special functional form the code
+//     generator exploits by loop-invariant hoisting.
+//
+// Everything below is *symbolic*: the class produces continuum PDEs
+// (fd::PdeUpdate) for the pipeline. Numeric parameters fold at generation
+// time (the paper's compile-time parametrization); any parameter may be
+// left symbolic to stay a runtime kernel argument (§5.1 ablation).
+#pragma once
+
+#include <optional>
+
+#include "pfc/continuum/functional.hpp"
+#include "pfc/fd/discretize.hpp"
+
+namespace pfc::app {
+
+using continuum::Anisotropy;
+using continuum::PairTable;
+using continuum::ParabolicFit;
+
+/// Full parametrization of a grand-chemical model instance.
+struct GrandChemParams {
+  int phases = 2;       ///< N
+  int components = 2;   ///< K (µ and c have K−1 entries)
+  int dims = 3;
+  int liquid_phase = 0;  ///< index l of the melt phase (anti-trapping)
+
+  double dx = 1.0;
+  double dt = 0.01;
+  double epsilon = 4.0;  ///< interface width parameter ε (in units of dx)
+
+  /// Pairwise interfacial energies γ_αβ and kinetic coefficients τ_αβ.
+  std::optional<PairTable> gamma;
+  std::optional<PairTable> tau;
+  sym::Expr gamma_triple = sym::num(0.0);
+
+  /// Per-pair gradient-energy anisotropy (empty = all isotropic).
+  std::vector<Anisotropy> anisotropy;
+
+  /// Per-phase parabolic grand-potential fits (Eq. 6).
+  std::vector<ParabolicFit> fits;
+  /// Per-phase diffusion coefficients D_α.
+  std::vector<sym::Expr> diffusivity;
+
+  /// Analytic temperature T(z,t) = T0 + G (z dx − v t); gradient along the
+  /// last spatial dimension.
+  double temp0 = 1.0;
+  double temp_gradient = 0.0;  ///< G
+  double pull_velocity = 0.0;  ///< v
+
+  /// Fluctuation amplitude (0 disables noise; noise acts inside interfaces
+  /// as amp · φ_α(1−φ_α) · ξ with ξ ~ Philox U(−1,1)).
+  double noise_amplitude = 0.0;
+  std::uint64_t rng_seed = 42;
+
+  /// Numerical guard for divisions by interface indicators.
+  double guard_eps = 1e-9;
+
+  int num_mu() const { return components - 1; }
+  void validate() const;
+};
+
+/// Symbolic model assembly: fields plus continuum PDE right-hand sides.
+class GrandChemModel {
+ public:
+  explicit GrandChemModel(GrandChemParams params);
+
+  const GrandChemParams& params() const { return params_; }
+
+  const FieldPtr& phi_src() const { return phi_src_; }
+  const FieldPtr& phi_dst() const { return phi_dst_; }
+  const FieldPtr& mu_src() const { return mu_src_; }
+  const FieldPtr& mu_dst() const { return mu_dst_; }
+
+  /// T(z, t) as a symbolic expression (z in cells).
+  sym::Expr temperature() const;
+
+  /// The total energy density integrand ε a + ω/ε + ψ.
+  sym::Expr energy_density() const;
+
+  /// δΨ/δφ_α (continuum form, contains Diff divergences).
+  sym::Expr variational_derivative_phi(int alpha) const;
+
+  /// The Allen–Cahn update (Eq. 7) for all phases: dφ_α/dt = ...
+  fd::PdeUpdate phi_update() const;
+
+  /// The chemical-potential update (Eq. 8) for all µ components, with the
+  /// anti-trapping current (Eq. 10). The dφ/dt appearing on the rhs is the
+  /// already-computed (φ_dst − φ_src)/dt, matching Algorithm 1's data flow
+  /// (µ kernel reads both φ_src and φ_dst).
+  fd::PdeUpdate mu_update() const;
+
+  /// c(φ,µ,T): the conserved concentration vector (for analysis/tests).
+  continuum::Vec concentration() const;
+
+ private:
+  sym::Expr interp_tau() const;
+  continuum::Vec dphi_dt() const;  ///< (φ_dst − φ_src)/dt per phase
+
+  GrandChemParams params_;
+  FieldPtr phi_src_, phi_dst_, mu_src_, mu_dst_;
+};
+
+}  // namespace pfc::app

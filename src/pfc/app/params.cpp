@@ -1,0 +1,161 @@
+#include "pfc/app/params.hpp"
+
+namespace pfc::app {
+
+using continuum::Matrix;
+using continuum::Vec;
+using sym::num;
+
+namespace {
+
+/// Diagonal matrix of size n.
+Matrix diag(int n, double v, double off = 0.0) {
+  Matrix m;
+  m.assign(std::size_t(n), std::vector<sym::Expr>(std::size_t(n)));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      m[std::size_t(i)][std::size_t(j)] = num(i == j ? v : off);
+    }
+  }
+  return m;
+}
+
+Vec vec(std::initializer_list<double> vals) {
+  Vec v;
+  for (double x : vals) v.push_back(num(x));
+  return v;
+}
+
+}  // namespace
+
+GrandChemParams make_p1(int dims) {
+  GrandChemParams p;
+  p.phases = 4;       // liquid + three solid phases (ternary eutectic)
+  p.components = 3;   // ternary alloy: two independent chemical potentials
+  p.dims = dims;
+  p.liquid_phase = 0;
+  p.dx = 1.0;
+  p.dt = 0.01;
+  p.epsilon = 4.0;
+
+  p.gamma.emplace(4, num(1.0));
+  // slightly asymmetric solid-solid interfacial energies
+  p.gamma->set(1, 2, num(0.9));
+  p.gamma->set(1, 3, num(1.1));
+  p.gamma->set(2, 3, num(0.95));
+  p.gamma_triple = num(12.0);  // suppress spurious third phases
+
+  p.tau.emplace(4, num(1.0));
+  p.tau->set(0, 1, num(0.8));
+  p.tau->set(0, 2, num(0.85));
+  p.tau->set(0, 3, num(0.9));
+
+  // parabolic grand-potential fits: psi_a = mu^T A(T) mu + B(T)·mu + C(T)
+  // liquid has shallower curvature and a temperature-sensitive offset so
+  // that undercooling drives solidification.
+  const double curv[4] = {0.8, 1.0, 1.0, 1.0};
+  const double b0_0[4] = {0.00, -0.35, 0.25, 0.10};
+  const double b0_1[4] = {0.00, 0.20, -0.30, 0.10};
+  // dC/dT: larger for solids, so undercooling (T < 0) favors them
+  const double c1[4] = {0.50, 1.20, 1.20, 1.20};
+  for (int a = 0; a < 4; ++a) {
+    ParabolicFit fit;
+    fit.a0 = diag(2, curv[a], 0.1);
+    fit.a1 = diag(2, 0.02);
+    fit.b0 = vec({b0_0[a], b0_1[a]});
+    fit.b1 = vec({0.01, -0.01});
+    fit.c0 = num(0.0);
+    fit.c1 = num(c1[a]);
+    p.fits.push_back(fit);
+  }
+  p.diffusivity = {num(1.0), num(0.05), num(0.05), num(0.05)};
+
+  // analytic temperature: frozen gradient pulled with velocity v
+  p.temp0 = -0.2;
+  p.temp_gradient = 0.005;
+  p.pull_velocity = 0.5;
+
+  p.noise_amplitude = 0.0;
+  return p;
+}
+
+GrandChemParams make_p2(int dims) {
+  GrandChemParams p;
+  p.phases = 3;      // liquid + two solid orientations
+  p.components = 2;  // binary alloy (Al-Cu like): one chemical potential
+  p.dims = dims;
+  p.liquid_phase = 0;
+  p.dx = 1.0;
+  p.dt = 0.01;
+  p.epsilon = 4.0;
+
+  p.gamma.emplace(3, num(1.0));
+  p.gamma->set(1, 2, num(1.2));  // grain boundary stiffer
+  p.gamma_triple = num(10.0);
+
+  p.tau.emplace(3, num(1.0));
+  p.tau->set(0, 1, num(0.7));
+  p.tau->set(0, 2, num(0.7));
+
+  // cubic anisotropy on the solid-liquid pairs drives dendrites
+  p.anisotropy.assign(3, Anisotropy{});
+  // pair order for N=3: (0,1), (0,2), (1,2)
+  p.anisotropy[0] = {Anisotropy::Type::Cubic, num(0.3)};
+  p.anisotropy[1] = {Anisotropy::Type::Cubic, num(0.3)};
+  p.anisotropy[2] = {};  // solid-solid boundary isotropic
+
+  const double curv[3] = {0.8, 1.0, 1.0};
+  const double b0[3] = {0.0, -0.4, -0.4};
+  const double c1[3] = {0.5, 1.5, 1.5};  // strong melt entropy gap
+  for (int a = 0; a < 3; ++a) {
+    ParabolicFit fit;
+    fit.a0 = diag(1, curv[a]);
+    fit.a1 = diag(1, 0.02);
+    fit.b0 = vec({b0[a]});
+    fit.b1 = vec({0.01});
+    fit.c0 = num(0.0);
+    fit.c1 = num(c1[a]);
+    p.fits.push_back(fit);
+  }
+  p.diffusivity = {num(1.0), num(0.05), num(0.05)};
+
+  p.temp0 = -0.3;
+  p.temp_gradient = 0.004;
+  p.pull_velocity = 0.4;
+
+  p.noise_amplitude = 0.02;  // side-branching noise (paper §3.2)
+  return p;
+}
+
+GrandChemParams make_two_phase(int dims) {
+  GrandChemParams p;
+  p.phases = 2;
+  p.components = 2;
+  p.dims = dims;
+  p.liquid_phase = 0;
+  p.dx = 1.0;
+  p.dt = 0.02;
+  p.epsilon = 4.0;
+
+  p.gamma.emplace(2, num(1.0));
+  p.tau.emplace(2, num(1.0));
+  p.gamma_triple = num(0.0);
+
+  // identical fits for both phases: zero chemical driving force, so the
+  // interface moves by curvature only
+  for (int a = 0; a < 2; ++a) {
+    ParabolicFit fit;
+    fit.a0 = diag(1, 1.0);
+    fit.a1 = diag(1, 0.0);
+    fit.b0 = vec({0.0});
+    fit.b1 = vec({0.0});
+    p.fits.push_back(fit);
+  }
+  p.diffusivity = {num(1.0), num(1.0)};
+  p.temp0 = 0.0;
+  p.temp_gradient = 0.0;
+  p.pull_velocity = 0.0;
+  return p;
+}
+
+}  // namespace pfc::app

@@ -1,0 +1,31 @@
+// Reference parameterizations of the grand-chemical model (paper §5.1):
+//
+//   P1 — 4 phases, 3 components, isotropic gradient energy (A_αβ = 1),
+//        analytic temperature gradient along the last axis depending on
+//        time and one spatial coordinate: the ternary eutectic directional
+//        solidification setup of Bauer et al. 2015 (the manually-optimized
+//        baseline the paper reproduces and beats).
+//   P2 — 3 phases, 2 components, *anisotropic* (cubic) gradient energy:
+//        binary-alloy dendritic solidification (Al-Cu-like).
+//
+// Values are dimensionless, chosen for numerical stability of the explicit
+// scheme at dx = 1, not fitted to a CALPHAD database (the paper itself
+// replaces CALPHAD calls by these parabolic fits, Eq. 6).
+#pragma once
+
+#include "pfc/app/grandchem.hpp"
+
+namespace pfc::app {
+
+/// Ternary eutectic directional solidification (paper setup P1).
+GrandChemParams make_p1(int dims = 3);
+
+/// Dendritic solidification with cubic anisotropy (paper setup P2).
+GrandChemParams make_p2(int dims = 3);
+
+/// Minimal two-phase model (no chemistry-driven asymmetry, flat driving
+/// force): interface motion is pure mean-curvature flow — the standard
+/// verification problem (shrinking-circle law).
+GrandChemParams make_two_phase(int dims = 2);
+
+}  // namespace pfc::app

@@ -1,0 +1,178 @@
+#include "pfc/app/simulation.hpp"
+
+#include <cmath>
+
+#include "pfc/support/timer.hpp"
+
+#ifndef M_PI
+#define M_PI 3.14159265358979323846
+#endif
+
+namespace pfc::app {
+
+namespace {
+
+std::array<std::int64_t, 3> flux_size(const std::array<long long, 3>& n,
+                                      int dims) {
+  std::array<std::int64_t, 3> s{1, 1, 1};
+  for (int d = 0; d < dims; ++d) s[std::size_t(d)] = n[std::size_t(d)] + 1;
+  return s;
+}
+
+}  // namespace
+
+double interface_profile(double signed_distance, double width) {
+  if (signed_distance <= -width / 2) return 1.0;
+  if (signed_distance >= width / 2) return 0.0;
+  return 0.5 - 0.5 * std::sin(M_PI * signed_distance / width);
+}
+
+Simulation::Simulation(GrandChemModel model, const SimulationOptions& opts)
+    : model_(std::move(model)),
+      opts_(opts),
+      compiled_(ModelCompiler(opts.compile).compile(model_)),
+      phi_src_arr_(model_.phi_src(),
+                   {opts.cells[0], opts.cells[1], opts.cells[2]}, 1),
+      phi_dst_arr_(model_.phi_dst(),
+                   {opts.cells[0], opts.cells[1], opts.cells[2]}, 1),
+      mu_src_arr_(model_.mu_src(),
+                  {opts.cells[0], opts.cells[1], opts.cells[2]}, 1),
+      mu_dst_arr_(model_.mu_dst(),
+                  {opts.cells[0], opts.cells[1], opts.cells[2]}, 1) {
+  const int dims = model_.params().dims;
+  if (compiled_.phi_flux_field) {
+    phi_flux_arr_.emplace(*compiled_.phi_flux_field,
+                          flux_size(opts.cells, dims), 0);
+  }
+  if (compiled_.mu_flux_field) {
+    mu_flux_arr_.emplace(*compiled_.mu_flux_field,
+                         flux_size(opts.cells, dims), 0);
+  }
+  if (opts.threads > 1) pool_ = std::make_unique<ThreadPool>(opts.threads);
+  if (opts.time_scheme == TimeScheme::Heun) {
+    phi_0_.emplace(model_.phi_src(),
+                   std::array<std::int64_t, 3>{opts.cells[0], opts.cells[1],
+                                               opts.cells[2]},
+                   1);
+    mu_0_.emplace(model_.mu_src(),
+                  std::array<std::int64_t, 3>{opts.cells[0], opts.cells[1],
+                                              opts.cells[2]},
+                  1);
+  }
+}
+
+backend::Binding Simulation::bind(const ir::Kernel& k,
+                                  bool for_flux_of_mu) const {
+  backend::Binding b;
+  b.block_offset = opts_.block_offset;
+  auto* self = const_cast<Simulation*>(this);
+  for (const auto& f : k.fields) {
+    Array* a = nullptr;
+    if (f->id() == model_.phi_src()->id()) a = &self->phi_src_arr_;
+    else if (f->id() == model_.phi_dst()->id()) a = &self->phi_dst_arr_;
+    else if (f->id() == model_.mu_src()->id()) a = &self->mu_src_arr_;
+    else if (f->id() == model_.mu_dst()->id()) a = &self->mu_dst_arr_;
+    else if (compiled_.phi_flux_field &&
+             f->id() == (*compiled_.phi_flux_field)->id()) {
+      a = &*self->phi_flux_arr_;
+    } else if (compiled_.mu_flux_field &&
+               f->id() == (*compiled_.mu_flux_field)->id()) {
+      a = &*self->mu_flux_arr_;
+    }
+    PFC_REQUIRE(a != nullptr, "simulation: kernel needs unknown field " +
+                                  f->name());
+    b.arrays.push_back(a);
+  }
+  (void)for_flux_of_mu;
+  return b;
+}
+
+void Simulation::init_phi(
+    const std::function<double(long long, long long, long long, int)>& f) {
+  const auto& n = opts_.cells;
+  for (int c = 0; c < phi_src_arr_.components(); ++c) {
+    for (long long z = 0; z < n[2]; ++z) {
+      for (long long y = 0; y < n[1]; ++y) {
+        for (long long x = 0; x < n[0]; ++x) {
+          phi_src_arr_.at(x, y, z, c) = f(x, y, z, c);
+        }
+      }
+    }
+  }
+  fill_all_ghosts(phi_src_arr_);
+}
+
+void Simulation::init_mu(
+    const std::function<double(long long, long long, long long, int)>& f) {
+  const auto& n = opts_.cells;
+  for (int c = 0; c < mu_src_arr_.components(); ++c) {
+    for (long long z = 0; z < n[2]; ++z) {
+      for (long long y = 0; y < n[1]; ++y) {
+        for (long long x = 0; x < n[0]; ++x) {
+          mu_src_arr_.at(x, y, z, c) = f(x, y, z, c);
+        }
+      }
+    }
+  }
+  fill_all_ghosts(mu_src_arr_);
+}
+
+void Simulation::euler_substep(double t) {
+  const std::array<long long, 3> cells = opts_.cells;
+  const auto timed_run = [&](const CompiledKernel& ck) {
+    Timer timer;
+    ck.run(bind(ck.ir, false), cells, t, step_, pool_.get());
+    const double s = timer.seconds();
+    kernel_seconds_[ck.ir.name] += s;
+    total_kernel_seconds_ += s;
+  };
+  for (const auto& ck : compiled_.phi_kernels) timed_run(ck);
+  fill_all_ghosts(phi_dst_arr_);
+  for (const auto& ck : compiled_.mu_kernels) timed_run(ck);
+  fill_all_ghosts(mu_dst_arr_);
+  phi_src_arr_.swap_data(phi_dst_arr_);
+  mu_src_arr_.swap_data(mu_dst_arr_);
+}
+
+void Simulation::run(int n) {
+  const double dt = model_.params().dt;
+  for (int it = 0; it < n; ++it) {
+    if (opts_.time_scheme == TimeScheme::Euler) {
+      euler_substep(time());
+      ++step_;
+      continue;
+    }
+    // Heun: u1 = u0 + dt f(u0); u2 = u1 + dt f(u1); u_new = (u0 + u2) / 2
+    phi_0_->copy_from(phi_src_arr_);
+    mu_0_->copy_from(mu_src_arr_);
+    euler_substep(time());            // src now holds u1
+    euler_substep(time() + dt);       // src now holds u2
+    const auto average = [](Array& cur, const Array& u0) {
+      const auto& n3 = cur.size();
+      for (int c = 0; c < cur.components(); ++c) {
+        for (std::int64_t z = 0; z < n3[2]; ++z) {
+          for (std::int64_t y = 0; y < n3[1]; ++y) {
+            for (std::int64_t x = 0; x < n3[0]; ++x) {
+              cur.at(x, y, z, c) =
+                  0.5 * (cur.at(x, y, z, c) + u0.at(x, y, z, c));
+            }
+          }
+        }
+      }
+    };
+    average(phi_src_arr_, *phi_0_);
+    average(mu_src_arr_, *mu_0_);
+    fill_all_ghosts(phi_src_arr_);
+    fill_all_ghosts(mu_src_arr_);
+    ++step_;
+  }
+}
+
+double Simulation::mlups() const {
+  if (total_kernel_seconds_ <= 0.0 || step_ == 0) return 0.0;
+  const double cells = double(opts_.cells[0]) * double(opts_.cells[1]) *
+                       double(opts_.cells[2]);
+  return cells * double(step_) / total_kernel_seconds_ / 1e6;
+}
+
+}  // namespace pfc::app

@@ -1,0 +1,98 @@
+// Single-block time-stepping driver implementing the paper's Algorithm 1:
+//
+//   1. φ_dst ← φ-kernel(φ_src^D..C.., µ_src)           ("φ-full"/"φ-split")
+//   2. φ_dst boundary handling
+//   3. µ_dst ← µ-kernel(µ_src, φ_src, φ_dst)           ("µ-full"/"µ-split")
+//   4. µ_dst boundary handling
+//   5. swap φ_src ↔ φ_dst and µ_src ↔ µ_dst
+//
+// Distributed multi-block runs replace step 2/4's boundary fill by ghost
+// exchange (pfc/grid/ghost_exchange.hpp); this class covers the node-level
+// scenario used by examples, physics tests and kernel benchmarks.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "pfc/app/compiler.hpp"
+#include "pfc/grid/boundary.hpp"
+
+namespace pfc::app {
+
+/// Explicit time integrator. Heun (RK2) reuses the generated Euler-update
+/// kernels: predictor step, corrector step, then averaging — the paper's
+/// "further temporal discretization options" extension, realized purely at
+/// the driver level.
+enum class TimeScheme { Euler, Heun };
+
+struct SimulationOptions {
+  std::array<long long, 3> cells{64, 64, 1};
+  grid::BoundaryKind boundary = grid::BoundaryKind::Periodic;
+  int threads = 1;
+  TimeScheme time_scheme = TimeScheme::Euler;
+  CompileOptions compile;
+  /// Global offset of this block (distributed runs).
+  std::array<long long, 3> block_offset{0, 0, 0};
+};
+
+class Simulation {
+ public:
+  Simulation(GrandChemModel model, const SimulationOptions& opts);
+
+  const GrandChemModel& model() const { return model_; }
+  const CompiledModel& compiled() const { return compiled_; }
+
+  /// Current state (reads after the most recent completed step).
+  Array& phi() { return phi_src_arr_; }
+  Array& mu() { return mu_src_arr_; }
+  const Array& phi() const { return phi_src_arr_; }
+  const Array& mu() const { return mu_src_arr_; }
+
+  /// Sets φ/µ via a callback over interior cells, then fills ghosts.
+  /// The callback returns the value for (x, y, z, component).
+  void init_phi(const std::function<double(long long, long long, long long,
+                                           int)>& f);
+  void init_mu(const std::function<double(long long, long long, long long,
+                                          int)>& f);
+
+  /// Advances `n` time steps.
+  void run(int n);
+
+  long long step_count() const { return step_; }
+  double time() const { return double(step_) * model_.params().dt; }
+
+  /// Wall-clock seconds spent inside compute kernels, by kernel name.
+  const std::map<std::string, double>& kernel_seconds() const {
+    return kernel_seconds_;
+  }
+  /// Million lattice-cell updates per second over all completed steps
+  /// (kernel time only, both sweeps counted as one update — the paper's
+  /// MLUP/s metric).
+  double mlups() const;
+
+ private:
+  backend::Binding bind(const ir::Kernel& k, bool for_flux_of_mu) const;
+  void fill_all_ghosts(Array& a) { grid::fill_ghosts(a, opts_.boundary); }
+
+  void euler_substep(double t);
+
+  GrandChemModel model_;
+  SimulationOptions opts_;
+  CompiledModel compiled_;
+  Array phi_src_arr_, phi_dst_arr_, mu_src_arr_, mu_dst_arr_;
+  std::optional<Array> phi_flux_arr_, mu_flux_arr_;
+  /// Heun predictor storage for the state at the step start.
+  std::optional<Array> phi_0_, mu_0_;
+  std::unique_ptr<ThreadPool> pool_;
+  long long step_ = 0;
+  std::map<std::string, double> kernel_seconds_;
+  double total_kernel_seconds_ = 0.0;
+};
+
+// --- initial-condition helpers ----------------------------------------------
+
+/// Smooth interface profile: 1 inside (d < 0), 0 outside, sinusoidal ramp
+/// of width `w` (the obstacle potential's equilibrium profile).
+double interface_profile(double signed_distance, double width);
+
+}  // namespace pfc::app

@@ -1,0 +1,34 @@
+// C backend (paper §3.5): renders an IR kernel into a self-contained C++
+// translation unit. The generated loop nest is ordered z, y, x to match the
+// fzyx layout (unit stride innermost); hoisted temporaries are emitted at
+// their loop level, which is how the analytic-temperature optimization
+// materializes in code. Shared-memory parallelism is slab-based: the host
+// passes [outer_begin, outer_end) so a thread pool can split the outermost
+// loop (the role OpenMP plays in the paper's generated code).
+#pragma once
+
+#include <string>
+
+#include "pfc/ir/kernel.hpp"
+
+namespace pfc::backend {
+
+struct CEmitOptions {
+  /// Use approximate fast-math forms for div/sqrt/rsqrt (paper §3.5).
+  bool fast_math = false;
+  /// Include the runtime preamble (Philox etc.). Disable when several
+  /// kernels are emitted into one translation unit.
+  bool include_preamble = true;
+  /// Emit `#pragma omp simd`-style ivdep hints on the inner loop.
+  bool simd_hint = true;
+};
+
+/// Returns the generated source. The entry point is named
+/// `sanitize_identifier(kernel.name)` with the KernelFn signature declared
+/// in codegen_common.hpp.
+std::string emit_c(const ir::Kernel& k, const CEmitOptions& opts = {});
+
+/// The sanitized entry-point name for a kernel.
+std::string entry_name(const ir::Kernel& k);
+
+}  // namespace pfc::backend

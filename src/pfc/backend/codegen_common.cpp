@@ -1,0 +1,65 @@
+#include "pfc/backend/codegen_common.hpp"
+
+#include <cctype>
+
+namespace pfc::backend {
+
+std::string sanitize_identifier(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+const char* runtime_preamble() {
+  // Keep in sync with pfc/rng/philox.hpp — bit-identical by construction.
+  return R"PFC(
+typedef unsigned long long pfc_u64;
+typedef unsigned int pfc_u32;
+
+static inline void pfc_mulhilo32(pfc_u32 a, pfc_u32 b, pfc_u32* hi,
+                                 pfc_u32* lo) {
+  pfc_u64 p = (pfc_u64)a * (pfc_u64)b;
+  *hi = (pfc_u32)(p >> 32);
+  *lo = (pfc_u32)p;
+}
+
+static inline double pfc_philox_uniform(pfc_u64 x, pfc_u64 y, pfc_u64 z,
+                                        pfc_u64 t_step, pfc_u64 seed,
+                                        pfc_u64 stream) {
+  pfc_u32 c0 = (pfc_u32)x, c1 = (pfc_u32)y, c2 = (pfc_u32)z,
+          c3 = (pfc_u32)t_step;
+  pfc_u32 k0 = (pfc_u32)(seed ^ (stream * 0x9E3779B9u));
+  pfc_u32 k1 = (pfc_u32)((seed >> 32) + stream);
+  for (int r = 0; r < 10; ++r) {
+    pfc_u32 hi0, lo0, hi1, lo1;
+    pfc_mulhilo32(0xD2511F53u, c0, &hi0, &lo0);
+    pfc_mulhilo32(0xCD9E8D57u, c2, &hi1, &lo1);
+    pfc_u32 n0 = hi1 ^ c1 ^ k0;
+    pfc_u32 n1 = lo1;
+    pfc_u32 n2 = hi0 ^ c3 ^ k1;
+    pfc_u32 n3 = lo0;
+    c0 = n0; c1 = n1; c2 = n2; c3 = n3;
+    k0 += 0x9E3779B9u;
+    k1 += 0xBB67AE85u;
+  }
+  pfc_u64 bits = ((pfc_u64)c0 << 32) | c1;
+  return (double)bits * (2.0 / 18446744073709551616.0) - 1.0;
+}
+
+static inline double pfc_rsqrt_fast(double v) {
+  /* single-precision refinement step; ~1e-7 relative accuracy, modelling
+     the AVX512 rsqrt14 + Newton iteration of the paper */
+  float x = (float)v;
+  float r = 1.0f / sqrtf(x);
+  return (double)(r * (1.5f - 0.5f * x * r * r));
+}
+)PFC";
+}
+
+}  // namespace pfc::backend

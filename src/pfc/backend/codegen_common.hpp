@@ -1,0 +1,38 @@
+// Shared pieces of the C and CUDA backends: identifier sanitation, the
+// runtime-support preamble (Philox, fast rsqrt) embedded into generated
+// translation units, and the kernel calling convention.
+#pragma once
+
+#include <string>
+
+#include "pfc/ir/kernel.hpp"
+
+namespace pfc::backend {
+
+/// Turns an arbitrary kernel/field name into a valid C identifier.
+std::string sanitize_identifier(const std::string& name);
+
+/// C source of pfc_philox_uniform(...) and pfc_rsqrt_fast(...), textually
+/// mirroring pfc::rng::philox_uniform (bit-identical results).
+const char* runtime_preamble();
+
+/// The generated entry point signature, documented once:
+///
+///   extern "C" void NAME(double* const* fields,
+///                        const long long* strides,   // 4 per field: x,y,z,c
+///                        const long long* n,         // interior cells
+///                        const long long* block_off, // global cell offset
+///                        long long outer_begin, long long outer_end,
+///                        double t, long long t_step,
+///                        const double* params);
+///
+/// `fields[i]` points at the interior origin of component 0 of
+/// kernel.fields[i]. The outer loop (dim = dims-1) runs over
+/// [outer_begin, outer_end) so the host can split slabs across threads.
+/// `block_off` makes loop coordinates global (analytic T(z), Philox
+/// counters) when a block is part of a larger distributed domain.
+using KernelFn = void (*)(double* const*, const long long*, const long long*,
+                          const long long*, long long, long long, double,
+                          long long, const double*);
+
+}  // namespace pfc::backend

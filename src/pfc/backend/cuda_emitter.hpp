@@ -1,0 +1,39 @@
+// CUDA backend (paper §3.5): strips the loop nest, maps loop counters to
+// thread/block indices via an exchangeable thread-to-cell mapping strategy,
+// and optionally uses approximate device intrinsics (fdividef, __frsqrt_rn)
+// for operations the user marked as approximate.
+//
+// In this reproduction the emitted CUDA is validated textually and fed to
+// the GPU performance model (no CUDA toolchain in the environment — see
+// DESIGN.md §2); the emission pipeline itself is identical to the C path.
+#pragma once
+
+#include <string>
+
+#include "pfc/ir/kernel.hpp"
+
+namespace pfc::backend {
+
+/// Thread-to-cell mapping strategies (paper: "several strategies are
+/// implemented ... can be exchanged easily").
+enum class ThreadMapping {
+  Linear3D,   ///< 3D grid of 3D blocks, one thread per cell
+  SliceXY,    ///< 2D grid over x/y, each thread loops over z
+};
+
+struct CudaEmitOptions {
+  ThreadMapping mapping = ThreadMapping::Linear3D;
+  bool fast_math = false;          ///< fdividef / __frsqrt_rn intrinsics
+  std::array<int, 3> block_dim{64, 4, 2};
+  /// Emit __threadfence() at the kernel's recorded fence positions.
+  bool emit_fences = true;
+};
+
+/// Returns the generated .cu source. Entry: __global__ void <name>_cuda(...).
+std::string emit_cuda(const ir::Kernel& k, const CudaEmitOptions& opts = {});
+
+/// The launch-bounds comment/occupancy hint block dim as a dim3 initializer.
+std::string launch_config(const ir::Kernel& k, const CudaEmitOptions& opts,
+                          const std::array<long long, 3>& n);
+
+}  // namespace pfc::backend

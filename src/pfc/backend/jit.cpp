@@ -1,0 +1,111 @@
+#include "pfc/backend/jit.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "pfc/support/assert.hpp"
+#include "pfc/support/timer.hpp"
+
+namespace pfc::backend {
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void remove_tree(const std::string& dir) {
+  // scratch dirs contain only our three files; no recursion needed
+  for (const char* f : {"kernel.cpp", "kernel.so", "cc.log"}) {
+    std::remove((dir + "/" + f).c_str());
+  }
+  ::rmdir(dir.c_str());
+}
+
+}  // namespace
+
+JitLibrary JitLibrary::compile(const std::string& source,
+                               const Options& opts) {
+  char tmpl[] = "/tmp/pfc_jit_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  PFC_REQUIRE(dir != nullptr, "mkdtemp failed for JIT scratch space");
+
+  JitLibrary lib;
+  lib.dir_ = dir;
+  lib.keep_ = opts.keep_sources;
+
+  const std::string src_path = lib.dir_ + "/kernel.cpp";
+  {
+    std::ofstream out(src_path);
+    PFC_REQUIRE(out.good(), "cannot write JIT source file");
+    out << source;
+  }
+
+  std::string compiler = opts.compiler;
+  if (compiler.empty()) {
+    const char* env = std::getenv("CXX");
+    compiler = (env != nullptr && *env != '\0') ? env : "c++";
+  }
+
+  std::ostringstream cmd;
+  cmd << compiler << " " << opts.optimization
+      << " -shared -fPIC -o " << lib.dir_ << "/kernel.so " << src_path
+      << " " << opts.extra_flags << " -lm > " << lib.dir_ << "/cc.log 2>&1";
+
+  Timer timer;
+  const int rc = std::system(cmd.str().c_str());
+  lib.compile_seconds_ = timer.seconds();
+  if (rc != 0) {
+    const std::string log = read_file(lib.dir_ + "/cc.log");
+    if (!opts.keep_sources) remove_tree(lib.dir_);
+    throw Error("pfc JIT compilation failed:\n" + log);
+  }
+
+  lib.handle_ = ::dlopen((lib.dir_ + "/kernel.so").c_str(),
+                         RTLD_NOW | RTLD_LOCAL);
+  if (lib.handle_ == nullptr) {
+    const std::string err = ::dlerror();
+    if (!opts.keep_sources) remove_tree(lib.dir_);
+    throw Error("pfc JIT dlopen failed: " + err);
+  }
+  return lib;
+}
+
+JitLibrary::JitLibrary(JitLibrary&& other) noexcept
+    : handle_(other.handle_),
+      dir_(std::move(other.dir_)),
+      keep_(other.keep_),
+      compile_seconds_(other.compile_seconds_) {
+  other.handle_ = nullptr;
+  other.dir_.clear();
+}
+
+JitLibrary& JitLibrary::operator=(JitLibrary&& other) noexcept {
+  if (this != &other) {
+    this->~JitLibrary();
+    new (this) JitLibrary(std::move(other));
+  }
+  return *this;
+}
+
+JitLibrary::~JitLibrary() {
+  if (handle_ != nullptr) ::dlclose(handle_);
+  if (!dir_.empty() && !keep_) remove_tree(dir_);
+}
+
+KernelFn JitLibrary::get(const std::string& name) const {
+  PFC_REQUIRE(handle_ != nullptr, "JitLibrary is empty (moved from?)");
+  void* sym = ::dlsym(handle_, name.c_str());
+  PFC_REQUIRE(sym != nullptr, "JIT symbol not found: " + name);
+  return reinterpret_cast<KernelFn>(sym);
+}
+
+}  // namespace pfc::backend

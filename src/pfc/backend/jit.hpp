@@ -1,0 +1,56 @@
+// JIT execution of generated kernels: the generated C++ source is compiled
+// with the system compiler into a shared object and loaded with dlopen.
+// This mirrors the paper's production path (generate → vendor compiler →
+// link into the application); see DESIGN.md §2 for the substitution note.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pfc/backend/codegen_common.hpp"
+
+namespace pfc::backend {
+
+/// A compiled shared object holding one or more kernel entry points.
+/// Move-only RAII: unloads the library and removes the scratch directory.
+class JitLibrary {
+ public:
+  struct Options {
+    std::string compiler;             ///< default: $CXX or "c++"
+    std::string extra_flags;          ///< appended to the command line
+    bool keep_sources = false;        ///< keep scratch dir for inspection
+    std::string optimization = "-O3 -march=native";
+  };
+
+  /// Compiles `source`; throws pfc::Error with the compiler diagnostics on
+  /// failure.
+  static JitLibrary compile(const std::string& source, const Options& opts);
+  static JitLibrary compile(const std::string& source) {
+    return compile(source, Options{});
+  }
+
+  JitLibrary(JitLibrary&& other) noexcept;
+  JitLibrary& operator=(JitLibrary&& other) noexcept;
+  ~JitLibrary();
+
+  /// Resolves an entry point; throws if missing.
+  KernelFn get(const std::string& name) const;
+
+  /// Scratch directory (useful with keep_sources).
+  const std::string& directory() const { return dir_; }
+
+  /// Wall-clock seconds the external compiler took (paper §5.1 discusses
+  /// recompilation cost).
+  double compile_seconds() const { return compile_seconds_; }
+
+ private:
+  JitLibrary() = default;
+
+  void* handle_ = nullptr;
+  std::string dir_;
+  bool keep_ = false;
+  double compile_seconds_ = 0.0;
+};
+
+}  // namespace pfc::backend

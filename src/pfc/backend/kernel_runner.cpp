@@ -1,0 +1,101 @@
+#include "pfc/backend/kernel_runner.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "pfc/support/assert.hpp"
+
+namespace pfc::backend {
+
+RawArgs marshal(const ir::Kernel& k, const Binding& b,
+                const std::array<long long, 3>& n) {
+  PFC_REQUIRE(b.arrays.size() == k.fields.size(),
+              "binding has wrong number of arrays for kernel " + k.name);
+  PFC_REQUIRE(b.params.size() == k.scalar_params.size(),
+              "binding has wrong number of scalar params for " + k.name);
+
+  // exact per-field, per-dim signed offset ranges of all reads
+  struct OffRange {
+    std::array<int, 3> lo{0, 0, 0}, hi{0, 0, 0};
+  };
+  std::unordered_map<std::uint64_t, OffRange> ranges;
+  for (const auto& sa : k.body) {
+    for (const auto& fr : sym::field_refs(sa.assign.rhs)) {
+      auto& r = ranges[fr->field()->id()];
+      for (int d = 0; d < 3; ++d) {
+        r.lo[std::size_t(d)] =
+            std::min(r.lo[std::size_t(d)], fr->offset()[std::size_t(d)]);
+        r.hi[std::size_t(d)] =
+            std::max(r.hi[std::size_t(d)], fr->offset()[std::size_t(d)]);
+      }
+    }
+  }
+  RawArgs raw;
+  raw.n = n;
+  raw.block_off = b.block_offset;
+  raw.fields.reserve(k.fields.size());
+  raw.strides.reserve(4 * k.fields.size());
+
+  for (std::size_t i = 0; i < k.fields.size(); ++i) {
+    Array* a = b.arrays[i];
+    PFC_REQUIRE(a != nullptr, "null array bound to kernel " + k.name);
+    PFC_REQUIRE(a->field()->id() == k.fields[i]->id(),
+                "array/field mismatch at position " + std::to_string(i) +
+                    " of kernel " + k.name + ": expected " +
+                    k.fields[i]->name() + ", got " + a->field()->name());
+    bool written = false;
+    for (const auto& w : k.writes) {
+      written = written || w->id() == a->field()->id();
+    }
+    const auto range_it = ranges.find(a->field()->id());
+    for (int d = 0; d < k.dims; ++d) {
+      const long long iter = n[std::size_t(d)] +
+                             k.extent_plus[std::size_t(d)];
+      if (written) {
+        // stores land at offset 0 of every iteration cell
+        PFC_REQUIRE(a->size()[std::size_t(d)] >= iter,
+                    "array " + a->field()->name() +
+                        " too small for kernel " + k.name);
+      }
+      if (range_it != ranges.end()) {
+        // reads must be covered by interior + ghosts of the iteration box
+        const auto& r = range_it->second;
+        PFC_REQUIRE(a->ghost_layers() >= -r.lo[std::size_t(d)],
+                    "array " + a->field()->name() +
+                        " lacks ghost layers for kernel " + k.name);
+        PFC_REQUIRE(a->size()[std::size_t(d)] + a->ghost_layers() >=
+                        iter + r.hi[std::size_t(d)],
+                    "array " + a->field()->name() +
+                        " does not cover the iteration box of " + k.name);
+      }
+    }
+    raw.fields.push_back(a->origin(0));
+    raw.strides.push_back(a->stride(0));
+    raw.strides.push_back(a->stride(1));
+    raw.strides.push_back(a->stride(2));
+    raw.strides.push_back(a->component_stride());
+  }
+  return raw;
+}
+
+void run_compiled(const ir::Kernel& k, KernelFn fn, const Binding& b,
+                  const std::array<long long, 3>& n, double t,
+                  long long t_step, ThreadPool* pool) {
+  const RawArgs raw = marshal(k, b, n);
+  const int outer = k.dims - 1;
+  const long long outer_end =
+      n[std::size_t(outer)] + k.extent_plus[std::size_t(outer)];
+
+  const auto launch = [&](long long lo, long long hi) {
+    fn(raw.fields.data(), raw.strides.data(), raw.n.data(),
+       raw.block_off.data(), lo, hi, t, t_step, b.params.data());
+  };
+
+  if (pool == nullptr || pool->num_threads() == 1 || outer_end < 2) {
+    launch(0, outer_end);
+    return;
+  }
+  pool->parallel_for(0, outer_end, launch);
+}
+
+}  // namespace pfc::backend

@@ -1,0 +1,43 @@
+// Binding of runtime arrays to kernel arguments, validation, and threaded
+// slab dispatch — shared by the JIT and interpreter backends.
+#pragma once
+
+#include <vector>
+
+#include "pfc/backend/codegen_common.hpp"
+#include "pfc/field/array.hpp"
+#include "pfc/support/thread_pool.hpp"
+
+namespace pfc::backend {
+
+/// Runtime arguments of one kernel launch. `arrays` must match
+/// kernel.fields order; `params` must match kernel.scalar_params order.
+struct Binding {
+  std::vector<Array*> arrays;
+  std::vector<double> params;
+  /// Global cell offset of this block (coordinates/RNG counters become
+  /// global when blocks tile a distributed domain).
+  std::array<long long, 3> block_offset{0, 0, 0};
+};
+
+/// Marshalled raw arguments in the generated-code ABI.
+struct RawArgs {
+  std::vector<double*> fields;
+  std::vector<long long> strides;  // 4 per field
+  std::array<long long, 3> n{1, 1, 1};
+  std::array<long long, 3> block_off{0, 0, 0};
+};
+
+/// Validates shapes/ghost layers against the kernel's needs and marshals.
+/// `n` is the block interior size in cells (the cell lattice; staggered
+/// arrays must be allocated with interior n + extent_plus).
+RawArgs marshal(const ir::Kernel& k, const Binding& b,
+                const std::array<long long, 3>& n);
+
+/// Runs a compiled kernel over the block, splitting the outermost used loop
+/// across `pool` (nullptr = serial).
+void run_compiled(const ir::Kernel& k, KernelFn fn, const Binding& b,
+                  const std::array<long long, 3>& n, double t,
+                  long long t_step, ThreadPool* pool = nullptr);
+
+}  // namespace pfc::backend

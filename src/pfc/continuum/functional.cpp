@@ -1,0 +1,163 @@
+#include "pfc/continuum/functional.hpp"
+
+#include <cmath>
+
+namespace pfc::continuum {
+
+using sym::Expr;
+using sym::num;
+
+Expr determinant(const Matrix& m) {
+  const std::size_t n = m.size();
+  PFC_REQUIRE(n >= 1 && n <= 3, "determinant: size must be 1..3");
+  for (const auto& row : m) PFC_REQUIRE(row.size() == n, "non-square matrix");
+  if (n == 1) return m[0][0];
+  if (n == 2) return m[0][0] * m[1][1] - m[0][1] * m[1][0];
+  return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+         m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+         m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+}
+
+Matrix inverse(const Matrix& m) {
+  const std::size_t n = m.size();
+  const Expr inv_det = sym::pow(determinant(m), -1);
+  if (n == 1) return {{inv_det}};
+  if (n == 2) {
+    return {{m[1][1] * inv_det, sym::neg(m[0][1]) * inv_det},
+            {sym::neg(m[1][0]) * inv_det, m[0][0] * inv_det}};
+  }
+  // 3x3 adjugate
+  Matrix r(3, std::vector<Expr>(3, num(0.0)));
+  const auto cof = [&](int i, int j) {
+    const int i1 = (i + 1) % 3, i2 = (i + 2) % 3;
+    const int j1 = (j + 1) % 3, j2 = (j + 2) % 3;
+    const auto& mm = m;
+    return mm[std::size_t(i1)][std::size_t(j1)] *
+               mm[std::size_t(i2)][std::size_t(j2)] -
+           mm[std::size_t(i1)][std::size_t(j2)] *
+               mm[std::size_t(i2)][std::size_t(j1)];
+  };
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      // adjugate transposes the cofactor matrix
+      r[std::size_t(i)][std::size_t(j)] = cof(j, i) * inv_det;
+    }
+  }
+  return r;
+}
+
+Expr gradient_energy(const FieldPtr& phi, int dims, const PairTable& gamma,
+                     const std::vector<Anisotropy>& aniso_per_pair) {
+  const int n = gamma.phases();
+  PFC_REQUIRE(phi->components() >= n, "phi has too few components");
+  PFC_REQUIRE(static_cast<int>(aniso_per_pair.size()) == n * (n - 1) / 2,
+              "need one Anisotropy per phase pair");
+
+  std::vector<Expr> terms;
+  std::size_t pair = 0;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b, ++pair) {
+      // q_ab = phi_a grad(phi_b) - phi_b grad(phi_a)
+      const Expr pa = sym::at(phi, a);
+      const Expr pb = sym::at(phi, b);
+      const Vec q = vsub(scale(pa, grad(phi, b, dims)),
+                         scale(pb, grad(phi, a, dims)));
+      const Expr q2 = norm_sq(q);
+
+      Expr a_factor = num(1.0);
+      const Anisotropy& an = aniso_per_pair[pair];
+      if (an.type == Anisotropy::Type::Cubic) {
+        // A(q) = 1 - delta (3 - 4 Σ q_i^4 / |q|^4); |q|^4 guarded against 0
+        std::vector<Expr> q4;
+        q4.reserve(q.size());
+        for (const auto& qi : q) q4.push_back(sym::pow(qi, 4));
+        const Expr sum_q4 = sym::add(std::move(q4));
+        const Expr q4norm = sym::max_(sym::pow(q2, 2), num(1e-30));
+        a_factor = num(1.0) -
+                   an.delta * (num(3.0) - 4.0 * sum_q4 / q4norm);
+      }
+      terms.push_back(gamma(a, b) * sym::pow(a_factor, 2) * q2);
+    }
+  }
+  return sym::add(std::move(terms));
+}
+
+Expr gradient_energy_isotropic(const FieldPtr& phi, int dims,
+                               const PairTable& gamma) {
+  const int n = gamma.phases();
+  return gradient_energy(phi, dims, gamma,
+                         std::vector<Anisotropy>(std::size_t(n * (n - 1) / 2)));
+}
+
+Expr obstacle_potential(const FieldPtr& phi, const PairTable& gamma,
+                        const Expr& gamma_triple) {
+  const int n = gamma.phases();
+  const double pref = 16.0 / (M_PI * M_PI);
+  std::vector<Expr> terms;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      terms.push_back(num(pref) * gamma(a, b) * sym::at(phi, a) *
+                      sym::at(phi, b));
+    }
+  }
+  if (!gamma_triple->is_zero()) {
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) {
+        for (int d = b + 1; d < n; ++d) {
+          terms.push_back(gamma_triple * sym::at(phi, a) * sym::at(phi, b) *
+                          sym::at(phi, d));
+        }
+      }
+    }
+  }
+  return sym::add(std::move(terms));
+}
+
+Expr interpolation_h(const Expr& x) {
+  return sym::pow(x, 2) * (num(3.0) - 2.0 * x);
+}
+
+Expr interpolation_h_prime(const Expr& x) {
+  return 6.0 * x * (num(1.0) - x);
+}
+
+Matrix ParabolicFit::a_of(const Expr& T) const {
+  return madd(a0, mscale(T, a1));
+}
+
+Vec ParabolicFit::b_of(const Expr& T) const {
+  return vadd(b0, scale(T, b1));
+}
+
+Expr ParabolicFit::c_of(const Expr& T) const { return c0 + T * c1; }
+
+Expr ParabolicFit::psi(const Vec& mu, const Expr& T) const {
+  PFC_REQUIRE(static_cast<int>(mu.size()) == num_mu(),
+              "mu dimension mismatch");
+  return dot(mu, matvec(a_of(T), mu)) + dot(b_of(T), mu) + c_of(T);
+}
+
+Vec ParabolicFit::concentration(const Vec& mu, const Expr& T) const {
+  return vadd(matvec(mscale(num(2.0), a_of(T)), mu), b_of(T));
+}
+
+Matrix ParabolicFit::dc_dmu(const Expr& T) const {
+  return mscale(num(2.0), a_of(T));
+}
+
+Vec ParabolicFit::dc_dT(const Vec& mu) const {
+  return vadd(matvec(mscale(num(2.0), a1), mu), b1);
+}
+
+Expr driving_force(const FieldPtr& phi, const std::vector<ParabolicFit>& fits,
+                   const Vec& mu, const Expr& T) {
+  std::vector<Expr> terms;
+  terms.reserve(fits.size());
+  for (std::size_t a = 0; a < fits.size(); ++a) {
+    terms.push_back(fits[a].psi(mu, T) *
+                    interpolation_h(sym::at(phi, static_cast<int>(a))));
+  }
+  return sym::add(std::move(terms));
+}
+
+}  // namespace pfc::continuum

@@ -1,0 +1,98 @@
+// Energy-functional layer (paper §3.1, Eqs. 3–6).
+//
+// Builders for the three contributions to the grand-potential functional
+//   Ψ(φ, µ, T) = ∫ ε a(φ,∇φ) + ω(φ)/ε + ψ(φ,µ,T) dV
+// expressed as symbolic integrands over one cell. Model parameters enter as
+// expressions, so they can be folded numeric constants (the paper's
+// compile-time parametrization) or stay symbolic runtime arguments.
+#pragma once
+
+#include <vector>
+
+#include "pfc/continuum/ops.hpp"
+
+namespace pfc::continuum {
+
+/// Symmetric pairwise coefficient table (γ_αβ, τ_αβ, ...); only α<β entries
+/// are stored.
+class PairTable {
+ public:
+  explicit PairTable(int n, const Expr& init) : n_(n) {
+    PFC_REQUIRE(n >= 2, "PairTable needs >= 2 phases");
+    vals_.assign(std::size_t(n * (n - 1) / 2), init);
+  }
+
+  int phases() const { return n_; }
+  const Expr& operator()(int a, int b) const { return vals_[idx(a, b)]; }
+  void set(int a, int b, const Expr& v) { vals_[idx(a, b)] = v; }
+
+ private:
+  std::size_t idx(int a, int b) const {
+    PFC_REQUIRE(a != b && a >= 0 && b >= 0 && a < n_ && b < n_,
+                "PairTable index out of range");
+    if (a > b) std::swap(a, b);
+    // offset of pair (a,b), a<b, in row-major upper triangle
+    return std::size_t(a * (2 * n_ - a - 1) / 2 + (b - a - 1));
+  }
+
+  int n_;
+  std::vector<Expr> vals_;
+};
+
+/// Anisotropy of a phase pair's gradient energy.
+struct Anisotropy {
+  enum class Type { Isotropic, Cubic } type = Type::Isotropic;
+  /// strength δ of the cubic anisotropy A(q) = 1 - δ(3 - 4 Σq_i^4 / |q|^4)
+  Expr delta = sym::num(0.0);
+};
+
+/// Gradient energy density a(φ,∇φ) = Σ_{α<β} γ_αβ A_αβ(q_αβ)² |q_αβ|² with
+/// the generalized gradient q_αβ = φ_α ∇φ_β − φ_β ∇φ_α  (Eq. 4).
+Expr gradient_energy(const FieldPtr& phi, int dims, const PairTable& gamma,
+                     const std::vector<Anisotropy>& aniso_per_pair);
+
+/// Convenience: isotropic everywhere.
+Expr gradient_energy_isotropic(const FieldPtr& phi, int dims,
+                               const PairTable& gamma);
+
+/// Multi-obstacle potential (Eq. 5):
+///   ω(φ) = 16/π² Σ_{α<β} γ_αβ φ_α φ_β + Σ_{α<β<δ} γ_αβδ φ_α φ_β φ_δ
+/// The triple-phase suppression terms use one coefficient for all triples.
+Expr obstacle_potential(const FieldPtr& phi, const PairTable& gamma,
+                        const Expr& gamma_triple);
+
+/// Interpolation function h(x) = x²(3 − 2x): h(0)=0, h(1)=1, h'(0)=h'(1)=0.
+Expr interpolation_h(const Expr& x);
+/// h'(x) = 6x(1 − x).
+Expr interpolation_h_prime(const Expr& x);
+
+/// Parabolic grand-potential fit of one phase (Eq. 6), affine-linear in T:
+///   ψ_α(µ,T) = µᵀ A(T) µ + B(T)·µ + C(T),  X(T) = X0 + T·X1.
+/// Dimensions: A is (K−1)×(K−1) symmetric, B has K−1 entries.
+struct ParabolicFit {
+  Matrix a0, a1;
+  Vec b0, b1;
+  Expr c0 = sym::num(0.0), c1 = sym::num(0.0);
+
+  int num_mu() const { return static_cast<int>(b0.size()); }
+
+  Matrix a_of(const Expr& T) const;   ///< A(T) = A0 + T A1
+  Vec b_of(const Expr& T) const;      ///< B(T)
+  Expr c_of(const Expr& T) const;     ///< C(T)
+
+  /// ψ_α(µ, T)
+  Expr psi(const Vec& mu, const Expr& T) const;
+  /// c_α(µ, T) = ∂ψ_α/∂µ = 2 A(T) µ + B(T)
+  Vec concentration(const Vec& mu, const Expr& T) const;
+  /// ∂c_α/∂µ = 2 A(T)
+  Matrix dc_dmu(const Expr& T) const;
+  /// ∂c_α/∂T = 2 A1 µ + B1
+  Vec dc_dT(const Vec& mu) const;
+};
+
+/// Grand-potential driving-force density ψ(φ,µ,T) = Σ_α ψ_α(µ,T) h_α(φ)
+/// with h_α(φ) = h(φ_α).
+Expr driving_force(const FieldPtr& phi, const std::vector<ParabolicFit>& fits,
+                   const Vec& mu, const Expr& T);
+
+}  // namespace pfc::continuum

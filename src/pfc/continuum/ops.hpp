@@ -1,0 +1,136 @@
+// Continuous vector-calculus helpers on symbolic expressions (the PDE
+// layer's vocabulary): gradients are vectors of Diff nodes, divergences sum
+// Diff nodes over components. Everything stays symbolic; pfc::fd turns the
+// Diff/Dt operators into stencils.
+#pragma once
+
+#include <vector>
+
+#include "pfc/sym/expr.hpp"
+
+namespace pfc::continuum {
+
+using sym::Expr;
+
+/// A small spatial vector of expressions (length = spatial dims).
+using Vec = std::vector<Expr>;
+
+/// A small dense matrix of expressions.
+using Matrix = std::vector<std::vector<Expr>>;
+
+/// ∇(center value of component `comp` of f), as continuous Diff nodes.
+inline Vec grad(const FieldPtr& f, int comp, int dims) {
+  Vec g;
+  g.reserve(std::size_t(dims));
+  for (int d = 0; d < dims; ++d) g.push_back(sym::diff_op(sym::at(f, comp), d));
+  return g;
+}
+
+/// ∇ of an arbitrary expression.
+inline Vec grad(const Expr& e, int dims) {
+  Vec g;
+  g.reserve(std::size_t(dims));
+  for (int d = 0; d < dims; ++d) g.push_back(sym::diff_op(e, d));
+  return g;
+}
+
+/// ∇·v  =  Σ_d Diff_d(v_d)
+inline Expr div(const Vec& v) {
+  std::vector<Expr> terms;
+  terms.reserve(v.size());
+  for (int d = 0; d < static_cast<int>(v.size()); ++d) {
+    terms.push_back(sym::diff_op(v[std::size_t(d)], d));
+  }
+  return sym::add(std::move(terms));
+}
+
+inline Expr dot(const Vec& a, const Vec& b) {
+  PFC_ASSERT(a.size() == b.size());
+  std::vector<Expr> terms;
+  terms.reserve(a.size());
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    terms.push_back(sym::mul({a[d], b[d]}));
+  }
+  return sym::add(std::move(terms));
+}
+
+inline Expr norm_sq(const Vec& a) { return dot(a, a); }
+
+inline Vec axpy(const Expr& alpha, const Vec& x, const Vec& y) {
+  PFC_ASSERT(x.size() == y.size());
+  Vec r;
+  r.reserve(x.size());
+  for (std::size_t d = 0; d < x.size(); ++d) {
+    r.push_back(sym::add({sym::mul({alpha, x[d]}), y[d]}));
+  }
+  return r;
+}
+
+inline Vec scale(const Expr& alpha, const Vec& x) {
+  Vec r;
+  r.reserve(x.size());
+  for (const auto& e : x) r.push_back(sym::mul({alpha, e}));
+  return r;
+}
+
+inline Vec vsub(const Vec& a, const Vec& b) {
+  PFC_ASSERT(a.size() == b.size());
+  Vec r;
+  r.reserve(a.size());
+  for (std::size_t d = 0; d < a.size(); ++d) r.push_back(sym::sub(a[d], b[d]));
+  return r;
+}
+
+inline Vec vadd(const Vec& a, const Vec& b) {
+  PFC_ASSERT(a.size() == b.size());
+  Vec r;
+  r.reserve(a.size());
+  for (std::size_t d = 0; d < a.size(); ++d) r.push_back(a[d] + b[d]);
+  return r;
+}
+
+/// Matrix * vector.
+inline Vec matvec(const Matrix& m, const Vec& v) {
+  Vec r;
+  r.reserve(m.size());
+  for (const auto& row : m) {
+    PFC_ASSERT(row.size() == v.size());
+    std::vector<Expr> terms;
+    terms.reserve(row.size());
+    for (std::size_t j = 0; j < v.size(); ++j) {
+      terms.push_back(sym::mul({row[j], v[j]}));
+    }
+    r.push_back(sym::add(std::move(terms)));
+  }
+  return r;
+}
+
+inline Matrix madd(const Matrix& a, const Matrix& b) {
+  PFC_ASSERT(a.size() == b.size());
+  Matrix r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    PFC_ASSERT(a[i].size() == b[i].size());
+    r[i].reserve(a[i].size());
+    for (std::size_t j = 0; j < a[i].size(); ++j) {
+      r[i].push_back(a[i][j] + b[i][j]);
+    }
+  }
+  return r;
+}
+
+inline Matrix mscale(const Expr& alpha, const Matrix& a) {
+  Matrix r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    r[i].reserve(a[i].size());
+    for (const auto& e : a[i]) r[i].push_back(sym::mul({alpha, e}));
+  }
+  return r;
+}
+
+/// Symbolic inverse of a 1x1, 2x2 or 3x3 matrix (adjugate / determinant).
+Matrix inverse(const Matrix& m);
+
+/// Symbolic determinant for sizes 1..3.
+Expr determinant(const Matrix& m);
+
+}  // namespace pfc::continuum

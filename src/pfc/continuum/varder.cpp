@@ -1,0 +1,23 @@
+#include "pfc/continuum/varder.hpp"
+
+#include "pfc/sym/diff.hpp"
+
+namespace pfc::continuum {
+
+Expr variational_derivative(const Expr& integrand, const FieldPtr& f,
+                            int comp, int dims) {
+  const Expr center = sym::at(f, comp);
+  // ∂I/∂φ
+  Expr result = sym::diff(integrand, center);
+  // − Σ_d D_d( ∂I/∂(D_d φ) )
+  for (int d = 0; d < dims; ++d) {
+    const Expr gd = sym::diff_op(center, d);
+    const Expr dI_dgd = sym::diff(integrand, gd);
+    if (!dI_dgd->is_zero()) {
+      result = result - sym::diff_op(dI_dgd, d);
+    }
+  }
+  return result;
+}
+
+}  // namespace pfc::continuum

@@ -1,0 +1,21 @@
+// Variational (functional) derivatives — the paper's core "the systematic,
+// but tedious derivation of the resulting partial differential equations is
+// performed automatically" step (§3.2).
+//
+// For an integrand I(φ, ∇φ) the Euler–Lagrange form is
+//   δΨ/δφ = ∂I/∂φ − Σ_d ∂/∂x_d ( ∂I/∂(∂φ/∂x_d) )
+// which our expression system supports directly: the center FieldRef and the
+// continuous Diff nodes act as independent variables of I.
+#pragma once
+
+#include "pfc/continuum/ops.hpp"
+
+namespace pfc::continuum {
+
+/// δ/δ(component `comp` of field `f`) of ∫ integrand dV, over `dims`
+/// spatial dimensions. The result still contains continuous Diff nodes (a
+/// divergence of fluxes) to be discretized by pfc::fd.
+Expr variational_derivative(const Expr& integrand, const FieldPtr& f,
+                            int comp, int dims);
+
+}  // namespace pfc::continuum

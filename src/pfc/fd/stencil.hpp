@@ -1,0 +1,50 @@
+// The stencil representation: what the discretization layer produces and the
+// intermediate-representation layer consumes (paper Fig. 1, middle layers).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pfc/sym/expr.hpp"
+
+namespace pfc::fd {
+
+/// One assignment of the stencil program. `lhs` is either a FieldRef (a
+/// store to the destination lattice) or a Symbol (a temporary, SSA-style).
+/// `rhs` contains only pointwise algebra over FieldRefs/Symbols — no
+/// continuous Diff/Dt nodes survive discretization.
+struct Assignment {
+  sym::Expr lhs;
+  sym::Expr rhs;
+};
+
+/// A discretized compute kernel: a list of per-cell assignments plus the
+/// iteration region it runs over.
+struct StencilKernel {
+  std::string name;
+  std::vector<Assignment> assignments;
+  /// Iteration bounds are the block interior extended by `extent_plus[d]`
+  /// extra cells at the upper end of dim d (staggered precompute kernels use
+  /// +1: one more face than cells).
+  std::array<int, 3> extent_plus{0, 0, 0};
+  /// Fields read / written (deduplicated, deterministic order).
+  std::vector<FieldPtr> reads;
+  std::vector<FieldPtr> writes;
+};
+
+/// Recomputes the reads/writes lists from the assignments.
+void recompute_field_lists(StencilKernel& k);
+
+/// Largest absolute FieldRef offset used along each dim — the ghost-layer
+/// requirement of the kernel.
+std::array<int, 3> access_radius(const StencilKernel& k);
+
+/// Counts distinct FieldRef reads (paper Table 1 "loads") and writes
+/// ("stores") per cell update.
+struct AccessCounts {
+  int loads = 0;
+  int stores = 0;
+};
+AccessCounts count_accesses(const StencilKernel& k);
+
+}  // namespace pfc::fd

@@ -1,0 +1,112 @@
+#include "pfc/field/array.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace pfc {
+
+namespace {
+constexpr std::int64_t kLinePad = 8;  // doubles per AVX-512 vector
+}
+
+Array::Array(FieldPtr field, std::array<std::int64_t, 3> interior_size,
+             int ghost_layers)
+    : field_(std::move(field)), size_(interior_size), ghosts_(ghost_layers) {
+  PFC_REQUIRE(ghost_layers >= 0, "negative ghost layers");
+  for (int d = 0; d < 3; ++d) {
+    PFC_REQUIRE(size_[std::size_t(d)] >= 1, "array size must be >= 1");
+    const bool used = d < field_->spatial_dims();
+    PFC_REQUIRE(used || size_[std::size_t(d)] == 1,
+                "unused spatial dim of " + field_->name() + " must be 1");
+    ghosts_per_dim_[std::size_t(d)] = used ? ghost_layers : 0;
+  }
+
+  const std::int64_t nx = size_[0] + 2 * ghosts_per_dim_[0];
+  const std::int64_t ny = size_[1] + 2 * ghosts_per_dim_[1];
+  const std::int64_t nz = size_[2] + 2 * ghosts_per_dim_[2];
+  const std::int64_t line = std::int64_t(round_up(std::size_t(nx), kLinePad));
+  strides_ = {1, line, line * ny};
+  comp_stride_ = line * ny * nz;
+  origin_offset_ = ghosts_per_dim_[0] * strides_[0] +
+                   ghosts_per_dim_[1] * strides_[1] +
+                   ghosts_per_dim_[2] * strides_[2];
+  alloc_ = comp_stride_ * field_->components();
+  data_ = make_aligned<double>(std::size_t(alloc_));
+  fill(0.0);
+}
+
+std::int64_t Array::index(std::int64_t x, std::int64_t y, std::int64_t z,
+                          int c) const {
+  PFC_ASSERT(x >= -ghosts_per_dim_[0] && x < size_[0] + ghosts_per_dim_[0]);
+  PFC_ASSERT(y >= -ghosts_per_dim_[1] && y < size_[1] + ghosts_per_dim_[1]);
+  PFC_ASSERT(z >= -ghosts_per_dim_[2] && z < size_[2] + ghosts_per_dim_[2]);
+  PFC_ASSERT(c >= 0 && c < field_->components());
+  return origin_offset_ + x * strides_[0] + y * strides_[1] +
+         z * strides_[2] + c * comp_stride_;
+}
+
+void Array::fill(double v) {
+  std::fill_n(data_.get(), std::size_t(alloc_), v);
+}
+
+void Array::fill_component(int c, double v) {
+  std::fill_n(data_.get() + c * comp_stride_, std::size_t(comp_stride_), v);
+}
+
+void Array::copy_from(const Array& other) {
+  PFC_REQUIRE(alloc_ == other.alloc_ && size_ == other.size_,
+              "copy_from: shape mismatch");
+  std::memcpy(data_.get(), other.data_.get(),
+              std::size_t(alloc_) * sizeof(double));
+}
+
+void Array::swap(Array& other) noexcept {
+  std::swap(field_, other.field_);
+  std::swap(size_, other.size_);
+  std::swap(strides_, other.strides_);
+  std::swap(ghosts_per_dim_, other.ghosts_per_dim_);
+  std::swap(comp_stride_, other.comp_stride_);
+  std::swap(origin_offset_, other.origin_offset_);
+  std::swap(alloc_, other.alloc_);
+  std::swap(ghosts_, other.ghosts_);
+  std::swap(data_, other.data_);
+}
+
+void Array::swap_data(Array& other) {
+  PFC_REQUIRE(alloc_ == other.alloc_ && size_ == other.size_ &&
+                  field_->components() == other.field_->components(),
+              "swap_data: shape mismatch");
+  std::swap(data_, other.data_);
+}
+
+double Array::max_abs_diff(const Array& a, const Array& b) {
+  PFC_REQUIRE(a.size_ == b.size_ &&
+                  a.field_->components() == b.field_->components(),
+              "max_abs_diff: shape mismatch");
+  double m = 0.0;
+  for (int c = 0; c < a.field_->components(); ++c) {
+    for (std::int64_t z = 0; z < a.size_[2]; ++z) {
+      for (std::int64_t y = 0; y < a.size_[1]; ++y) {
+        for (std::int64_t x = 0; x < a.size_[0]; ++x) {
+          m = std::max(m, std::abs(a.at(x, y, z, c) - b.at(x, y, z, c)));
+        }
+      }
+    }
+  }
+  return m;
+}
+
+double Array::interior_sum(int c) const {
+  double s = 0.0;
+  for (std::int64_t z = 0; z < size_[2]; ++z) {
+    for (std::int64_t y = 0; y < size_[1]; ++y) {
+      for (std::int64_t x = 0; x < size_[0]; ++x) {
+        s += at(x, y, z, c);
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace pfc

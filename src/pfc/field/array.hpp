@@ -1,0 +1,96 @@
+// Runtime lattice storage bound to a symbolic Field.
+//
+// Layout is waLBerla's "fzyx": the component index is the outermost (slowest)
+// dimension, i.e. a structure-of-arrays layout, and each x-line is padded so
+// that line starts are SIMD/cache-line aligned (paper §3.5: "arrays are
+// allocated and padded such that the beginning of each line is sufficiently
+// aligned").
+//
+// Coordinates are *interior* coordinates: (0,0,0) is the first non-ghost
+// cell; ghost cells live at -g .. -1 and n .. n+g-1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "pfc/field/field.hpp"
+#include "pfc/support/aligned.hpp"
+
+namespace pfc {
+
+class Array {
+ public:
+  /// Creates storage for `field` with the given interior size (cells per
+  /// spatial dim; unused dims must be 1) and `ghost_layers` ghost cells on
+  /// every used spatial boundary. Values are zero-initialized.
+  Array(FieldPtr field, std::array<std::int64_t, 3> interior_size,
+        int ghost_layers);
+
+  Array(Array&&) noexcept = default;
+  Array& operator=(Array&&) noexcept = default;
+
+  const FieldPtr& field() const { return field_; }
+  const std::array<std::int64_t, 3>& size() const { return size_; }
+  int ghost_layers() const { return ghosts_; }
+  int components() const { return field_->components(); }
+
+  /// Stride (in doubles) along spatial dim d; stride(0) == 1 by layout.
+  std::int64_t stride(int d) const { return strides_[std::size_t(d)]; }
+  std::int64_t component_stride() const { return comp_stride_; }
+
+  /// Total allocated doubles.
+  std::int64_t allocated() const { return alloc_; }
+
+  /// Pointer to interior origin (0,0,0) of component c.
+  double* origin(int c) {
+    return data_.get() + origin_offset_ + c * comp_stride_;
+  }
+  const double* origin(int c) const {
+    return data_.get() + origin_offset_ + c * comp_stride_;
+  }
+
+  double& at(std::int64_t x, std::int64_t y, std::int64_t z, int c = 0) {
+    return data_[std::size_t(index(x, y, z, c))];
+  }
+  double at(std::int64_t x, std::int64_t y, std::int64_t z, int c = 0) const {
+    return data_[std::size_t(index(x, y, z, c))];
+  }
+
+  /// Linear offset from the buffer start for interior coordinates.
+  std::int64_t index(std::int64_t x, std::int64_t y, std::int64_t z,
+                     int c) const;
+
+  void fill(double v);
+  void fill_component(int c, double v);
+
+  /// Copies interior + ghosts from another array of identical shape.
+  void copy_from(const Array& other);
+
+  /// Swaps buffers with another array of identical shape (the src/dst swap
+  /// at the end of every time step).
+  void swap(Array& other) noexcept;
+
+  /// Swaps only the data buffers, keeping each array bound to its own
+  /// symbolic field — the src/dst pointer swap of Algorithm 1. Shapes and
+  /// component counts must match.
+  void swap_data(Array& other);
+
+  /// Max |a - b| over the interior (all components). Shapes must match.
+  static double max_abs_diff(const Array& a, const Array& b);
+
+  /// Sum over the interior of component c.
+  double interior_sum(int c = 0) const;
+
+ private:
+  FieldPtr field_;
+  std::array<std::int64_t, 3> size_{};
+  std::array<std::int64_t, 3> strides_{};
+  std::array<int, 3> ghosts_per_dim_{};
+  std::int64_t comp_stride_ = 0;
+  std::int64_t origin_offset_ = 0;
+  std::int64_t alloc_ = 0;
+  int ghosts_ = 0;
+  AlignedPtr<double> data_;
+};
+
+}  // namespace pfc

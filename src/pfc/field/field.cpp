@@ -1,0 +1,12 @@
+#include "pfc/field/field.hpp"
+
+#include <atomic>
+
+namespace pfc {
+
+std::uint64_t Field::next_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace pfc

@@ -1,0 +1,81 @@
+// Symbolic field metadata.
+//
+// A Field describes a discrete lattice quantity (phase-field vector phi,
+// chemical potential mu, staggered flux buffers, ...) at the *symbolic* level:
+// name, spatial dimensionality and number of components. Expressions refer to
+// fields through FieldRef nodes carrying integer cell offsets; the runtime
+// counterpart (pfc::Array) binds to a Field by identity when a kernel is run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "pfc/support/assert.hpp"
+
+namespace pfc {
+
+/// Where a field's values live relative to the cell lattice.
+enum class FieldKind : std::uint8_t {
+  Cell,       ///< cell-centered value (default)
+  StaggeredX, ///< value on the face between cell (i-1) and i along x
+  StaggeredY,
+  StaggeredZ,
+};
+
+class Field;
+using FieldPtr = std::shared_ptr<const Field>;
+
+/// Immutable description of a lattice field.
+class Field {
+ public:
+  static FieldPtr create(std::string name, int spatial_dims, int components,
+                         FieldKind kind = FieldKind::Cell) {
+    PFC_REQUIRE(spatial_dims >= 1 && spatial_dims <= 3,
+                "field spatial_dims must be in [1,3]");
+    PFC_REQUIRE(components >= 1, "field needs at least one component");
+    return FieldPtr(
+        new Field(std::move(name), spatial_dims, components, kind));
+  }
+
+  const std::string& name() const { return name_; }
+  int spatial_dims() const { return spatial_dims_; }
+  int components() const { return components_; }
+  FieldKind kind() const { return kind_; }
+  std::uint64_t id() const { return id_; }
+
+  /// For staggered fields: the axis the stagger is along, else -1.
+  int staggered_axis() const {
+    switch (kind_) {
+      case FieldKind::StaggeredX: return 0;
+      case FieldKind::StaggeredY: return 1;
+      case FieldKind::StaggeredZ: return 2;
+      default: return -1;
+    }
+  }
+
+  static FieldKind staggered_kind(int axis) {
+    PFC_ASSERT(axis >= 0 && axis < 3);
+    return axis == 0   ? FieldKind::StaggeredX
+           : axis == 1 ? FieldKind::StaggeredY
+                       : FieldKind::StaggeredZ;
+  }
+
+ private:
+  Field(std::string name, int spatial_dims, int components, FieldKind kind)
+      : name_(std::move(name)),
+        spatial_dims_(spatial_dims),
+        components_(components),
+        kind_(kind),
+        id_(next_id()) {}
+
+  static std::uint64_t next_id();
+
+  std::string name_;
+  int spatial_dims_;
+  int components_;
+  FieldKind kind_;
+  std::uint64_t id_;
+};
+
+}  // namespace pfc

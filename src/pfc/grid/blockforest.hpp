@@ -1,0 +1,68 @@
+// Block-structured domain partitioning (the waLBerla substrate, paper §4.1):
+// a uniform grid of equally sized blocks, distributed over ranks along a
+// Morton space-filling curve (waLBerla's SFC-based static load balancing).
+// All queries are local computations — the structure is fully replicated,
+// but O(#blocks), so "the memory consumption of one process does not
+// increase with the total number of processes" holds for the per-cell data.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "pfc/grid/boundary.hpp"
+
+namespace pfc::grid {
+
+struct Block {
+  std::array<int, 3> index{0, 0, 0};         ///< block coordinates
+  std::array<long long, 3> offset{0, 0, 0};  ///< global cell offset
+  std::array<long long, 3> size{1, 1, 1};    ///< cells per dim
+  int owner = 0;                             ///< owning rank
+  std::uint64_t morton = 0;
+  int linear_id = 0;  ///< dense id, stable across ranks
+};
+
+/// Interleaves the lower 21 bits of x, y, z (Morton / Z-order code).
+std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y,
+                            std::uint32_t z);
+
+class BlockForest {
+ public:
+  /// Decomposes `global_cells` into `blocks_per_dim` equal blocks per dim
+  /// (sizes must divide evenly) and assigns contiguous Morton-curve chunks
+  /// to `num_ranks` ranks.
+  BlockForest(std::array<long long, 3> global_cells,
+              std::array<int, 3> blocks_per_dim, int num_ranks, int dims,
+              BoundaryKind boundary = BoundaryKind::Periodic);
+
+  int dims() const { return dims_; }
+  int num_ranks() const { return num_ranks_; }
+  BoundaryKind boundary() const { return boundary_; }
+  const std::array<long long, 3>& global_cells() const {
+    return global_cells_;
+  }
+
+  const std::vector<Block>& blocks() const { return blocks_; }
+  std::vector<const Block*> blocks_of_rank(int rank) const;
+
+  const Block& block_at(std::array<int, 3> index) const;
+
+  /// Neighbour along axis/side (+1 upper, -1 lower); nullptr at a
+  /// non-periodic domain boundary.
+  const Block* neighbor(const Block& b, int axis, int side) const;
+
+  /// Max/min number of blocks per rank (load balance quality).
+  std::pair<int, int> rank_load_extremes() const;
+
+ private:
+  std::array<long long, 3> global_cells_;
+  std::array<int, 3> blocks_per_dim_;
+  int num_ranks_;
+  int dims_;
+  BoundaryKind boundary_;
+  std::vector<Block> blocks_;                 // by linear_id
+  std::vector<int> by_index_;                 // index-order -> linear_id
+};
+
+}  // namespace pfc::grid

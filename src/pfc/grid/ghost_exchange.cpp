@@ -1,0 +1,177 @@
+#include "pfc/grid/ghost_exchange.hpp"
+
+#include "pfc/support/assert.hpp"
+
+namespace pfc::grid {
+
+namespace {
+
+/// Iteration box of one ghost/interior slab along `axis`; other axes span
+/// interior plus the ghosts of already-exchanged axes (< axis).
+struct SlabBox {
+  std::int64_t lo[3], hi[3];
+};
+
+SlabBox slab_box(const Array& a, int axis, std::int64_t a_lo,
+                 std::int64_t a_hi) {
+  SlabBox box;
+  const int g = a.ghost_layers();
+  for (int d = 0; d < 3; ++d) {
+    const bool used = d < a.field()->spatial_dims();
+    const int gd = used ? g : 0;
+    if (d == axis) {
+      box.lo[d] = a_lo;
+      box.hi[d] = a_hi;
+    } else if (d < axis) {
+      box.lo[d] = -gd;
+      box.hi[d] = a.size()[std::size_t(d)] + gd;
+    } else {
+      box.lo[d] = 0;
+      box.hi[d] = a.size()[std::size_t(d)];
+    }
+  }
+  return box;
+}
+
+std::size_t box_cells(const SlabBox& b) {
+  std::size_t n = 1;
+  for (int d = 0; d < 3; ++d) n *= std::size_t(b.hi[d] - b.lo[d]);
+  return n;
+}
+
+void pack(const Array& a, const SlabBox& b, std::vector<double>& buf) {
+  buf.clear();
+  buf.reserve(box_cells(b) * std::size_t(a.components()));
+  for (int c = 0; c < a.components(); ++c) {
+    for (std::int64_t z = b.lo[2]; z < b.hi[2]; ++z) {
+      for (std::int64_t y = b.lo[1]; y < b.hi[1]; ++y) {
+        for (std::int64_t x = b.lo[0]; x < b.hi[0]; ++x) {
+          buf.push_back(a.at(x, y, z, c));
+        }
+      }
+    }
+  }
+}
+
+void unpack(Array& a, const SlabBox& b, const std::vector<double>& buf) {
+  PFC_ASSERT(buf.size() == box_cells(b) * std::size_t(a.components()));
+  std::size_t i = 0;
+  for (int c = 0; c < a.components(); ++c) {
+    for (std::int64_t z = b.lo[2]; z < b.hi[2]; ++z) {
+      for (std::int64_t y = b.lo[1]; y < b.hi[1]; ++y) {
+        for (std::int64_t x = b.lo[0]; x < b.hi[0]; ++x) {
+          a.at(x, y, z, c) = buf[i++];
+        }
+      }
+    }
+  }
+}
+
+/// Copies neighbour interior into my ghosts directly (both local).
+void copy_local(Array& dst, const Array& src, int axis, int side, int g) {
+  const std::int64_t n_dst = dst.size()[std::size_t(axis)];
+  const std::int64_t n_src = src.size()[std::size_t(axis)];
+  // my ghosts on `side` <- neighbour interior at the opposite edge
+  const SlabBox gbox = slab_box(dst, axis, side > 0 ? n_dst : -g,
+                                side > 0 ? n_dst + g : 0);
+  const SlabBox sbox = slab_box(src, axis, side > 0 ? 0 : n_src - g,
+                                side > 0 ? g : n_src);
+  std::vector<double> buf;
+  pack(src, sbox, buf);
+  unpack(dst, gbox, buf);
+}
+
+int message_tag(int field_tag, int axis, int recv_side,
+                int recv_block_id) {
+  return ((field_tag * 3 + axis) * 2 + (recv_side > 0 ? 1 : 0)) * 65536 +
+         recv_block_id;
+}
+
+}  // namespace
+
+void GhostExchange::exchange_axis(const std::vector<LocalBlockField>& local,
+                                  int axis, int field_tag) {
+  const int my_rank = comm_ != nullptr ? comm_->rank() : 0;
+
+  const auto find_local = [&](const Block* b) -> Array* {
+    for (const auto& lf : local) {
+      if (lf.block->linear_id == b->linear_id) return lf.array;
+    }
+    PFC_ASSERT(false, "neighbor block marked local but not bound");
+  };
+
+  struct PendingRecv {
+    Array* array;
+    SlabBox box;
+    std::vector<double> buf;
+    int source_rank;
+    int tag;
+  };
+  std::vector<PendingRecv> recvs;
+  std::vector<std::vector<double>> send_buffers;  // keep alive until done
+
+  // 1. post all remote sends (buffered, cannot deadlock), register recvs
+  for (const auto& lf : local) {
+    Array& a = *lf.array;
+    const int g = a.ghost_layers();
+    const std::int64_t n = a.size()[std::size_t(axis)];
+    for (int side : {-1, +1}) {
+      const Block* nb = forest_.neighbor(*lf.block, axis, side);
+      if (nb == nullptr) {
+        fill_ghosts_axis(a, axis, BoundaryKind::ZeroGradient,
+                         /*lower=*/side < 0, /*upper=*/side > 0);
+        continue;
+      }
+      if (nb->owner == my_rank) continue;  // handled in the local pass
+      PFC_REQUIRE(comm_ != nullptr,
+                  "remote neighbor block but no communicator");
+      // send my edge interior for the neighbour's ghosts
+      const SlabBox sbox =
+          slab_box(a, axis, side > 0 ? n - g : 0, side > 0 ? n : g);
+      send_buffers.emplace_back();
+      pack(a, sbox, send_buffers.back());
+      const int stag = message_tag(field_tag, axis, -side, nb->linear_id);
+      comm_->send_vec(nb->owner, stag, send_buffers.back());
+      bytes_sent_ += send_buffers.back().size() * sizeof(double);
+
+      // register the matching receive into my ghosts
+      PendingRecv pr;
+      pr.array = &a;
+      pr.box = slab_box(a, axis, side > 0 ? n : -g, side > 0 ? n + g : 0);
+      pr.buf.resize(box_cells(pr.box) * std::size_t(a.components()));
+      pr.source_rank = nb->owner;
+      pr.tag = message_tag(field_tag, axis, side, lf.block->linear_id);
+      recvs.push_back(std::move(pr));
+    }
+  }
+
+  // 2. local neighbour copies
+  for (const auto& lf : local) {
+    Array& a = *lf.array;
+    const int g = a.ghost_layers();
+    for (int side : {-1, +1}) {
+      const Block* nb = forest_.neighbor(*lf.block, axis, side);
+      if (nb == nullptr || nb->owner != my_rank) continue;
+      copy_local(a, *find_local(nb), axis, side, g);
+    }
+  }
+
+  // 3. complete receives
+  for (auto& pr : recvs) {
+    comm_->recv_vec(pr.source_rank, pr.tag, pr.buf);
+    unpack(*pr.array, pr.box, pr.buf);
+  }
+}
+
+void GhostExchange::exchange(const std::vector<LocalBlockField>& local,
+                             int field_tag) {
+  bytes_sent_ = 0;
+  for (int axis = 0; axis < forest_.dims(); ++axis) {
+    exchange_axis(local, axis, field_tag);
+    // axis sweeps must complete globally before the next axis reads the
+    // freshly filled ghosts
+    if (comm_ != nullptr) comm_->barrier();
+  }
+}
+
+}  // namespace pfc::grid

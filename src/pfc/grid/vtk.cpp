@@ -1,0 +1,65 @@
+#include "pfc/grid/vtk.hpp"
+
+#include <fstream>
+#include <sys/stat.h>
+
+#include "pfc/support/assert.hpp"
+
+namespace pfc::grid {
+
+void write_vtk(const std::string& path,
+               const std::vector<const Array*>& arrays, double dx) {
+  PFC_REQUIRE(!arrays.empty(), "write_vtk: no arrays");
+  const auto n = arrays[0]->size();
+  for (const auto* a : arrays) {
+    PFC_REQUIRE(a != nullptr && a->size() == n,
+                "write_vtk: arrays must share one interior size");
+  }
+
+  std::ofstream out(path);
+  PFC_REQUIRE(out.good(), "write_vtk: cannot open " + path);
+  out << "# vtk DataFile Version 3.0\n";
+  out << "pfc phase-field output\n";
+  out << "ASCII\n";
+  out << "DATASET STRUCTURED_POINTS\n";
+  out << "DIMENSIONS " << n[0] << ' ' << n[1] << ' ' << n[2] << '\n';
+  out << "ORIGIN 0 0 0\n";
+  out << "SPACING " << dx << ' ' << dx << ' ' << dx << '\n';
+  out << "POINT_DATA " << n[0] * n[1] * n[2] << '\n';
+
+  for (const auto* a : arrays) {
+    for (int c = 0; c < a->components(); ++c) {
+      out << "SCALARS " << a->field()->name() << '_' << c << " double 1\n";
+      out << "LOOKUP_TABLE default\n";
+      for (std::int64_t z = 0; z < n[2]; ++z) {
+        for (std::int64_t y = 0; y < n[1]; ++y) {
+          for (std::int64_t x = 0; x < n[0]; ++x) {
+            out << a->at(x, y, z, c) << '\n';
+          }
+        }
+      }
+    }
+  }
+}
+
+void append_csv(const std::string& path,
+                const std::vector<std::string>& header,
+                const std::vector<double>& row) {
+  PFC_REQUIRE(header.size() == row.size(), "append_csv: size mismatch");
+  struct stat st {};
+  const bool exists = ::stat(path.c_str(), &st) == 0;
+  std::ofstream out(path, std::ios::app);
+  PFC_REQUIRE(out.good(), "append_csv: cannot open " + path);
+  if (!exists) {
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      out << (i ? "," : "") << header[i];
+    }
+    out << '\n';
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    out << (i ? "," : "") << row[i];
+  }
+  out << '\n';
+}
+
+}  // namespace pfc::grid

@@ -1,0 +1,25 @@
+// Legacy-VTK structured-points output (ASCII) plus a simple CSV series
+// writer — the I/O role waLBerla plays in the paper, sized for single-node
+// visualization of example runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pfc/field/array.hpp"
+
+namespace pfc::grid {
+
+/// Writes the interior of every array (all components, named
+/// "<field>_<c>") into one legacy VTK file. All arrays must share one
+/// interior size.
+void write_vtk(const std::string& path,
+               const std::vector<const Array*>& arrays, double dx = 1.0);
+
+/// Appends one row of comma-separated values (writes the header first if
+/// the file does not exist yet).
+void append_csv(const std::string& path,
+                const std::vector<std::string>& header,
+                const std::vector<double>& row);
+
+}  // namespace pfc::grid

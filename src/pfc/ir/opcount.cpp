@@ -1,0 +1,192 @@
+#include "pfc/ir/opcount.hpp"
+
+#include <sstream>
+
+#include "pfc/support/assert.hpp"
+
+namespace pfc::ir {
+
+using sym::Expr;
+using sym::Kind;
+
+namespace {
+
+void count_expr(const Expr& e, OpCounts& c);
+
+/// Counts a Pow factor the way the backends render it. Returns true if the
+/// factor is a reciprocal (contributes to a combined denominator).
+bool count_pow(const Expr& base, const Expr& exp, OpCounts& c) {
+  long n = 0;
+  if (exp->integer_value(&n)) {
+    const long a = std::abs(n);
+    PFC_ASSERT(a >= 1);
+    c.muls += a - 1;  // repeated multiplication
+    count_expr(base, c);
+    return n < 0;
+  }
+  if (exp->is_number(0.5)) {
+    ++c.sqrts;
+    count_expr(base, c);
+    return false;
+  }
+  if (exp->is_number(-0.5)) {
+    ++c.rsqrts;  // emitted as (approximate) reciprocal square root
+    count_expr(base, c);
+    return false;
+  }
+  if (exp->is_number(1.5) || exp->is_number(-1.5)) {
+    ++c.sqrts;
+    ++c.muls;
+    count_expr(base, c);
+    return exp->number() < 0;
+  }
+  ++c.transcendental;  // general pow
+  count_expr(base, c);
+  count_expr(exp, c);
+  return false;
+}
+
+void count_expr(const Expr& e, OpCounts& c) {
+  switch (e->kind()) {
+    case Kind::Number:
+    case Kind::Symbol:
+    case Kind::FieldRef:
+    case Kind::Random: return;
+
+    case Kind::Add: {
+      c.adds += long(e->arity()) - 1;
+      for (const auto& a : e->args()) {
+        // a term -1 * x costs no multiply: it folds into a subtraction
+        if (a->kind() == Kind::Mul && a->arg(0)->is_number(-1.0)) {
+          std::vector<Expr> rest(a->args().begin() + 1, a->args().end());
+          count_expr(sym::mul(std::move(rest)), c);
+        } else {
+          count_expr(a, c);
+        }
+      }
+      return;
+    }
+
+    case Kind::Mul: {
+      long plain = 0;
+      long recip = 0;
+      for (const auto& f : e->args()) {
+        if (f->kind() == Kind::Number) {
+          if (!f->is_number(1.0) && !f->is_number(-1.0)) ++plain;
+          continue;
+        }
+        if (f->kind() == Kind::Pow) {
+          if (count_pow(f->arg(0), f->arg(1), c)) {
+            ++recip;
+          } else {
+            ++plain;
+          }
+          continue;
+        }
+        count_expr(f, c);
+        ++plain;
+      }
+      // numerator multiplies
+      if (plain >= 1) c.muls += plain - 1;
+      // reciprocals combine into one denominator product + one division
+      if (recip >= 1) {
+        c.muls += recip - 1;
+        ++c.divs;
+      }
+      return;
+    }
+
+    case Kind::Pow: {
+      (void)count_pow(e->arg(0), e->arg(1), c);
+      // a bare reciprocal pow is a division
+      long n = 0;
+      if ((e->arg(1)->integer_value(&n) && n < 0) ||
+          e->arg(1)->is_number(-1.5)) {
+        ++c.divs;
+      }
+      return;
+    }
+
+    case Kind::Call: {
+      for (const auto& a : e->args()) count_expr(a, c);
+      switch (e->func()) {
+        case sym::Func::Sqrt: ++c.sqrts; break;
+        case sym::Func::RSqrt: ++c.rsqrts; break;
+        case sym::Func::Exp:
+        case sym::Func::Log:
+        case sym::Func::Sin:
+        case sym::Func::Cos:
+        case sym::Func::Tanh: ++c.transcendental; break;
+        case sym::Func::Abs:
+        case sym::Func::Min:
+        case sym::Func::Max:
+        case sym::Func::Select:
+        case sym::Func::Less:
+        case sym::Func::Greater:
+        case sym::Func::LessEq:
+        case sym::Func::GreaterEq: ++c.blends; break;
+        case sym::Func::PhiloxUniform: ++c.rng_calls; break;
+      }
+      return;
+    }
+
+    case Kind::Diff:
+    case Kind::Dt:
+      PFC_REQUIRE(false, "op counting on undiscretized expression");
+  }
+}
+
+}  // namespace
+
+OpCounts& OpCounts::operator+=(const OpCounts& o) {
+  adds += o.adds;
+  muls += o.muls;
+  divs += o.divs;
+  sqrts += o.sqrts;
+  rsqrts += o.rsqrts;
+  blends += o.blends;
+  transcendental += o.transcendental;
+  rng_calls += o.rng_calls;
+  loads += o.loads;
+  stores += o.stores;
+  return *this;
+}
+
+std::string OpCounts::to_string() const {
+  std::ostringstream os;
+  os << "loads=" << loads << " stores=" << stores << " adds=" << adds
+     << " muls=" << muls << " divs=" << divs << " sqrts=" << sqrts
+     << " rsqrts=" << rsqrts << " blends=" << blends
+     << " norm_flops=" << normalized_flops();
+  return os.str();
+}
+
+OpCounts count_ops(const sym::Expr& e) {
+  OpCounts c;
+  count_expr(e, c);
+  return c;
+}
+
+OpCounts count_ops(const Kernel& k) {
+  OpCounts c;
+  std::vector<Expr> distinct_loads;
+  for (const auto& sa : k.body) {
+    if (sa.level != Level::Body) continue;  // hoisted work is amortized
+    count_expr(sa.assign.rhs, c);
+    if (sa.assign.lhs->kind() == Kind::FieldRef) ++c.stores;
+    for (const auto& fr : sym::field_refs(sa.assign.rhs)) {
+      bool seen = false;
+      for (const auto& x : distinct_loads) {
+        if (sym::equals(x, fr)) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) distinct_loads.push_back(fr);
+    }
+  }
+  c.loads = long(distinct_loads.size());
+  return c;
+}
+
+}  // namespace pfc::ir

@@ -1,0 +1,48 @@
+// Floating-point operation counting (paper Table 1).
+//
+// Counts are taken on the fully optimized IR — after constant folding, CSE
+// and loop-invariant hoisting — exactly as the paper does ("FLOPs are
+// counted by traversing the fully optimized intermediate representation").
+// Only per-cell (Level::Body) work is counted; hoisted subexpressions are
+// exactly the savings the paper attributes to the analytic temperature.
+#pragma once
+
+#include <string>
+
+#include "pfc/ir/kernel.hpp"
+
+namespace pfc::ir {
+
+struct OpCounts {
+  long adds = 0;
+  long muls = 0;
+  long divs = 0;
+  long sqrts = 0;
+  long rsqrts = 0;
+  long blends = 0;      ///< min/max/abs/select/compare (vector blend class)
+  long transcendental = 0;  ///< exp/log/sin/cos/tanh/general pow
+  long rng_calls = 0;   ///< Philox invocations (counted separately)
+  long loads = 0;       ///< distinct double values read per cell
+  long stores = 0;      ///< double values written per cell
+
+  /// Weighted sum with the paper's Skylake throughput weights:
+  /// add/mul = 1, div = 16, sqrt = 10, rsqrt = 2 (blend = 1,
+  /// transcendental = 20 — not present in the paper's kernels).
+  long normalized_flops() const {
+    return adds + muls + blends + 16 * divs + 10 * sqrts + 2 * rsqrts +
+           20 * transcendental;
+  }
+
+  OpCounts& operator+=(const OpCounts& o);
+  std::string to_string() const;
+};
+
+/// Counts one expression tree (temps referenced by Symbol are *not*
+/// expanded — they were counted at their definition).
+OpCounts count_ops(const sym::Expr& e);
+
+/// Counts the per-cell work of a kernel: all Level::Body assignments plus
+/// load/store counts.
+OpCounts count_ops(const Kernel& k);
+
+}  // namespace pfc::ir

@@ -1,0 +1,106 @@
+#include "pfc/ir/passes.hpp"
+
+#include <algorithm>
+
+#include "pfc/sym/simplify.hpp"
+#include "pfc/sym/subs.hpp"
+#include "pfc/support/assert.hpp"
+
+namespace pfc::ir {
+
+using sym::Expr;
+using sym::Kind;
+
+namespace {
+
+std::size_t count_uses(const Kernel& k, const Expr& temp_sym) {
+  std::size_t uses = 0;
+  for (const auto& sa : k.body) {
+    sym::for_each(sa.assign.rhs, [&](const Expr& e) {
+      if (e->kind() == Kind::Symbol && sym::equals(e, temp_sym)) ++uses;
+    });
+  }
+  return uses;
+}
+
+}  // namespace
+
+std::size_t rematerialize(Kernel& k, const RematOptions& opts) {
+  std::size_t inlined = 0;
+  // iterate until fixpoint: inlining one temp can make another eligible
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < k.body.size(); ++i) {
+      const auto& sa = k.body[i];
+      if (sa.level != Level::Body) continue;
+      if (sa.assign.lhs->kind() != Kind::Symbol) continue;
+      if (sym::operation_count(sa.assign.rhs) > opts.max_cost) continue;
+      const std::size_t uses = count_uses(k, sa.assign.lhs);
+      if (uses == 0 || uses > opts.max_uses) continue;
+      // substitute the definition into every later statement
+      const Expr pat = sa.assign.lhs;
+      const Expr def = sa.assign.rhs;
+      for (std::size_t j = i + 1; j < k.body.size(); ++j) {
+        k.body[j].assign.rhs = sym::substitute(k.body[j].assign.rhs, pat, def);
+      }
+      k.body.erase(k.body.begin() + std::ptrdiff_t(i));
+      ++inlined;
+      changed = true;
+      break;  // indices shifted; restart scan
+    }
+  }
+  return inlined;
+}
+
+std::size_t eliminate_dead_code(Kernel& k) {
+  std::size_t removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < k.body.size(); ++i) {
+      const auto& sa = k.body[i];
+      if (sa.assign.lhs->kind() != Kind::Symbol) continue;
+      if (count_uses(k, sa.assign.lhs) == 0) {
+        k.body.erase(k.body.begin() + std::ptrdiff_t(i));
+        ++removed;
+        changed = true;
+        break;
+      }
+    }
+  }
+  return removed;
+}
+
+std::size_t insert_thread_fences(Kernel& k, std::size_t stride) {
+  PFC_REQUIRE(stride >= 1, "fence stride must be >= 1");
+  k.fence_positions.clear();
+  std::size_t body_count = 0;
+  for (std::size_t i = 0; i < k.body.size(); ++i) {
+    if (k.body[i].level != Level::Body) continue;
+    ++body_count;
+    if (body_count % stride == 0) k.fence_positions.push_back(i);
+  }
+  return k.fence_positions.size();
+}
+
+void fold_parameters(Kernel& k,
+                     const std::unordered_map<std::string, double>& values) {
+  sym::SubsMap map;
+  std::vector<Expr> remaining;
+  for (const auto& p : k.scalar_params) {
+    auto it = values.find(p->name());
+    if (it != values.end()) {
+      map.emplace_back(p, sym::num(it->second));
+    } else {
+      remaining.push_back(p);
+    }
+  }
+  if (map.empty()) return;
+  for (auto& sa : k.body) {
+    sa.assign.rhs = sym::substitute(sa.assign.rhs, map);
+  }
+  k.scalar_params = std::move(remaining);
+}
+
+}  // namespace pfc::ir

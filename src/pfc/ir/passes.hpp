@@ -1,0 +1,41 @@
+// IR-level optimization passes (paper §3.4–3.5): rematerialization of cheap
+// CSE temporaries ("dupl"), modelled thread fences ("fence"), dead-code
+// elimination and runtime-parameter folding (the §5.1 ablation of
+// compile-time vs runtime model parameters).
+#pragma once
+
+#include <unordered_map>
+
+#include "pfc/ir/kernel.hpp"
+
+namespace pfc::ir {
+
+struct RematOptions {
+  /// Inline temps whose definition costs at most this many operations.
+  std::size_t max_cost = 3;
+  /// Only inline temps with at most this many uses (re-computation grows
+  /// code size linearly in the use count).
+  std::size_t max_uses = 4;
+};
+
+/// Takes back part of the CSE: temporaries that are cheap to recompute are
+/// substituted back into their users and removed, trading FLOPs for live
+/// range (paper: "rematerializing expressions that are cheap to compute").
+/// Returns the number of temps inlined.
+std::size_t rematerialize(Kernel& k, const RematOptions& opts = {});
+
+/// Removes temporaries that are never read. Returns the number removed.
+std::size_t eliminate_dead_code(Kernel& k);
+
+/// Inserts a modelled __threadfence() after every `stride` Body statements;
+/// the GPU performance model interprets these as limits on compiler
+/// reordering. Returns the number of fences recorded.
+std::size_t insert_thread_fences(Kernel& k, std::size_t stride = 32);
+
+/// Substitutes numeric values for runtime scalar parameters (by name) and
+/// re-canonicalizes; parameters disappear from scalar_params. The inverse of
+/// the paper's "keep a set of parameters symbolic at runtime".
+void fold_parameters(Kernel& k,
+                     const std::unordered_map<std::string, double>& values);
+
+}  // namespace pfc::ir

@@ -1,0 +1,272 @@
+#include "pfc/ir/schedule.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "pfc/support/assert.hpp"
+
+namespace pfc::ir {
+
+using sym::Expr;
+using sym::Kind;
+
+namespace {
+
+/// Collects the names of temp symbols read by an expression.
+void collect_symbol_uses(const Expr& e, std::vector<std::string>& out) {
+  if (e->kind() == Kind::Symbol && e->builtin() == sym::Builtin::None) {
+    out.push_back(e->name());
+    return;
+  }
+  for (const auto& a : e->args()) collect_symbol_uses(a, out);
+}
+
+}  // namespace
+
+DependencyGraph build_dependency_graph(const Kernel& k) {
+  DependencyGraph g;
+  std::unordered_map<std::string, std::size_t> def_of;  // temp name -> node
+  for (std::size_t bi = 0; bi < k.body.size(); ++bi) {
+    if (k.body[bi].level != Level::Body) continue;
+    const std::size_t node = g.body_index.size();
+    g.body_index.push_back(bi);
+    g.deps.emplace_back();
+    g.users.emplace_back();
+    const auto& a = k.body[bi].assign;
+    std::vector<std::string> uses;
+    collect_symbol_uses(a.rhs, uses);
+    for (const auto& u : uses) {
+      auto it = def_of.find(u);
+      if (it == def_of.end()) continue;  // scalar param or hoisted temp
+      auto& d = g.deps[node];
+      if (std::find(d.begin(), d.end(), it->second) == d.end()) {
+        d.push_back(it->second);
+        g.users[it->second].push_back(node);
+      }
+    }
+    if (a.lhs->kind() == Kind::Symbol) def_of[a.lhs->name()] = node;
+  }
+  return g;
+}
+
+std::size_t max_live_temps(const Kernel& k) {
+  const DependencyGraph g = build_dependency_graph(k);
+  const std::size_t n = g.deps.size();
+  // remaining-use counters per node; a temp dies when its last user runs
+  std::vector<std::size_t> remaining(n);
+  for (std::size_t i = 0; i < n; ++i) remaining[i] = g.users[i].size();
+  std::size_t live = 0, max_live = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& a = k.body[g.body_index[i]].assign;
+    // operands that die at this statement
+    for (std::size_t d : g.deps[i]) {
+      PFC_ASSERT(remaining[d] > 0);
+      if (--remaining[d] == 0) --live;
+    }
+    if (a.lhs->kind() == Kind::Symbol && !g.users[i].empty()) {
+      ++live;
+      max_live = std::max(max_live, live);
+    }
+  }
+  return max_live;
+}
+
+namespace {
+
+struct BeamState {
+  std::vector<std::uint64_t> scheduled;  // bitset
+  std::vector<std::uint32_t> pending_deps;  // unscheduled dep count per node
+  std::vector<std::uint32_t> remaining_uses;
+  std::vector<std::size_t> order;
+  std::size_t live = 0;
+  std::size_t max_live = 0;
+
+  bool is_scheduled(std::size_t i) const {
+    return (scheduled[i >> 6] >> (i & 63)) & 1u;
+  }
+  void mark(std::size_t i) { scheduled[i >> 6] |= 1ull << (i & 63); }
+
+  std::size_t set_hash() const {
+    std::size_t h = 0xcbf29ce484222325ull;
+    for (auto w : scheduled) {
+      h ^= w;
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+namespace {
+
+/// Demand-driven order: emit each store's dependency subtree depth-first,
+/// so temporaries materialize immediately before their consumers
+/// (Sethi–Ullman-style). Often a strong starting point that the beam search
+/// cannot find through local expansion.
+std::vector<std::size_t> dfs_order(const Kernel& k,
+                                   const DependencyGraph& g) {
+  const std::size_t n = g.deps.size();
+  std::vector<bool> emitted(n, false);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  const std::function<void(std::size_t)> emit = [&](std::size_t node) {
+    if (emitted[node]) return;
+    emitted[node] = true;  // mark first: deps form a DAG, no cycles
+    for (std::size_t d : g.deps[node]) emit(d);
+    order.push_back(node);
+  };
+  // stores (and any sinks) in original program order
+  for (std::size_t i = 0; i < n; ++i) {
+    if (g.users[i].empty()) emit(i);
+  }
+  for (std::size_t i = 0; i < n; ++i) emit(i);  // leftovers
+  return order;
+}
+
+std::size_t live_of_order(const Kernel& k, const DependencyGraph& g,
+                          const std::vector<std::size_t>& order) {
+  const std::size_t n = g.deps.size();
+  std::vector<std::size_t> remaining(n);
+  for (std::size_t i = 0; i < n; ++i) remaining[i] = g.users[i].size();
+  std::size_t live = 0, max_live = 0;
+  for (std::size_t node : order) {
+    for (std::size_t d : g.deps[node]) {
+      if (--remaining[d] == 0) --live;
+    }
+    if (k.body[g.body_index[node]].assign.lhs->kind() == Kind::Symbol &&
+        !g.users[node].empty()) {
+      ++live;
+      max_live = std::max(max_live, live);
+    }
+  }
+  return max_live;
+}
+
+}  // namespace
+
+ScheduleResult schedule_min_register(Kernel& k, const ScheduleOptions& opts) {
+  ScheduleResult result;
+  result.max_live_before = max_live_temps(k);
+
+  const DependencyGraph g = build_dependency_graph(k);
+  const std::size_t n = g.deps.size();
+  if (n == 0) {
+    result.max_live_after = 0;
+    return result;
+  }
+
+  BeamState init;
+  init.scheduled.assign((n + 63) / 64, 0);
+  init.pending_deps.resize(n);
+  init.remaining_uses.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    init.pending_deps[i] = std::uint32_t(g.deps[i].size());
+    init.remaining_uses[i] = std::uint32_t(g.users[i].size());
+  }
+  init.order.reserve(n);
+
+  std::vector<BeamState> beam{std::move(init)};
+  for (std::size_t step = 0; step < n; ++step) {
+    std::vector<BeamState> next;
+    std::unordered_map<std::size_t, std::size_t> dedup;  // set hash -> index
+    for (const auto& s : beam) {
+      // Preselect the most promising ready nodes by immediate live-count
+      // delta (consumed operands that die minus a new live temp). Bounding
+      // the fan-out keeps the beam search tractable for kernels with
+      // thousands of statements.
+      constexpr std::size_t kMaxExpand = 8;
+      std::vector<std::pair<int, std::size_t>> ready;  // (delta, node)
+      for (std::size_t cand = 0; cand < n; ++cand) {
+        if (s.is_scheduled(cand) || s.pending_deps[cand] != 0) continue;
+        int delta = 0;
+        for (std::size_t d : g.deps[cand]) {
+          if (s.remaining_uses[d] == 1) --delta;
+        }
+        if (k.body[g.body_index[cand]].assign.lhs->kind() == Kind::Symbol &&
+            !g.users[cand].empty()) {
+          ++delta;
+        }
+        ready.emplace_back(delta, cand);
+      }
+      std::sort(ready.begin(), ready.end());
+      if (ready.size() > kMaxExpand) ready.resize(kMaxExpand);
+      for (const auto& [delta, cand] : ready) {
+        (void)delta;
+        BeamState ns = s;
+        ns.mark(cand);
+        ns.order.push_back(cand);
+        for (std::size_t d : g.deps[cand]) {
+          if (--ns.remaining_uses[d] == 0) --ns.live;
+        }
+        for (std::size_t u : g.users[cand]) --ns.pending_deps[u];
+        const bool defines_live_temp =
+            k.body[g.body_index[cand]].assign.lhs->kind() == Kind::Symbol &&
+            !g.users[cand].empty();
+        if (defines_live_temp) {
+          ++ns.live;
+          ns.max_live = std::max(ns.max_live, ns.live);
+        }
+        // deduplicate states with the same scheduled set: the path forward
+        // is identical, keep the better prefix (Kessler's key insight)
+        const std::size_t h = ns.set_hash();
+        auto it = dedup.find(h);
+        if (it != dedup.end()) {
+          BeamState& old = next[it->second];
+          if (ns.max_live < old.max_live ||
+              (ns.max_live == old.max_live && ns.live < old.live)) {
+            old = std::move(ns);
+          }
+          continue;
+        }
+        dedup.emplace(h, next.size());
+        next.push_back(std::move(ns));
+      }
+    }
+    PFC_ASSERT(!next.empty(), "scheduling deadlock — dependency cycle?");
+    // keep the best `beam_width` partial schedules
+    std::sort(next.begin(), next.end(),
+              [](const BeamState& a, const BeamState& b) {
+                if (a.max_live != b.max_live) return a.max_live < b.max_live;
+                return a.live < b.live;
+              });
+    if (next.size() > opts.beam_width) next.resize(opts.beam_width);
+    // dedup map indexes into next before the sort; rebuild each step
+    beam = std::move(next);
+  }
+
+  const BeamState& best = beam.front();
+  PFC_ASSERT(best.order.size() == n);
+
+  // Compare against the demand-driven DFS order and keep the better one.
+  std::vector<std::size_t> order = best.order;
+  std::size_t best_live = best.max_live;
+  {
+    const std::vector<std::size_t> dfs = dfs_order(k, g);
+    const std::size_t dfs_live = live_of_order(k, g, dfs);
+    if (dfs_live < best_live) {
+      order = dfs;
+      best_live = dfs_live;
+    }
+  }
+
+  // Rebuild the kernel body: hoisted assignments keep their positions,
+  // Body-level ones are permuted by the found order.
+  std::vector<ScheduledAssignment> new_body;
+  new_body.reserve(k.body.size());
+  std::size_t next_sched = 0;
+  for (std::size_t bi = 0; bi < k.body.size(); ++bi) {
+    if (k.body[bi].level != Level::Body) {
+      new_body.push_back(k.body[bi]);
+    } else {
+      new_body.push_back(k.body[g.body_index[order[next_sched]]]);
+      ++next_sched;
+    }
+  }
+  k.body = std::move(new_body);
+
+  result.max_live_after = max_live_temps(k);
+  return result;
+}
+
+}  // namespace pfc::ir

@@ -1,0 +1,47 @@
+// Register-pressure-aware statement scheduling (paper §3.5, GPU backend).
+//
+// Implements the Kessler (1998) expression-DAG scheduling approach adapted
+// exactly the way the paper describes: a breadth-first enumeration of
+// topological orders that deduplicates states with identical "path forward"
+// and is truncated to a fixed number of best partial schedules per step —
+// a tunable beam between greedy (width 1) and full breadth-first search.
+#pragma once
+
+#include <cstddef>
+
+#include "pfc/ir/kernel.hpp"
+
+namespace pfc::ir {
+
+/// Dependency graph over the Body-level assignments of a kernel.
+struct DependencyGraph {
+  /// deps[i] = indices of assignments whose lhs symbol assignment i reads.
+  std::vector<std::vector<std::size_t>> deps;
+  /// users[i] = inverse edges.
+  std::vector<std::vector<std::size_t>> users;
+  /// body index of each node (graph covers Level::Body only).
+  std::vector<std::size_t> body_index;
+};
+
+DependencyGraph build_dependency_graph(const Kernel& k);
+
+/// Maximum number of simultaneously live temporaries for the kernel's
+/// current body order ("alive intermediates" of Fig. 2 right).
+std::size_t max_live_temps(const Kernel& k);
+
+struct ScheduleOptions {
+  /// Beam width: 1 = greedy, larger explores more schedules. The paper saw
+  /// no consistent improvement above 20.
+  std::size_t beam_width = 20;
+};
+
+struct ScheduleResult {
+  std::size_t max_live_before = 0;
+  std::size_t max_live_after = 0;
+};
+
+/// Reorders the Body-level assignments (in place) to minimize the number of
+/// simultaneously live temporaries. Hoisted assignments are untouched.
+ScheduleResult schedule_min_register(Kernel& k, const ScheduleOptions& opts = {});
+
+}  // namespace pfc::ir

@@ -1,0 +1,170 @@
+#include "pfc/mpi/simmpi.hpp"
+
+#include <cstring>
+#include <thread>
+
+#include "pfc/support/assert.hpp"
+
+namespace pfc::mpi {
+
+class World {
+ public:
+  explicit World(int n) : size_(n), reduce_vals_(std::size_t(n), 0.0) {}
+
+  int size() const { return size_; }
+
+  void post(int source, int dest, int tag, const void* data,
+            std::size_t bytes) {
+    PFC_REQUIRE(dest >= 0 && dest < size_, "send: bad destination rank");
+    std::vector<char> msg(bytes);
+    std::memcpy(msg.data(), data, bytes);
+    {
+      std::lock_guard lock(mutex_);
+      mailbox_[key(source, dest, tag)].push_back(std::move(msg));
+    }
+    cv_.notify_all();
+  }
+
+  void fetch(int source, int dest, int tag, void* data, std::size_t bytes) {
+    PFC_REQUIRE(source >= 0 && source < size_, "recv: bad source rank");
+    std::vector<char> msg;
+    {
+      std::unique_lock lock(mutex_);
+      auto& q = mailbox_[key(source, dest, tag)];
+      cv_.wait(lock, [&] { return !q.empty(); });
+      msg = std::move(q.front());
+      q.pop_front();
+    }
+    PFC_REQUIRE(msg.size() == bytes,
+                "recv: message size mismatch (got " +
+                    std::to_string(msg.size()) + ", want " +
+                    std::to_string(bytes) + ")");
+    std::memcpy(data, msg.data(), bytes);
+  }
+
+  void barrier() {
+    std::unique_lock lock(mutex_);
+    const std::uint64_t gen = barrier_gen_;
+    if (++barrier_count_ == size_) {
+      barrier_count_ = 0;
+      ++barrier_gen_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return barrier_gen_ != gen; });
+  }
+
+  double allreduce(int rank, double v, bool is_max) {
+    // two-phase: deposit values, then everyone reads the combined result
+    {
+      std::unique_lock lock(mutex_);
+      reduce_vals_[std::size_t(rank)] = v;
+    }
+    barrier();
+    double result;
+    {
+      std::lock_guard lock(mutex_);
+      result = reduce_vals_[0];
+      for (int i = 1; i < size_; ++i) {
+        result = is_max ? std::max(result, reduce_vals_[std::size_t(i)])
+                        : result + reduce_vals_[std::size_t(i)];
+      }
+    }
+    barrier();  // nobody may overwrite reduce_vals_ before all have read
+    return result;
+  }
+
+ private:
+  static std::uint64_t key(int source, int dest, int tag) {
+    return (std::uint64_t(std::uint16_t(source)) << 48) |
+           (std::uint64_t(std::uint16_t(dest)) << 32) |
+           std::uint64_t(std::uint32_t(tag));
+  }
+
+  int size_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, std::deque<std::vector<char>>> mailbox_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_gen_ = 0;
+  std::vector<double> reduce_vals_;
+};
+
+int Comm::size() const { return world_->size(); }
+
+void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
+  world_->post(rank_, dest, tag, data, bytes);
+}
+
+void Comm::recv(int source, int tag, void* data, std::size_t bytes) {
+  world_->fetch(source, rank_, tag, data, bytes);
+}
+
+Comm::Request Comm::isend(int dest, int tag, const void* data,
+                          std::size_t bytes) {
+  // buffered: completes immediately
+  send(dest, tag, data, bytes);
+  Request r;
+  r.done = true;
+  return r;
+}
+
+Comm::Request Comm::irecv(int source, int tag, void* data,
+                          std::size_t bytes) {
+  Request r;
+  r.source = source;
+  r.tag = tag;
+  r.data = data;
+  r.bytes = bytes;
+  r.is_recv = true;
+  return r;
+}
+
+void Comm::wait(Request& r) {
+  if (r.done) return;
+  PFC_ASSERT(r.is_recv);
+  recv(r.source, r.tag, r.data, r.bytes);
+  r.done = true;
+}
+
+void Comm::wait_all(std::vector<Request>& rs) {
+  for (auto& r : rs) wait(r);
+}
+
+void Comm::barrier() { world_->barrier(); }
+
+double Comm::allreduce_sum(double v) {
+  return world_->allreduce(rank_, v, /*is_max=*/false);
+}
+
+double Comm::allreduce_max(double v) {
+  return world_->allreduce(rank_, v, /*is_max=*/true);
+}
+
+void run(int num_ranks, const std::function<void(Comm&)>& fn) {
+  PFC_REQUIRE(num_ranks >= 1, "need at least one rank");
+  World world(num_ranks);
+
+  std::mutex err_mutex;
+  std::exception_ptr first_error;
+  const auto rank_main = [&](int r) {
+    Comm comm(&world, r);
+    try {
+      fn(comm);
+    } catch (...) {
+      std::lock_guard lock(err_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(std::size_t(num_ranks - 1));
+  for (int r = 1; r < num_ranks; ++r) {
+    threads.emplace_back(rank_main, r);
+  }
+  rank_main(0);
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace pfc::mpi

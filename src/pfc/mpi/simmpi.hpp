@@ -1,0 +1,78 @@
+// In-process message passing (DESIGN.md §2): ranks are threads inside one
+// process, messages are copied through mailboxes. The subset implemented is
+// what the distributed phase-field runtime needs — point-to-point send/recv
+// (blocking and nonblocking), barrier and allreduce — with MPI-like
+// matching semantics (FIFO per (source, tag) channel).
+//
+// This substitutes for MPI on the machines of the paper; the *functional*
+// behaviour of ghost-layer exchange (ordering, matching, concurrency) is
+// exercised for real, while large-scale timing comes from perf::netmodel.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace pfc::mpi {
+
+class World;
+
+/// Per-rank communicator handle (value-semantic view onto the World).
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Blocking buffered send (returns when the message is enqueued).
+  void send(int dest, int tag, const void* data, std::size_t bytes);
+  /// Blocking receive; byte count must match the incoming message.
+  void recv(int source, int tag, void* data, std::size_t bytes);
+
+  /// Nonblocking pair: isend enqueues immediately; irecv registers the
+  /// destination buffer and is completed by wait().
+  struct Request {
+    int source = -1;
+    int tag = 0;
+    void* data = nullptr;
+    std::size_t bytes = 0;
+    bool is_recv = false;
+    bool done = false;
+  };
+  Request isend(int dest, int tag, const void* data, std::size_t bytes);
+  Request irecv(int source, int tag, void* data, std::size_t bytes);
+  void wait(Request& r);
+  void wait_all(std::vector<Request>& rs);
+
+  void barrier();
+  double allreduce_sum(double v);
+  double allreduce_max(double v);
+
+  /// Convenience typed wrappers.
+  template <typename T>
+  void send_vec(int dest, int tag, const std::vector<T>& v) {
+    send(dest, tag, v.data(), v.size() * sizeof(T));
+  }
+  template <typename T>
+  void recv_vec(int source, int tag, std::vector<T>& v) {
+    recv(source, tag, v.data(), v.size() * sizeof(T));
+  }
+
+ private:
+  friend class World;
+  friend void run(int, const std::function<void(Comm&)>&);
+  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+  World* world_;
+  int rank_;
+};
+
+/// Runs `fn(comm)` on `num_ranks` concurrent ranks; returns when all have
+/// finished. Exceptions thrown by any rank are collected and the first one
+/// is rethrown after all ranks joined.
+void run(int num_ranks, const std::function<void(Comm&)>& fn);
+
+}  // namespace pfc::mpi

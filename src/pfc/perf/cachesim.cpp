@@ -1,0 +1,141 @@
+#include "pfc/perf/cachesim.hpp"
+
+#include <algorithm>
+
+#include "pfc/support/assert.hpp"
+
+namespace pfc::perf {
+
+CacheSim::CacheSim(std::vector<LevelConfig> levels) {
+  PFC_REQUIRE(!levels.empty(), "cache sim needs at least one level");
+  for (const auto& cfg : levels) {
+    Level l;
+    l.cfg = cfg;
+    const long lines = cfg.size_bytes / cfg.line_bytes;
+    PFC_REQUIRE(cfg.associativity >= 1 && lines >= cfg.associativity,
+                "bad cache geometry");
+    l.num_sets = int(lines / cfg.associativity);
+    l.sets.assign(std::size_t(l.num_sets), {});
+    levels_.push_back(std::move(l));
+  }
+  hits_.assign(levels_.size(), 0);
+}
+
+void CacheSim::access(std::uint64_t address) {
+  ++total_;
+  for (std::size_t li = 0; li < levels_.size(); ++li) {
+    Level& l = levels_[li];
+    const std::uint64_t line = address / std::uint64_t(l.cfg.line_bytes);
+    auto& set = l.sets[std::size_t(line % std::uint64_t(l.num_sets))];
+    auto it = std::find(set.begin(), set.end(), line);
+    if (it != set.end()) {
+      // hit: move to MRU position
+      set.erase(it);
+      set.insert(set.begin(), line);
+      ++hits_[li];
+      return;
+    }
+    // miss: allocate here, continue to the next level
+    set.insert(set.begin(), line);
+    if (static_cast<int>(set.size()) > l.cfg.associativity) set.pop_back();
+  }
+  ++mem_accesses_;
+}
+
+void CacheSim::reset_counters() {
+  std::fill(hits_.begin(), hits_.end(), 0);
+  mem_accesses_ = 0;
+  total_ = 0;
+}
+
+std::vector<double> simulate_kernel_traffic(
+    const ir::Kernel& k, const std::array<long long, 3>& block,
+    const MachineModel& m) {
+  // hierarchy from the machine model; associativity 8 throughout is close
+  // enough for LRU traffic estimates
+  std::vector<CacheSim::LevelConfig> cfg;
+  for (const auto& c : m.caches) {
+    cfg.push_back({c.size_bytes, 8, int(m.line_bytes)});
+  }
+  CacheSim sim(std::move(cfg));
+
+  // realistic fzyx strides with line padding
+  struct FieldGeom {
+    std::uint64_t base;
+    long long sy, sz, sc;
+  };
+  std::vector<FieldGeom> geom;
+  std::uint64_t next_base = 4096;
+  const long long line_doubles = m.line_bytes / 8;
+  for (const auto& f : k.fields) {
+    FieldGeom g;
+    const long long nx_pad =
+        (block[0] + 2 + line_doubles - 1) / line_doubles * line_doubles;
+    g.sy = nx_pad;
+    g.sz = nx_pad * (block[1] + 2);
+    g.sc = g.sz * (block[2] + 2);
+    g.base = next_base;
+    next_base += std::uint64_t(g.sc) * std::uint64_t(f->components()) * 8 +
+                 4096;
+    geom.push_back(g);
+  }
+
+  // collect the per-cell access stream (reads then the stores, in program
+  // order)
+  struct Access {
+    std::size_t field;
+    std::array<int, 3> off;
+    int comp;
+  };
+  std::vector<Access> stream;
+  for (const auto& sa : k.body) {
+    if (sa.level != ir::Level::Body) continue;
+    for (const auto& fr : sym::field_refs(sa.assign.rhs)) {
+      std::size_t fi = 0;
+      for (; fi < k.fields.size(); ++fi) {
+        if (k.fields[fi]->id() == fr->field()->id()) break;
+      }
+      stream.push_back({fi, fr->offset(), fr->component()});
+    }
+    if (sa.assign.lhs->kind() == sym::Kind::FieldRef) {
+      const auto& fr = sa.assign.lhs;
+      std::size_t fi = 0;
+      for (; fi < k.fields.size(); ++fi) {
+        if (k.fields[fi]->id() == fr->field()->id()) break;
+      }
+      stream.push_back({fi, fr->offset(), fr->component()});
+    }
+  }
+
+  const auto address = [&](const Access& a, long long x, long long y,
+                           long long z) {
+    const auto& g = geom[a.field];
+    const long long idx = (x + a.off[0]) + g.sy * (y + a.off[1]) +
+                          g.sz * (z + a.off[2]) + g.sc * a.comp;
+    return g.base + std::uint64_t(idx + g.sz) * 8;  // shift past ghosts
+  };
+
+  const long long zmid = std::min<long long>(2, block[2] - 1);
+  // warm-up plane(s)
+  for (long long z = 0; z <= zmid; ++z) {
+    if (z == zmid) sim.reset_counters();
+    for (long long y = 0; y < block[1]; ++y) {
+      for (long long x = 0; x < block[0]; ++x) {
+        for (const auto& a : stream) sim.access(address(a, x, y, z));
+      }
+    }
+  }
+
+  const double updates = double(block[0]) * double(block[1]);
+  std::vector<double> bytes(k.fields.empty() ? 0 : m.caches.size(), 0.0);
+  // traffic crossing boundary i = accesses that missed all levels <= i
+  long long missed_into = sim.total_accesses();
+  for (std::size_t i = 0; i < m.caches.size(); ++i) {
+    missed_into -= sim.hits()[i];
+    // every miss at levels <= i moves one full line across boundary i
+    bytes[i] = double(missed_into) * double(m.line_bytes) / updates;
+  }
+  return bytes;
+}
+
+}  // namespace pfc::perf

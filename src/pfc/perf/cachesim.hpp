@@ -1,0 +1,57 @@
+// Cache hierarchy simulator (paper §3.6: "two approaches ... analytical
+// layer conditions or a cache hierarchy simulator"). Set-associative LRU
+// levels; an access missing level k is forwarded to k+1. Used both as an
+// independent data-traffic estimator for the ECM model and as a test oracle
+// for the layer-condition analysis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pfc/ir/kernel.hpp"
+#include "pfc/perf/machine.hpp"
+
+namespace pfc::perf {
+
+class CacheSim {
+ public:
+  struct LevelConfig {
+    long size_bytes;
+    int associativity;
+    int line_bytes = 64;
+  };
+
+  explicit CacheSim(std::vector<LevelConfig> levels);
+
+  /// Feeds one access; loads and stores both allocate (write-allocate).
+  void access(std::uint64_t address);
+
+  /// Hits at level i (0 = fastest); misses in the last level went to memory.
+  const std::vector<long long>& hits() const { return hits_; }
+  long long memory_accesses() const { return mem_accesses_; }
+  long long total_accesses() const { return total_; }
+
+  void reset_counters();
+
+ private:
+  struct Level {
+    LevelConfig cfg;
+    int num_sets;
+    // tags per set, most recently used first
+    std::vector<std::vector<std::uint64_t>> sets;
+  };
+  std::vector<Level> levels_;
+  std::vector<long long> hits_;
+  long long mem_accesses_ = 0;
+  long long total_ = 0;
+};
+
+/// Replays the per-cell field-access stream of a kernel over one z-plane
+/// sweep of the given block (after a warm-up plane) through a cache
+/// hierarchy matching `m`, and returns the measured bytes per cell update
+/// crossing each boundary (same layout as TrafficPrediction).
+std::vector<double> simulate_kernel_traffic(
+    const ir::Kernel& k, const std::array<long long, 3>& block,
+    const MachineModel& m);
+
+}  // namespace pfc::perf

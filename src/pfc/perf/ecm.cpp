@@ -1,0 +1,79 @@
+#include "pfc/perf/ecm.hpp"
+
+#include <cmath>
+
+#include "pfc/perf/cachesim.hpp"
+
+namespace pfc::perf {
+
+double EcmPrediction::cycles_single_core() const {
+  // non-overlapping ECM composition: data transfers serialize with each
+  // other; in-core execution overlaps with them only partially. We use the
+  // pessimistic-but-robust max(Tcomp, sum Tdata) + small overlap correction.
+  double data = 0;
+  for (double t : t_data) data += t;
+  return std::max(t_comp, data);
+}
+
+double EcmPrediction::mlups(const MachineModel& m, int cores) const {
+  const double hz = m.freq_ghz * 1e9;
+  const double single = double(m.simd_doubles) /
+                        (cycles_single_core() / hz);  // updates/s
+  // linear scaling until the memory boundary saturates
+  const double scaled = single * double(cores);
+  if (t_mem <= 0) return scaled / 1e6;
+  const double mem_roof = double(m.simd_doubles) / (t_mem / hz);
+  return std::min(scaled, mem_roof) / 1e6;
+}
+
+int EcmPrediction::saturation_cores(const MachineModel& m) const {
+  (void)m;
+  if (t_mem <= 0) return 1 << 20;
+  return int(std::ceil(cycles_single_core() / t_mem));
+}
+
+EcmPrediction ecm_predict(const ir::Kernel& k,
+                          const std::array<long long, 3>& block,
+                          const MachineModel& m, TrafficSource source) {
+  EcmPrediction p;
+
+  // --- in-core execution: instruction throughput of the vectorized body ---
+  const ir::OpCounts ops = ir::count_ops(k);
+  // per SIMD iteration (8 updates), one vector instruction per scalar op
+  double t = double(ops.adds) * m.add_rtp + double(ops.muls) * m.mul_rtp +
+             double(ops.divs) * m.div_rtp + double(ops.sqrts) * m.sqrt_rtp +
+             double(ops.rsqrts) * m.rsqrt_rtp +
+             double(ops.blends) * m.blend_rtp +
+             double(ops.transcendental) * 20.0 +
+             double(ops.rng_calls) * 40.0;
+  // L1 load/store port pressure
+  t = std::max(t, double(ops.loads) * m.load_rtp +
+                      double(ops.stores) * m.store_rtp);
+  p.t_comp = t;
+
+  // --- data transfers ---
+  std::vector<double> bytes;
+  if (source == TrafficSource::LayerCondition) {
+    bytes = layer_condition_traffic(k, block, m).bytes_per_update;
+  } else {
+    bytes = simulate_kernel_traffic(k, block, m);
+  }
+  const double hz = m.freq_ghz * 1e9;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    const double bytes_per_cl = bytes[i] * double(m.simd_doubles);
+    double cycles;
+    if (i + 1 < bytes.size()) {
+      // inter-cache: lines at the level's per-line cost
+      cycles = bytes_per_cl / double(m.line_bytes) *
+               m.caches[i + 1].cycles_per_line;
+    } else {
+      // memory boundary: limited by measured bandwidth
+      cycles = bytes_per_cl / (m.mem_bw_gbytes * 1e9) * hz;
+    }
+    p.t_data.push_back(cycles);
+  }
+  if (!p.t_data.empty()) p.t_mem = p.t_data.back();
+  return p;
+}
+
+}  // namespace pfc::perf

@@ -1,0 +1,34 @@
+// The Execution-Cache-Memory model (paper §3.6, Stengel et al. / Kerncraft):
+// predicts single-core cycles per cache line of results (8 lattice updates)
+// from an in-core execution estimate plus the data-transfer times through
+// the memory hierarchy, and multi-core scaling up to memory-bandwidth
+// saturation.
+#pragma once
+
+#include "pfc/ir/opcount.hpp"
+#include "pfc/perf/layer_condition.hpp"
+
+namespace pfc::perf {
+
+enum class TrafficSource { LayerCondition, CacheSimulator };
+
+struct EcmPrediction {
+  double t_comp = 0;            ///< in-core cycles per 8 updates
+  std::vector<double> t_data;   ///< transfer cycles per boundary
+  double t_mem = 0;             ///< the memory-boundary share (last entry)
+
+  double cycles_single_core() const;
+  /// MLUP/s for `cores` active cores on one socket.
+  double mlups(const MachineModel& m, int cores) const;
+  /// cores needed to saturate memory bandwidth (paper: µ-split ~32,
+  /// µ-full ~83)
+  int saturation_cores(const MachineModel& m) const;
+};
+
+/// Builds the ECM prediction for one kernel at the given block size.
+EcmPrediction ecm_predict(const ir::Kernel& k,
+                          const std::array<long long, 3>& block,
+                          const MachineModel& m,
+                          TrafficSource source = TrafficSource::LayerCondition);
+
+}  // namespace pfc::perf

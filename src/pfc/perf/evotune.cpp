@@ -1,0 +1,131 @@
+#include "pfc/perf/evotune.hpp"
+
+#include <algorithm>
+
+#include "pfc/ir/passes.hpp"
+#include "pfc/ir/schedule.hpp"
+#include "pfc/support/assert.hpp"
+
+namespace pfc::perf {
+
+namespace {
+
+/// Small deterministic PRNG (xorshift*), independent of std::rand state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : s_(seed * 2685821657736338717ull + 1) {}
+  std::uint64_t next() {
+    s_ ^= s_ >> 12;
+    s_ ^= s_ << 25;
+    s_ ^= s_ >> 27;
+    return s_ * 2685821657736338717ull;
+  }
+  int uniform(int lo, int hi) {  // inclusive
+    return lo + int(next() % std::uint64_t(hi - lo + 1));
+  }
+  bool coin() { return (next() & 1) != 0; }
+
+ private:
+  std::uint64_t s_;
+};
+
+TuneGenome random_genome(Rng& rng) {
+  TuneGenome g;
+  g.schedule = rng.coin();
+  g.remat = rng.coin();
+  g.fences = rng.coin();
+  g.fast_math = rng.coin();
+  g.beam_width = std::size_t(rng.uniform(1, 32));
+  g.remat_max_cost = std::size_t(rng.uniform(1, 6));
+  g.remat_max_uses = std::size_t(rng.uniform(1, 8));
+  g.fence_stride = std::size_t(rng.uniform(8, 64));
+  return g;
+}
+
+TuneGenome mutate(TuneGenome g, Rng& rng) {
+  switch (rng.uniform(0, 7)) {
+    case 0: g.schedule = !g.schedule; break;
+    case 1: g.remat = !g.remat; break;
+    case 2: g.fences = !g.fences; break;
+    case 3: g.fast_math = !g.fast_math; break;
+    case 4: g.beam_width = std::size_t(rng.uniform(1, 32)); break;
+    case 5: g.remat_max_cost = std::size_t(rng.uniform(1, 6)); break;
+    case 6: g.remat_max_uses = std::size_t(rng.uniform(1, 8)); break;
+    case 7: g.fence_stride = std::size_t(rng.uniform(8, 64)); break;
+  }
+  return g;
+}
+
+TuneGenome crossover(const TuneGenome& a, const TuneGenome& b, Rng& rng) {
+  TuneGenome g;
+  g.schedule = rng.coin() ? a.schedule : b.schedule;
+  g.remat = rng.coin() ? a.remat : b.remat;
+  g.fences = rng.coin() ? a.fences : b.fences;
+  g.fast_math = rng.coin() ? a.fast_math : b.fast_math;
+  g.beam_width = rng.coin() ? a.beam_width : b.beam_width;
+  g.remat_max_cost = rng.coin() ? a.remat_max_cost : b.remat_max_cost;
+  g.remat_max_uses = rng.coin() ? a.remat_max_uses : b.remat_max_uses;
+  g.fence_stride = rng.coin() ? a.fence_stride : b.fence_stride;
+  return g;
+}
+
+}  // namespace
+
+GpuKernelStats evaluate_genome(const ir::Kernel& k, const TuneGenome& g,
+                               const GpuModel& gpu, double cells) {
+  return evaluate_gpu_kernel(k, g, gpu, cells);
+}
+
+TuneResult evolve_transform_sequence(const ir::Kernel& k, const GpuModel& gpu,
+                                     const TuneOptions& opts) {
+  PFC_REQUIRE(opts.population >= 2 && opts.elite >= 1 &&
+                  opts.elite < opts.population,
+              "bad evolution parameters");
+  Rng rng(opts.seed);
+
+  struct Scored {
+    TuneGenome genome;
+    GpuKernelStats stats;
+  };
+  std::vector<Scored> pop;
+  TuneResult result;
+
+  const auto score = [&](const TuneGenome& g) {
+    ++result.evaluations;
+    return Scored{g, evaluate_genome(k, g, gpu, opts.cells)};
+  };
+
+  // seed the population with the identity genome plus random ones
+  pop.push_back(score(TuneGenome{}));
+  for (int i = 1; i < opts.population; ++i) {
+    pop.push_back(score(random_genome(rng)));
+  }
+
+  for (int gen = 0; gen < opts.generations; ++gen) {
+    std::sort(pop.begin(), pop.end(), [](const Scored& a, const Scored& b) {
+      return a.stats.runtime_ms < b.stats.runtime_ms;
+    });
+    result.history_ms.push_back(pop.front().stats.runtime_ms);
+
+    std::vector<Scored> next(pop.begin(), pop.begin() + opts.elite);
+    while (static_cast<int>(next.size()) < opts.population) {
+      const Scored& pa = pop[std::size_t(rng.uniform(0, opts.elite - 1))];
+      const Scored& pb = pop[std::size_t(
+          rng.uniform(0, int(pop.size()) - 1))];
+      TuneGenome child = crossover(pa.genome, pb.genome, rng);
+      if (rng.coin()) child = mutate(child, rng);
+      next.push_back(score(child));
+    }
+    pop = std::move(next);
+  }
+
+  std::sort(pop.begin(), pop.end(), [](const Scored& a, const Scored& b) {
+    return a.stats.runtime_ms < b.stats.runtime_ms;
+  });
+  result.history_ms.push_back(pop.front().stats.runtime_ms);
+  result.best = pop.front().genome;
+  result.best_stats = pop.front().stats;
+  return result;
+}
+
+}  // namespace pfc::perf

@@ -1,0 +1,44 @@
+// Evolutionary tuning of the GPU transformation sequence (paper §3.5):
+// "the effects of multiple transformations do not add up linearly ... to
+// deal with this non-convex, multi-dimensional, non-smooth fitness
+// landscape, we use an evolutionary optimization algorithm to tune a
+// sequence of transformations with their parameters for each kernel."
+//
+// Genome: the full transformation configuration (schedule on/off + beam
+// width, rematerialization on/off + cost/use thresholds, fences on/off +
+// stride, fast math). Fitness: the modelled kernel runtime.
+#pragma once
+
+#include "pfc/perf/gpu_model.hpp"
+
+namespace pfc::perf {
+
+/// The genome is exactly the transformation configuration (including the
+/// parameterized thresholds of the passes).
+using TuneGenome = GpuTransformConfig;
+
+struct TuneOptions {
+  int population = 12;
+  int generations = 8;
+  int elite = 3;           ///< genomes kept unchanged per generation
+  std::uint64_t seed = 1;
+  double cells = 64.0 * 64 * 64;
+};
+
+struct TuneResult {
+  TuneGenome best;
+  GpuKernelStats best_stats;
+  /// best fitness per generation (monotone non-increasing runtime)
+  std::vector<double> history_ms;
+  int evaluations = 0;
+};
+
+/// Evaluates a genome: applies its transformations and runs the GPU model.
+GpuKernelStats evaluate_genome(const ir::Kernel& k, const TuneGenome& g,
+                               const GpuModel& gpu, double cells);
+
+/// Runs the evolutionary search. Deterministic for a fixed seed.
+TuneResult evolve_transform_sequence(const ir::Kernel& k, const GpuModel& gpu,
+                                     const TuneOptions& opts = {});
+
+}  // namespace pfc::perf

@@ -1,0 +1,52 @@
+// GPU performance substrate (DESIGN.md §2): analytic register / occupancy /
+// runtime model of the CUDA backend's kernels on a P100-class device.
+//
+// This reproduces the *mechanisms* behind the paper's Fig. 2 (right) and
+// §6.2: the register-minimizing schedule removes spilling (+50 %), and the
+// combination with rematerialization and thread fences pushes the count
+// below 128, doubling occupancy for a total 2x; approximate divisions and
+// square roots buy another 25–35 % on division-heavy µ kernels.
+#pragma once
+
+#include "pfc/ir/opcount.hpp"
+#include "pfc/ir/passes.hpp"
+#include "pfc/ir/schedule.hpp"
+#include "pfc/perf/machine.hpp"
+
+namespace pfc::perf {
+
+/// The GPU register transformation sequence under evaluation.
+struct GpuTransformConfig {
+  bool schedule = false;   ///< Kessler beam scheduling ("sched")
+  bool remat = false;      ///< rematerialize cheap temporaries ("dupl")
+  bool fences = false;     ///< __threadfence() reordering barriers ("fence")
+  bool fast_math = false;  ///< approximate div/sqrt intrinsics
+  std::size_t beam_width = 20;
+  std::size_t remat_max_cost = 3;   ///< rematerialization thresholds
+  std::size_t remat_max_uses = 4;
+  std::size_t fence_stride = 32;    ///< statements between fences
+};
+
+struct GpuKernelStats {
+  std::size_t analysis_live = 0;   ///< alive intermediates (x2 = registers)
+  int analysis_registers = 0;      ///< live * 2 (doubles = 2x 32-bit regs)
+  int nvcc_registers = 0;          ///< modelled compiler allocation
+  bool spills = false;
+  double occupancy = 0.0;          ///< fraction of max resident threads
+  double runtime_ms = 0.0;         ///< for the given domain
+  double dp_utilization = 0.0;     ///< fraction of peak DP throughput
+  double mem_utilization = 0.0;    ///< fraction of peak bandwidth
+};
+
+/// Applies the transformation sequence to (a copy of) the kernel and
+/// evaluates the model for a domain of `cells` lattice cells.
+GpuKernelStats evaluate_gpu_kernel(ir::Kernel kernel,
+                                   const GpuTransformConfig& cfg,
+                                   const GpuModel& gpu, double cells);
+
+/// MLUP/s of one full time step (all kernels) on one GPU.
+double gpu_step_mlups(const std::vector<ir::Kernel>& kernels,
+                      const GpuTransformConfig& cfg, const GpuModel& gpu,
+                      const std::array<long long, 3>& block);
+
+}  // namespace pfc::perf

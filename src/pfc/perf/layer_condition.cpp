@@ -1,0 +1,85 @@
+#include "pfc/perf/layer_condition.hpp"
+
+#include <cmath>
+#include <set>
+#include <tuple>
+
+namespace pfc::perf {
+
+StreamInfo analyze_streams(const ir::Kernel& k) {
+  StreamInfo s;
+  // key: (field id, component, y, z) — the x offset only shifts within a
+  // line and never creates a new stream
+  std::set<std::tuple<std::uint64_t, int, int, int>> yz_streams;
+  std::set<std::tuple<std::uint64_t, int, int>> z_streams;
+  std::set<std::pair<std::uint64_t, int>> fields_read, fields_written;
+
+  for (const auto& sa : k.body) {
+    for (const auto& fr : sym::field_refs(sa.assign.rhs)) {
+      const auto id = fr->field()->id();
+      yz_streams.emplace(id, fr->component(), fr->offset()[1],
+                         fr->offset()[2]);
+      z_streams.emplace(id, fr->component(), fr->offset()[2]);
+      fields_read.emplace(id, fr->component());
+    }
+    if (sa.assign.lhs->kind() == sym::Kind::FieldRef) {
+      fields_written.emplace(sa.assign.lhs->field()->id(),
+                             sa.assign.lhs->component());
+    }
+  }
+  s.total_read_streams = static_cast<int>(yz_streams.size());
+  s.per_layer_streams = static_cast<int>(z_streams.size());
+  s.compulsory_streams = static_cast<int>(fields_read.size());
+  s.store_streams = static_cast<int>(fields_written.size());
+
+  // 3D LC: all z-layers touched by the stencil must stay resident while the
+  // sweep advances one z step -> one N^2 plane (8 B doubles) per distinct
+  // (field, comp, z) offset; stores add their own planes (write-allocate).
+  s.layer3d_bytes_per_n2 =
+      8L * (long(s.per_layer_streams) + long(s.store_streams));
+  // 2D LC: rows of the current and neighbouring y offsets must stay in
+  // cache -> one N row per distinct (field, comp, y, z) offset.
+  s.layer2d_bytes_per_n =
+      8L * (long(s.total_read_streams) + long(s.store_streams));
+  return s;
+}
+
+TrafficPrediction layer_condition_traffic(
+    const ir::Kernel& k, const std::array<long long, 3>& block,
+    const MachineModel& m) {
+  const StreamInfo s = analyze_streams(k);
+  TrafficPrediction tp;
+
+  const double n = double(block[0]);  // assume near-cubic inner sizes
+  // write traffic: write-allocate + write-back at every level
+  const double store_bytes = 16.0 * s.store_streams;
+
+  for (const auto& level : m.caches) {
+    // what reuse survives in a cache of this size (half usable: the rest is
+    // working set of other data / replacement imperfection)?
+    const double usable = double(level.size_bytes) * 0.5;
+    double read_bytes;
+    if (double(s.layer3d_bytes_per_n2) * n * n <= usable) {
+      // full stencil reuse: each value loaded once from below
+      read_bytes = 8.0 * s.compulsory_streams;
+    } else if (double(s.layer2d_bytes_per_n) * n <= usable) {
+      // rows reused within a plane, z-neighbours reloaded
+      read_bytes = 8.0 * s.per_layer_streams;
+    } else {
+      // only in-row reuse
+      read_bytes = 8.0 * s.total_read_streams;
+    }
+    tp.bytes_per_update.push_back(read_bytes + store_bytes);
+  }
+
+  if (s.layer3d_bytes_per_n2 > 0 && !m.caches.empty()) {
+    // paper sizes blocks against L2 (index 1 if present, else last)
+    const auto& lc_cache =
+        m.caches.size() > 1 ? m.caches[1] : m.caches.back();
+    tp.max_block_for_3d_lc = long(std::sqrt(
+        double(lc_cache.size_bytes) / double(s.layer3d_bytes_per_n2)));
+  }
+  return tp;
+}
+
+}  // namespace pfc::perf

@@ -1,0 +1,44 @@
+// Layer-condition analysis (paper §3.6 / Kerncraft): given a kernel's
+// field-access pattern and the inner loop lengths, decide for each cache
+// level which reuse distance fits, and derive the data volume that must
+// cross each memory-hierarchy boundary per cell update.
+#pragma once
+
+#include <array>
+
+#include "pfc/ir/kernel.hpp"
+#include "pfc/perf/machine.hpp"
+
+namespace pfc::perf {
+
+/// Stream structure of a kernel: how many independent read streams exist at
+/// each reuse level.
+struct StreamInfo {
+  /// one entry per (field, component): data for the classification
+  int total_read_streams = 0;     ///< distinct (field, comp, y, z) offsets
+  int per_layer_streams = 0;      ///< distinct (field, comp, z) offsets
+  int compulsory_streams = 0;     ///< distinct (field, comp) pairs read
+  int store_streams = 0;          ///< distinct (field, comp) written
+  /// cache demand (bytes) for the 3D layer condition with inner sizes N:
+  /// demand = layer_bytes_per_n2 * N^2
+  long layer3d_bytes_per_n2 = 0;
+  /// demand for the 2D layer condition: demand = layer2d_bytes_per_n * N
+  long layer2d_bytes_per_n = 0;
+};
+
+StreamInfo analyze_streams(const ir::Kernel& k);
+
+/// Bytes crossing each hierarchy boundary per lattice-cell update.
+/// boundaries[0] = L1<-L2, boundaries[1] = L2<-L3, ..., last = <-memory.
+struct TrafficPrediction {
+  std::vector<double> bytes_per_update;  ///< one per cache level
+  /// largest inner block size N (cubic blocking) that still satisfies the
+  /// 3D layer condition in the given cache (paper: N < 67 for 1 MB L2)
+  long max_block_for_3d_lc = 0;
+};
+
+TrafficPrediction layer_condition_traffic(
+    const ir::Kernel& k, const std::array<long long, 3>& block,
+    const MachineModel& m);
+
+}  // namespace pfc::perf

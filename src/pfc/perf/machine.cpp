@@ -1,0 +1,28 @@
+#include "pfc/perf/machine.hpp"
+
+namespace pfc::perf {
+
+MachineModel MachineModel::skylake_sp() {
+  MachineModel m;
+  m.name = "Skylake-SP (SuperMUC-NG socket)";
+  m.freq_ghz = 2.3;  // AVX-512 heavy frequency
+  m.cores = 24;
+  m.simd_doubles = 8;
+  m.caches = {
+      {"L1", 32 * 1024, 2.0},
+      {"L2", 1024 * 1024, 4.0},
+      {"L3", 33 * 1024 * 1024 / 24, 8.0},  // non-inclusive victim, per core
+  };
+  m.mem_bw_gbytes = 110.0;
+  return m;
+}
+
+GpuModel GpuModel::p100() {
+  GpuModel g;
+  g.name = "Tesla P100 (Piz Daint)";
+  g.dp_gflops = 4700.0;
+  g.mem_bw_gbytes = 550.0;
+  return g;
+}
+
+}  // namespace pfc::perf

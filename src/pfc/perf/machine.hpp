@@ -1,0 +1,67 @@
+// Machine models for the automatic performance modelling layer (paper §3.6).
+// The CPU description follows the ECM model's needs: instruction reciprocal
+// throughputs for SIMD double-precision operations, cache sizes and
+// inter-level bandwidths; defaults approximate the Skylake-SP sockets of
+// SuperMUC-NG. The GPU description covers what the register/occupancy model
+// needs; defaults approximate the P100 of Piz Daint.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pfc::perf {
+
+struct CacheLevel {
+  std::string name;
+  long size_bytes = 0;
+  /// cycles to move one 64-byte line from this level into the next-faster
+  /// one (per-core view)
+  double cycles_per_line = 2.0;
+};
+
+struct MachineModel {
+  std::string name;
+  double freq_ghz = 2.3;
+  int cores = 24;          ///< per socket
+  int simd_doubles = 8;    ///< AVX-512
+  long line_bytes = 64;
+
+  /// reciprocal throughput in cycles per SIMD instruction (8 doubles)
+  double add_rtp = 0.5;    ///< 2 FMA ports
+  double mul_rtp = 0.5;
+  double div_rtp = 8.0;    ///< vdivpd zmm
+  double sqrt_rtp = 12.0;
+  double rsqrt_rtp = 1.0;  ///< vrsqrt14pd + one Newton step
+  double blend_rtp = 0.5;
+  double load_rtp = 0.5;   ///< 2 loads/cycle
+  double store_rtp = 1.0;
+
+  /// caches fastest-to-slowest, then main memory bandwidth
+  std::vector<CacheLevel> caches;
+  double mem_bw_gbytes = 110.0;  ///< per socket, saturated
+
+  /// Skylake-SP (Xeon Platinum 8174-like, SuperMUC-NG node socket).
+  static MachineModel skylake_sp();
+};
+
+struct GpuModel {
+  std::string name;
+  double dp_gflops = 4700.0;    ///< peak double precision
+  double mem_bw_gbytes = 550.0; ///< HBM2 effective
+  int max_regs_per_thread = 255;
+  long regs_per_sm = 65536;     ///< 32-bit registers
+  int threads_per_sm = 2048;
+  int warp_size = 32;
+  double spill_penalty = 1.5;   ///< runtime factor once registers spill
+  /// fraction of peak DP reachable by real stencil code (imperfect FMA
+  /// pairing, integer address arithmetic)
+  double achievable_dp_fraction = 0.7;
+  /// occupancy needed to hide latency fully; below this, performance scales
+  /// roughly linearly with occupancy
+  double latency_hiding_occupancy = 0.25;
+
+  /// Tesla P100 (Piz Daint).
+  static GpuModel p100();
+};
+
+}  // namespace pfc::perf

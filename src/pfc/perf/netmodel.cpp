@@ -1,0 +1,48 @@
+#include "pfc/perf/netmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pfc::perf {
+
+double ghost_bytes_per_step(const std::array<long long, 3>& block,
+                            int phi_components, int mu_components,
+                            int ghost) {
+  const double nx = double(block[0]), ny = double(block[1]),
+               nz = double(block[2]);
+  const double faces = 2.0 * (nx * ny + nx * nz + ny * nz) * double(ghost);
+  // phi_dst and mu_dst are exchanged every step (Algorithm 1 lines 2 and 4)
+  return faces * 8.0 * double(phi_components + mu_components);
+}
+
+int messages_per_step(int dims) {
+  // two fields, `dims` axes, two directions each
+  return 2 * dims * 2;
+}
+
+double step_time(double compute_s, double comm_bytes, int messages,
+                 const CommConfig& cfg, const NetworkModel& net) {
+  const double wire_s = net.latency_s * double(messages) +
+                        comm_bytes / (net.bandwidth_gbytes * 1e9);
+  // without CUDA-aware MPI, buffers take an extra PCIe round trip that is
+  // never hidden (it competes with the kernels for the copy engines)
+  const double staging_s =
+      cfg.gpudirect ? 0.0 : comm_bytes / (net.host_staging_gbytes * 1e9);
+  if (!cfg.overlap) return compute_s + wire_s + staging_s;
+  // overlapped: wire time hides behind compute except for the residual
+  const double exposed = std::max(wire_s * net.overlap_residual,
+                                  wire_s - compute_s);
+  return compute_s + std::max(0.0, exposed) + staging_s;
+}
+
+double scaled_mlups_per_rank(double block_cells, double compute_s,
+                             double comm_bytes, int messages, int ranks,
+                             const CommConfig& cfg, const NetworkModel& net) {
+  NetworkModel scaled = net;
+  // sync/latency degradation grows slowly with machine size (tree depth)
+  scaled.latency_s *= 1.0 + 0.15 * std::log2(std::max(1, ranks));
+  const double t = step_time(compute_s, comm_bytes, messages, cfg, scaled);
+  return block_cells / t / 1e6;
+}
+
+}  // namespace pfc::perf

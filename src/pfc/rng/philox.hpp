@@ -1,0 +1,60 @@
+// Philox 4x32-10 counter-based random number generator (Salmon et al.,
+// SC'11), used for the fluctuation term (paper §3.3): stateless, keyed on
+// the global cell index and time step, so cell updates stay independent and
+// the stream is reproducible across runs, thread counts and backends.
+//
+// The generated C code embeds a textual copy of exactly this algorithm
+// (see backend/codegen_common.cpp); tests pin both to the reference known-
+// answer vectors from the Random123 distribution.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace pfc::rng {
+
+namespace detail {
+inline void mulhilo32(std::uint32_t a, std::uint32_t b, std::uint32_t* hi,
+                      std::uint32_t* lo) {
+  const std::uint64_t p = std::uint64_t(a) * std::uint64_t(b);
+  *hi = std::uint32_t(p >> 32);
+  *lo = std::uint32_t(p);
+}
+}  // namespace detail
+
+/// One Philox 4x32 block with 10 rounds.
+inline std::array<std::uint32_t, 4> philox4x32(
+    std::array<std::uint32_t, 4> ctr, std::array<std::uint32_t, 2> key) {
+  constexpr std::uint32_t kM0 = 0xD2511F53u;
+  constexpr std::uint32_t kM1 = 0xCD9E8D57u;
+  constexpr std::uint32_t kW0 = 0x9E3779B9u;  // golden ratio
+  constexpr std::uint32_t kW1 = 0xBB67AE85u;  // sqrt(3) - 1
+  for (int round = 0; round < 10; ++round) {
+    std::uint32_t hi0, lo0, hi1, lo1;
+    detail::mulhilo32(kM0, ctr[0], &hi0, &lo0);
+    detail::mulhilo32(kM1, ctr[2], &hi1, &lo1);
+    ctr = {hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
+    key[0] += kW0;
+    key[1] += kW1;
+  }
+  return ctr;
+}
+
+/// Uniform double in [-1, 1) keyed on cell index, time step, seed and
+/// stream id. Matches pfc_philox_uniform in generated code bit for bit.
+inline double philox_uniform(std::uint64_t x, std::uint64_t y,
+                             std::uint64_t z, std::uint64_t t_step,
+                             std::uint64_t seed, std::uint64_t stream) {
+  const std::array<std::uint32_t, 4> ctr = {
+      std::uint32_t(x), std::uint32_t(y), std::uint32_t(z),
+      std::uint32_t(t_step)};
+  const std::array<std::uint32_t, 2> key = {
+      std::uint32_t(seed ^ (stream * 0x9E3779B9u)),
+      std::uint32_t((seed >> 32) + stream)};
+  const auto r = philox4x32(ctr, key);
+  const std::uint64_t bits = (std::uint64_t(r[0]) << 32) | r[1];
+  // map [0, 2^64) -> [-1, 1)
+  return double(bits) * (2.0 / 18446744073709551616.0) - 1.0;
+}
+
+}  // namespace pfc::rng

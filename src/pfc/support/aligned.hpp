@@ -1,0 +1,44 @@
+// Cache-line/SIMD aligned allocation helpers used by runtime arrays.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+namespace pfc {
+
+inline constexpr std::size_t kDefaultAlignment = 64;  // AVX-512 / cache line
+
+/// Allocates `n` objects of type T aligned to `alignment` bytes.
+template <typename T>
+T* aligned_alloc_n(std::size_t n, std::size_t alignment = kDefaultAlignment) {
+  if (n == 0) return nullptr;
+  std::size_t bytes = n * sizeof(T);
+  // std::aligned_alloc requires size to be a multiple of alignment.
+  bytes = (bytes + alignment - 1) / alignment * alignment;
+  void* p = std::aligned_alloc(alignment, bytes);
+  if (p == nullptr) throw std::bad_alloc{};
+  return static_cast<T*>(p);
+}
+
+struct AlignedFree {
+  void operator()(void* p) const noexcept { std::free(p); }
+};
+
+/// Owning pointer for aligned allocations.
+template <typename T>
+using AlignedPtr = std::unique_ptr<T[], AlignedFree>;
+
+template <typename T>
+AlignedPtr<T> make_aligned(std::size_t n,
+                           std::size_t alignment = kDefaultAlignment) {
+  return AlignedPtr<T>(aligned_alloc_n<T>(n, alignment));
+}
+
+/// Rounds `n` up to the next multiple of `multiple` (for line padding).
+constexpr std::size_t round_up(std::size_t n, std::size_t multiple) {
+  return (n + multiple - 1) / multiple * multiple;
+}
+
+}  // namespace pfc

@@ -1,0 +1,49 @@
+// Error handling primitives.
+//
+// The library throws pfc::Error for user-facing misuse (bad model
+// configuration, malformed expressions) and uses PFC_ASSERT for internal
+// invariants that indicate a bug in the pipeline itself.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pfc {
+
+/// Exception type thrown by all pfc components on invalid input or state.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "pfc internal assertion failed: " << cond << " at " << file << ':'
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace pfc
+
+/// Internal invariant check; throws pfc::Error (never aborts) so that tests
+/// can assert on failures and long-running simulations can recover.
+#define PFC_ASSERT(cond, ...)                                             \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::pfc::detail::assert_fail(#cond, __FILE__, __LINE__,               \
+                                 ::std::string{"" __VA_ARGS__});          \
+    }                                                                     \
+  } while (0)
+
+/// User-facing precondition check.
+#define PFC_REQUIRE(cond, msg)                                            \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      throw ::pfc::Error(::std::string{"pfc: "} + (msg));                 \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,85 @@
+#include "pfc/support/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "pfc/support/assert.hpp"
+
+namespace pfc {
+
+ThreadPool::ThreadPool(int num_threads) {
+  PFC_REQUIRE(num_threads >= 1, "thread pool needs at least one thread");
+  workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int i = 1; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_main(int index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::function<void(int)> fn;
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = current_;
+    }
+    fn(index);
+    {
+      std::lock_guard lock(mutex_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_on_all(const std::function<void(int)>& fn) {
+  if (workers_.empty()) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    current_ = fn;
+    pending_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  fn(0);
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  const int nt = num_threads();
+  if (nt == 1 || n == 1) {
+    fn(begin, end);
+    return;
+  }
+  const std::int64_t chunk = (n + nt - 1) / nt;
+  run_on_all([&](int t) {
+    const std::int64_t lo = begin + chunk * t;
+    const std::int64_t hi = std::min(end, lo + chunk);
+    if (lo < hi) fn(lo, hi);
+  });
+}
+
+int ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace pfc

@@ -1,0 +1,58 @@
+// A small work-sharing thread pool.
+//
+// Used (a) by the backend to run generated kernels in parallel over slabs of
+// the iteration space (the role OpenMP plays in the paper's generated C code)
+// and (b) by the in-process message-passing layer's rank driver.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pfc {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(chunk_begin, chunk_end) across the pool covering [begin, end).
+  /// Blocks until all chunks are done. The calling thread participates.
+  void parallel_for(std::int64_t begin, std::int64_t end,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  /// Runs fn(thread_index) once on every pool member (including the caller,
+  /// which gets index 0). Blocks until done.
+  void run_on_all(const std::function<void(int)>& fn);
+
+  /// Number of hardware threads, at least 1.
+  static int hardware_threads();
+
+ private:
+  struct Task {
+    std::function<void(int)> fn;  // receives worker index (1-based)
+    std::uint64_t generation = 0;
+  };
+
+  void worker_main(int index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::function<void(int)> current_;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace pfc

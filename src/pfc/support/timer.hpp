@@ -1,0 +1,28 @@
+// Wall-clock timing used by benchmarks and the measurement side of the
+// performance-model comparisons (the paper used likwid; see DESIGN.md §2).
+#pragma once
+
+#include <chrono>
+
+namespace pfc {
+
+class Timer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  Clock::time_point start_;
+};
+
+}  // namespace pfc

@@ -1,0 +1,147 @@
+#include "pfc/sym/cse.hpp"
+
+#include <unordered_map>
+
+#include "pfc/support/assert.hpp"
+
+namespace pfc::sym {
+
+namespace {
+
+bool is_leaf(const Expr& e) {
+  switch (e->kind()) {
+    case Kind::Number:
+    case Kind::Symbol:
+    case Kind::FieldRef:
+    case Kind::Random: return true;
+    default: return false;
+  }
+}
+
+/// number * leaf — not worth a register.
+bool is_trivial(const Expr& e) {
+  if (is_leaf(e)) return true;
+  if (e->kind() == Kind::Mul && e->arity() == 2 &&
+      e->arg(0)->kind() == Kind::Number && is_leaf(e->arg(1))) {
+    return true;
+  }
+  return false;
+}
+
+/// Structural deduplication: every distinct structure maps to exactly one
+/// representative node, and representatives' children are representatives.
+class Dedup {
+ public:
+  Expr canon(const Expr& e) {
+    auto mit = memo_.find(e.get());
+    if (mit != memo_.end()) return mit->second;
+
+    Expr rep;
+    if (e->arity() == 0) {
+      rep = intern(e);
+    } else {
+      std::vector<Expr> args;
+      args.reserve(e->arity());
+      bool changed = false;
+      for (const auto& a : e->args()) {
+        Expr c = canon(a);
+        changed = changed || c.get() != a.get();
+        args.push_back(std::move(c));
+      }
+      rep = intern(changed ? with_args(e, std::move(args)) : e);
+    }
+    memo_.emplace(e.get(), rep);
+    return rep;
+  }
+
+ private:
+  Expr intern(const Expr& e) {
+    auto& bucket = table_[e->hash()];
+    for (const auto& x : bucket) {
+      if (equals(x, e)) return x;
+    }
+    bucket.push_back(e);
+    return e;
+  }
+
+  std::unordered_map<const Node*, Expr> memo_;
+  std::unordered_map<std::size_t, std::vector<Expr>> table_;
+};
+
+}  // namespace
+
+CseResult cse(const std::vector<Expr>& roots, const std::string& prefix) {
+  Dedup dedup;
+  std::vector<Expr> croots;
+  croots.reserve(roots.size());
+  for (const auto& r : roots) croots.push_back(dedup.canon(r));
+
+  // Collect unique nodes in post-order (children before parents) and count
+  // uses: one per parent edge in the deduplicated DAG plus one per root.
+  std::vector<Expr> order;
+  std::unordered_map<const Node*, int> uses;
+  std::unordered_map<const Node*, bool> visited;
+  const std::function<void(const Expr&)> visit = [&](const Expr& e) {
+    if (visited[e.get()]) return;
+    visited[e.get()] = true;
+    for (const auto& a : e->args()) {
+      visit(a);
+      ++uses[a.get()];
+    }
+    order.push_back(e);
+  };
+  for (const auto& r : croots) {
+    visit(r);
+    ++uses[r.get()];
+  }
+
+  // Decide which nodes become temporaries.
+  std::unordered_map<const Node*, Expr> temp_symbol;
+  CseResult result;
+  int counter = 0;
+  // `order` is post-order, so children are decided before parents and the
+  // emitted temp list is automatically topologically sorted.
+  std::unordered_map<const Node*, Expr> rewritten;
+  const auto rewrite = [&](const Expr& e) -> Expr {
+    if (e->arity() == 0) return e;
+    std::vector<Expr> args;
+    args.reserve(e->arity());
+    bool changed = false;
+    for (const auto& a : e->args()) {
+      auto ts = temp_symbol.find(a.get());
+      if (ts != temp_symbol.end()) {
+        args.push_back(ts->second);
+        changed = true;
+        continue;
+      }
+      auto rw = rewritten.find(a.get());
+      PFC_ASSERT(rw != rewritten.end());
+      changed = changed || rw->second.get() != a.get();
+      args.push_back(rw->second);
+    }
+    return changed ? with_args(e, std::move(args)) : e;
+  };
+
+  for (const auto& e : order) {
+    const Expr body = rewrite(e);
+    rewritten.emplace(e.get(), body);
+    if (uses[e.get()] >= 2 && !is_trivial(e)) {
+      Expr s = symbol(prefix + "_" + std::to_string(counter++));
+      result.temps.emplace_back(s, body);
+      temp_symbol.emplace(e.get(), std::move(s));
+    }
+  }
+
+  result.roots.reserve(croots.size());
+  for (const auto& r : croots) {
+    auto ts = temp_symbol.find(r.get());
+    if (ts != temp_symbol.end()) {
+      result.roots.push_back(ts->second);
+    } else {
+      result.roots.push_back(rewritten.at(r.get()));
+    }
+  }
+  return result;
+}
+
+}  // namespace pfc::sym

@@ -1,0 +1,27 @@
+// Global common subexpression elimination (paper §3.3: "a global common
+// subexpression elimination step is done across all terms").
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pfc/sym/expr.hpp"
+
+namespace pfc::sym {
+
+struct CseResult {
+  /// Temporaries in definition order (each may reference earlier temps).
+  std::vector<std::pair<Expr, Expr>> temps;  // (symbol, definition)
+  /// Input roots rewritten in terms of the temporaries.
+  std::vector<Expr> roots;
+};
+
+/// Extracts every non-trivial compound subexpression used at least twice
+/// across `roots` into a fresh temporary symbol `<prefix>_<i>`.
+/// "Trivial" = leaves and `number * leaf` products (cheaper to recompute
+/// than to hold in a register).
+CseResult cse(const std::vector<Expr>& roots,
+              const std::string& prefix = "cse");
+
+}  // namespace pfc::sym

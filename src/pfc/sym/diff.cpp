@@ -1,0 +1,97 @@
+#include "pfc/sym/diff.hpp"
+
+#include "pfc/support/assert.hpp"
+
+namespace pfc::sym {
+
+Expr diff(const Expr& e, const Expr& var) {
+  PFC_REQUIRE(var->kind() == Kind::Symbol || var->kind() == Kind::FieldRef ||
+                  var->kind() == Kind::Diff || var->kind() == Kind::Dt,
+              "diff: variable must be Symbol, FieldRef, Diff or Dt");
+  if (equals(e, var)) return num(1.0);
+
+  switch (e->kind()) {
+    case Kind::Number:
+    case Kind::Symbol:
+    case Kind::FieldRef:
+    case Kind::Random: return num(0.0);
+
+    case Kind::Diff:
+    case Kind::Dt:
+      // Opaque unless it *is* the variable (handled above): the variational
+      // calculus convention treats the field value and its derivatives as
+      // independent variables of the integrand, so d(Diff(phi))/d(phi) = 0.
+      return num(0.0);
+
+    case Kind::Add: {
+      std::vector<Expr> terms;
+      terms.reserve(e->arity());
+      for (const auto& a : e->args()) terms.push_back(diff(a, var));
+      return add(std::move(terms));
+    }
+
+    case Kind::Mul: {
+      // n-ary product rule: sum over i of a_i' * prod_{j != i} a_j
+      std::vector<Expr> terms;
+      terms.reserve(e->arity());
+      for (std::size_t i = 0; i < e->arity(); ++i) {
+        Expr di = diff(e->arg(i), var);
+        if (di->is_zero()) continue;
+        std::vector<Expr> factors{di};
+        for (std::size_t j = 0; j < e->arity(); ++j) {
+          if (j != i) factors.push_back(e->arg(j));
+        }
+        terms.push_back(mul(std::move(factors)));
+      }
+      return add(std::move(terms));
+    }
+
+    case Kind::Pow: {
+      const Expr& b = e->arg(0);
+      const Expr& p = e->arg(1);
+      const Expr db = diff(b, var);
+      const Expr dp = diff(p, var);
+      if (dp->is_zero()) {
+        // p * b^(p-1) * b'
+        return mul({p, pow(b, sub(p, num(1.0))), db});
+      }
+      // general: b^p * (p' log b + p b'/b)
+      return mul({e, add({mul({dp, log_(b)}), mul({p, db, pow(b, -1)})})});
+    }
+
+    case Kind::Call: {
+      const auto& a = e->args();
+      const auto d = [&](int i) { return diff(a[std::size_t(i)], var); };
+      switch (e->func()) {
+        case Func::Sqrt:
+          return mul({num(0.5), pow(a[0], num(-0.5)), d(0)});
+        case Func::RSqrt:
+          return mul({num(-0.5), pow(a[0], num(-1.5)), d(0)});
+        case Func::Exp: return mul({e, d(0)});
+        case Func::Log: return mul({pow(a[0], -1), d(0)});
+        case Func::Sin: return mul({call(Func::Cos, {a[0]}), d(0)});
+        case Func::Cos: return neg(mul({call(Func::Sin, {a[0]}), d(0)}));
+        case Func::Tanh:
+          return mul({sub(num(1.0), pow(e, 2)), d(0)});
+        case Func::Abs:
+          return mul({select(call(Func::GreaterEq, {a[0], num(0.0)}),
+                              num(1.0), num(-1.0)),
+                      d(0)});
+        case Func::Min:
+          return select(call(Func::Less, {a[0], a[1]}), d(0), d(1));
+        case Func::Max:
+          return select(call(Func::Greater, {a[0], a[1]}), d(0), d(1));
+        case Func::Select: return select(a[0], d(1), d(2));
+        case Func::Less:
+        case Func::Greater:
+        case Func::LessEq:
+        case Func::GreaterEq: return num(0.0);  // a.e. zero
+        case Func::PhiloxUniform: return num(0.0);
+      }
+      break;
+    }
+  }
+  PFC_ASSERT(false, "unreachable");
+}
+
+}  // namespace pfc::sym

@@ -1,0 +1,21 @@
+// Symbolic differentiation.
+//
+// diff(e, var) differentiates w.r.t. `var`, which may be a Symbol, a
+// FieldRef, or a continuous Diff/Dt node. The last case is what makes
+// *variational* derivatives expressible: the integrand of an energy
+// functional treats the field value and its gradient components as
+// independent variables (see pfc::continuum::variational_derivative).
+#pragma once
+
+#include "pfc/sym/expr.hpp"
+
+namespace pfc::sym {
+
+/// d e / d var. Nodes other than `var` that cannot depend on it (symbols,
+/// field accesses, random numbers, opaque Diff/Dt) differentiate to zero;
+/// differentiating *through* a Diff/Dt node that contains `var` is an error
+/// (the continuum layer never needs it and silently returning something
+/// would hide modelling mistakes).
+Expr diff(const Expr& e, const Expr& var);
+
+}  // namespace pfc::sym

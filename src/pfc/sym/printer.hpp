@@ -1,0 +1,38 @@
+// Expression rendering for diagnostics and for the code emitters.
+//
+// The same precedence-aware renderer serves three dialects:
+//   * Pretty — symbolic form for tests/logs (select(...), phi@2[0,1,0], D0(..))
+//   * C      — compilable C/C++ scalar code (ternaries, fmin, comparisons)
+//   * Cuda   — like C but can use device intrinsics for the operations the
+//              user marked for approximate evaluation (paper §3.5:
+//              fdividef, __frsqrt_rn)
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "pfc/sym/expr.hpp"
+
+namespace pfc::sym {
+
+enum class Dialect { Pretty, C, Cuda };
+
+struct PrintOptions {
+  Dialect dialect = Dialect::Pretty;
+  /// Emit approximate fast-math forms for divisions and (r)sqrt (paper
+  /// §3.5: "costly operations ... evaluated in a faster but approximate
+  /// way"). Only meaningful for C/Cuda dialects.
+  bool fast_math = false;
+  /// Print `pow(x, 3)` as `x*x*x` up to this exponent (0 disables).
+  int unroll_pow_limit = 4;
+  /// Custom rendering of FieldRef nodes (the emitters supply array indexing
+  /// here); defaults to the symbolic `name@c[dx,dy,dz]` form.
+  std::function<std::string(const Expr&)> field_printer;
+  /// Custom rendering of Symbol nodes (emitters map builtins to loop
+  /// counters); defaults to the symbol name.
+  std::function<std::string(const Expr&)> symbol_printer;
+};
+
+std::string to_string(const Expr& e, const PrintOptions& opts = {});
+
+}  // namespace pfc::sym

@@ -1,0 +1,164 @@
+#include "pfc/sym/simplify.hpp"
+
+#include <cmath>
+
+#include "pfc/support/assert.hpp"
+
+namespace pfc::sym {
+
+namespace {
+
+/// Multiplies out a list of (already expanded) factors term-wise. Each
+/// factor is split into its Add terms *before* multiplication, which avoids
+/// the canonicalizer re-collecting equal Add factors into a Pow and hiding
+/// them from distribution.
+Expr distribute_product(const std::vector<Expr>& factors) {
+  std::vector<Expr> acc{num(1.0)};
+  for (const auto& f : factors) {
+    const std::vector<Expr> terms =
+        f->kind() == Kind::Add ? f->args() : std::vector<Expr>{f};
+    std::vector<Expr> next;
+    next.reserve(acc.size() * terms.size());
+    for (const auto& a : acc) {
+      for (const auto& t : terms) {
+        next.push_back(mul({a, t}));
+      }
+    }
+    acc = std::move(next);
+  }
+  return add(std::move(acc));
+}
+
+}  // namespace
+
+Expr expand(const Expr& e) {
+  // bottom-up
+  if (e->arity() > 0) {
+    std::vector<Expr> new_args;
+    new_args.reserve(e->arity());
+    bool changed = false;
+    for (const auto& a : e->args()) {
+      Expr x = expand(a);
+      changed = changed || x.get() != a.get();
+      new_args.push_back(std::move(x));
+    }
+    Expr rebuilt = changed ? with_args(e, std::move(new_args)) : e;
+
+    if (rebuilt->kind() == Kind::Pow) {
+      long n = 0;
+      if (rebuilt->arg(1)->integer_value(&n) && n >= 2 && n <= 8 &&
+          rebuilt->arg(0)->kind() == Kind::Add) {
+        return distribute_product(
+            std::vector<Expr>(std::size_t(n), rebuilt->arg(0)));
+      }
+    }
+    if (rebuilt->kind() == Kind::Mul) {
+      // expand Pow(Add, n) factors first so they participate in the product
+      std::vector<Expr> factors;
+      factors.reserve(rebuilt->arity());
+      bool any_add = false;
+      for (const auto& f : rebuilt->args()) {
+        long n = 0;
+        if (f->kind() == Kind::Pow && f->arg(1)->integer_value(&n) &&
+            n >= 2 && n <= 8 && f->arg(0)->kind() == Kind::Add) {
+          factors.insert(factors.end(), std::size_t(n), f->arg(0));
+          any_add = true;
+        } else {
+          any_add = any_add || f->kind() == Kind::Add;
+          factors.push_back(f);
+        }
+      }
+      if (any_add) return distribute_product(factors);
+      return rebuilt;
+    }
+    return rebuilt;
+  }
+  return e;
+}
+
+double evaluate(const Expr& e, const EvalContext& ctx) {
+  switch (e->kind()) {
+    case Kind::Number: return e->number();
+    case Kind::Symbol: {
+      auto it = ctx.symbols.find(e->name());
+      PFC_REQUIRE(it != ctx.symbols.end(),
+                  "evaluate: unbound symbol " + e->name());
+      return it->second;
+    }
+    case Kind::FieldRef: {
+      PFC_REQUIRE(static_cast<bool>(ctx.field_value),
+                  "evaluate: no field_value callback for " +
+                      e->field()->name());
+      return ctx.field_value(e);
+    }
+    case Kind::Random:
+      return ctx.random_value ? ctx.random_value(e->random_stream()) : 0.0;
+    case Kind::Add: {
+      double s = 0.0;
+      for (const auto& a : e->args()) s += evaluate(a, ctx);
+      return s;
+    }
+    case Kind::Mul: {
+      double p = 1.0;
+      for (const auto& a : e->args()) p *= evaluate(a, ctx);
+      return p;
+    }
+    case Kind::Pow:
+      return std::pow(evaluate(e->arg(0), ctx), evaluate(e->arg(1), ctx));
+    case Kind::Call: {
+      const auto v = [&](int i) { return evaluate(e->arg(std::size_t(i)), ctx); };
+      switch (e->func()) {
+        case Func::Sqrt: return std::sqrt(v(0));
+        case Func::RSqrt: return 1.0 / std::sqrt(v(0));
+        case Func::Exp: return std::exp(v(0));
+        case Func::Log: return std::log(v(0));
+        case Func::Sin: return std::sin(v(0));
+        case Func::Cos: return std::cos(v(0));
+        case Func::Tanh: return std::tanh(v(0));
+        case Func::Abs: return std::abs(v(0));
+        case Func::Min: return std::fmin(v(0), v(1));
+        case Func::Max: return std::fmax(v(0), v(1));
+        case Func::Select: return v(0) != 0.0 ? v(1) : v(2);
+        case Func::Less: return v(0) < v(1) ? 1.0 : 0.0;
+        case Func::Greater: return v(0) > v(1) ? 1.0 : 0.0;
+        case Func::LessEq: return v(0) <= v(1) ? 1.0 : 0.0;
+        case Func::GreaterEq: return v(0) >= v(1) ? 1.0 : 0.0;
+        case Func::PhiloxUniform:
+          PFC_REQUIRE(false, "evaluate: PhiloxUniform needs the interpreter");
+      }
+      break;
+    }
+    case Kind::Diff:
+    case Kind::Dt:
+      PFC_REQUIRE(false, "evaluate: continuous Diff/Dt has no point value");
+  }
+  PFC_ASSERT(false, "unreachable");
+}
+
+std::size_t operation_count(const Expr& e) {
+  switch (e->kind()) {
+    case Kind::Number:
+    case Kind::Symbol:
+    case Kind::FieldRef:
+    case Kind::Random: return 0;
+    case Kind::Add:
+    case Kind::Mul: {
+      std::size_t n = e->arity() - 1;
+      for (const auto& a : e->args()) n += operation_count(a);
+      return n;
+    }
+    case Kind::Pow: {
+      return 1 + operation_count(e->arg(0)) + operation_count(e->arg(1));
+    }
+    case Kind::Call:
+    case Kind::Diff:
+    case Kind::Dt: {
+      std::size_t n = 1;
+      for (const auto& a : e->args()) n += operation_count(a);
+      return n;
+    }
+  }
+  return 0;
+}
+
+}  // namespace pfc::sym

@@ -1,0 +1,40 @@
+// Expression rewriting beyond the always-on canonicalization: expansion of
+// products over sums (the paper's per-term "simplified individually by
+// expansion" step, §3.3) and a numeric evaluator used heavily in tests to
+// validate algebraic transformations against direct computation.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "pfc/sym/expr.hpp"
+
+namespace pfc::sym {
+
+/// Distributes Mul over Add and expands integer powers of sums (exponent in
+/// [2, 8]); recurses bottom-up. Combined with the canonicalizing factories
+/// this collects like terms across the whole expression.
+Expr expand(const Expr& e);
+
+/// Bindings for numeric evaluation.
+struct EvalContext {
+  /// Values for free symbols, keyed by symbol name.
+  std::unordered_map<std::string, double> symbols;
+  /// Callback resolving field accesses; required if the expression contains
+  /// FieldRef nodes.
+  std::function<double(const Expr& field_ref)> field_value;
+  /// Callback for Random nodes (defaults to 0 if unset).
+  std::function<double(int stream)> random_value;
+};
+
+/// Evaluates `e` numerically. Throws pfc::Error on unbound symbols or on
+/// continuous Diff/Dt nodes (those have no pointwise value).
+double evaluate(const Expr& e, const EvalContext& ctx);
+
+/// Total number of leaf-level arithmetic operations (adds+muls+divs+calls)
+/// that evaluating `e` as a tree would take; a crude cost metric used by
+/// tests and the rematerialization heuristic.
+std::size_t operation_count(const Expr& e);
+
+}  // namespace pfc::sym

@@ -1,0 +1,66 @@
+#include "pfc/sym/subs.hpp"
+
+#include <unordered_map>
+
+namespace pfc::sym {
+
+namespace {
+
+class Substituter {
+ public:
+  explicit Substituter(const SubsMap& map) : map_(map) {}
+
+  Expr run(const Expr& e) {
+    auto it = memo_.find(e.get());
+    if (it != memo_.end()) return it->second;
+
+    Expr result;
+    const Expr* hit = lookup(e);
+    if (hit != nullptr) {
+      result = *hit;
+    } else if (e->arity() == 0) {
+      result = e;
+    } else {
+      std::vector<Expr> new_args;
+      new_args.reserve(e->arity());
+      bool changed = false;
+      for (const auto& a : e->args()) {
+        Expr x = run(a);
+        changed = changed || x.get() != a.get();
+        new_args.push_back(std::move(x));
+      }
+      result = changed ? with_args(e, std::move(new_args)) : e;
+      // canonicalization may have produced a new structural match
+      if (changed) {
+        const Expr* hit2 = lookup(result);
+        if (hit2 != nullptr) result = *hit2;
+      }
+    }
+    memo_.emplace(e.get(), result);
+    return result;
+  }
+
+ private:
+  const Expr* lookup(const Expr& e) const {
+    for (const auto& [pat, rep] : map_) {
+      if (equals(e, pat)) return &rep;
+    }
+    return nullptr;
+  }
+
+  const SubsMap& map_;
+  std::unordered_map<const Node*, Expr> memo_;
+};
+
+}  // namespace
+
+Expr substitute(const Expr& e, const SubsMap& map) {
+  if (map.empty()) return e;
+  return Substituter(map).run(e);
+}
+
+Expr substitute(const Expr& e, const Expr& pattern, const Expr& replacement) {
+  return substitute(e, SubsMap{{pattern, replacement}});
+}
+
+}  // namespace pfc::sym

@@ -1,0 +1,24 @@
+// Structural substitution with DAG memoization.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "pfc/sym/expr.hpp"
+
+namespace pfc::sym {
+
+/// Ordered list of (pattern, replacement) pairs; whole-subtree structural
+/// matches only (no unification).
+using SubsMap = std::vector<std::pair<Expr, Expr>>;
+
+/// Replaces every subexpression of `e` structurally equal to a pattern by
+/// the corresponding replacement (innermost-last: a node is checked before
+/// its rebuilt children are re-checked, i.e. replacements are not themselves
+/// rewritten). Results are re-canonicalized.
+Expr substitute(const Expr& e, const SubsMap& map);
+
+/// Convenience: single substitution.
+Expr substitute(const Expr& e, const Expr& pattern, const Expr& replacement);
+
+}  // namespace pfc::sym

@@ -1,0 +1,135 @@
+// Temporal and spatial discretization-order extensions: Heun (RK2) time
+// stepping and 4th-order central differences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pfc/app/params.hpp"
+#include "pfc/app/simulation.hpp"
+#include "pfc/fd/discretize.hpp"
+#include "pfc/sym/simplify.hpp"
+
+namespace pfc::app {
+namespace {
+
+/// Pure diffusion testbed: uniform liquid phi, so the mu equation reduces
+/// to du/dt = D lap(u) with D = 1. Returns the max error against the exact
+/// decay of the *discrete* Laplacian eigenmode after `steps` of size dt.
+double diffusion_mode_error(TimeScheme scheme, double dt, int steps) {
+  GrandChemParams p = make_two_phase(2);
+  p.dt = dt;
+  GrandChemModel m(p);
+  SimulationOptions o;
+  o.cells = {32, 32, 1};
+  o.time_scheme = scheme;
+  Simulation sim(m, o);
+  sim.init_phi([](long long, long long, long long, int c) {
+    return c == 0 ? 1.0 : 0.0;
+  });
+  const double kx = 2.0 * M_PI / 32.0;
+  sim.init_mu([&](long long x, long long, long long, int) {
+    return 0.05 * std::sin(kx * double(x));
+  });
+  sim.run(steps);
+  // discrete Laplacian eigenvalue of the sine mode (dx = 1)
+  const double lambda = -(2.0 - 2.0 * std::cos(kx));
+  const double factor = std::exp(lambda * dt * steps);
+  double err = 0;
+  for (long long x = 0; x < 32; ++x) {
+    const double exact = 0.05 * std::sin(kx * double(x)) * factor;
+    err = std::max(err, std::abs(sim.mu().at(x, 7, 0) - exact));
+  }
+  return err;
+}
+
+TEST(TimeSchemeTest, HeunBeatsEulerAtSameStep) {
+  const double e_euler = diffusion_mode_error(TimeScheme::Euler, 0.1, 40);
+  const double e_heun = diffusion_mode_error(TimeScheme::Heun, 0.1, 40);
+  EXPECT_LT(e_heun, e_euler / 5.0)
+      << "euler " << e_euler << " vs heun " << e_heun;
+}
+
+TEST(TimeSchemeTest, EulerIsFirstOrder) {
+  // halving dt (same total time) halves the error
+  const double e1 = diffusion_mode_error(TimeScheme::Euler, 0.1, 40);
+  const double e2 = diffusion_mode_error(TimeScheme::Euler, 0.05, 80);
+  EXPECT_NEAR(e1 / e2, 2.0, 0.4);
+}
+
+TEST(TimeSchemeTest, HeunIsSecondOrder) {
+  const double e1 = diffusion_mode_error(TimeScheme::Heun, 0.1, 40);
+  const double e2 = diffusion_mode_error(TimeScheme::Heun, 0.05, 80);
+  EXPECT_NEAR(e1 / e2, 4.0, 1.0);
+}
+
+TEST(TimeSchemeTest, HeunPreservesSimplexAndMass) {
+  GrandChemParams p = make_two_phase(2);
+  GrandChemModel m(p);
+  SimulationOptions o;
+  o.cells = {32, 32, 1};
+  o.time_scheme = TimeScheme::Heun;
+  Simulation sim(m, o);
+  sim.init_phi([&](long long x, long long y, long long, int c) {
+    const double d =
+        std::sqrt(double((x - 16) * (x - 16) + (y - 16) * (y - 16))) - 8.0;
+    const double s = interface_profile(d, 10.0);
+    return c == 1 ? s : 1.0 - s;
+  });
+  sim.init_mu([](long long, long long, long long, int) { return 0.0; });
+  sim.run(30);
+  double max_sum_err = 0;
+  for (long long y = 0; y < 32; ++y) {
+    for (long long x = 0; x < 32; ++x) {
+      const double s = sim.phi().at(x, y, 0, 0) + sim.phi().at(x, y, 0, 1);
+      max_sum_err = std::max(max_sum_err, std::abs(s - 1.0));
+    }
+  }
+  EXPECT_LT(max_sum_err, 1e-12);
+}
+
+}  // namespace
+}  // namespace pfc::app
+
+namespace pfc::fd {
+namespace {
+
+TEST(FourthOrderTest, FirstDerivativeConvergence) {
+  auto f = Field::create("ho", 2, 1);
+  sym::Expr d1 = sym::diff_op(sym::at(f), 0);
+  const auto stencil_error = [&](int order, double h) {
+    DiscretizeOptions o;
+    o.dims = 2;
+    o.dx = h;
+    o.order = order;
+    sym::Expr st = discretize_expression(d1, o);
+    sym::EvalContext ctx;
+    ctx.symbols = {{"x0", 0.0}, {"x1", 0.0}, {"x2", 0.0}};
+    ctx.field_value = [&](const sym::Expr& fr) {
+      return std::sin(0.9 * (0.3 + fr->offset()[0] * h));
+    };
+    const double exact = 0.9 * std::cos(0.9 * 0.3);
+    return std::abs(sym::evaluate(st, ctx) - exact);
+  };
+  // order 2: error ratio ~4 when halving h; order 4: ~16
+  const double r2 = stencil_error(2, 0.02) / stencil_error(2, 0.01);
+  const double r4 = stencil_error(4, 0.02) / stencil_error(4, 0.01);
+  EXPECT_NEAR(r2, 4.0, 0.5);
+  EXPECT_NEAR(r4, 16.0, 2.0);
+}
+
+TEST(FourthOrderTest, WiderStencilRadius) {
+  auto f = Field::create("ho2", 2, 1);
+  PdeUpdate pde;
+  pde.name = "ho2";
+  pde.src = f;
+  pde.dst = Field::create("ho2_dst", 2, 1);
+  pde.rhs = {sym::diff_op(sym::at(f), 0)};
+  DiscretizeOptions o;
+  o.dims = 2;
+  o.order = 4;
+  const auto r = discretize(pde, o);
+  EXPECT_EQ(access_radius(r.kernels[0])[0], 2);
+}
+
+}  // namespace
+}  // namespace pfc::fd

@@ -1,0 +1,80 @@
+// Philox 4x32-10 known-answer and statistical tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pfc/rng/philox.hpp"
+
+namespace pfc::rng {
+namespace {
+
+TEST(PhiloxTest, KnownAnswerZeroInput) {
+  // Random123 kat_vectors: philox4x32 10 rounds, ctr/key all zero
+  const auto r = philox4x32({0, 0, 0, 0}, {0, 0});
+  EXPECT_EQ(r[0], 0x6627e8d5u);
+  EXPECT_EQ(r[1], 0xe169c58du);
+  EXPECT_EQ(r[2], 0xbc57ac4cu);
+  EXPECT_EQ(r[3], 0x9b00dbd8u);
+}
+
+TEST(PhiloxTest, KnownAnswerAllOnes) {
+  const auto r = philox4x32({0xffffffffu, 0xffffffffu, 0xffffffffu,
+                             0xffffffffu},
+                            {0xffffffffu, 0xffffffffu});
+  EXPECT_EQ(r[0], 0x408f276du);
+  EXPECT_EQ(r[1], 0x41c83b0eu);
+  EXPECT_EQ(r[2], 0xa20bc7c6u);
+  EXPECT_EQ(r[3], 0x6d5451fdu);
+}
+
+TEST(PhiloxTest, Deterministic) {
+  const double a = philox_uniform(1, 2, 3, 4, 42, 0);
+  const double b = philox_uniform(1, 2, 3, 4, 42, 0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PhiloxTest, DistinctInputsDecorrelated) {
+  EXPECT_NE(philox_uniform(1, 2, 3, 4, 42, 0),
+            philox_uniform(2, 2, 3, 4, 42, 0));
+  EXPECT_NE(philox_uniform(1, 2, 3, 4, 42, 0),
+            philox_uniform(1, 2, 3, 5, 42, 0));
+  EXPECT_NE(philox_uniform(1, 2, 3, 4, 42, 0),
+            philox_uniform(1, 2, 3, 4, 43, 0));
+  EXPECT_NE(philox_uniform(1, 2, 3, 4, 42, 0),
+            philox_uniform(1, 2, 3, 4, 42, 1));
+}
+
+TEST(PhiloxTest, RangeAndMoments) {
+  double sum = 0, sum2 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = philox_uniform(std::uint64_t(i % 100),
+                                    std::uint64_t(i / 100), 7, 13, 99, 0);
+    ASSERT_GE(u, -1.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);        // E[U(-1,1)] = 0
+  EXPECT_NEAR(var, 1.0 / 3.0, 0.01);   // Var = 1/3
+}
+
+TEST(PhiloxTest, StreamIndependenceMoments) {
+  // correlation between two streams should be ~0
+  double sxy = 0, sx = 0, sy = 0, sxx = 0, syy = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = philox_uniform(std::uint64_t(i), 0, 0, 0, 1234, 0);
+    const double y = philox_uniform(std::uint64_t(i), 0, 0, 0, 1234, 1);
+    sx += x; sy += y; sxx += x * x; syy += y * y; sxy += x * y;
+  }
+  const double corr =
+      (sxy / n - sx / n * sy / n) /
+      std::sqrt((sxx / n - sx / n * sx / n) * (syy / n - sy / n * sy / n));
+  EXPECT_NEAR(corr, 0.0, 0.03);
+}
+
+}  // namespace
+}  // namespace pfc::rng

@@ -1,0 +1,206 @@
+// Variational derivative and energy-functional builder tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#ifndef M_PI
+#define M_PI 3.14159265358979323846
+#endif
+
+#include "pfc/continuum/functional.hpp"
+#include "pfc/continuum/varder.hpp"
+#include "pfc/sym/diff.hpp"
+#include "pfc/sym/printer.hpp"
+#include "pfc/sym/simplify.hpp"
+#include "pfc/sym/subs.hpp"
+
+namespace pfc::continuum {
+namespace {
+
+using sym::equals;
+using sym::num;
+
+TEST(VarDerTest, PotentialOnlyTerm) {
+  // I = phi^2 -> delta I / delta phi = 2 phi
+  auto phi = Field::create("phi", 3, 1);
+  Expr I = sym::pow(sym::at(phi), 2);
+  Expr d = variational_derivative(I, phi, 0, 3);
+  EXPECT_TRUE(equals(d, 2.0 * sym::at(phi))) << sym::to_string(d);
+}
+
+TEST(VarDerTest, DirichletEnergyGivesLaplacian) {
+  // I = 1/2 |grad phi|^2 -> -lap(phi) (as -sum_d D_d(D_d phi))
+  auto phi = Field::create("phi", 3, 1);
+  Expr I = 0.5 * norm_sq(grad(phi, 0, 3));
+  Expr d = variational_derivative(I, phi, 0, 3);
+  Expr expected = num(0);
+  for (int dd = 0; dd < 3; ++dd) {
+    expected = expected -
+               sym::diff_op(sym::diff_op(sym::at(phi), dd), dd);
+  }
+  EXPECT_TRUE(equals(d, expected)) << sym::to_string(d);
+}
+
+TEST(VarDerTest, MixedTerm) {
+  // I = phi * D0(phi): dI/dphi = D0(phi); flux part = -D0(phi)
+  auto phi = Field::create("phi", 3, 1);
+  Expr g = sym::diff_op(sym::at(phi), 0);
+  Expr I = sym::at(phi) * g;
+  Expr d = variational_derivative(I, phi, 0, 3);
+  Expr expected = g - sym::diff_op(sym::at(phi), 0);  // = 0 (total deriv)
+  EXPECT_TRUE(equals(d, expected)) << sym::to_string(d);
+}
+
+TEST(VarDerTest, CrossComponentCoupling) {
+  auto phi = Field::create("phi", 3, 2);
+  // I = phi0^2 phi1
+  Expr I = sym::pow(sym::at(phi, 0), 2) * sym::at(phi, 1);
+  EXPECT_TRUE(equals(variational_derivative(I, phi, 0, 3),
+                     2.0 * sym::at(phi, 0) * sym::at(phi, 1)));
+  EXPECT_TRUE(equals(variational_derivative(I, phi, 1, 3),
+                     sym::pow(sym::at(phi, 0), 2)));
+}
+
+TEST(PairTableTest, SymmetricAccess) {
+  PairTable t(4, num(0));
+  t.set(1, 3, num(5));
+  EXPECT_TRUE(equals(t(3, 1), num(5)));
+  EXPECT_TRUE(equals(t(1, 3), num(5)));
+  EXPECT_THROW(t(2, 2), Error);
+}
+
+TEST(FunctionalTest, ObstaclePotentialStructure) {
+  auto phi = Field::create("phi", 3, 3);
+  PairTable gamma(3, num(1.0));
+  Expr w = obstacle_potential(phi, gamma, num(10.0));
+  // at phi = (0.5, 0.5, 0): w = 16/pi^2 * (0.25 + 0 + 0) + 0
+  sym::EvalContext ctx;
+  ctx.field_value = [](const sym::Expr& fr) {
+    return fr->component() == 2 ? 0.0 : 0.5;
+  };
+  EXPECT_NEAR(sym::evaluate(w, ctx), 16.0 / (M_PI * M_PI) * 0.25, 1e-12);
+  // triple term active when all three present
+  ctx.field_value = [](const sym::Expr&) { return 1.0 / 3.0; };
+  const double expected = 16.0 / (M_PI * M_PI) * 3.0 / 9.0 + 10.0 / 27.0;
+  EXPECT_NEAR(sym::evaluate(w, ctx), expected, 1e-12);
+}
+
+TEST(FunctionalTest, InterpolationProperties) {
+  // h(0)=0, h(1)=1, h'(0)=h'(1)=0, h(x)+h(1-x)=1
+  Expr x = sym::symbol("x");
+  Expr h = interpolation_h(x);
+  sym::EvalContext ctx;
+  for (double v : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    ctx.symbols = {{"x", v}};
+    const double hv = sym::evaluate(h, ctx);
+    ctx.symbols = {{"x", 1.0 - v}};
+    EXPECT_NEAR(hv + sym::evaluate(h, ctx), 1.0, 1e-12);
+  }
+  Expr hp = interpolation_h_prime(x);
+  ctx.symbols = {{"x", 0.0}};
+  EXPECT_DOUBLE_EQ(sym::evaluate(hp, ctx), 0.0);
+  ctx.symbols = {{"x", 1.0}};
+  EXPECT_DOUBLE_EQ(sym::evaluate(hp, ctx), 0.0);
+  // h' matches diff(h)
+  Expr dh = sym::diff(h, x);
+  ctx.symbols = {{"x", 0.3}};
+  EXPECT_NEAR(sym::evaluate(dh, ctx), sym::evaluate(hp, ctx), 1e-12);
+}
+
+TEST(FunctionalTest, GradientEnergyIsotropicValue) {
+  // two phases, gamma = 2, phi0 = a, phi1 = b with known gradients
+  auto phi = Field::create("phi", 2, 2);
+  PairTable gamma(2, num(2.0));
+  Expr a = gradient_energy_isotropic(phi, 2, gamma);
+  // q = phi0 grad(phi1) - phi1 grad(phi0); bind values
+  sym::EvalContext ctx;
+  ctx.field_value = [](const sym::Expr& fr) {
+    return fr->component() == 0 ? 0.6 : 0.4;
+  };
+  // evaluate needs Diff values: substitute them first
+  sym::SubsMap map = {
+      {sym::diff_op(sym::at(phi, 0), 0), num(1.0)},
+      {sym::diff_op(sym::at(phi, 0), 1), num(-2.0)},
+      {sym::diff_op(sym::at(phi, 1), 0), num(0.5)},
+      {sym::diff_op(sym::at(phi, 1), 1), num(3.0)},
+  };
+  Expr bound = sym::substitute(a, map);
+  // q = 0.6*(0.5,3) - 0.4*(1,-2) = (-0.1, 2.6); |q|^2 = 6.77; a = 2*6.77
+  EXPECT_NEAR(sym::evaluate(bound, ctx), 2.0 * 6.77, 1e-12);
+}
+
+TEST(FunctionalTest, CubicAnisotropyReducesToIsotropicAtZeroDelta) {
+  auto phi = Field::create("phi", 3, 2);
+  PairTable gamma(2, num(1.5));
+  std::vector<Anisotropy> an(1);
+  an[0].type = Anisotropy::Type::Cubic;
+  an[0].delta = num(0.0);
+  Expr a_aniso = gradient_energy(phi, 3, gamma, an);
+  Expr a_iso = gradient_energy_isotropic(phi, 3, gamma);
+  // delta = 0 makes the anisotropy factor exactly 1
+  sym::SubsMap map;
+  for (int c = 0; c < 2; ++c) {
+    for (int dd = 0; dd < 3; ++dd) {
+      map.emplace_back(sym::diff_op(sym::at(phi, c), dd),
+                       num(0.3 * (c + 1) + 0.2 * dd));
+    }
+  }
+  sym::EvalContext ctx;
+  ctx.field_value = [](const sym::Expr& fr) {
+    return fr->component() == 0 ? 0.7 : 0.3;
+  };
+  EXPECT_NEAR(sym::evaluate(sym::substitute(a_aniso, map), ctx),
+              sym::evaluate(sym::substitute(a_iso, map), ctx), 1e-12);
+}
+
+TEST(ParabolicFitTest, ConcentrationIsGradientOfPsi) {
+  ParabolicFit fit;
+  fit.a0 = {{num(2.0), num(0.5)}, {num(0.5), num(1.0)}};
+  fit.a1 = {{num(0.1), num(0.0)}, {num(0.0), num(0.2)}};
+  fit.b0 = {num(-1.0), num(0.5)};
+  fit.b1 = {num(0.05), num(0.0)};
+  fit.c0 = num(3.0);
+  fit.c1 = num(-0.1);
+
+  Expr mu0 = sym::symbol("mu0"), mu1 = sym::symbol("mu1");
+  Expr T = sym::symbol("T");
+  Vec mu = {mu0, mu1};
+  Expr psi = fit.psi(mu, T);
+  Vec c = fit.concentration(mu, T);
+  EXPECT_TRUE(equals(sym::expand(sym::diff(psi, mu0)), sym::expand(c[0])));
+  EXPECT_TRUE(equals(sym::expand(sym::diff(psi, mu1)), sym::expand(c[1])));
+  // dc/dT matches
+  Vec dct = fit.dc_dT(mu);
+  EXPECT_TRUE(equals(sym::expand(sym::diff(c[0], T)), sym::expand(dct[0])));
+}
+
+TEST(MatrixTest, InverseTimesMatrixIsIdentity) {
+  for (int n = 1; n <= 3; ++n) {
+    Matrix m;
+    m.assign(std::size_t(n), std::vector<Expr>(std::size_t(n)));
+    double v = 1.0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        m[std::size_t(i)][std::size_t(j)] =
+            num((i == j ? 5.0 : 0.0) + v);
+        v += 0.7;
+      }
+    }
+    Matrix inv = inverse(m);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        Expr s = num(0);
+        for (int kk = 0; kk < n; ++kk) {
+          s = s + m[std::size_t(i)][std::size_t(kk)] *
+                      inv[std::size_t(kk)][std::size_t(j)];
+        }
+        sym::EvalContext ctx;
+        EXPECT_NEAR(sym::evaluate(s, ctx), i == j ? 1.0 : 0.0, 1e-12)
+            << "n=" << n << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pfc::continuum

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "pfc/field/array.hpp"
+
+namespace pfc {
+namespace {
+
+TEST(ArrayTest, LayoutAndStrides) {
+  auto f = Field::create("phi", 3, 4);
+  Array a(f, {10, 6, 5}, 1);
+  EXPECT_EQ(a.stride(0), 1);
+  // x line = 10 + 2 ghosts = 12 -> padded to 16
+  EXPECT_EQ(a.stride(1), 16);
+  EXPECT_EQ(a.stride(2), 16 * 8);
+  EXPECT_EQ(a.component_stride(), 16 * 8 * 7);
+  EXPECT_EQ(a.allocated(), 4 * 16 * 8 * 7);
+}
+
+TEST(ArrayTest, OriginIsAligned) {
+  auto f = Field::create("phi", 3, 1);
+  Array a(f, {8, 8, 8}, 1);
+  // line starts (x = 0 of any line) must be aligned to the padding grid
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.origin(0) - 1) % 64, 0u)
+      << "ghost start of line should be 64B aligned";
+}
+
+TEST(ArrayTest, InteriorAndGhostAccess) {
+  auto f = Field::create("phi", 3, 2);
+  Array a(f, {4, 4, 4}, 1);
+  a.at(0, 0, 0, 0) = 1.5;
+  a.at(-1, -1, -1, 1) = 2.5;
+  a.at(4, 4, 4, 1) = 3.5;
+  EXPECT_DOUBLE_EQ(a.at(0, 0, 0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(a.at(-1, -1, -1, 1), 2.5);
+  EXPECT_DOUBLE_EQ(a.at(4, 4, 4, 1), 3.5);
+}
+
+TEST(ArrayTest, OutOfRangeThrows) {
+  auto f = Field::create("phi", 3, 1);
+  Array a(f, {4, 4, 4}, 1);
+  EXPECT_THROW(a.at(5, 0, 0, 0), Error);
+  EXPECT_THROW(a.at(0, 0, 0, 1), Error);
+}
+
+TEST(ArrayTest, TwoDimensionalHasNoZGhosts) {
+  auto f = Field::create("phi", 2, 1);
+  Array a(f, {8, 8, 1}, 2);
+  EXPECT_NO_THROW(a.at(-2, -2, 0));
+  EXPECT_THROW(a.at(0, 0, 1), Error);
+  EXPECT_THROW(Array(f, {8, 8, 2}, 1), Error);  // unused dim must be 1
+}
+
+TEST(ArrayTest, FillSwapDiffSum) {
+  auto f = Field::create("phi", 3, 1);
+  Array a(f, {4, 4, 4}, 1), b(f, {4, 4, 4}, 1);
+  a.fill(1.0);
+  b.fill(3.0);
+  EXPECT_DOUBLE_EQ(Array::max_abs_diff(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(a.interior_sum(), 64.0);
+  a.swap(b);
+  EXPECT_DOUBLE_EQ(a.interior_sum(), 192.0);
+  b.copy_from(a);
+  EXPECT_DOUBLE_EQ(Array::max_abs_diff(a, b), 0.0);
+}
+
+TEST(ArrayTest, FillComponentIsolated) {
+  auto f = Field::create("phi", 3, 3);
+  Array a(f, {4, 4, 4}, 1);
+  a.fill_component(1, 7.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 2, 2, 0), 0.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 2, 2, 1), 7.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 2, 2, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace pfc

@@ -1,0 +1,201 @@
+// IR construction, hoisting, op counting, passes.
+#include <gtest/gtest.h>
+
+#include "pfc/fd/discretize.hpp"
+#include "pfc/ir/kernel.hpp"
+#include "pfc/ir/opcount.hpp"
+#include "pfc/ir/passes.hpp"
+#include "pfc/sym/printer.hpp"
+
+namespace pfc::ir {
+namespace {
+
+using sym::Expr;
+using sym::num;
+
+fd::StencilKernel simple_stencil() {
+  auto src = Field::create("a_src", 3, 1);
+  auto dst = Field::create("a_dst", 3, 1);
+  fd::PdeUpdate pde;
+  pde.name = "a";
+  pde.src = src;
+  pde.dst = dst;
+  Expr lap = num(0);
+  for (int d = 0; d < 3; ++d) {
+    lap = lap + sym::diff_op(sym::diff_op(sym::at(src), d), d);
+  }
+  pde.rhs = {lap};
+  fd::DiscretizeOptions o;
+  o.dims = 3;
+  return fd::discretize(pde, o).kernels[0];
+}
+
+TEST(IrBuildTest, FieldsAndStores) {
+  Kernel k = build_kernel(simple_stencil());
+  EXPECT_EQ(k.fields.size(), 2u);
+  EXPECT_EQ(k.writes.size(), 1u);
+  EXPECT_EQ(k.reads.size(), 1u);
+  EXPECT_FALSE(k.uses_time);
+  const auto radius = k.access_radius();
+  EXPECT_EQ(radius[0], 1);
+}
+
+TEST(IrBuildTest, TemperatureHoisting) {
+  // a T(z, t)-dependent factor must be hoisted to the z level
+  auto src = Field::create("b_src", 3, 1);
+  auto dst = Field::create("b_dst", 3, 1);
+  // T = 1 + 0.01 (z - 0.5 t); rhs = exp(T)*laplacian — exp(T) hoistable
+  Expr T = 1.0 + 0.01 * (sym::coord(2) - 0.5 * sym::time());
+  Expr lap = num(0);
+  for (int d = 0; d < 3; ++d) {
+    lap = lap + sym::diff_op(sym::diff_op(sym::at(src), d), d);
+  }
+  fd::PdeUpdate pde;
+  pde.name = "b";
+  pde.src = src;
+  pde.dst = dst;
+  // use exp(T) twice so CSE extracts it
+  pde.rhs = {sym::exp_(T) * lap + sym::exp_(T)};
+  fd::DiscretizeOptions o;
+  o.dims = 3;
+  Kernel k = build_kernel(fd::discretize(pde, o).kernels[0]);
+  EXPECT_TRUE(k.uses_time);
+  const auto hoisted = k.at_level(Level::PerZ);
+  ASSERT_FALSE(hoisted.empty())
+      << "temperature-dependent subexpression was not hoisted";
+  // hoisted code must not be counted in per-cell FLOPs
+  const OpCounts ops = count_ops(k);
+  EXPECT_EQ(ops.transcendental, 0) << "exp(T) counted per cell";
+}
+
+TEST(IrBuildTest, HoistingCanBeDisabled) {
+  auto src = Field::create("c_src", 3, 1);
+  auto dst = Field::create("c_dst", 3, 1);
+  Expr T = sym::coord(2) * 2.0;
+  fd::PdeUpdate pde;
+  pde.name = "c";
+  pde.src = src;
+  pde.dst = dst;
+  pde.rhs = {sym::exp_(T) * sym::at(src) + sym::exp_(T)};
+  fd::DiscretizeOptions o;
+  o.dims = 3;
+  BuildOptions bo;
+  bo.hoist_invariants = false;
+  Kernel k = build_kernel(fd::discretize(pde, o).kernels[0], bo);
+  EXPECT_TRUE(k.at_level(Level::PerZ).empty());
+  EXPECT_GT(count_ops(k).transcendental, 0);
+}
+
+TEST(IrBuildTest, ScalarParameterDiscovery) {
+  auto src = Field::create("d_src", 3, 1);
+  auto dst = Field::create("d_dst", 3, 1);
+  Expr gamma = sym::symbol("gamma");
+  fd::PdeUpdate pde;
+  pde.name = "d";
+  pde.src = src;
+  pde.dst = dst;
+  pde.rhs = {gamma * sym::at(src)};
+  fd::DiscretizeOptions o;
+  o.dims = 3;
+  Kernel k = build_kernel(fd::discretize(pde, o).kernels[0]);
+  ASSERT_EQ(k.scalar_params.size(), 1u);
+  EXPECT_EQ(k.scalar_params[0]->name(), "gamma");
+}
+
+TEST(OpCountTest, BasicExpressions) {
+  Expr x = sym::symbol("x"), y = sym::symbol("y");
+  EXPECT_EQ(count_ops(x + y).adds, 1);
+  EXPECT_EQ(count_ops(x * y).muls, 1);
+  EXPECT_EQ(count_ops(x - y).adds, 1);
+  EXPECT_EQ(count_ops(x - y).muls, 0);  // negation folds into subtract
+  EXPECT_EQ(count_ops(x / y).divs, 1);
+  EXPECT_EQ(count_ops(x / y).muls, 0);
+  EXPECT_EQ(count_ops(sym::pow(x, 3)).muls, 2);
+  EXPECT_EQ(count_ops(sym::sqrt_(x)).sqrts, 1);
+  EXPECT_EQ(count_ops(sym::rsqrt(x)).rsqrts, 1);
+  EXPECT_EQ(count_ops(sym::pow(x, num(-0.5))).rsqrts, 1);
+  EXPECT_EQ(count_ops(sym::min_(x, y)).blends, 1);
+}
+
+TEST(OpCountTest, CombinedDenominator) {
+  Expr x = sym::symbol("x"), y = sym::symbol("y"), z = sym::symbol("z");
+  // x / (y z): one division, one mul for the denominator product
+  OpCounts c = count_ops(x * sym::pow(y, -1) * sym::pow(z, -1));
+  EXPECT_EQ(c.divs, 1);
+  EXPECT_EQ(c.muls, 1);
+}
+
+TEST(OpCountTest, NormalizedWeights) {
+  OpCounts c;
+  c.adds = 2;
+  c.muls = 3;
+  c.divs = 1;
+  c.sqrts = 1;
+  c.rsqrts = 2;
+  EXPECT_EQ(c.normalized_flops(), 2 + 3 + 16 + 10 + 4);
+}
+
+TEST(PassesTest, RematerializeCheapTemp) {
+  auto src = Field::create("e_src", 3, 1);
+  auto dst = Field::create("e_dst", 3, 1);
+  fd::PdeUpdate pde;
+  pde.name = "e";
+  pde.src = src;
+  pde.dst = dst;
+  // (a+b) reused: CSE extracts it; remat with generous cost puts it back.
+  // (multiply by a non-number so canonicalization does not distribute)
+  Expr a = sym::at(src), b = sym::shifted(sym::at(src), 0, 1);
+  pde.rhs = {(a + b) * a + sym::sqrt_(a + b)};
+  fd::DiscretizeOptions o;
+  o.dims = 3;
+  Kernel k = build_kernel(fd::discretize(pde, o).kernels[0]);
+  const std::size_t temps_before = k.num_temps();
+  ASSERT_GE(temps_before, 1u);
+  const std::size_t inlined = rematerialize(k, {.max_cost = 5, .max_uses = 8});
+  EXPECT_GE(inlined, 1u);
+  EXPECT_LT(k.num_temps(), temps_before);
+}
+
+TEST(PassesTest, DeadCodeElimination) {
+  Kernel k = build_kernel(simple_stencil());
+  // inject a dead temp
+  k.body.insert(k.body.begin(),
+                {{sym::symbol("dead"), num(1.0) + sym::symbol("alsodead")},
+                 Level::Body});
+  const std::size_t n = k.body.size();
+  EXPECT_EQ(eliminate_dead_code(k), 1u);
+  EXPECT_EQ(k.body.size(), n - 1);
+}
+
+TEST(PassesTest, FencesEveryStride) {
+  Kernel k = build_kernel(simple_stencil());
+  std::size_t body_stmts = 0;
+  for (const auto& sa : k.body) {
+    if (sa.level == Level::Body) ++body_stmts;
+  }
+  const std::size_t nf = insert_thread_fences(k, 2);
+  EXPECT_EQ(nf, body_stmts / 2);
+}
+
+TEST(PassesTest, FoldParameters) {
+  auto src = Field::create("g_src", 3, 1);
+  auto dst = Field::create("g_dst", 3, 1);
+  Expr gamma = sym::symbol("gamma");
+  fd::PdeUpdate pde;
+  pde.name = "g";
+  pde.src = src;
+  pde.dst = dst;
+  pde.rhs = {gamma * sym::at(src) + gamma * gamma};
+  fd::DiscretizeOptions o;
+  o.dims = 3;
+  Kernel k = build_kernel(fd::discretize(pde, o).kernels[0]);
+  ASSERT_EQ(k.scalar_params.size(), 1u);
+  const OpCounts before = count_ops(k);
+  fold_parameters(k, {{"gamma", 2.0}});
+  EXPECT_TRUE(k.scalar_params.empty());
+  // gamma*gamma folded to 4: fewer multiplies per cell
+  EXPECT_LT(count_ops(k).muls, before.muls);
+}
+
+}  // namespace
+}  // namespace pfc::ir

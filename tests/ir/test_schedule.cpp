@@ -1,0 +1,104 @@
+// Register-minimizing scheduler tests.
+#include <gtest/gtest.h>
+
+#include "pfc/ir/schedule.hpp"
+#include "pfc/sym/printer.hpp"
+
+namespace pfc::ir {
+namespace {
+
+using sym::Expr;
+using sym::num;
+
+/// Builds a kernel whose naive order keeps many temps alive: all `width`
+/// producer temps first, then pairwise consumers storing to independent
+/// components. The optimal schedule interleaves producer pairs with their
+/// consumer (2 live temps); the naive order holds all `width` alive.
+Kernel wide_kernel(int width) {
+  auto src = Field::create("s" + std::to_string(width), 3, 1);
+  auto dst = Field::create("d" + std::to_string(width), 3, width / 2);
+  Kernel k;
+  k.name = "wide";
+  k.dims = 3;
+  k.fields = {src, dst};
+  k.reads = {src};
+  k.writes = {dst};
+  std::vector<Expr> temps;
+  for (int i = 0; i < width; ++i) {
+    Expr t = sym::symbol("t" + std::to_string(i));
+    k.body.push_back(
+        {{t, sym::shifted(sym::at(src), 0, i) * double(i + 1)},
+         Level::Body});
+    temps.push_back(t);
+  }
+  for (int i = 0; i + 1 < width; i += 2) {
+    k.body.push_back({{sym::at(dst, i / 2),
+                       temps[std::size_t(i)] + temps[std::size_t(i) + 1]},
+                      Level::Body});
+  }
+  return k;
+}
+
+TEST(ScheduleTest, DependencyGraphShape) {
+  Kernel k = wide_kernel(6);
+  DependencyGraph g = build_dependency_graph(k);
+  EXPECT_EQ(g.deps.size(), k.body.size());
+  // first 6 loads have no deps
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(g.deps[std::size_t(i)].empty());
+  // consumer stores depend on exactly two producer temps
+  for (std::size_t i = 6; i < 9; ++i) EXPECT_EQ(g.deps[i].size(), 2u);
+}
+
+TEST(ScheduleTest, ReducesMaxLive) {
+  Kernel k = wide_kernel(16);
+  const std::size_t before = max_live_temps(k);
+  EXPECT_GE(before, 16u);  // all 16 loads alive at once in naive order
+  ScheduleResult r = schedule_min_register(k);
+  EXPECT_EQ(r.max_live_before, before);
+  EXPECT_LE(r.max_live_after, 3u) << "interleaved order should keep only a "
+                                     "couple of temps alive";
+  EXPECT_EQ(max_live_temps(k), r.max_live_after);
+}
+
+TEST(ScheduleTest, PreservesSemantics) {
+  Kernel k = wide_kernel(10);
+  schedule_min_register(k);
+  // defs must still dominate uses
+  std::vector<std::string> defined;
+  for (const auto& sa : k.body) {
+    sym::for_each(sa.assign.rhs, [&](const Expr& e) {
+      if (e->kind() == sym::Kind::Symbol &&
+          e->builtin() == sym::Builtin::None) {
+        EXPECT_NE(std::find(defined.begin(), defined.end(), e->name()),
+                  defined.end())
+            << "use of " << e->name() << " before def";
+      }
+    });
+    if (sa.assign.lhs->kind() == sym::Kind::Symbol) {
+      defined.push_back(sa.assign.lhs->name());
+    }
+  }
+}
+
+TEST(ScheduleTest, GreedyBeamIsWorseOrEqual) {
+  Kernel k1 = wide_kernel(20);
+  Kernel k2 = wide_kernel(20);
+  ScheduleOptions greedy;
+  greedy.beam_width = 1;
+  ScheduleOptions wide;
+  wide.beam_width = 24;
+  const auto rg = schedule_min_register(k1, greedy);
+  const auto rw = schedule_min_register(k2, wide);
+  EXPECT_LE(rw.max_live_after, rg.max_live_after);
+}
+
+TEST(ScheduleTest, EmptyKernel) {
+  Kernel k;
+  k.name = "empty";
+  EXPECT_EQ(max_live_temps(k), 0u);
+  const auto r = schedule_min_register(k);
+  EXPECT_EQ(r.max_live_after, 0u);
+}
+
+}  // namespace
+}  // namespace pfc::ir

@@ -1,0 +1,90 @@
+// Evolutionary transformation tuning (paper §3.5).
+#include <gtest/gtest.h>
+
+#include "pfc/app/compiler.hpp"
+#include "pfc/app/params.hpp"
+#include "pfc/perf/evotune.hpp"
+
+namespace pfc::perf {
+namespace {
+
+ir::Kernel mu_kernel() {
+  app::GrandChemModel m(app::make_p1(3));
+  fd::DiscretizeOptions d;
+  d.dims = 3;
+  std::optional<FieldPtr> flux;
+  return app::ModelCompiler::lower(m.mu_update(), d, app::CompileOptions{},
+                                   &flux)[0];
+}
+
+TEST(EvoTuneTest, ImprovesOverIdentity) {
+  const ir::Kernel k = mu_kernel();
+  const GpuModel gpu = GpuModel::p100();
+  TuneOptions o;
+  o.population = 8;
+  o.generations = 4;
+  o.seed = 7;
+  const TuneResult r = evolve_transform_sequence(k, gpu, o);
+
+  const auto identity = evaluate_genome(k, TuneGenome{}, gpu, o.cells);
+  EXPECT_LT(r.best_stats.runtime_ms, identity.runtime_ms)
+      << "evolution must beat the untransformed kernel";
+  EXPECT_FALSE(r.best_stats.spills);
+  EXPECT_EQ(r.evaluations,
+            o.population + o.generations * (o.population - o.elite));
+}
+
+TEST(EvoTuneTest, FitnessMonotoneNonIncreasing) {
+  const ir::Kernel k = mu_kernel();
+  const TuneResult r =
+      evolve_transform_sequence(k, GpuModel::p100(), {.population = 6,
+                                                      .generations = 5,
+                                                      .elite = 2,
+                                                      .seed = 3});
+  for (std::size_t i = 1; i < r.history_ms.size(); ++i) {
+    EXPECT_LE(r.history_ms[i], r.history_ms[i - 1] + 1e-12)
+        << "elitism guarantees monotone best fitness";
+  }
+}
+
+TEST(EvoTuneTest, DeterministicForFixedSeed) {
+  const ir::Kernel k = mu_kernel();
+  const GpuModel gpu = GpuModel::p100();
+  TuneOptions o;
+  o.population = 6;
+  o.generations = 3;
+  o.seed = 11;
+  const TuneResult a = evolve_transform_sequence(k, gpu, o);
+  const TuneResult b = evolve_transform_sequence(k, gpu, o);
+  EXPECT_EQ(a.best_stats.runtime_ms, b.best_stats.runtime_ms);
+  EXPECT_EQ(a.best.schedule, b.best.schedule);
+  EXPECT_EQ(a.best.beam_width, b.best.beam_width);
+}
+
+TEST(EvoTuneTest, RejectsBadParameters) {
+  const ir::Kernel k = mu_kernel();
+  TuneOptions o;
+  o.population = 2;
+  o.elite = 2;
+  EXPECT_THROW(evolve_transform_sequence(k, GpuModel::p100(), o), Error);
+}
+
+TEST(EvoTuneTest, DiscoveredSequenceAtLeastAsGoodAsHandPicked) {
+  // the paper's motivation: evolution "potentially discovers sequences that
+  // would have been elusive to reasoning" — at minimum it must match the
+  // hand-picked sched+dupl+fence sequence
+  const ir::Kernel k = mu_kernel();
+  const GpuModel gpu = GpuModel::p100();
+  TuneOptions o;
+  o.population = 10;
+  o.generations = 6;
+  o.seed = 5;
+  const TuneResult r = evolve_transform_sequence(k, gpu, o);
+  TuneGenome hand;
+  hand.schedule = hand.remat = hand.fences = true;
+  const auto h = evaluate_genome(k, hand, gpu, o.cells);
+  EXPECT_LE(r.best_stats.runtime_ms, h.runtime_ms * 1.001);
+}
+
+}  // namespace
+}  // namespace pfc::perf

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "pfc/sym/cse.hpp"
+#include "pfc/sym/printer.hpp"
+#include "pfc/sym/simplify.hpp"
+#include "pfc/sym/subs.hpp"
+
+namespace pfc::sym {
+namespace {
+
+/// Re-inlines all temporaries; the result must equal the original roots.
+std::vector<Expr> reinline(const CseResult& r) {
+  SubsMap map;
+  for (const auto& [s, def] : r.temps) map.emplace_back(s, def);
+  // later temps may reference earlier ones: substitute repeatedly
+  std::vector<Expr> out;
+  for (Expr root : r.roots) {
+    for (std::size_t pass = 0; pass < r.temps.size() + 1; ++pass) {
+      Expr next = substitute(root, map);
+      if (next.get() == root.get()) break;
+      root = next;
+    }
+    out.push_back(root);
+  }
+  return out;
+}
+
+TEST(CseTest, ExtractsRepeatedSubexpression) {
+  Expr x = symbol("x"), y = symbol("y");
+  Expr common = sqrt_(x + y);
+  std::vector<Expr> roots = {common * x, common * y};
+  CseResult r = cse(roots);
+  ASSERT_GE(r.temps.size(), 1u);
+  // the common sqrt must have been extracted
+  bool found = false;
+  for (const auto& [s, def] : r.temps) {
+    (void)s;
+    if (equals(def, common) || contains(def, x + y)) found = true;
+  }
+  EXPECT_TRUE(found);
+  auto back = reinline(r);
+  EXPECT_TRUE(equals(back[0], roots[0]));
+  EXPECT_TRUE(equals(back[1], roots[1]));
+}
+
+TEST(CseTest, NoFalseExtraction) {
+  Expr x = symbol("x"), y = symbol("y");
+  std::vector<Expr> roots = {x + y};
+  CseResult r = cse(roots);
+  EXPECT_TRUE(r.temps.empty());
+  EXPECT_TRUE(equals(r.roots[0], roots[0]));
+}
+
+TEST(CseTest, LeavesNotExtracted) {
+  Expr x = symbol("x");
+  std::vector<Expr> roots = {x + 1.0, x + 2.0, x * 3.0};
+  CseResult r = cse(roots);
+  EXPECT_TRUE(r.temps.empty());  // x itself is a leaf; 3x is trivial
+}
+
+TEST(CseTest, NestedTempsAreTopologicallyOrdered) {
+  Expr x = symbol("x"), y = symbol("y");
+  Expr inner = x * y + 1.0;
+  Expr outer = sqrt_(inner);
+  std::vector<Expr> roots = {outer + inner, outer * 2.0 + inner * x};
+  CseResult r = cse(roots);
+  ASSERT_GE(r.temps.size(), 2u);
+  // each temp definition may only use previously defined temps
+  for (std::size_t i = 0; i < r.temps.size(); ++i) {
+    for (std::size_t j = i; j < r.temps.size(); ++j) {
+      EXPECT_FALSE(contains(r.temps[i].second, r.temps[j].first));
+    }
+  }
+  auto back = reinline(r);
+  EXPECT_TRUE(equals(back[0], roots[0]));
+  EXPECT_TRUE(equals(back[1], roots[1]));
+}
+
+TEST(CseTest, SharedAcrossRootsCounts) {
+  Expr x = symbol("x");
+  Expr heavy = exp_(pow(x, 2));
+  std::vector<Expr> roots = {heavy, heavy * 2.0};
+  CseResult r = cse(roots);
+  ASSERT_EQ(r.temps.size(), 1u);
+  EXPECT_TRUE(equals(r.temps[0].second, heavy));
+  EXPECT_TRUE(equals(r.roots[0], r.temps[0].first));
+}
+
+TEST(CseTest, ValuePreservedOnRandomDag) {
+  // property check across several seeds
+  for (int seed = 0; seed < 10; ++seed) {
+    Expr x = symbol("x"), y = symbol("y");
+    unsigned state = static_cast<unsigned>(seed) * 69069u + 5;
+    auto rnd = [&]() {
+      state = state * 1664525u + 1013904223u;
+      return state >> 20;
+    };
+    std::vector<Expr> pool = {x, y, x + y, x * y + 1.0};
+    for (int i = 0; i < 8; ++i) {
+      Expr a = pool[rnd() % pool.size()];
+      Expr b = pool[rnd() % pool.size()];
+      switch (rnd() % 4) {
+        case 0: pool.push_back(a + b); break;
+        case 1: pool.push_back(a * b + 1.0); break;
+        case 2: pool.push_back(sqrt_(pow(a, 2) + 1.0)); break;
+        case 3: pool.push_back(a * a + b); break;
+      }
+    }
+    std::vector<Expr> roots = {pool.back(), pool[pool.size() - 2] + x};
+    CseResult r = cse(roots);
+
+    EvalContext ctx;
+    ctx.symbols = {{"x", 1.25}, {"y", -0.75}};
+    // evaluate temps in order, then roots
+    for (const auto& [s, def] : r.temps) {
+      ctx.symbols[s->name()] = evaluate(def, ctx);
+    }
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      EXPECT_NEAR(evaluate(r.roots[i], ctx), evaluate(roots[i], ctx), 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pfc::sym

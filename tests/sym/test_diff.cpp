@@ -1,0 +1,131 @@
+// Differentiation tests: rule-level checks plus validation against central
+// finite differences on random points.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pfc/sym/diff.hpp"
+#include "pfc/sym/printer.hpp"
+#include "pfc/sym/simplify.hpp"
+
+namespace pfc::sym {
+namespace {
+
+class DiffTest : public ::testing::Test {
+ protected:
+  Expr x = symbol("x");
+  Expr y = symbol("y");
+};
+
+TEST_F(DiffTest, Polynomial) {
+  EXPECT_TRUE(equals(diff(pow(x, 3), x), 3.0 * pow(x, 2)));
+  EXPECT_TRUE(equals(diff(x * y, x), y));
+  EXPECT_TRUE(equals(diff(num(5), x), num(0)));
+  EXPECT_TRUE(equals(diff(y, x), num(0)));
+}
+
+TEST_F(DiffTest, ProductRule) {
+  Expr e = x * x * y + 2.0 * x;
+  EXPECT_TRUE(equals(diff(e, x), 2.0 * x * y + 2.0));
+}
+
+TEST_F(DiffTest, QuotientViaNegativePower) {
+  // d/dx (1/x) = -1/x^2
+  EXPECT_TRUE(equals(diff(pow(x, -1), x), -1.0 * pow(x, -2)));
+}
+
+TEST_F(DiffTest, ChainRuleSqrt) {
+  // d/dx sqrt(x^2+1) = x / sqrt(x^2+1)
+  Expr e = diff(sqrt_(pow(x, 2) + 1.0), x);
+  Expr expected = x * pow(pow(x, 2) + 1.0, num(-0.5));
+  EXPECT_TRUE(equals(e, expected)) << to_string(e);
+}
+
+TEST_F(DiffTest, ExpLog) {
+  EXPECT_TRUE(equals(diff(exp_(2.0 * x), x), 2.0 * exp_(2.0 * x)));
+  EXPECT_TRUE(equals(diff(log_(x), x), pow(x, -1)));
+}
+
+TEST_F(DiffTest, FieldRefAsVariable) {
+  auto phi = Field::create("phi", 3, 2);
+  Expr p0 = at(phi, 0), p1 = at(phi, 1);
+  // d/dp0 (p0^2 p1 + p1) = 2 p0 p1
+  Expr e = pow(p0, 2) * p1 + p1;
+  EXPECT_TRUE(equals(diff(e, p0), 2.0 * p0 * p1));
+  EXPECT_TRUE(equals(diff(e, p1), pow(p0, 2) + 1.0));
+}
+
+TEST_F(DiffTest, DiffNodeAsVariable) {
+  // The variational-derivative use case: treat D0(phi) as an independent
+  // variable of the integrand.
+  auto phi = Field::create("phi", 3, 1);
+  Expr g = diff_op(at(phi), 0);
+  Expr integrand = pow(g, 2) * at(phi);
+  EXPECT_TRUE(equals(diff(integrand, g), 2.0 * g * at(phi)));
+  EXPECT_TRUE(equals(diff(integrand, at(phi)), pow(g, 2)));
+}
+
+TEST_F(DiffTest, DerivativeNodesOpaqueUnderPartialDiff) {
+  // variational convention: phi and its spatial derivatives are independent
+  auto phi = Field::create("phi", 3, 1);
+  Expr g = diff_op(at(phi), 0);
+  EXPECT_TRUE(equals(diff(g, at(phi)), num(0)));
+  EXPECT_TRUE(equals(diff(dt_op(at(phi)), at(phi)), num(0)));
+}
+
+TEST_F(DiffTest, MinMaxSelect) {
+  Expr dmin = diff(min_(pow(x, 2), x), x);
+  EvalContext ctx;
+  ctx.symbols = {{"x", 0.25}};  // x^2 < x here, derivative = 2x
+  EXPECT_DOUBLE_EQ(evaluate(dmin, ctx), 0.5);
+  ctx.symbols = {{"x", 3.0}};  // x < x^2, derivative = 1
+  EXPECT_DOUBLE_EQ(evaluate(dmin, ctx), 1.0);
+}
+
+TEST_F(DiffTest, InvalidVariableRejected) {
+  EXPECT_THROW(diff(x, x + y), Error);
+  EXPECT_THROW(diff(x, num(2)), Error);
+}
+
+// Property: symbolic derivative matches central finite difference.
+class DiffVsFd : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiffVsFd, RandomExpressions) {
+  Expr x = symbol("x"), y = symbol("y");
+  unsigned state = static_cast<unsigned>(GetParam()) * 2891336453u + 7;
+  auto rnd = [&]() {
+    state = state * 1664525u + 1013904223u;
+    return (state >> 16) % 1000;
+  };
+  // random smooth expression built from a safe grammar
+  Expr e = num(double(rnd() % 5) - 2.0);
+  for (int i = 0; i < 5; ++i) {
+    switch (rnd() % 6) {
+      case 0: e = e + x * num(double(rnd() % 7) - 3.0); break;
+      case 1: e = e * y + num(1.0); break;
+      case 2: e = sqrt_(pow(e, 2) + 1.0); break;
+      case 3: e = tanh_(e); break;
+      case 4: e = e * e + x; break;
+      case 5: e = exp_(num(0.1) * e) + y; break;
+    }
+  }
+  const Expr de = diff(e, x);
+  const double xv = double(rnd()) / 500.0 - 1.0;
+  const double yv = double(rnd()) / 500.0 - 1.0;
+  const double h = 1e-6;
+  EvalContext ctx;
+  ctx.symbols = {{"x", xv + h}, {"y", yv}};
+  const double fp = evaluate(e, ctx);
+  ctx.symbols["x"] = xv - h;
+  const double fm = evaluate(e, ctx);
+  ctx.symbols["x"] = xv;
+  const double analytic = evaluate(de, ctx);
+  const double numeric = (fp - fm) / (2.0 * h);
+  EXPECT_NEAR(analytic, numeric, 1e-4 * (1.0 + std::abs(analytic)))
+      << to_string(e);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffVsFd, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace pfc::sym

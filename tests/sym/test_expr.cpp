@@ -1,0 +1,175 @@
+// Unit tests for expression construction and canonicalization.
+#include <gtest/gtest.h>
+
+#include "pfc/sym/expr.hpp"
+#include "pfc/sym/printer.hpp"
+
+namespace pfc::sym {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  Expr x = symbol("x");
+  Expr y = symbol("y");
+  Expr z = symbol("z");
+};
+
+TEST_F(ExprTest, NumberFolding) {
+  EXPECT_TRUE(equals(num(2) + num(3), num(5)));
+  EXPECT_TRUE(equals(num(2) * num(3), num(6)));
+  EXPECT_TRUE(equals(num(2) - num(3), num(-1)));
+  EXPECT_TRUE(equals(num(6) / num(3), num(2)));
+  EXPECT_TRUE(equals(pow(num(2), 10), num(1024)));
+}
+
+TEST_F(ExprTest, AddIdentities) {
+  EXPECT_TRUE(equals(x + 0.0, x));
+  EXPECT_TRUE(equals(0.0 + x, x));
+  EXPECT_TRUE(equals(x - x, num(0)));
+  EXPECT_TRUE(equals(add({}), num(0)));
+}
+
+TEST_F(ExprTest, MulIdentities) {
+  EXPECT_TRUE(equals(x * 1.0, x));
+  EXPECT_TRUE(equals(x * 0.0, num(0)));
+  EXPECT_TRUE(equals(mul({}), num(1)));
+  EXPECT_TRUE(equals(x / x, num(1)));
+}
+
+TEST_F(ExprTest, AddCommutesCanonically) {
+  EXPECT_TRUE(equals(x + y, y + x));
+  EXPECT_TRUE(equals((x + y) + z, x + (y + z)));
+  EXPECT_EQ((x + y + z)->hash(), (z + y + x)->hash());
+}
+
+TEST_F(ExprTest, MulCommutesCanonically) {
+  EXPECT_TRUE(equals(x * y, y * x));
+  EXPECT_TRUE(equals((x * y) * z, x * (y * z)));
+}
+
+TEST_F(ExprTest, LikeTermCollection) {
+  EXPECT_TRUE(equals(x + x, 2.0 * x));
+  EXPECT_TRUE(equals(2.0 * x + 3.0 * x, 5.0 * x));
+  EXPECT_TRUE(equals(x * y + y * x, 2.0 * (x * y)));
+  EXPECT_TRUE(equals(3.0 * x - 3.0 * x, num(0)));
+}
+
+TEST_F(ExprTest, PowerCollection) {
+  EXPECT_TRUE(equals(x * x, pow(x, 2)));
+  EXPECT_TRUE(equals(x * x * x, pow(x, 3)));
+  EXPECT_TRUE(equals(pow(x, 2) * pow(x, 3), pow(x, 5)));
+  EXPECT_TRUE(equals(pow(x, 2) / x, x));
+  EXPECT_TRUE(equals(pow(pow(x, 2), 3), pow(x, 6)));
+}
+
+TEST_F(ExprTest, PowIdentities) {
+  EXPECT_TRUE(equals(pow(x, 0), num(1)));
+  EXPECT_TRUE(equals(pow(x, 1), x));
+  EXPECT_TRUE(equals(pow(num(1), x), num(1)));
+  EXPECT_TRUE(equals(pow(num(0), 3), num(0)));
+}
+
+TEST_F(ExprTest, MulCoefficientInPow) {
+  // (2x)^3 must collect with x^3 terms: (2x)^3 = 8 x^3
+  EXPECT_TRUE(equals(pow(2.0 * x, 3), 8.0 * pow(x, 3)));
+}
+
+TEST_F(ExprTest, DistinctSymbolsWithSameNameDiffer) {
+  Expr a = symbol("a");
+  Expr b = symbol("a");
+  EXPECT_FALSE(equals(a, b));  // identity semantics, like sympy Dummy
+  EXPECT_TRUE(equals(a, a));
+}
+
+TEST_F(ExprTest, NegationAndSubtraction) {
+  EXPECT_TRUE(equals(-(-x), x));
+  EXPECT_TRUE(equals(x - y + y, x));
+  EXPECT_TRUE(equals(-(x + y), -x - y));
+}
+
+TEST_F(ExprTest, FieldRefBasics) {
+  auto phi = Field::create("phi", 3, 4);
+  Expr p0 = at(phi, 0);
+  Expr p1 = at(phi, 1);
+  EXPECT_FALSE(equals(p0, p1));
+  EXPECT_TRUE(equals(p0, at(phi, 0)));
+  Expr east = shifted(p0, 0, 1);
+  EXPECT_EQ(east->offset()[0], 1);
+  EXPECT_FALSE(equals(east, p0));
+  EXPECT_TRUE(equals(shifted(east, 0, -1), p0));
+}
+
+TEST_F(ExprTest, FieldRefComponentRangeChecked) {
+  auto phi = Field::create("phi", 3, 2);
+  EXPECT_THROW(at(phi, 2), Error);
+  EXPECT_THROW(at(phi, -1), Error);
+}
+
+TEST_F(ExprTest, CallFolding) {
+  EXPECT_TRUE(equals(sqrt_(num(4)), num(2)));
+  EXPECT_TRUE(equals(min_(num(2), num(3)), num(2)));
+  EXPECT_TRUE(equals(select(num(1), x, y), x));
+  EXPECT_TRUE(equals(select(num(0), x, y), y));
+}
+
+TEST_F(ExprTest, CallArityChecked) {
+  EXPECT_THROW(call(Func::Sqrt, {x, y}), Error);
+  EXPECT_THROW(call(Func::Min, {x}), Error);
+}
+
+TEST_F(ExprTest, DiffOpOfConstantIsZero) {
+  EXPECT_TRUE(equals(diff_op(num(3), 0), num(0)));
+}
+
+TEST_F(ExprTest, CoordSingletons) {
+  EXPECT_TRUE(equals(coord(0), coord(0)));
+  EXPECT_FALSE(equals(coord(0), coord(1)));
+  EXPECT_EQ(coord(2)->builtin(), Builtin::Coord2);
+}
+
+TEST_F(ExprTest, ContainsAndCollect) {
+  auto phi = Field::create("phi", 3, 1);
+  Expr e = x * at(phi) + sqrt_(y);
+  EXPECT_TRUE(contains(e, x));
+  EXPECT_TRUE(contains(e, at(phi)));
+  EXPECT_FALSE(contains(e, z));
+  EXPECT_EQ(field_refs(e).size(), 1u);
+  EXPECT_EQ(symbols(e).size(), 2u);
+}
+
+TEST_F(ExprTest, RandomNodesByStream) {
+  EXPECT_TRUE(equals(random_uniform(0), random_uniform(0)));
+  EXPECT_FALSE(equals(random_uniform(0), random_uniform(1)));
+}
+
+// Property-style sweep: canonicalization is a ring morphism on random
+// integer-coefficient polynomials (checked via structural identities).
+class CanonicalizationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CanonicalizationProperty, AdditionAssociativityRandomized) {
+  const int seed = GetParam();
+  Expr s[3] = {symbol("a"), symbol("b"), symbol("c")};
+  // build two differently-associated versions of the same sum
+  std::vector<Expr> terms;
+  unsigned state = static_cast<unsigned>(seed) * 2654435761u + 1;
+  auto rnd = [&]() {
+    state = state * 1664525u + 1013904223u;
+    return state >> 16;
+  };
+  for (int i = 0; i < 12; ++i) {
+    const double c = static_cast<double>(static_cast<int>(rnd() % 11) - 5);
+    terms.push_back(num(c) * s[rnd() % 3] * pow(s[rnd() % 3], 1 + (rnd() % 3)));
+  }
+  Expr left = num(0);
+  for (const auto& t : terms) left = left + t;
+  Expr right = num(0);
+  for (auto it = terms.rbegin(); it != terms.rend(); ++it) right = *it + right;
+  EXPECT_TRUE(equals(left, right))
+      << to_string(left) << " vs " << to_string(right);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CanonicalizationProperty,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace pfc::sym

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "pfc/sym/printer.hpp"
+
+namespace pfc::sym {
+namespace {
+
+TEST(PrinterTest, Basics) {
+  Expr x = symbol("x"), y = symbol("y");
+  EXPECT_EQ(to_string(x), "x");
+  EXPECT_EQ(to_string(num(2)), "2.0");
+  EXPECT_EQ(to_string(x + y), "x + y");
+  EXPECT_EQ(to_string(x - y), "x - y");
+  EXPECT_EQ(to_string(2.0 * x), "2.0*x");
+}
+
+TEST(PrinterTest, PowUnrolling) {
+  Expr x = symbol("x");
+  EXPECT_EQ(to_string(pow(x, 2)), "(x*x)");
+  EXPECT_EQ(to_string(pow(x, 9)), "pow(x, 9)");
+}
+
+TEST(PrinterTest, Division) {
+  Expr x = symbol("x"), y = symbol("y");
+  EXPECT_EQ(to_string(x / y), "x / y");
+  EXPECT_EQ(to_string(1.0 / sqrt_(x)), "1.0 / sqrt(x)");
+}
+
+TEST(PrinterTest, Precedence) {
+  Expr x = symbol("x"), y = symbol("y"), z = symbol("z");
+  EXPECT_EQ(to_string((x + y) * z), "z*(x + y)");
+  // canonical term order puts plain symbols before products
+  EXPECT_EQ(to_string(x * y + z), "z + x*y");
+}
+
+TEST(PrinterTest, FieldRefDefaultForm) {
+  auto phi = Field::create("phi", 3, 4);
+  EXPECT_EQ(to_string(at(phi, 2)), "phi@2");
+  EXPECT_EQ(to_string(shifted(at(phi, 0), 1, -1)), "phi@0[0,-1,0]");
+}
+
+TEST(PrinterTest, CustomFieldPrinter) {
+  auto phi = Field::create("phi", 3, 1);
+  PrintOptions opts;
+  opts.field_printer = [](const Expr& fr) {
+    return fr->field()->name() + "[idx]";
+  };
+  EXPECT_EQ(to_string(at(phi) * 2.0, opts), "2.0*phi[idx]");
+}
+
+TEST(PrinterTest, DiffAndDt) {
+  auto phi = Field::create("phi", 3, 1);
+  EXPECT_EQ(to_string(diff_op(at(phi), 1)), "D1(phi)");
+  EXPECT_EQ(to_string(dt_op(at(phi))), "dt(phi)");
+}
+
+TEST(PrinterTest, Calls) {
+  Expr x = symbol("x");
+  EXPECT_EQ(to_string(min_(x, num(1))), "fmin(x, 1.0)");
+  EXPECT_EQ(to_string(select(greater(x, num(0)), x, num(0))),
+            "select(greater(x, 0.0), x, 0.0)");
+}
+
+}  // namespace
+}  // namespace pfc::sym

@@ -1,0 +1,114 @@
+// Tests for expansion and numeric evaluation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pfc/sym/expr.hpp"
+#include "pfc/sym/printer.hpp"
+#include "pfc/sym/simplify.hpp"
+
+namespace pfc::sym {
+namespace {
+
+class SimplifyTest : public ::testing::Test {
+ protected:
+  Expr x = symbol("x");
+  Expr y = symbol("y");
+
+  double eval_xy(const Expr& e, double xv, double yv) {
+    EvalContext ctx;
+    ctx.symbols = {{"x", xv}, {"y", yv}};
+    return evaluate(e, ctx);
+  }
+};
+
+TEST_F(SimplifyTest, ExpandBinomial) {
+  Expr e = expand(pow(x + y, 2));
+  EXPECT_TRUE(equals(e, pow(x, 2) + 2.0 * x * y + pow(y, 2)))
+      << to_string(e);
+}
+
+TEST_F(SimplifyTest, ExpandCube) {
+  Expr e = expand(pow(x + 1.0, 3));
+  EXPECT_TRUE(
+      equals(e, pow(x, 3) + 3.0 * pow(x, 2) + 3.0 * x + 1.0))
+      << to_string(e);
+}
+
+TEST_F(SimplifyTest, ExpandProductOfSums) {
+  Expr e = expand((x + y) * (x - y));
+  EXPECT_TRUE(equals(e, pow(x, 2) - pow(y, 2))) << to_string(e);
+}
+
+TEST_F(SimplifyTest, ExpandCancelsCrossTerms) {
+  // (x+y)^2 - (x-y)^2 = 4xy
+  Expr e = expand(pow(x + y, 2) - pow(x - y, 2));
+  EXPECT_TRUE(equals(e, 4.0 * x * y)) << to_string(e);
+}
+
+TEST_F(SimplifyTest, ExpandIsIdempotent) {
+  Expr e = expand(pow(x + y, 3) * (x - 2.0 * y));
+  EXPECT_TRUE(equals(expand(e), e));
+}
+
+TEST_F(SimplifyTest, EvaluateBasics) {
+  EXPECT_DOUBLE_EQ(eval_xy(x + 2.0 * y, 1.0, 3.0), 7.0);
+  EXPECT_DOUBLE_EQ(eval_xy(pow(x, 3), 2.0, 0.0), 8.0);
+  EXPECT_DOUBLE_EQ(eval_xy(sqrt_(x), 9.0, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(eval_xy(rsqrt(x), 4.0, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(eval_xy(select(greater(x, y), x, y), 2.0, 5.0), 5.0);
+}
+
+TEST_F(SimplifyTest, EvaluateUnboundSymbolThrows) {
+  EvalContext ctx;
+  EXPECT_THROW(evaluate(x, ctx), Error);
+}
+
+TEST_F(SimplifyTest, EvaluateFieldRefUsesCallback) {
+  auto phi = Field::create("phi", 2, 1);
+  EvalContext ctx;
+  ctx.field_value = [](const Expr& fr) {
+    return 10.0 * fr->offset()[0] + fr->offset()[1];
+  };
+  EXPECT_DOUBLE_EQ(evaluate(shifted(at(phi), 0, 1), ctx), 10.0);
+  EXPECT_DOUBLE_EQ(evaluate(shifted(at(phi), 1, -1), ctx), -1.0);
+}
+
+TEST_F(SimplifyTest, EvaluateDiffThrows) {
+  auto phi = Field::create("phi", 2, 1);
+  EvalContext ctx;
+  ctx.field_value = [](const Expr&) { return 0.0; };
+  EXPECT_THROW(evaluate(diff_op(at(phi), 0), ctx), Error);
+}
+
+// Property: expand preserves value on random inputs.
+class ExpandProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExpandProperty, ValuePreserved) {
+  Expr x = symbol("x"), y = symbol("y");
+  unsigned state = static_cast<unsigned>(GetParam()) * 747796405u + 1;
+  auto rnd = [&]() {
+    state = state * 1664525u + 1013904223u;
+    return (state >> 16) % 1000;
+  };
+  // random nested polynomial
+  Expr e = num(1);
+  for (int i = 0; i < 4; ++i) {
+    Expr base = num(double(rnd() % 7) - 3.0) +
+                (rnd() % 2 ? x : y) * num(double(rnd() % 5) - 2.0);
+    e = e * pow(base, 1 + int(rnd() % 3)) + (rnd() % 2 ? x : y);
+  }
+  Expr ex = expand(e);
+  EvalContext ctx;
+  const double xv = double(rnd()) / 250.0 - 2.0;
+  const double yv = double(rnd()) / 250.0 - 2.0;
+  ctx.symbols = {{"x", xv}, {"y", yv}};
+  const double v0 = evaluate(e, ctx);
+  const double v1 = evaluate(ex, ctx);
+  EXPECT_NEAR(v0, v1, 1e-8 * (1.0 + std::abs(v0)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExpandProperty, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace pfc::sym

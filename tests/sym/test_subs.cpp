@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "pfc/sym/printer.hpp"
+#include "pfc/sym/subs.hpp"
+
+namespace pfc::sym {
+namespace {
+
+class SubsTest : public ::testing::Test {
+ protected:
+  Expr x = symbol("x");
+  Expr y = symbol("y");
+  Expr z = symbol("z");
+};
+
+TEST_F(SubsTest, SymbolReplacement) {
+  Expr e = pow(x, 2) + y;
+  EXPECT_TRUE(equals(substitute(e, x, num(3)), num(9) + y));
+}
+
+TEST_F(SubsTest, ReplacementRecanonicalizes) {
+  Expr e = x + y;
+  // x -> -y collapses the sum to zero
+  EXPECT_TRUE(equals(substitute(e, x, -y), num(0)));
+}
+
+TEST_F(SubsTest, SubtreeReplacement) {
+  Expr e = sqrt_(x + y) * (x + y);
+  Expr r = substitute(e, x + y, z);
+  EXPECT_TRUE(equals(r, sqrt_(z) * z)) << to_string(r);
+}
+
+TEST_F(SubsTest, MultipleSimultaneous) {
+  Expr e = x * y;
+  Expr r = substitute(e, SubsMap{{x, y}, {y, x}});
+  // both rewritten against the *original* tree: x*y -> y*x = x*y
+  EXPECT_TRUE(equals(r, x * y));
+}
+
+TEST_F(SubsTest, FieldRefReplacement) {
+  auto phi = Field::create("phi", 3, 1);
+  auto mu = Field::create("mu", 3, 1);
+  Expr e = pow(at(phi), 2) + at(mu);
+  Expr r = substitute(e, at(phi), at(mu));
+  EXPECT_TRUE(equals(r, pow(at(mu), 2) + at(mu)));
+}
+
+TEST_F(SubsTest, NoMatchReturnsSameTree) {
+  Expr e = pow(x, 2) + y;
+  Expr r = substitute(e, z, num(1));
+  EXPECT_TRUE(equals(r, e));
+}
+
+TEST_F(SubsTest, EmptyMapIsIdentity) {
+  Expr e = pow(x, 2) + y;
+  EXPECT_EQ(substitute(e, SubsMap{}).get(), e.get());
+}
+
+TEST_F(SubsTest, ConstantFoldingThroughSubstitution) {
+  // the paper's "insert numeric parameter values at compile time" step
+  Expr gamma = symbol("gamma");
+  Expr e = gamma * pow(x, 2) + gamma * y + gamma;
+  Expr r = substitute(e, gamma, num(0.5));
+  EXPECT_TRUE(equals(r, 0.5 * pow(x, 2) + 0.5 * y + 0.5));
+}
+
+}  // namespace
+}  // namespace pfc::sym
