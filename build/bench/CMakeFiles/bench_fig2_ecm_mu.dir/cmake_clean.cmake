@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_ecm_mu.dir/bench_fig2_ecm_mu.cpp.o"
+  "CMakeFiles/bench_fig2_ecm_mu.dir/bench_fig2_ecm_mu.cpp.o.d"
+  "bench_fig2_ecm_mu"
+  "bench_fig2_ecm_mu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_ecm_mu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

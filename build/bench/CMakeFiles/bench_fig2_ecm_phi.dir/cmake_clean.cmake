@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_ecm_phi.dir/bench_fig2_ecm_phi.cpp.o"
+  "CMakeFiles/bench_fig2_ecm_phi.dir/bench_fig2_ecm_phi.cpp.o.d"
+  "bench_fig2_ecm_phi"
+  "bench_fig2_ecm_phi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_ecm_phi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

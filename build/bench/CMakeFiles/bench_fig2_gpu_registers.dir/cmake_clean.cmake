@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_gpu_registers.dir/bench_fig2_gpu_registers.cpp.o"
+  "CMakeFiles/bench_fig2_gpu_registers.dir/bench_fig2_gpu_registers.cpp.o.d"
+  "bench_fig2_gpu_registers"
+  "bench_fig2_gpu_registers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_gpu_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

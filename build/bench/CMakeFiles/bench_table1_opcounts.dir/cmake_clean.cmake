@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_opcounts.dir/bench_table1_opcounts.cpp.o"
+  "CMakeFiles/bench_table1_opcounts.dir/bench_table1_opcounts.cpp.o.d"
+  "bench_table1_opcounts"
+  "bench_table1_opcounts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_opcounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_inspect.dir/codegen_inspect.cpp.o"
+  "CMakeFiles/codegen_inspect.dir/codegen_inspect.cpp.o.d"
+  "codegen_inspect"
+  "codegen_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dendritic_solidification.dir/dendritic_solidification.cpp.o"
+  "CMakeFiles/dendritic_solidification.dir/dendritic_solidification.cpp.o.d"
+  "dendritic_solidification"
+  "dendritic_solidification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dendritic_solidification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

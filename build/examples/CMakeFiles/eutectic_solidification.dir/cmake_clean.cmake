@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eutectic_solidification.dir/eutectic_solidification.cpp.o"
+  "CMakeFiles/eutectic_solidification.dir/eutectic_solidification.cpp.o.d"
+  "eutectic_solidification"
+  "eutectic_solidification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eutectic_solidification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

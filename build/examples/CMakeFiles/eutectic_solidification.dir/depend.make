@@ -1,0 +1,2 @@
+# Empty dependencies file for eutectic_solidification.
+# This may be replaced when dependencies are built.

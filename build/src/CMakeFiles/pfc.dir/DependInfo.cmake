@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pfc/app/analysis.cpp" "src/CMakeFiles/pfc.dir/pfc/app/analysis.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/app/analysis.cpp.o.d"
+  "/root/repo/src/pfc/app/compiler.cpp" "src/CMakeFiles/pfc.dir/pfc/app/compiler.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/app/compiler.cpp.o.d"
+  "/root/repo/src/pfc/app/distributed.cpp" "src/CMakeFiles/pfc.dir/pfc/app/distributed.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/app/distributed.cpp.o.d"
+  "/root/repo/src/pfc/app/grandchem.cpp" "src/CMakeFiles/pfc.dir/pfc/app/grandchem.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/app/grandchem.cpp.o.d"
+  "/root/repo/src/pfc/app/params.cpp" "src/CMakeFiles/pfc.dir/pfc/app/params.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/app/params.cpp.o.d"
+  "/root/repo/src/pfc/app/simulation.cpp" "src/CMakeFiles/pfc.dir/pfc/app/simulation.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/app/simulation.cpp.o.d"
+  "/root/repo/src/pfc/backend/c_emitter.cpp" "src/CMakeFiles/pfc.dir/pfc/backend/c_emitter.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/backend/c_emitter.cpp.o.d"
+  "/root/repo/src/pfc/backend/codegen_common.cpp" "src/CMakeFiles/pfc.dir/pfc/backend/codegen_common.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/backend/codegen_common.cpp.o.d"
+  "/root/repo/src/pfc/backend/cuda_emitter.cpp" "src/CMakeFiles/pfc.dir/pfc/backend/cuda_emitter.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/backend/cuda_emitter.cpp.o.d"
+  "/root/repo/src/pfc/backend/interp.cpp" "src/CMakeFiles/pfc.dir/pfc/backend/interp.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/backend/interp.cpp.o.d"
+  "/root/repo/src/pfc/backend/jit.cpp" "src/CMakeFiles/pfc.dir/pfc/backend/jit.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/backend/jit.cpp.o.d"
+  "/root/repo/src/pfc/backend/kernel_runner.cpp" "src/CMakeFiles/pfc.dir/pfc/backend/kernel_runner.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/backend/kernel_runner.cpp.o.d"
+  "/root/repo/src/pfc/continuum/functional.cpp" "src/CMakeFiles/pfc.dir/pfc/continuum/functional.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/continuum/functional.cpp.o.d"
+  "/root/repo/src/pfc/continuum/varder.cpp" "src/CMakeFiles/pfc.dir/pfc/continuum/varder.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/continuum/varder.cpp.o.d"
+  "/root/repo/src/pfc/fd/discretize.cpp" "src/CMakeFiles/pfc.dir/pfc/fd/discretize.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/fd/discretize.cpp.o.d"
+  "/root/repo/src/pfc/field/array.cpp" "src/CMakeFiles/pfc.dir/pfc/field/array.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/field/array.cpp.o.d"
+  "/root/repo/src/pfc/field/field.cpp" "src/CMakeFiles/pfc.dir/pfc/field/field.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/field/field.cpp.o.d"
+  "/root/repo/src/pfc/grid/blockforest.cpp" "src/CMakeFiles/pfc.dir/pfc/grid/blockforest.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/grid/blockforest.cpp.o.d"
+  "/root/repo/src/pfc/grid/boundary.cpp" "src/CMakeFiles/pfc.dir/pfc/grid/boundary.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/grid/boundary.cpp.o.d"
+  "/root/repo/src/pfc/grid/ghost_exchange.cpp" "src/CMakeFiles/pfc.dir/pfc/grid/ghost_exchange.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/grid/ghost_exchange.cpp.o.d"
+  "/root/repo/src/pfc/grid/vtk.cpp" "src/CMakeFiles/pfc.dir/pfc/grid/vtk.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/grid/vtk.cpp.o.d"
+  "/root/repo/src/pfc/ir/kernel.cpp" "src/CMakeFiles/pfc.dir/pfc/ir/kernel.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/ir/kernel.cpp.o.d"
+  "/root/repo/src/pfc/ir/opcount.cpp" "src/CMakeFiles/pfc.dir/pfc/ir/opcount.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/ir/opcount.cpp.o.d"
+  "/root/repo/src/pfc/ir/passes.cpp" "src/CMakeFiles/pfc.dir/pfc/ir/passes.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/ir/passes.cpp.o.d"
+  "/root/repo/src/pfc/ir/schedule.cpp" "src/CMakeFiles/pfc.dir/pfc/ir/schedule.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/ir/schedule.cpp.o.d"
+  "/root/repo/src/pfc/mpi/simmpi.cpp" "src/CMakeFiles/pfc.dir/pfc/mpi/simmpi.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/mpi/simmpi.cpp.o.d"
+  "/root/repo/src/pfc/perf/cachesim.cpp" "src/CMakeFiles/pfc.dir/pfc/perf/cachesim.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/perf/cachesim.cpp.o.d"
+  "/root/repo/src/pfc/perf/ecm.cpp" "src/CMakeFiles/pfc.dir/pfc/perf/ecm.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/perf/ecm.cpp.o.d"
+  "/root/repo/src/pfc/perf/evotune.cpp" "src/CMakeFiles/pfc.dir/pfc/perf/evotune.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/perf/evotune.cpp.o.d"
+  "/root/repo/src/pfc/perf/gpu_model.cpp" "src/CMakeFiles/pfc.dir/pfc/perf/gpu_model.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/perf/gpu_model.cpp.o.d"
+  "/root/repo/src/pfc/perf/layer_condition.cpp" "src/CMakeFiles/pfc.dir/pfc/perf/layer_condition.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/perf/layer_condition.cpp.o.d"
+  "/root/repo/src/pfc/perf/machine.cpp" "src/CMakeFiles/pfc.dir/pfc/perf/machine.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/perf/machine.cpp.o.d"
+  "/root/repo/src/pfc/perf/netmodel.cpp" "src/CMakeFiles/pfc.dir/pfc/perf/netmodel.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/perf/netmodel.cpp.o.d"
+  "/root/repo/src/pfc/support/thread_pool.cpp" "src/CMakeFiles/pfc.dir/pfc/support/thread_pool.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/support/thread_pool.cpp.o.d"
+  "/root/repo/src/pfc/sym/cse.cpp" "src/CMakeFiles/pfc.dir/pfc/sym/cse.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/sym/cse.cpp.o.d"
+  "/root/repo/src/pfc/sym/diff.cpp" "src/CMakeFiles/pfc.dir/pfc/sym/diff.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/sym/diff.cpp.o.d"
+  "/root/repo/src/pfc/sym/expr.cpp" "src/CMakeFiles/pfc.dir/pfc/sym/expr.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/sym/expr.cpp.o.d"
+  "/root/repo/src/pfc/sym/printer.cpp" "src/CMakeFiles/pfc.dir/pfc/sym/printer.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/sym/printer.cpp.o.d"
+  "/root/repo/src/pfc/sym/simplify.cpp" "src/CMakeFiles/pfc.dir/pfc/sym/simplify.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/sym/simplify.cpp.o.d"
+  "/root/repo/src/pfc/sym/subs.cpp" "src/CMakeFiles/pfc.dir/pfc/sym/subs.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/sym/subs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

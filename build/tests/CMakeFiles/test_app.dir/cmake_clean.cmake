@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app.dir/app/test_grandchem.cpp.o"
+  "CMakeFiles/test_app.dir/app/test_grandchem.cpp.o.d"
+  "CMakeFiles/test_app.dir/app/test_simulation.cpp.o"
+  "CMakeFiles/test_app.dir/app/test_simulation.cpp.o.d"
+  "CMakeFiles/test_app.dir/app/test_timeschemes.cpp.o"
+  "CMakeFiles/test_app.dir/app/test_timeschemes.cpp.o.d"
+  "test_app"
+  "test_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/backend/test_backend.cpp" "tests/CMakeFiles/test_backend.dir/backend/test_backend.cpp.o" "gcc" "tests/CMakeFiles/test_backend.dir/backend/test_backend.cpp.o.d"
+  "/root/repo/tests/backend/test_philox.cpp" "tests/CMakeFiles/test_backend.dir/backend/test_philox.cpp.o" "gcc" "tests/CMakeFiles/test_backend.dir/backend/test_philox.cpp.o.d"
+  "/root/repo/tests/backend/test_roundtrip.cpp" "tests/CMakeFiles/test_backend.dir/backend/test_roundtrip.cpp.o" "gcc" "tests/CMakeFiles/test_backend.dir/backend/test_roundtrip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

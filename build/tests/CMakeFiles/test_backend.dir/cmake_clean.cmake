@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backend.dir/backend/test_backend.cpp.o"
+  "CMakeFiles/test_backend.dir/backend/test_backend.cpp.o.d"
+  "CMakeFiles/test_backend.dir/backend/test_philox.cpp.o"
+  "CMakeFiles/test_backend.dir/backend/test_philox.cpp.o.d"
+  "CMakeFiles/test_backend.dir/backend/test_roundtrip.cpp.o"
+  "CMakeFiles/test_backend.dir/backend/test_roundtrip.cpp.o.d"
+  "test_backend"
+  "test_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_continuum.dir/continuum/test_continuum.cpp.o"
+  "CMakeFiles/test_continuum.dir/continuum/test_continuum.cpp.o.d"
+  "test_continuum"
+  "test_continuum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_continuum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sym/test_cse.cpp" "tests/CMakeFiles/test_sym.dir/sym/test_cse.cpp.o" "gcc" "tests/CMakeFiles/test_sym.dir/sym/test_cse.cpp.o.d"
+  "/root/repo/tests/sym/test_diff.cpp" "tests/CMakeFiles/test_sym.dir/sym/test_diff.cpp.o" "gcc" "tests/CMakeFiles/test_sym.dir/sym/test_diff.cpp.o.d"
+  "/root/repo/tests/sym/test_expr.cpp" "tests/CMakeFiles/test_sym.dir/sym/test_expr.cpp.o" "gcc" "tests/CMakeFiles/test_sym.dir/sym/test_expr.cpp.o.d"
+  "/root/repo/tests/sym/test_printer.cpp" "tests/CMakeFiles/test_sym.dir/sym/test_printer.cpp.o" "gcc" "tests/CMakeFiles/test_sym.dir/sym/test_printer.cpp.o.d"
+  "/root/repo/tests/sym/test_simplify.cpp" "tests/CMakeFiles/test_sym.dir/sym/test_simplify.cpp.o" "gcc" "tests/CMakeFiles/test_sym.dir/sym/test_simplify.cpp.o.d"
+  "/root/repo/tests/sym/test_subs.cpp" "tests/CMakeFiles/test_sym.dir/sym/test_subs.cpp.o" "gcc" "tests/CMakeFiles/test_sym.dir/sym/test_subs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

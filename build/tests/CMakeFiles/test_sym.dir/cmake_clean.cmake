@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sym.dir/sym/test_cse.cpp.o"
+  "CMakeFiles/test_sym.dir/sym/test_cse.cpp.o.d"
+  "CMakeFiles/test_sym.dir/sym/test_diff.cpp.o"
+  "CMakeFiles/test_sym.dir/sym/test_diff.cpp.o.d"
+  "CMakeFiles/test_sym.dir/sym/test_expr.cpp.o"
+  "CMakeFiles/test_sym.dir/sym/test_expr.cpp.o.d"
+  "CMakeFiles/test_sym.dir/sym/test_printer.cpp.o"
+  "CMakeFiles/test_sym.dir/sym/test_printer.cpp.o.d"
+  "CMakeFiles/test_sym.dir/sym/test_simplify.cpp.o"
+  "CMakeFiles/test_sym.dir/sym/test_simplify.cpp.o.d"
+  "CMakeFiles/test_sym.dir/sym/test_subs.cpp.o"
+  "CMakeFiles/test_sym.dir/sym/test_subs.cpp.o.d"
+  "test_sym"
+  "test_sym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

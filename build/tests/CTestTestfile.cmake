@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_sym "/root/repo/build/tests/test_sym")
+set_tests_properties(test_sym PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;8;pfc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_field "/root/repo/build/tests/test_field")
+set_tests_properties(test_field PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;17;pfc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_continuum "/root/repo/build/tests/test_continuum")
+set_tests_properties(test_continuum PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;18;pfc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_fd "/root/repo/build/tests/test_fd")
+set_tests_properties(test_fd PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;19;pfc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ir "/root/repo/build/tests/test_ir")
+set_tests_properties(test_ir PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;20;pfc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_backend "/root/repo/build/tests/test_backend")
+set_tests_properties(test_backend PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;21;pfc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_app "/root/repo/build/tests/test_app")
+set_tests_properties(test_app PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;23;pfc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_grid "/root/repo/build/tests/test_grid")
+set_tests_properties(test_grid PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;24;pfc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_distributed "/root/repo/build/tests/test_distributed")
+set_tests_properties(test_distributed PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;25;pfc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_perf "/root/repo/build/tests/test_perf")
+set_tests_properties(test_perf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;26;pfc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_support "/root/repo/build/tests/test_support")
+set_tests_properties(test_support PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;28;pfc_add_test;/root/repo/tests/CMakeLists.txt;0;")
