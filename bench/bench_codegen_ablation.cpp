@@ -111,11 +111,19 @@ int main(int argc, char** argv) {
     app::GrandChemModel model(params);
     app::ModelCompiler mc;
     const auto compiled = mc.compile(model);
+    const obs::CompileReport& cr = compiled.compile_report();
     std::printf("=== codegen cost (paper §5.1) ===\n");
     std::printf("symbolic pipeline: %.2f s, external compiler: %.2f s, "
-                "generated source: %zu bytes\n\n",
-                compiled.generation_seconds, compiled.compile_seconds,
+                "generated source: %zu bytes\n",
+                cr.generation_seconds(), cr.compile_seconds(),
                 compiled.generated_source().size());
+    std::printf("per-stage:");
+    for (const auto& [stage, t] : cr.stage_timers) {
+      std::printf(" %s %.3f s (x%llu)", stage.c_str(), t.seconds,
+                  (unsigned long long)t.count);
+    }
+    std::printf("; ops/cell %lld -> %lld after CSE+hoisting\n\n",
+                cr.ops_per_cell_pre, cr.ops_per_cell_post);
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -1,13 +1,18 @@
 // Shared helpers for the benchmark harness: lowering single PDEs of the
-// P1/P2 models to optimized IR kernels, and formatting.
+// P1/P2 models to optimized IR kernels, formatting, and emitting the
+// BENCH_<name>.json reports in the same pfc-obs-report-v1 schema the
+// examples write (tools/report_check.cpp validates it).
 #pragma once
 
 #include <cstdio>
+#include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "pfc/app/compiler.hpp"
 #include "pfc/app/params.hpp"
+#include "pfc/obs/report.hpp"
 
 namespace pfc::bench {
 
@@ -48,6 +53,26 @@ inline std::vector<ir::Kernel> lower_kernels(Which w, bool split,
 inline void print_rule(int width = 100) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+/// Builds a bench report in the shared schema from derived scalar results
+/// (model predictions, measured rates) plus optional timers/counters.
+inline obs::Json bench_report_json(
+    const std::string& bench_name,
+    const std::map<std::string, double>& derived,
+    const std::map<std::string, obs::TimerStat>& timers = {},
+    const std::map<std::string, std::uint64_t>& counters = {}) {
+  return obs::make_report_json("bench", bench_name, timers, counters,
+                               derived);
+}
+
+/// Writes BENCH_<name>.json to the working directory (the trajectory file
+/// the bench drivers collect) and announces the path.
+inline void write_bench_report(const std::string& bench_name,
+                               const obs::Json& report) {
+  const std::string path = "BENCH_" + bench_name + ".json";
+  obs::write_json(path, report);
+  std::printf("\nwrote %s\n", path.c_str());
 }
 
 }  // namespace pfc::bench

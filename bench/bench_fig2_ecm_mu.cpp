@@ -36,14 +36,14 @@ double measure_mu(bool split, int threads, int steps,
     return c == 1 ? s : 0.0;
   });
   sim.init_mu([](long long, long long, long long, int) { return 0.0; });
-  sim.run(steps);
+  const obs::RunReport rep = sim.run(steps);
   double mu_seconds = 0;
-  for (const auto& [name, s] : sim.kernel_seconds()) {
-    if (name.rfind("mu", 0) == 0) mu_seconds += s;
+  for (const auto& [name, t] : rep.kernel_timers) {
+    if (name.rfind("mu", 0) == 0) mu_seconds += t.seconds;
   }
   const double cellcount =
       double(cells[0]) * double(cells[1]) * double(cells[2]);
-  return cellcount * steps / mu_seconds / 1e6;
+  return obs::safe_rate(cellcount * steps, mu_seconds) / 1e6;
 }
 
 }  // namespace

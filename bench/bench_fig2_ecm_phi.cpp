@@ -41,13 +41,15 @@ double measure_phi(Which w, bool split, int threads, int steps,
     return c == 1 ? s : 0.0;
   });
   sim.init_mu([](long long, long long, long long, int) { return 0.0; });
-  sim.run(steps);
+  const obs::RunReport rep = sim.run(steps);
   double phi_seconds = 0;
-  for (const auto& [name, s] : sim.kernel_seconds()) {
-    if (name.rfind("phi", 0) == 0) phi_seconds += s;
+  for (const auto& [name, t] : rep.kernel_timers) {
+    if (name.rfind("phi", 0) == 0) phi_seconds += t.seconds;
   }
-  return double(cells[0]) * double(cells[1]) * double(cells[2]) * steps /
-         phi_seconds / 1e6;
+  return obs::safe_rate(
+             double(cells[0]) * double(cells[1]) * double(cells[2]) * steps,
+             phi_seconds) /
+         1e6;
 }
 
 }  // namespace

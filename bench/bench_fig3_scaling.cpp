@@ -10,6 +10,7 @@
 #include "bench_common.hpp"
 
 #include <cmath>
+#include <map>
 
 #include "pfc/perf/ecm.hpp"
 #include "pfc/perf/gpu_model.hpp"
@@ -40,6 +41,7 @@ int main() {
   const perf::MachineModel machine = perf::MachineModel::skylake_sp();
   const perf::NetworkModel net;
   const perf::CommConfig comm{true, false};  // CPU: overlap, no GPUDirect
+  std::map<std::string, double> derived;  // accumulates the JSON report
 
   // ---------------- weak scaling, CPU (Fig 3 left) --------------------
   {
@@ -64,6 +66,8 @@ int main() {
           cells, cells / (manual_rate * 1e6), bytes, msgs, int(cores), comm,
           net);
       std::printf("%10ld %18.2f %18.2f\n", cores, g, man);
+      derived["weak_cpu/cores=" + std::to_string(cores) +
+              "/mlups_per_core"] = g;
     }
     std::printf("\n[paper: ~6 MLUP/s per core flat to 152k cores; generated "
                 "beats manual by ~20%%]\n\n");
@@ -92,6 +96,8 @@ int main() {
           cells, cells / (rate * 1e6), bytes, msgs, int(gpus), gpu_comm,
           net);
       std::printf("%10ld %18.0f\n", gpus, g);
+      derived["weak_gpu/gpus=" + std::to_string(gpus) + "/mlups_per_gpu"] =
+          g;
     }
     std::printf("\n[paper: ~440 MLUP/s per GPU flat to 2400 GPUs]\n\n");
   }
@@ -115,9 +121,15 @@ int main() {
       const double steps_per_s = per_core * 1e6 * double(cores) / total;
       std::printf("%10ld %14lld %18.2f %16.1f\n", cores, edge, per_core,
                   steps_per_s);
+      derived["strong_cpu/cores=" + std::to_string(cores) +
+              "/timesteps_per_second"] = steps_per_s;
     }
     std::printf("\n[paper: 0.2 steps/s at 48 cores, 460 steps/s at 152064 "
                 "cores]\n");
   }
+
+  // Same schema as the examples' run reports (tools/report_check validates)
+  write_bench_report("fig3_scaling",
+                     bench_report_json("fig3_scaling", derived));
   return 0;
 }

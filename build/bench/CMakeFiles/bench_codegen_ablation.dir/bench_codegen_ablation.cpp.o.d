@@ -226,7 +226,7 @@ bench/CMakeFiles/bench_codegen_ablation.dir/bench_codegen_ablation.cpp.o: \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/pfc/fd/discretize.hpp /root/repo/src/pfc/fd/stencil.hpp \
- /root/repo/src/pfc/app/simulation.hpp \
+ /root/repo/src/pfc/app/simulation.hpp /root/repo/src/pfc/app/options.hpp \
  /root/repo/src/pfc/app/compiler.hpp \
  /root/repo/src/pfc/backend/interp.hpp \
  /root/repo/src/pfc/backend/kernel_runner.hpp \
@@ -245,4 +245,6 @@ bench/CMakeFiles/bench_codegen_ablation.dir/bench_codegen_ablation.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/pfc/backend/jit.hpp \
- /root/repo/src/pfc/grid/boundary.hpp
+ /root/repo/src/pfc/obs/report.hpp /root/repo/src/pfc/obs/registry.hpp \
+ /root/repo/src/pfc/obs/json.hpp /root/repo/src/pfc/support/timer.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/pfc/grid/boundary.hpp

@@ -235,6 +235,12 @@ examples/CMakeFiles/codegen_inspect.dir/codegen_inspect.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/pfc/backend/jit.hpp \
+ /root/repo/src/pfc/obs/report.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/pfc/obs/registry.hpp /root/repo/src/pfc/obs/json.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/pfc/support/timer.hpp /usr/include/c++/12/chrono \
  /root/repo/src/pfc/app/params.hpp \
  /root/repo/src/pfc/backend/c_emitter.hpp \
  /root/repo/src/pfc/backend/cuda_emitter.hpp \

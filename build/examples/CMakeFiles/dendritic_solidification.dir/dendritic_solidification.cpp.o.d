@@ -248,7 +248,7 @@ examples/CMakeFiles/dendritic_solidification.dir/dendritic_solidification.cpp.o:
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/pfc/app/compiler.hpp \
+ /root/repo/src/pfc/app/options.hpp /root/repo/src/pfc/app/compiler.hpp \
  /root/repo/src/pfc/backend/interp.hpp \
  /root/repo/src/pfc/backend/kernel_runner.hpp \
  /root/repo/src/pfc/backend/codegen_common.hpp \
@@ -265,4 +265,8 @@ examples/CMakeFiles/dendritic_solidification.dir/dendritic_solidification.cpp.o:
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/pfc/backend/jit.hpp \
+ /root/repo/src/pfc/obs/report.hpp /root/repo/src/pfc/obs/registry.hpp \
+ /root/repo/src/pfc/obs/json.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/pfc/support/timer.hpp /usr/include/c++/12/chrono \
  /root/repo/src/pfc/grid/boundary.hpp /root/repo/src/pfc/grid/vtk.hpp

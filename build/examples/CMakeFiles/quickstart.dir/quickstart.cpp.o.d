@@ -100,7 +100,7 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/struct_FILE.h \
  /usr/include/x86_64-linux-gnu/bits/types/cookie_io_functions_t.h \
  /usr/include/x86_64-linux-gnu/bits/stdio_lim.h \
- /usr/include/x86_64-linux-gnu/bits/stdio.h \
+ /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/cstdlib \
  /root/repo/src/pfc/app/analysis.hpp /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/allocator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++allocator.h \
@@ -143,8 +143,7 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/cstdlib \
- /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -248,7 +247,7 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/pfc/app/compiler.hpp \
+ /root/repo/src/pfc/app/options.hpp /root/repo/src/pfc/app/compiler.hpp \
  /root/repo/src/pfc/backend/interp.hpp \
  /root/repo/src/pfc/backend/kernel_runner.hpp \
  /root/repo/src/pfc/backend/codegen_common.hpp \
@@ -265,4 +264,8 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/pfc/backend/jit.hpp \
+ /root/repo/src/pfc/obs/report.hpp /root/repo/src/pfc/obs/registry.hpp \
+ /root/repo/src/pfc/obs/json.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/pfc/support/timer.hpp /usr/include/c++/12/chrono \
  /root/repo/src/pfc/grid/boundary.hpp /root/repo/src/pfc/grid/vtk.hpp

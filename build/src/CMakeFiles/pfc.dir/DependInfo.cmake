@@ -34,6 +34,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/pfc/ir/passes.cpp" "src/CMakeFiles/pfc.dir/pfc/ir/passes.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/ir/passes.cpp.o.d"
   "/root/repo/src/pfc/ir/schedule.cpp" "src/CMakeFiles/pfc.dir/pfc/ir/schedule.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/ir/schedule.cpp.o.d"
   "/root/repo/src/pfc/mpi/simmpi.cpp" "src/CMakeFiles/pfc.dir/pfc/mpi/simmpi.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/mpi/simmpi.cpp.o.d"
+  "/root/repo/src/pfc/obs/json.cpp" "src/CMakeFiles/pfc.dir/pfc/obs/json.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/obs/json.cpp.o.d"
+  "/root/repo/src/pfc/obs/registry.cpp" "src/CMakeFiles/pfc.dir/pfc/obs/registry.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/obs/registry.cpp.o.d"
+  "/root/repo/src/pfc/obs/report.cpp" "src/CMakeFiles/pfc.dir/pfc/obs/report.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/obs/report.cpp.o.d"
   "/root/repo/src/pfc/perf/cachesim.cpp" "src/CMakeFiles/pfc.dir/pfc/perf/cachesim.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/perf/cachesim.cpp.o.d"
   "/root/repo/src/pfc/perf/ecm.cpp" "src/CMakeFiles/pfc.dir/pfc/perf/ecm.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/perf/ecm.cpp.o.d"
   "/root/repo/src/pfc/perf/evotune.cpp" "src/CMakeFiles/pfc.dir/pfc/perf/evotune.cpp.o" "gcc" "src/CMakeFiles/pfc.dir/pfc/perf/evotune.cpp.o.d"

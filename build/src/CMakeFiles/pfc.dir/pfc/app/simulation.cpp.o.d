@@ -102,7 +102,8 @@ src/CMakeFiles/pfc.dir/pfc/app/simulation.cpp.o: \
  /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/pfc/app/compiler.hpp /usr/include/c++/12/memory \
+ /root/repo/src/pfc/app/options.hpp /root/repo/src/pfc/app/compiler.hpp \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
@@ -236,6 +237,10 @@ src/CMakeFiles/pfc.dir/pfc/app/simulation.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/pfc/backend/jit.hpp \
+ /root/repo/src/pfc/obs/report.hpp /root/repo/src/pfc/obs/registry.hpp \
+ /root/repo/src/pfc/obs/json.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/pfc/support/timer.hpp /usr/include/c++/12/chrono \
  /root/repo/src/pfc/grid/boundary.hpp /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -257,5 +262,4 @@ src/CMakeFiles/pfc.dir/pfc/app/simulation.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/pfc/support/timer.hpp /usr/include/c++/12/chrono
+ /usr/include/c++/12/tr1/riemann_zeta.tcc

@@ -316,7 +316,7 @@ tests/CMakeFiles/test_distributed.dir/app/test_distributed.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/pfc/app/distributed.hpp \
- /root/repo/src/pfc/app/simulation.hpp \
+ /root/repo/src/pfc/app/simulation.hpp /root/repo/src/pfc/app/options.hpp \
  /root/repo/src/pfc/app/compiler.hpp /root/repo/src/pfc/app/grandchem.hpp \
  /root/repo/src/pfc/continuum/functional.hpp \
  /root/repo/src/pfc/continuum/ops.hpp /root/repo/src/pfc/sym/expr.hpp \
@@ -337,7 +337,9 @@ tests/CMakeFiles/test_distributed.dir/app/test_distributed.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/pfc/backend/jit.hpp \
- /root/repo/src/pfc/grid/boundary.hpp \
+ /root/repo/src/pfc/obs/report.hpp /root/repo/src/pfc/obs/registry.hpp \
+ /root/repo/src/pfc/obs/json.hpp /root/repo/src/pfc/support/timer.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/pfc/grid/boundary.hpp \
  /root/repo/src/pfc/grid/ghost_exchange.hpp \
  /root/repo/src/pfc/grid/blockforest.hpp \
  /root/repo/src/pfc/mpi/simmpi.hpp /usr/include/c++/12/deque \

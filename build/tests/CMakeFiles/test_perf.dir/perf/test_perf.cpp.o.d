@@ -335,9 +335,11 @@ tests/CMakeFiles/test_perf.dir/perf/test_perf.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/pfc/backend/jit.hpp \
- /root/repo/src/pfc/app/params.hpp /root/repo/src/pfc/perf/cachesim.hpp \
- /root/repo/src/pfc/perf/machine.hpp /root/repo/src/pfc/perf/ecm.hpp \
- /root/repo/src/pfc/ir/opcount.hpp \
+ /root/repo/src/pfc/obs/report.hpp /root/repo/src/pfc/obs/registry.hpp \
+ /root/repo/src/pfc/obs/json.hpp /root/repo/src/pfc/support/timer.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/pfc/app/params.hpp \
+ /root/repo/src/pfc/perf/cachesim.hpp /root/repo/src/pfc/perf/machine.hpp \
+ /root/repo/src/pfc/perf/ecm.hpp /root/repo/src/pfc/ir/opcount.hpp \
  /root/repo/src/pfc/perf/layer_condition.hpp \
  /root/repo/src/pfc/perf/gpu_model.hpp /root/repo/src/pfc/ir/passes.hpp \
  /root/repo/src/pfc/ir/schedule.hpp /root/repo/src/pfc/perf/netmodel.hpp

@@ -304,7 +304,7 @@ tests/CMakeFiles/test_support.dir/support/test_support.cpp.o: \
  /root/repo/src/pfc/fd/discretize.hpp /root/repo/src/pfc/fd/stencil.hpp \
  /root/repo/src/pfc/field/array.hpp \
  /root/repo/src/pfc/support/aligned.hpp /root/repo/src/pfc/app/params.hpp \
- /root/repo/src/pfc/app/simulation.hpp \
+ /root/repo/src/pfc/app/simulation.hpp /root/repo/src/pfc/app/options.hpp \
  /root/repo/src/pfc/app/compiler.hpp \
  /root/repo/src/pfc/backend/interp.hpp \
  /root/repo/src/pfc/backend/kernel_runner.hpp \
@@ -320,4 +320,7 @@ tests/CMakeFiles/test_support.dir/support/test_support.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/pfc/backend/jit.hpp \
- /root/repo/src/pfc/grid/boundary.hpp /root/repo/src/pfc/grid/vtk.hpp
+ /root/repo/src/pfc/obs/report.hpp /root/repo/src/pfc/obs/registry.hpp \
+ /root/repo/src/pfc/obs/json.hpp /root/repo/src/pfc/support/timer.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/pfc/grid/boundary.hpp \
+ /root/repo/src/pfc/grid/vtk.hpp

@@ -26,3 +26,5 @@ add_test(test_perf "/root/repo/build/tests/test_perf")
 set_tests_properties(test_perf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;26;pfc_add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_support "/root/repo/build/tests/test_support")
 set_tests_properties(test_support PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;28;pfc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_obs "/root/repo/build/tests/test_obs")
+set_tests_properties(test_obs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;29;pfc_add_test;/root/repo/tests/CMakeLists.txt;0;")

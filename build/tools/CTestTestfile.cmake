@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(quickstart_emit_report "/root/repo/build/examples/quickstart" "/root/repo/build/tools/quickstart_obs.vtk" "/root/repo/build/tools/quickstart_obs.json" "2")
+set_tests_properties(quickstart_emit_report PROPERTIES  FIXTURES_SETUP "quickstart_report" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(report_schema_valid "/root/repo/build/tools/report_check" "/root/repo/build/tools/quickstart_obs.json" "run")
+set_tests_properties(report_schema_valid PROPERTIES  FIXTURES_REQUIRED "quickstart_report" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")

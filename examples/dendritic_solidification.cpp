@@ -43,15 +43,16 @@ int main(int argc, char** argv) {
 
   std::printf("%8s %10s %10s %12s\n", "step", "grain 1", "grain 2",
               "interface");
+  obs::RunReport report;
   for (int b = 0; b <= 6; ++b) {
     const auto st = app::phase_statistics(sim.phi());
     std::printf("%8lld %10.4f %10.4f %12.4f\n", sim.step_count(),
                 st.fractions[1], st.fractions[2],
                 app::interface_measure(sim.phi(), params.dx, 2));
-    if (b < 6) sim.run(total_steps / 6);
+    if (b < 6) report = sim.run(total_steps / 6);
   }
   grid::write_vtk(path, {&sim.phi(), &sim.mu()});
-  std::printf("kernel throughput: %.2f MLUP/s; wrote %s\n", sim.mlups(),
+  std::printf("kernel throughput: %.2f MLUP/s; wrote %s\n", report.mlups(),
               path);
   return 0;
 }

@@ -18,9 +18,8 @@ int main(int argc, char** argv) {
   app::GrandChemModel model(params);
 
   mpi::run(ranks, [&](mpi::Comm& comm) {
-    app::DistributedOptions opts;
-    opts.global_cells = {96, 96, 1};
-    opts.blocks_per_dim = {2, 2, 1};
+    const auto opts =
+        app::DistributedOptions{}.with_cells(96, 96).with_blocks(2, 2);
     app::DistributedSimulation sim(model, opts, &comm);
 
     sim.init(
@@ -35,11 +34,14 @@ int main(int argc, char** argv) {
 
     for (int b = 0; b <= 4; ++b) {
       const double solid = comm.allreduce_sum(sim.local_phi_sum(1));
+      const obs::RunReport rep = sim.report();
       if (comm.rank() == 0) {
         std::printf("rank 0 | step %4lld | global solid area %9.1f | "
-                    "%d local blocks | %zu B exchanged/step\n",
+                    "%d local blocks | %.2f MLUP/s | imbalance %.2f | "
+                    "%llu B exchanged total\n",
                     sim.step_count(), solid, sim.num_local_blocks(),
-                    sim.last_exchange_bytes());
+                    rep.mlups(), rep.block_imbalance,
+                    (unsigned long long)rep.exchange_bytes);
       }
       if (b < 4) sim.run(steps / 4);
     }

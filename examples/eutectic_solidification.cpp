@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
   std::printf("%8s %8s %10s %10s %10s %10s\n", "step", "front", "liquid",
               "alpha", "beta", "gamma");
   const int bursts = 8;
+  obs::RunReport report;
   for (int b = 0; b <= bursts; ++b) {
     const auto st = app::phase_statistics(sim.phi());
     std::printf("%8lld %8lld %10.4f %10.4f %10.4f %10.4f\n",
@@ -52,10 +53,10 @@ int main(int argc, char** argv) {
                       double(app::front_position(sim.phi(), 0, 1)),
                       st.fractions[0], st.fractions[1], st.fractions[2],
                       st.fractions[3]});
-    if (b < bursts) sim.run(total_steps / bursts);
+    if (b < bursts) report = sim.run(total_steps / bursts);
   }
   grid::write_vtk(prefix + ".vtk", {&sim.phi(), &sim.mu()});
   std::printf("kernel throughput: %.2f MLUP/s; wrote %s.vtk and %s_front.csv\n",
-              sim.mlups(), prefix.c_str(), prefix.c_str());
+              report.mlups(), prefix.c_str(), prefix.c_str());
   return 0;
 }

@@ -1,10 +1,11 @@
 // Quickstart: define a minimal two-phase model, let the pipeline generate
 // and JIT-compile its kernels, run mean-curvature flow of a shrinking disk,
-// and write VTK output.
+// write VTK output and a machine-readable observability report.
 //
-//   ./quickstart [output.vtk]
+//   ./quickstart [output.vtk] [report.json] [bursts]
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "pfc/app/analysis.hpp"
 #include "pfc/app/params.hpp"
@@ -13,19 +14,24 @@
 
 int main(int argc, char** argv) {
   using namespace pfc;
+  const char* vtk_path = argc > 1 ? argv[1] : "quickstart.vtk";
+  const char* report_path = argc > 2 ? argv[2] : "quickstart_report.json";
+  const int bursts = argc > 3 ? std::atoi(argv[3]) : 10;
 
   // 1. model: two phases, curvature-driven (no chemical driving force)
   app::GrandChemParams params = app::make_two_phase(/*dims=*/2);
   app::GrandChemModel model(params);
 
   // 2. compile: energy functional -> PDEs -> stencils -> optimized C -> JIT
-  app::SimulationOptions opts;
-  opts.cells = {128, 128, 1};
-  opts.threads = 4;
+  const auto opts = app::SimulationOptions{}.with_cells(128, 128)
+                        .with_threads(4);
   app::Simulation sim(model, opts);
-  std::printf("generated %zu bytes of C, compiled in %.2f s\n",
+  const obs::CompileReport& cr = sim.compiled().compile_report();
+  std::printf("generated %zu bytes of C in %.3f s (%lld -> %lld ops/cell), "
+              "external compiler %.2f s\n",
               sim.compiled().generated_source().size(),
-              sim.compiled().compile_seconds);
+              cr.generation_seconds(), cr.ops_per_cell_pre,
+              cr.ops_per_cell_post, cr.compile_seconds());
 
   // 3. initial condition: a solid disk in melt
   sim.init_phi([&](long long x, long long y, long long, int c) {
@@ -39,16 +45,22 @@ int main(int argc, char** argv) {
 
   // 4. time loop: the disk shrinks at a rate independent of its radius
   std::printf("%8s %12s %12s\n", "step", "solid area", "interface");
-  for (int burst = 0; burst < 10; ++burst) {
+  obs::RunReport report;
+  for (int burst = 0; burst < bursts; ++burst) {
     const auto st = app::phase_statistics(sim.phi());
     std::printf("%8lld %12.1f %12.4f\n", sim.step_count(),
                 st.fractions[1] * 128 * 128, st.interface_fraction);
-    sim.run(100);
+    report = sim.run(100);
   }
-  std::printf("kernel throughput: %.2f MLUP/s\n", sim.mlups());
+  std::printf("kernel throughput: %.2f MLUP/s over %lld steps\n",
+              report.mlups(), report.steps);
 
-  const char* path = argc > 1 ? argv[1] : "quickstart.vtk";
-  grid::write_vtk(path, {&sim.phi()});
-  std::printf("wrote %s\n", path);
+  grid::write_vtk(vtk_path, {&sim.phi()});
+
+  // 5. one JSON schema for examples and benches (validated by ctest)
+  obs::Json j = report.to_json();
+  j.set("compile", cr.to_json());
+  obs::write_json(report_path, j);
+  std::printf("wrote %s and %s\n", vtk_path, report_path);
   return 0;
 }

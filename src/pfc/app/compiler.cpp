@@ -1,6 +1,7 @@
 #include "pfc/app/compiler.hpp"
 
 #include "pfc/backend/c_emitter.hpp"
+#include "pfc/ir/opcount.hpp"
 #include "pfc/ir/schedule.hpp"
 #include "pfc/support/timer.hpp"
 
@@ -19,9 +20,19 @@ void CompiledKernel::run(const backend::Binding& b,
 
 std::vector<ir::Kernel> ModelCompiler::lower(
     const fd::PdeUpdate& pde, const fd::DiscretizeOptions& dopts,
-    const CompileOptions& opts, std::optional<FieldPtr>* flux_field) {
+    const CompileOptions& opts, std::optional<FieldPtr>* flux_field,
+    obs::CompileReport* report) {
+  Timer stage;
   fd::DiscretizeResult dres = fd::discretize(pde, dopts);
   if (flux_field != nullptr) *flux_field = dres.flux_field;
+  if (report != nullptr) {
+    report->add_stage("discretize", stage.seconds());
+    for (const auto& sk : dres.kernels) {
+      ir::OpCounts pre;
+      for (const auto& a : sk.assignments) pre += ir::count_ops(a.rhs);
+      report->ops_per_cell_pre += pre.normalized_flops();
+    }
+  }
 
   ir::BuildOptions bo;
   bo.cse = opts.cse;
@@ -31,11 +42,19 @@ std::vector<ir::Kernel> ModelCompiler::lower(
   std::vector<ir::Kernel> kernels;
   kernels.reserve(dres.kernels.size());
   for (const auto& sk : dres.kernels) {
+    stage.reset();
     ir::Kernel k = ir::build_kernel(sk, bo);
+    if (report != nullptr) report->add_stage("ir_build", stage.seconds());
     if (opts.schedule) {
+      stage.reset();
       ir::ScheduleOptions so;
       so.beam_width = opts.schedule_beam_width;
       ir::schedule_min_register(k, so);
+      if (report != nullptr) report->add_stage("schedule", stage.seconds());
+    }
+    if (report != nullptr) {
+      report->ops_per_cell_post += ir::count_ops(k).normalized_flops();
+      report->kernel_names.push_back(k.name);
     }
     kernels.push_back(std::move(k));
   }
@@ -47,7 +66,6 @@ CompiledModel ModelCompiler::compile_updates(
     const fd::DiscretizeOptions& dopts) const {
   PFC_REQUIRE(pdes.size() >= 1 && pdes.size() <= 2,
               "compile_updates expects [phi] or [phi, mu] updates");
-  Timer gen_timer;
   CompiledModel out;
 
   std::vector<std::vector<ir::Kernel>> groups;
@@ -57,10 +75,9 @@ CompiledModel ModelCompiler::compile_updates(
     d.clamp_unit_interval = i == 0 && opts_.clamp_phi;
     d.renormalize_simplex = d.clamp_unit_interval;
     std::optional<FieldPtr> flux;
-    groups.push_back(lower(pdes[i], d, opts_, &flux));
+    groups.push_back(lower(pdes[i], d, opts_, &flux, &out.report_));
     (i == 0 ? out.phi_flux_field : out.mu_flux_field) = flux;
   }
-  out.generation_seconds = gen_timer.seconds();
 
   const auto attach = [&](const std::vector<ir::Kernel>& ks,
                           std::vector<CompiledKernel>& dst) {
@@ -73,16 +90,24 @@ CompiledModel ModelCompiler::compile_updates(
   attach(groups[0], out.phi_kernels);
   if (groups.size() > 1) attach(groups[1], out.mu_kernels);
 
+  // The pre-obs accessors stay populated as thin shims over the report.
+  const auto sync_shims = [&out] {
+    out.generation_seconds = out.report_.generation_seconds();
+    out.compile_seconds = out.report_.compile_seconds();
+  };
+
   if (opts_.backend == Backend::Interpreter) {
     for (auto* group : {&out.phi_kernels, &out.mu_kernels}) {
       for (auto& ck : *group) {
         ck.interp_ = std::make_shared<backend::InterpreterKernel>(ck.ir);
       }
     }
+    sync_shims();
     return out;
   }
 
   // Emit all kernels into one translation unit and JIT it.
+  Timer stage;
   backend::CEmitOptions eo;
   eo.fast_math = opts_.fast_math;
   std::string source;
@@ -96,14 +121,16 @@ CompiledModel ModelCompiler::compile_updates(
     }
   }
   out.source_ = source;
+  out.report_.add_stage("emit", stage.seconds());
   out.library_ = std::make_shared<backend::JitLibrary>(
       backend::JitLibrary::compile(source));
-  out.compile_seconds = out.library_->compile_seconds();
+  out.report_.add_stage("jit", out.library_->compile_seconds());
   for (auto* group : {&out.phi_kernels, &out.mu_kernels}) {
     for (auto& ck : *group) {
       ck.fn_ = out.library_->get(backend::entry_name(ck.ir));
     }
   }
+  sync_shims();
   return out;
 }
 

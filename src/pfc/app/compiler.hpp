@@ -10,6 +10,7 @@
 #include "pfc/backend/interp.hpp"
 #include "pfc/backend/jit.hpp"
 #include "pfc/ir/kernel.hpp"
+#include "pfc/obs/report.hpp"
 
 namespace pfc::app {
 
@@ -53,6 +54,11 @@ class CompiledModel {
   std::optional<FieldPtr> phi_flux_field;
   std::optional<FieldPtr> mu_flux_field;
 
+  /// Per-stage timings and pre/post-optimization op counts.
+  const obs::CompileReport& compile_report() const { return report_; }
+
+  /// \deprecated Shims kept source-compatible with the pre-obs API; both
+  /// mirror compile_report() (generation_seconds() / compile_seconds()).
   double generation_seconds = 0.0;  ///< symbolic pipeline time
   double compile_seconds = 0.0;     ///< external compiler time (JIT only)
 
@@ -63,6 +69,7 @@ class CompiledModel {
   friend class ModelCompiler;
   std::string source_;
   std::shared_ptr<backend::JitLibrary> library_;
+  obs::CompileReport report_;
 };
 
 class ModelCompiler {
@@ -77,11 +84,14 @@ class ModelCompiler {
   CompiledModel compile_updates(const std::vector<fd::PdeUpdate>& pdes,
                                 const fd::DiscretizeOptions& dopts) const;
 
-  /// Pipeline front half only: PDE update -> optimized IR kernels.
+  /// Pipeline front half only: PDE update -> optimized IR kernels. When
+  /// `report` is given, per-stage timings and pre/post-optimization op
+  /// counts accumulate into it.
   static std::vector<ir::Kernel> lower(const fd::PdeUpdate& pde,
                                        const fd::DiscretizeOptions& dopts,
                                        const CompileOptions& opts,
-                                       std::optional<FieldPtr>* flux_field);
+                                       std::optional<FieldPtr>* flux_field,
+                                       obs::CompileReport* report = nullptr);
 
  private:
   CompileOptions opts_;

@@ -1,5 +1,9 @@
 #include "pfc/app/distributed.hpp"
 
+#include <algorithm>
+
+#include "pfc/support/timer.hpp"
+
 namespace pfc::app {
 
 namespace {
@@ -18,7 +22,7 @@ DistributedSimulation::DistributedSimulation(const GrandChemModel& model,
                                              mpi::Comm* comm)
     : model_(model),
       opts_(opts),
-      forest_(opts.global_cells, opts.blocks_per_dim,
+      forest_(opts.cells, opts.blocks_per_dim,
               comm != nullptr ? comm->size() : 1, model.params().dims,
               opts.boundary),
       comm_(comm),
@@ -113,33 +117,97 @@ void DistributedSimulation::init(
   exchange_.exchange(mu_view, /*field_tag=*/1);
 }
 
-void DistributedSimulation::run(int steps) {
+obs::RunReport DistributedSimulation::run(int steps) {
+  long long local_cells = 0;
+  for (const auto& lb : locals_) {
+    local_cells +=
+        lb->block->size[0] * lb->block->size[1] * lb->block->size[2];
+  }
+  obs::Counter& updates = reg_.counter("cell_updates");
+  obs::Counter& xbytes = reg_.counter("exchange_bytes");
+
   for (int it = 0; it < steps; ++it) {
     const double t = double(step_) * model_.params().dt;
-    for (auto& lb : locals_) {
-      const std::array<long long, 3> n = lb->block->size;
-      for (const auto& ck : compiled_.phi_kernels) {
-        ck.run(bind(ck.ir, *lb), n, t, step_);
-      }
-    }
-    auto phi_view = field_view(&LocalBlock::phi_dst);
-    exchange_.exchange(phi_view, /*field_tag=*/2);
+    double step_kernel_seconds = 0.0;
+    double step_exchange_seconds = 0.0;
+    std::uint64_t step_exchange_bytes = 0;
 
-    for (auto& lb : locals_) {
-      const std::array<long long, 3> n = lb->block->size;
-      for (const auto& ck : compiled_.mu_kernels) {
-        ck.run(bind(ck.ir, *lb), n, t, step_);
+    const auto run_group = [&](const std::vector<CompiledKernel>& kernels) {
+      for (std::size_t i = 0; i < locals_.size(); ++i) {
+        LocalBlock& lb = *locals_[i];
+        const std::array<long long, 3> n = lb.block->size;
+        Timer block_timer;
+        for (const auto& ck : kernels) {
+          Timer timer;
+          ck.run(bind(ck.ir, lb), n, t, step_);
+          reg_.add_time("kernel/" + ck.ir.name, timer.seconds());
+        }
+        reg_.add_time("block/" + std::to_string(lb.block->linear_id),
+                      block_timer.seconds());
+        step_kernel_seconds += block_timer.seconds();
       }
-    }
+    };
+    const auto timed_exchange = [&](std::vector<grid::LocalBlockField>& view,
+                                    int tag) {
+      Timer timer;
+      exchange_.exchange(view, tag);
+      const double s = timer.seconds();
+      reg_.add_time("exchange", s);
+      step_exchange_seconds += s;
+      const std::uint64_t b = exchange_.last_bytes_sent();
+      xbytes.add(b);
+      step_exchange_bytes += b;
+    };
+
+    run_group(compiled_.phi_kernels);
+    auto phi_view = field_view(&LocalBlock::phi_dst);
+    timed_exchange(phi_view, /*field_tag=*/2);
+
+    run_group(compiled_.mu_kernels);
     auto mu_view = field_view(&LocalBlock::mu_dst);
-    exchange_.exchange(mu_view, /*field_tag=*/3);
+    timed_exchange(mu_view, /*field_tag=*/3);
 
     for (auto& lb : locals_) {
       lb->phi_src.swap_data(lb->phi_dst);
       lb->mu_src.swap_data(lb->mu_dst);
     }
     ++step_;
+    updates.add(std::uint64_t(local_cells));
+    reg_.push_step({step_, step_kernel_seconds, step_exchange_seconds,
+                    step_exchange_bytes, std::uint64_t(local_cells)});
   }
+  return report();
+}
+
+obs::RunReport DistributedSimulation::report() const {
+  obs::RunReport r;
+  r.name = "distributed";
+  r.steps = step_;
+  r.cell_updates = reg_.counter_value("cell_updates");
+  r.num_blocks = static_cast<int>(locals_.size());
+  for (const auto& lb : locals_) {
+    r.cells_per_step +=
+        lb->block->size[0] * lb->block->size[1] * lb->block->size[2];
+  }
+  double block_max = 0.0, block_sum = 0.0;
+  int block_n = 0;
+  for (const auto& [path, t] : reg_.timers()) {
+    if (path.rfind("kernel/", 0) == 0) {
+      r.kernel_timers[path.substr(7)] = t;
+      r.kernel_seconds_total += t.seconds;
+    } else if (path == "exchange") {
+      r.exchange_seconds = t.seconds;
+    } else if (path.rfind("block/", 0) == 0) {
+      block_max = std::max(block_max, t.seconds);
+      block_sum += t.seconds;
+      ++block_n;
+    }
+  }
+  r.exchange_bytes = reg_.counter_value("exchange_bytes");
+  r.block_imbalance =
+      obs::safe_rate(block_max, block_sum / std::max(block_n, 1));
+  r.recent_steps = reg_.recent_steps();
+  return r;
 }
 
 double DistributedSimulation::local_phi_sum(int c) const {

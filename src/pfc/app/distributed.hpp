@@ -9,11 +9,28 @@
 
 namespace pfc::app {
 
-struct DistributedOptions {
-  std::array<long long, 3> global_cells{64, 64, 1};
+struct DistributedOptions : DomainOptions {
+  /// `cells` (from DomainOptions) is the *global* domain, decomposed into
+  /// `blocks_per_dim` equal blocks per dimension.
   std::array<int, 3> blocks_per_dim{2, 2, 1};
-  grid::BoundaryKind boundary = grid::BoundaryKind::Periodic;
-  CompileOptions compile;
+
+  DistributedOptions& with_cells(long long nx, long long ny,
+                                 long long nz = 1) {
+    DomainOptions::with_cells(nx, ny, nz);
+    return *this;
+  }
+  DistributedOptions& with_boundary(grid::BoundaryKind b) {
+    DomainOptions::with_boundary(b);
+    return *this;
+  }
+  DistributedOptions& with_compile(const CompileOptions& c) {
+    DomainOptions::with_compile(c);
+    return *this;
+  }
+  DistributedOptions& with_blocks(int bx, int by, int bz = 1) {
+    blocks_per_dim = {bx, by, bz};
+    return *this;
+  }
 };
 
 /// One rank's part of a distributed run. Construct inside an mpi::run
@@ -32,9 +49,15 @@ class DistributedSimulation {
             const std::function<double(long long, long long, long long,
                                        int)>& mu_f);
 
-  void run(int steps);
+  /// Advances `steps` time steps; returns the cumulative run report of
+  /// this rank (kernel timers, exchange bytes/seconds, block imbalance).
+  obs::RunReport run(int steps);
 
   long long step_count() const { return step_; }
+
+  /// Cumulative report without advancing time.
+  obs::RunReport report() const;
+  const obs::Registry& registry() const { return reg_; }
 
   /// Sum over local blocks of component c of phi (for cross-validation).
   double local_phi_sum(int c) const;
@@ -44,7 +67,9 @@ class DistributedSimulation {
   /// Entry (x + gx*(y + gy*z), c).
   std::vector<double> gather_phi() const;
 
-  /// Bytes sent by this rank in the last exchange round.
+  /// \deprecated Use report().exchange_bytes (cumulative) — this returns
+  /// only the bytes of the most recent exchange round.
+  [[deprecated("use report().exchange_bytes")]]
   std::size_t last_exchange_bytes() const;
 
  private:
@@ -66,6 +91,7 @@ class DistributedSimulation {
   std::vector<std::unique_ptr<LocalBlock>> locals_;
   grid::GhostExchange exchange_;
   long long step_ = 0;
+  obs::Registry reg_;
 };
 
 }  // namespace pfc::app

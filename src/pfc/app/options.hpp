@@ -1,0 +1,38 @@
+// Shared driver configuration: the domain-level knobs every driver needs
+// (cell extents, boundary handling, code-generation options), factored out
+// of SimulationOptions / DistributedOptions. Plain aggregate — member
+// assignment and brace-init both keep working — with named-setter chaining
+// for call sites that prefer fluent construction:
+//
+//   auto opts = app::SimulationOptions{}.with_cells(128, 128).with_threads(4);
+#pragma once
+
+#include <array>
+
+#include "pfc/app/compiler.hpp"
+#include "pfc/grid/boundary.hpp"
+
+namespace pfc::app {
+
+struct DomainOptions {
+  /// Interior cells. For distributed runs this is the *global* domain; the
+  /// block forest decomposes it.
+  std::array<long long, 3> cells{64, 64, 1};
+  grid::BoundaryKind boundary = grid::BoundaryKind::Periodic;
+  CompileOptions compile;
+
+  DomainOptions& with_cells(long long nx, long long ny, long long nz = 1) {
+    cells = {nx, ny, nz};
+    return *this;
+  }
+  DomainOptions& with_boundary(grid::BoundaryKind b) {
+    boundary = b;
+    return *this;
+  }
+  DomainOptions& with_compile(const CompileOptions& c) {
+    compile = c;
+    return *this;
+  }
+};
+
+}  // namespace pfc::app

@@ -117,14 +117,15 @@ void Simulation::init_mu(
   fill_all_ghosts(mu_src_arr_);
 }
 
-void Simulation::euler_substep(double t) {
+double Simulation::euler_substep(double t) {
   const std::array<long long, 3> cells = opts_.cells;
+  double substep_seconds = 0.0;
   const auto timed_run = [&](const CompiledKernel& ck) {
     Timer timer;
     ck.run(bind(ck.ir, false), cells, t, step_, pool_.get());
     const double s = timer.seconds();
-    kernel_seconds_[ck.ir.name] += s;
-    total_kernel_seconds_ += s;
+    reg_.add_time("kernel/" + ck.ir.name, s);
+    substep_seconds += s;
   };
   for (const auto& ck : compiled_.phi_kernels) timed_run(ck);
   fill_all_ghosts(phi_dst_arr_);
@@ -132,47 +133,77 @@ void Simulation::euler_substep(double t) {
   fill_all_ghosts(mu_dst_arr_);
   phi_src_arr_.swap_data(phi_dst_arr_);
   mu_src_arr_.swap_data(mu_dst_arr_);
+  return substep_seconds;
 }
 
-void Simulation::run(int n) {
+obs::RunReport Simulation::run(int n) {
   const double dt = model_.params().dt;
+  const long long cells = cells_per_step();
+  obs::Counter& updates = reg_.counter("cell_updates");
   for (int it = 0; it < n; ++it) {
+    double step_seconds = 0.0;
     if (opts_.time_scheme == TimeScheme::Euler) {
-      euler_substep(time());
-      ++step_;
-      continue;
-    }
-    // Heun: u1 = u0 + dt f(u0); u2 = u1 + dt f(u1); u_new = (u0 + u2) / 2
-    phi_0_->copy_from(phi_src_arr_);
-    mu_0_->copy_from(mu_src_arr_);
-    euler_substep(time());            // src now holds u1
-    euler_substep(time() + dt);       // src now holds u2
-    const auto average = [](Array& cur, const Array& u0) {
-      const auto& n3 = cur.size();
-      for (int c = 0; c < cur.components(); ++c) {
-        for (std::int64_t z = 0; z < n3[2]; ++z) {
-          for (std::int64_t y = 0; y < n3[1]; ++y) {
-            for (std::int64_t x = 0; x < n3[0]; ++x) {
-              cur.at(x, y, z, c) =
-                  0.5 * (cur.at(x, y, z, c) + u0.at(x, y, z, c));
+      step_seconds = euler_substep(time());
+    } else {
+      // Heun: u1 = u0 + dt f(u0); u2 = u1 + dt f(u1); u_new = (u0 + u2) / 2
+      phi_0_->copy_from(phi_src_arr_);
+      mu_0_->copy_from(mu_src_arr_);
+      step_seconds += euler_substep(time());       // src now holds u1
+      step_seconds += euler_substep(time() + dt);  // src now holds u2
+      const auto average = [](Array& cur, const Array& u0) {
+        const auto& n3 = cur.size();
+        for (int c = 0; c < cur.components(); ++c) {
+          for (std::int64_t z = 0; z < n3[2]; ++z) {
+            for (std::int64_t y = 0; y < n3[1]; ++y) {
+              for (std::int64_t x = 0; x < n3[0]; ++x) {
+                cur.at(x, y, z, c) =
+                    0.5 * (cur.at(x, y, z, c) + u0.at(x, y, z, c));
+              }
             }
           }
         }
-      }
-    };
-    average(phi_src_arr_, *phi_0_);
-    average(mu_src_arr_, *mu_0_);
-    fill_all_ghosts(phi_src_arr_);
-    fill_all_ghosts(mu_src_arr_);
+      };
+      average(phi_src_arr_, *phi_0_);
+      average(mu_src_arr_, *mu_0_);
+      fill_all_ghosts(phi_src_arr_);
+      fill_all_ghosts(mu_src_arr_);
+    }
     ++step_;
+    // One lattice update per step, whatever the scheme — Heun's two
+    // substeps advance time once.
+    updates.add(std::uint64_t(cells));
+    reg_.push_step({step_, step_seconds, 0.0, 0, std::uint64_t(cells)});
   }
+  return report();
 }
 
-double Simulation::mlups() const {
-  if (total_kernel_seconds_ <= 0.0 || step_ == 0) return 0.0;
-  const double cells = double(opts_.cells[0]) * double(opts_.cells[1]) *
-                       double(opts_.cells[2]);
-  return cells * double(step_) / total_kernel_seconds_ / 1e6;
+obs::RunReport Simulation::report() const {
+  obs::RunReport r;
+  r.name = "simulation";
+  r.steps = step_;
+  r.cells_per_step = cells_per_step();
+  r.cell_updates = reg_.counter_value("cell_updates");
+  for (const auto& [path, t] : reg_.timers()) {
+    if (path.rfind("kernel/", 0) == 0) {
+      r.kernel_timers[path.substr(7)] = t;
+      r.kernel_seconds_total += t.seconds;
+    }
+  }
+  r.recent_steps = reg_.recent_steps();
+  r.block_imbalance = step_ > 0 ? 1.0 : 0.0;  // single block
+  return r;
 }
+
+const std::map<std::string, double>& Simulation::kernel_seconds() const {
+  kernel_seconds_shim_.clear();
+  for (const auto& [path, t] : reg_.timers()) {
+    if (path.rfind("kernel/", 0) == 0) {
+      kernel_seconds_shim_[path.substr(7)] = t.seconds;
+    }
+  }
+  return kernel_seconds_shim_;
+}
+
+double Simulation::mlups() const { return report().mlups(); }
 
 }  // namespace pfc::app

@@ -14,8 +14,8 @@
 #include <functional>
 #include <map>
 
-#include "pfc/app/compiler.hpp"
-#include "pfc/grid/boundary.hpp"
+#include "pfc/app/options.hpp"
+#include "pfc/obs/report.hpp"
 
 namespace pfc::app {
 
@@ -25,14 +25,33 @@ namespace pfc::app {
 /// the driver level.
 enum class TimeScheme { Euler, Heun };
 
-struct SimulationOptions {
-  std::array<long long, 3> cells{64, 64, 1};
-  grid::BoundaryKind boundary = grid::BoundaryKind::Periodic;
+struct SimulationOptions : DomainOptions {
   int threads = 1;
   TimeScheme time_scheme = TimeScheme::Euler;
-  CompileOptions compile;
   /// Global offset of this block (distributed runs).
   std::array<long long, 3> block_offset{0, 0, 0};
+
+  SimulationOptions& with_cells(long long nx, long long ny,
+                                long long nz = 1) {
+    DomainOptions::with_cells(nx, ny, nz);
+    return *this;
+  }
+  SimulationOptions& with_boundary(grid::BoundaryKind b) {
+    DomainOptions::with_boundary(b);
+    return *this;
+  }
+  SimulationOptions& with_compile(const CompileOptions& c) {
+    DomainOptions::with_compile(c);
+    return *this;
+  }
+  SimulationOptions& with_threads(int t) {
+    threads = t;
+    return *this;
+  }
+  SimulationOptions& with_time_scheme(TimeScheme s) {
+    time_scheme = s;
+    return *this;
+  }
 };
 
 class Simulation {
@@ -55,26 +74,36 @@ class Simulation {
   void init_mu(const std::function<double(long long, long long, long long,
                                           int)>& f);
 
-  /// Advances `n` time steps.
-  void run(int n);
+  /// Advances `n` time steps and returns the cumulative run report (all
+  /// steps since construction, so repeated bursts keep one consistent
+  /// accounting).
+  obs::RunReport run(int n);
 
   long long step_count() const { return step_; }
   double time() const { return double(step_) * model_.params().dt; }
 
-  /// Wall-clock seconds spent inside compute kernels, by kernel name.
-  const std::map<std::string, double>& kernel_seconds() const {
-    return kernel_seconds_;
-  }
-  /// Million lattice-cell updates per second over all completed steps
-  /// (kernel time only, both sweeps counted as one update — the paper's
-  /// MLUP/s metric).
-  double mlups() const;
+  /// Cumulative report without advancing time (equals the last run()'s
+  /// return value).
+  obs::RunReport report() const;
+  /// The raw timer/counter registry behind the report.
+  const obs::Registry& registry() const { return reg_; }
+
+  /// \deprecated Use run()/report(): kernel timers live in the registry.
+  [[deprecated("use report().kernel_timers")]]
+  const std::map<std::string, double>& kernel_seconds() const;
+  /// \deprecated Use report().mlups(). Both sweeps (and Heun's two
+  /// substeps) count as one lattice update; guarded against run(0).
+  [[deprecated("use report().mlups()")]] double mlups() const;
 
  private:
   backend::Binding bind(const ir::Kernel& k, bool for_flux_of_mu) const;
   void fill_all_ghosts(Array& a) { grid::fill_ghosts(a, opts_.boundary); }
 
-  void euler_substep(double t);
+  /// Returns kernel seconds spent in this substep.
+  double euler_substep(double t);
+  long long cells_per_step() const {
+    return opts_.cells[0] * opts_.cells[1] * opts_.cells[2];
+  }
 
   GrandChemModel model_;
   SimulationOptions opts_;
@@ -85,8 +114,9 @@ class Simulation {
   std::optional<Array> phi_0_, mu_0_;
   std::unique_ptr<ThreadPool> pool_;
   long long step_ = 0;
-  std::map<std::string, double> kernel_seconds_;
-  double total_kernel_seconds_ = 0.0;
+  obs::Registry reg_;
+  /// Backing storage for the deprecated kernel_seconds() shim.
+  mutable std::map<std::string, double> kernel_seconds_shim_;
 };
 
 // --- initial-condition helpers ----------------------------------------------

@@ -172,6 +172,8 @@ void GhostExchange::exchange(const std::vector<LocalBlockField>& local,
     // freshly filled ghosts
     if (comm_ != nullptr) comm_->barrier();
   }
+  total_bytes_sent_ += bytes_sent_;
+  ++rounds_;
 }
 
 }  // namespace pfc::grid

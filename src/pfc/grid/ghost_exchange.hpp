@@ -35,6 +35,11 @@ class GhostExchange {
   /// volume accounting for the network model).
   std::size_t last_bytes_sent() const { return bytes_sent_; }
 
+  /// Cumulative remote bytes / exchange rounds since construction (feeds
+  /// the observability registry of the distributed driver).
+  std::size_t total_bytes_sent() const { return total_bytes_sent_; }
+  std::size_t rounds() const { return rounds_; }
+
  private:
   void exchange_axis(const std::vector<LocalBlockField>& local, int axis,
                      int field_tag);
@@ -42,6 +47,8 @@ class GhostExchange {
   const BlockForest& forest_;
   mpi::Comm* comm_;
   std::size_t bytes_sent_ = 0;
+  std::size_t total_bytes_sent_ = 0;
+  std::size_t rounds_ = 0;
 };
 
 }  // namespace pfc::grid

@@ -1,0 +1,147 @@
+#include "pfc/obs/registry.hpp"
+
+#include <cmath>
+
+namespace pfc::obs {
+
+double safe_rate(double numerator, double denominator) {
+  if (!(denominator > 0.0) || !std::isfinite(denominator) ||
+      !std::isfinite(numerator)) {
+    return 0.0;
+  }
+  return numerator / denominator;
+}
+
+Registry::Registry(std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity) {}
+
+Counter& Registry::counter(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[path];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+std::uint64_t Registry::counter_value(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(path);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+void Registry::add_time(const std::string& path, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TimerStat& t = timers_[path];
+  t.seconds += seconds;
+  t.count += 1;
+}
+
+TimerStat Registry::timer(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = timers_.find(path);
+  return it == timers_.end() ? TimerStat{} : it->second;
+}
+
+std::map<std::string, TimerStat> Registry::timers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return timers_;
+}
+
+std::map<std::string, std::uint64_t> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [k, c] : counters_) out[k] = c->value();
+  return out;
+}
+
+double Registry::per_second(const std::string& counter_path,
+                            const std::string& timer_path) const {
+  return safe_rate(double(counter_value(counter_path)),
+                   timer(timer_path).seconds);
+}
+
+void Registry::push_step(const StepStats& s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < ring_capacity_) {
+    ring_.push_back(s);
+  } else {
+    ring_[ring_next_] = s;
+  }
+  ring_next_ = (ring_next_ + 1) % ring_capacity_;
+  ++steps_recorded_;
+}
+
+std::vector<StepStats> Registry::recent_steps() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<StepStats> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < ring_capacity_) {
+    out = ring_;
+  } else {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(ring_next_ + i) % ring_.size()]);
+    }
+  }
+  return out;
+}
+
+long long Registry::steps_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return steps_recorded_;
+}
+
+Json Registry::to_json() const {
+  Json timers = Json::object();
+  for (const auto& [path, t] : this->timers()) {
+    timers.set(path, Json::object()
+                         .set("seconds", Json(t.seconds))
+                         .set("count", Json(t.count)));
+  }
+  Json counters = Json::object();
+  for (const auto& [path, v] : this->counters()) counters.set(path, Json(v));
+  return Json::object()
+      .set("timers", std::move(timers))
+      .set("counters", std::move(counters));
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  timers_.clear();
+  counters_.clear();
+  ring_.clear();
+  ring_next_ = 0;
+  steps_recorded_ = 0;
+}
+
+namespace {
+
+struct ScopeFrame {
+  const Registry* registry;
+  const std::string* path;
+};
+
+thread_local std::vector<ScopeFrame> g_scope_stack;
+
+}  // namespace
+
+ScopedTimer::ScopedTimer(Registry& registry, std::string name)
+    : registry_(&registry) {
+  if (!g_scope_stack.empty() && g_scope_stack.back().registry == &registry) {
+    path_ = *g_scope_stack.back().path + "/" + name;
+  } else {
+    path_ = std::move(name);
+  }
+  g_scope_stack.push_back({&registry, &path_});
+  timer_.reset();
+}
+
+ScopedTimer::~ScopedTimer() {
+  const double s = timer_.seconds();
+  // Scopes strictly nest per thread (stack objects), so the top frame is
+  // ours; tolerate a mismatch silently rather than throw from a destructor.
+  if (!g_scope_stack.empty() && g_scope_stack.back().path == &path_) {
+    g_scope_stack.pop_back();
+  }
+  registry_->add_time(path_, s);
+}
+
+}  // namespace pfc::obs

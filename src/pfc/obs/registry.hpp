@@ -1,0 +1,133 @@
+// Observability core (the measurement spine behind every paper figure we
+// reproduce): a hierarchical scoped-timer + monotonic-counter registry, and
+// a per-step ring buffer of StepStats.
+//
+// Design constraints, in order:
+//   * low overhead — a timed kernel run costs two steady_clock reads and one
+//     map accumulate; counters are lock-free relaxed atomics so generated
+//     kernels / pool workers can bump them concurrently and still sum
+//     deterministically,
+//   * hierarchy — nested ScopedTimers compose slash-separated paths
+//     ("step/kernel/phi_full") via a per-thread scope stack, so call sites
+//     never spell out their ancestry,
+//   * one place for guarded math — safe_rate() is the single spot where
+//     empty-timer / zero-step divisions are handled; every MLUP/s or
+//     bytes/s figure goes through it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pfc/obs/json.hpp"
+#include "pfc/support/timer.hpp"
+
+namespace pfc::obs {
+
+/// numerator/denominator with division-by-zero (and non-finite) guarded to
+/// 0. All derived throughput stats (MLUP/s, bytes/s, imbalance) route
+/// through here so `run(0)` and empty timers are handled consistently.
+double safe_rate(double numerator, double denominator);
+
+/// Accumulated wall-clock of one timer path.
+struct TimerStat {
+  double seconds = 0.0;
+  std::uint64_t count = 0;  ///< number of timed intervals
+};
+
+/// Monotonic event counter; add() is safe from any thread.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// One time step's signals, kept in the registry's ring buffer.
+struct StepStats {
+  long long step = -1;          ///< step index after the step completed
+  double kernel_seconds = 0.0;  ///< compute-kernel time within the step
+  double exchange_seconds = 0.0;
+  std::uint64_t exchange_bytes = 0;
+  std::uint64_t cell_updates = 0;  ///< lattice updates (Heun substeps = 1)
+};
+
+class Registry {
+ public:
+  explicit Registry(std::size_t ring_capacity = 256);
+
+  // -- counters --------------------------------------------------------
+  /// Returns the counter at `path`, creating it on first use. The
+  /// reference stays valid for the registry's lifetime, so hot loops can
+  /// look it up once and add() lock-free.
+  Counter& counter(const std::string& path);
+  std::uint64_t counter_value(const std::string& path) const;  // 0 if absent
+
+  // -- timers ----------------------------------------------------------
+  /// Accumulates one timed interval (ScopedTimer calls this; manual timing
+  /// may too).
+  void add_time(const std::string& path, double seconds);
+  TimerStat timer(const std::string& path) const;  // zero stat if absent
+
+  /// Snapshots (copies) for reporting.
+  std::map<std::string, TimerStat> timers() const;
+  std::map<std::string, std::uint64_t> counters() const;
+
+  /// counter(path) / timer(path).seconds, guarded by safe_rate().
+  double per_second(const std::string& counter_path,
+                    const std::string& timer_path) const;
+
+  // -- per-step ring buffer --------------------------------------------
+  void push_step(const StepStats& s);
+  /// Retained steps, oldest first (at most ring_capacity).
+  std::vector<StepStats> recent_steps() const;
+  long long steps_recorded() const;
+
+  /// Timers + counters as one JSON object (the "timers"/"counters"
+  /// sections of the report schema).
+  Json to_json() const;
+
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, TimerStat> timers_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::vector<StepStats> ring_;
+  std::size_t ring_capacity_;
+  std::size_t ring_next_ = 0;
+  long long steps_recorded_ = 0;
+};
+
+/// RAII timer: accumulates its lifetime into `registry` under a path formed
+/// by joining the names of all enclosing ScopedTimers on this thread with
+/// '/'. Scopes of different registries do not nest into each other.
+class ScopedTimer {
+ public:
+  ScopedTimer(Registry& registry, std::string name);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  const std::string& path() const { return path_; }
+  double seconds_so_far() const { return timer_.seconds(); }
+
+ private:
+  Registry* registry_;
+  std::string path_;
+  Timer timer_;
+};
+
+}  // namespace pfc::obs

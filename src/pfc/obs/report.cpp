@@ -1,0 +1,115 @@
+#include "pfc/obs/report.hpp"
+
+#include <cstdio>
+
+#include "pfc/support/assert.hpp"
+
+namespace pfc::obs {
+
+double RunReport::mlups() const {
+  return safe_rate(double(cell_updates), kernel_seconds_total) / 1e6;
+}
+
+double RunReport::kernel_seconds(const std::string& kernel_name) const {
+  const auto it = kernel_timers.find(kernel_name);
+  return it == kernel_timers.end() ? 0.0 : it->second.seconds;
+}
+
+double RunReport::exchange_bytes_per_second() const {
+  return safe_rate(double(exchange_bytes), exchange_seconds);
+}
+
+Json RunReport::to_json() const {
+  std::map<std::string, TimerStat> timers;
+  for (const auto& [k, t] : kernel_timers) timers["kernel/" + k] = t;
+  if (exchange_seconds > 0.0) {
+    timers["exchange"] = TimerStat{exchange_seconds, std::uint64_t(steps)};
+  }
+  const std::map<std::string, std::uint64_t> counters{
+      {"steps", std::uint64_t(steps)},
+      {"cell_updates", cell_updates},
+      {"exchange_bytes", exchange_bytes},
+  };
+  const std::map<std::string, double> derived{
+      {"mlups", mlups()},
+      {"kernel_seconds_total", kernel_seconds_total},
+      {"cells_per_step", double(cells_per_step)},
+      {"num_blocks", double(num_blocks)},
+      {"block_imbalance", block_imbalance},
+      {"exchange_bytes_per_second", exchange_bytes_per_second()},
+  };
+  return make_report_json("run", name, timers, counters, derived);
+}
+
+void CompileReport::add_stage(const std::string& stage, double seconds) {
+  TimerStat& t = stage_timers[stage];
+  t.seconds += seconds;
+  t.count += 1;
+}
+
+double CompileReport::generation_seconds() const {
+  double s = 0.0;
+  for (const auto& [stage, t] : stage_timers) {
+    if (stage != "jit") s += t.seconds;
+  }
+  return s;
+}
+
+double CompileReport::compile_seconds() const {
+  const auto it = stage_timers.find("jit");
+  return it == stage_timers.end() ? 0.0 : it->second.seconds;
+}
+
+Json CompileReport::to_json() const {
+  std::map<std::string, TimerStat> timers;
+  for (const auto& [k, t] : stage_timers) timers["stage/" + k] = t;
+  const std::map<std::string, std::uint64_t> counters{
+      {"ops_per_cell_pre", std::uint64_t(ops_per_cell_pre)},
+      {"ops_per_cell_post", std::uint64_t(ops_per_cell_post)},
+      {"num_kernels", std::uint64_t(kernel_names.size())},
+  };
+  const std::map<std::string, double> derived{
+      {"generation_seconds", generation_seconds()},
+      {"compile_seconds", compile_seconds()},
+  };
+  Json j = make_report_json("compile", name, timers, counters, derived);
+  Json names = Json::array();
+  for (const auto& n : kernel_names) names.push(Json(n));
+  j.set("kernels", std::move(names));
+  return j;
+}
+
+Json make_report_json(const std::string& kind, const std::string& name,
+                      const std::map<std::string, TimerStat>& timers,
+                      const std::map<std::string, std::uint64_t>& counters,
+                      const std::map<std::string, double>& derived) {
+  Json jt = Json::object();
+  for (const auto& [path, t] : timers) {
+    jt.set(path, Json::object()
+                     .set("seconds", Json(t.seconds))
+                     .set("count", Json(t.count)));
+  }
+  Json jc = Json::object();
+  for (const auto& [path, v] : counters) jc.set(path, Json(v));
+  Json jd = Json::object();
+  for (const auto& [path, v] : derived) jd.set(path, Json(v));
+  return Json::object()
+      .set("schema", Json(kReportSchema))
+      .set("kind", Json(kind))
+      .set("name", Json(name))
+      .set("timers", std::move(jt))
+      .set("counters", std::move(jc))
+      .set("derived", std::move(jd));
+}
+
+void write_json(const std::string& path, const Json& j) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PFC_REQUIRE(f != nullptr, "obs::write_json: cannot open " + path);
+  const std::string text = j.dump(2) + "\n";
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  PFC_REQUIRE(written == text.size(), "obs::write_json: short write to " +
+                                          path);
+}
+
+}  // namespace pfc::obs

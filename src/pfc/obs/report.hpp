@@ -1,0 +1,94 @@
+// The redesigned reporting API: drivers return a RunReport from run(), the
+// compiler exposes a CompileReport, and both (plus the bench harness) emit
+// one JSON schema:
+//
+//   {
+//     "schema":   "pfc-obs-report-v1",
+//     "kind":     "run" | "compile" | "bench",
+//     "name":     "<producer>",
+//     "timers":   { "<path>": {"seconds": s, "count": n}, ... },
+//     "counters": { "<path>": n, ... },
+//     "derived":  { "<stat>": x, ... }
+//   }
+//
+// Producers may add extra keys (e.g. quickstart embeds its CompileReport
+// under "compile"); validators require only the six above. See
+// tools/report_check.cpp for the machine check run by ctest.
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pfc/obs/registry.hpp"
+
+namespace pfc::obs {
+
+inline constexpr const char* kReportSchema = "pfc-obs-report-v1";
+
+/// Cumulative signals of a (possibly distributed) simulation run. Returned
+/// by Simulation::run() / DistributedSimulation::run(); totals cover the
+/// simulation's whole lifetime, not just the last run() call, so the
+/// deprecated accessors and the report always agree.
+struct RunReport {
+  std::string name = "run";
+  long long steps = 0;
+  long long cells_per_step = 0;     ///< interior cells of one lattice update
+  std::uint64_t cell_updates = 0;   ///< Heun's two substeps count as one
+  std::map<std::string, TimerStat> kernel_timers;  ///< by kernel IR name
+  double kernel_seconds_total = 0.0;
+  double exchange_seconds = 0.0;    ///< ghost exchange (distributed runs)
+  std::uint64_t exchange_bytes = 0; ///< bytes sent to remote ranks, total
+  int num_blocks = 1;
+  /// max/mean of per-block kernel seconds (1.0 = perfectly balanced; 0 if
+  /// nothing ran yet).
+  double block_imbalance = 0.0;
+  std::vector<StepStats> recent_steps;  ///< ring-buffer tail, oldest first
+
+  /// Million lattice-cell updates per second over kernel time only — the
+  /// paper's MLUP/s metric. Guarded: 0.0 before any step ran.
+  double mlups() const;
+  /// Seconds accumulated by one kernel (0.0 if it never ran).
+  double kernel_seconds(const std::string& kernel_name) const;
+  /// Exchange bandwidth in bytes/s (0.0 for node-level runs).
+  double exchange_bytes_per_second() const;
+
+  Json to_json() const;
+};
+
+/// Per-stage timings and op counts of one ModelCompiler::compile() (paper
+/// Table 1 / "generation vs compile time" discussion).
+struct CompileReport {
+  std::string name = "compile";
+  /// Pipeline stages: "discretize", "ir_build" (CSE + hoisting),
+  /// "schedule", "emit", "jit" (external compiler).
+  std::map<std::string, TimerStat> stage_timers;
+  /// Normalized per-cell FLOPs summed over kernels, before (raw stencil
+  /// RHS) and after (optimized IR body) CSE/hoisting.
+  long long ops_per_cell_pre = 0;
+  long long ops_per_cell_post = 0;
+  std::vector<std::string> kernel_names;  ///< IR names, execution order
+
+  void add_stage(const std::string& stage, double seconds);
+  /// Symbolic-pipeline time: every stage except the external compiler.
+  double generation_seconds() const;
+  /// External ("jit") compiler time; 0.0 for the interpreter backend.
+  double compile_seconds() const;
+
+  Json to_json() const;
+};
+
+/// Assembles the shared report schema from raw sections. RunReport,
+/// CompileReport and the bench harness all funnel through this so every
+/// producer emits the same shape.
+Json make_report_json(const std::string& kind, const std::string& name,
+                      const std::map<std::string, TimerStat>& timers,
+                      const std::map<std::string, std::uint64_t>& counters,
+                      const std::map<std::string, double>& derived);
+
+/// Writes `j` to `path` with a trailing newline; throws pfc::Error on I/O
+/// failure.
+void write_json(const std::string& path, const Json& j);
+
+}  // namespace pfc::obs

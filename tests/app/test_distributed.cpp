@@ -7,6 +7,7 @@
 
 #include "pfc/app/distributed.hpp"
 #include "pfc/app/params.hpp"
+#include "pfc/obs/report.hpp"
 
 namespace pfc::app {
 namespace {
@@ -44,7 +45,7 @@ TEST(DistributedTest, SerialMultiBlockMatchesSingleBlock) {
   const auto ref = reference_run(model, 10);
 
   DistributedOptions o;
-  o.global_cells = {32, 32, 1};
+  o.cells = {32, 32, 1};
   o.blocks_per_dim = {2, 2, 1};
   DistributedSimulation dist(model, o, nullptr);
   dist.init(&phi_init, &mu_init);
@@ -65,7 +66,7 @@ TEST(DistributedTest, TwoRanksMatchSingleBlock) {
 
   mpi::run(2, [&](mpi::Comm& comm) {
     DistributedOptions o;
-    o.global_cells = {32, 32, 1};
+    o.cells = {32, 32, 1};
     o.blocks_per_dim = {2, 2, 1};
     DistributedSimulation dist(model, o, &comm);
     EXPECT_EQ(dist.num_local_blocks(), 2);
@@ -85,15 +86,24 @@ TEST(DistributedTest, FourRanksConserveSimplexGlobally) {
   GrandChemModel model(make_two_phase(2));
   mpi::run(4, [&](mpi::Comm& comm) {
     DistributedOptions o;
-    o.global_cells = {32, 32, 1};
+    o.cells = {32, 32, 1};
     o.blocks_per_dim = {4, 2, 1};
     DistributedSimulation dist(model, o, &comm);
     dist.init(&phi_init, &mu_init);
-    dist.run(12);
+    const obs::RunReport rep = dist.run(12);
     const double s0 = comm.allreduce_sum(dist.local_phi_sum(0));
     const double s1 = comm.allreduce_sum(dist.local_phi_sum(1));
     EXPECT_NEAR(s0 + s1, 32.0 * 32.0, 1e-8);
+    // the report carries the communication volume of this rank
+    EXPECT_GT(rep.exchange_bytes, 0u);
+    EXPECT_EQ(rep.steps, 12);
+    EXPECT_GT(rep.mlups(), 0.0);
+    EXPECT_GE(rep.block_imbalance, 1.0);
+    // the deprecated accessor still works and agrees with the last round
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     EXPECT_GT(dist.last_exchange_bytes(), 0u);
+#pragma GCC diagnostic pop
   });
 }
 
@@ -101,7 +111,7 @@ TEST(DistributedTest, SplitKernelsDistributedMatchReference) {
   GrandChemModel model(make_two_phase(2));
   const auto ref = reference_run(model, 6);
   DistributedOptions o;
-  o.global_cells = {32, 32, 1};
+  o.cells = {32, 32, 1};
   o.blocks_per_dim = {2, 1, 1};
   o.compile.split_phi = true;
   o.compile.split_mu = true;

@@ -189,6 +189,19 @@ TEST(CompilerTest, JitSourceContainsBothKernels) {
   EXPECT_NE(cm.generated_source().find("phi_full"), std::string::npos);
   EXPECT_NE(cm.generated_source().find("mu_full"), std::string::npos);
   EXPECT_GT(cm.compile_seconds, 0.0);
+  // the deprecated shims agree with the compile report
+  const obs::CompileReport& cr = cm.compile_report();
+  EXPECT_DOUBLE_EQ(cm.compile_seconds, cr.compile_seconds());
+  EXPECT_DOUBLE_EQ(cm.generation_seconds, cr.generation_seconds());
+  EXPECT_GT(cr.generation_seconds(), 0.0);
+  EXPECT_GT(cr.ops_per_cell_pre, 0);
+  EXPECT_GE(cr.ops_per_cell_pre, cr.ops_per_cell_post)
+      << "CSE + hoisting must not increase per-cell op counts";
+  // kernel_names carry the IR names; the generated C entry points are the
+  // sanitized ("phi_full") forms checked above
+  ASSERT_EQ(cr.kernel_names.size(), 2u);
+  EXPECT_EQ(cr.kernel_names[0], "phi-full");
+  EXPECT_EQ(cr.kernel_names[1], "mu-full");
 }
 
 }  // namespace

@@ -227,12 +227,28 @@ TEST(SimulationTest, MlupsAccounting) {
   GrandChemModel m(p);
   Simulation sim(m, small_2d(32, 32));
   init_circle(sim, 16, 16, 8, p.epsilon);
-  EXPECT_EQ(sim.mlups(), 0.0);
-  sim.run(5);
-  EXPECT_GT(sim.mlups(), 0.0);
+  // guarded before any step and for run(0)
+  EXPECT_EQ(sim.report().mlups(), 0.0);
+  EXPECT_EQ(sim.run(0).mlups(), 0.0);
+  const obs::RunReport rep = sim.run(5);
+  EXPECT_GT(rep.mlups(), 0.0);
+  EXPECT_EQ(rep.steps, 5);
+  EXPECT_EQ(rep.cell_updates, 5u * 32u * 32u);
+  EXPECT_FALSE(rep.kernel_timers.empty());
   EXPECT_EQ(sim.step_count(), 5);
   EXPECT_NEAR(sim.time(), 5 * p.dt, 1e-12);
-  EXPECT_FALSE(sim.kernel_seconds().empty());
+
+  // deprecated shims still compile and agree with the report
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_DOUBLE_EQ(sim.mlups(), rep.mlups());
+  const auto& shim = sim.kernel_seconds();
+  ASSERT_EQ(shim.size(), rep.kernel_timers.size());
+  for (const auto& [name, t] : rep.kernel_timers) {
+    ASSERT_TRUE(shim.count(name)) << name;
+    EXPECT_DOUBLE_EQ(shim.at(name), t.seconds);
+  }
+#pragma GCC diagnostic pop
 }
 
 }  // namespace

@@ -1,0 +1,129 @@
+// Validates a pfc-obs report JSON file against the shared schema
+// (pfc-obs-report-v1). Run by ctest against the file quickstart emits, so
+// every producer that funnels through obs::make_report_json stays honest.
+//
+// Usage: report_check <report.json> [expected-kind]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "pfc/obs/json.hpp"
+#include "pfc/obs/report.hpp"
+
+namespace {
+
+int g_errors = 0;
+
+void fail(const std::string& msg) {
+  std::fprintf(stderr, "report_check: %s\n", msg.c_str());
+  ++g_errors;
+}
+
+void check_finite_nonneg(const pfc::obs::Json& v, const std::string& where) {
+  if (!v.is_number()) {
+    fail(where + ": expected a number");
+    return;
+  }
+  const double x = v.number();
+  if (!(x >= 0.0)) fail(where + ": negative or non-finite value");
+}
+
+std::string read_file(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (!f) {
+    fail(std::string("cannot open ") + path);
+    return "";
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: report_check <report.json> [kind]\n");
+    return 2;
+  }
+  const std::string text = read_file(argv[1]);
+  if (g_errors) return 1;
+
+  std::string err;
+  const pfc::obs::Json j = pfc::obs::Json::parse(text, &err);
+  if (!err.empty()) {
+    fail("parse error: " + err);
+    return 1;
+  }
+  if (!j.is_object()) fail("top level must be an object");
+
+  // the six required sections
+  for (const char* key :
+       {"schema", "kind", "name", "timers", "counters", "derived"}) {
+    if (!j.find(key)) fail(std::string("missing required key \"") + key + '"');
+  }
+  if (g_errors) return 1;
+
+  if (!j.find("schema")->is_string() ||
+      j.find("schema")->str() != pfc::obs::kReportSchema) {
+    fail(std::string("schema must be \"") + pfc::obs::kReportSchema + '"');
+  }
+  const pfc::obs::Json& kind = *j.find("kind");
+  if (!kind.is_string() || (kind.str() != "run" && kind.str() != "compile" &&
+                            kind.str() != "bench")) {
+    fail("kind must be \"run\", \"compile\" or \"bench\"");
+  }
+  if (argc == 3 && kind.is_string() && kind.str() != argv[2]) {
+    fail(std::string("expected kind \"") + argv[2] + "\", got \"" +
+         kind.str() + '"');
+  }
+  if (!j.find("name")->is_string() || j.find("name")->str().empty()) {
+    fail("name must be a non-empty string");
+  }
+
+  const pfc::obs::Json& timers = *j.find("timers");
+  if (!timers.is_object()) {
+    fail("timers must be an object");
+  } else {
+    for (const auto& [path, t] : timers.items()) {
+      if (!t.is_object() || !t.find("seconds") || !t.find("count")) {
+        fail("timers/" + path + ": expected {\"seconds\", \"count\"}");
+        continue;
+      }
+      check_finite_nonneg(*t.find("seconds"), "timers/" + path + "/seconds");
+      check_finite_nonneg(*t.find("count"), "timers/" + path + "/count");
+    }
+  }
+
+  const pfc::obs::Json& counters = *j.find("counters");
+  if (!counters.is_object()) {
+    fail("counters must be an object");
+  } else {
+    for (const auto& [path, v] : counters.items()) {
+      check_finite_nonneg(v, "counters/" + path);
+    }
+  }
+
+  const pfc::obs::Json& derived = *j.find("derived");
+  if (!derived.is_object()) {
+    fail("derived must be an object");
+  } else {
+    for (const auto& [stat, v] : derived.items()) {
+      check_finite_nonneg(v, "derived/" + stat);
+    }
+  }
+
+  if (g_errors) {
+    std::fprintf(stderr, "report_check: %s FAILED (%d error%s)\n", argv[1],
+                 g_errors, g_errors == 1 ? "" : "s");
+    return 1;
+  }
+  std::printf("report_check: %s OK (kind=%s, %zu timers, %zu counters)\n",
+              argv[1], kind.str().c_str(), timers.items().size(),
+              counters.items().size());
+  return 0;
+}
