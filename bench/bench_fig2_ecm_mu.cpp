@@ -86,12 +86,29 @@ int main() {
   std::printf("\n%6s %22s %22s   (measured, %lldx%lldx%lld block)\n",
               "cores", "Bench mu-split", "Bench mu-full", meas[0], meas[1],
               meas[2]);
+  double meas_split = 0, meas_full = 0;
   for (int t = 1; t <= max_threads; ++t) {
-    const double ms = measure_mu(true, t, 3, meas);
-    const double mf = measure_mu(false, t, 3, meas);
-    std::printf("%6d %22.2f %22.2f\n", t, ms / t, mf / t);
+    meas_split = measure_mu(true, t, 3, meas);
+    meas_full = measure_mu(false, t, 3, meas);
+    std::printf("%6d %22.2f %22.2f\n", t, meas_split / t, meas_full / t);
   }
   std::printf("\n[absolute numbers are host-dependent; the paper's shapes "
               "under test: decaying split vs flat full per-core rates]\n");
+
+  const int socket = machine.cores;
+  write_bench_report(
+      "fig2_ecm_mu",
+      bench_report_json(
+          "fig2_ecm_mu",
+          {{"model_socket_mu_split_mlups", split_mlups(socket)},
+           {"model_socket_mu_full_mlups", full_ecm.mlups(machine, socket)},
+           {"model_saturation_cores_mu_split",
+            double(std::min(main_ecm.saturation_cores(machine),
+                            stag_ecm.saturation_cores(machine)))},
+           {"model_saturation_cores_mu_full",
+            double(full_ecm.saturation_cores(machine))},
+           {"measured_mu_split_mlups", meas_split},
+           {"measured_mu_full_mlups", meas_full},
+           {"measured_threads", double(max_threads)}}));
   return 0;
 }

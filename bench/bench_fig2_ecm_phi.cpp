@@ -70,12 +70,16 @@ int main() {
                 model_mlups(Which::PhiP2, false, c, machine, block) / c);
   }
   const int socket = machine.cores;
-  const bool p1_full_wins =
-      model_mlups(Which::PhiP1, false, socket, machine, block) >
+  const double m_p1_split =
       model_mlups(Which::PhiP1, true, socket, machine, block);
-  const bool p2_split_wins =
-      model_mlups(Which::PhiP2, true, socket, machine, block) >
+  const double m_p1_full =
+      model_mlups(Which::PhiP1, false, socket, machine, block);
+  const double m_p2_split =
+      model_mlups(Which::PhiP2, true, socket, machine, block);
+  const double m_p2_full =
       model_mlups(Which::PhiP2, false, socket, machine, block);
+  const bool p1_full_wins = m_p1_full > m_p1_split;
+  const bool p2_split_wins = m_p2_split > m_p2_full;
   std::printf("\nfull-socket model choice: P1 -> %s (paper: full), "
               "P2 -> %s (paper: split)\n",
               p1_full_wins ? "phi-full" : "phi-split",
@@ -83,14 +87,32 @@ int main() {
 
   const int max_threads = ThreadPool::hardware_threads();
   const std::array<long long, 3> meas{40, 40, 40};
+  double b_p1_split = 0, b_p1_full = 0, b_p2_split = 0, b_p2_full = 0;
   std::printf("\n%6s %16s %16s %16s %16s   [measured]\n", "cores",
               "P1 phi-split", "P1 phi-full", "P2 phi-split", "P2 phi-full");
   for (int t = 1; t <= max_threads; ++t) {
-    std::printf("%6d %16.2f %16.2f %16.2f %16.2f\n", t,
-                measure_phi(Which::PhiP1, true, t, 3, meas) / t,
-                measure_phi(Which::PhiP1, false, t, 3, meas) / t,
-                measure_phi(Which::PhiP2, true, t, 2, meas) / t,
-                measure_phi(Which::PhiP2, false, t, 2, meas) / t);
+    b_p1_split = measure_phi(Which::PhiP1, true, t, 3, meas);
+    b_p1_full = measure_phi(Which::PhiP1, false, t, 3, meas);
+    b_p2_split = measure_phi(Which::PhiP2, true, t, 2, meas);
+    b_p2_full = measure_phi(Which::PhiP2, false, t, 2, meas);
+    std::printf("%6d %16.2f %16.2f %16.2f %16.2f\n", t, b_p1_split / t,
+                b_p1_full / t, b_p2_split / t, b_p2_full / t);
   }
+
+  write_bench_report(
+      "fig2_ecm_phi",
+      bench_report_json(
+          "fig2_ecm_phi",
+          {{"model_socket_p1_phi_split_mlups", m_p1_split},
+           {"model_socket_p1_phi_full_mlups", m_p1_full},
+           {"model_socket_p2_phi_split_mlups", m_p2_split},
+           {"model_socket_p2_phi_full_mlups", m_p2_full},
+           {"model_p1_chooses_full", p1_full_wins ? 1.0 : 0.0},
+           {"model_p2_chooses_split", p2_split_wins ? 1.0 : 0.0},
+           {"measured_p1_phi_split_mlups", b_p1_split},
+           {"measured_p1_phi_full_mlups", b_p1_full},
+           {"measured_p2_phi_split_mlups", b_p2_split},
+           {"measured_p2_phi_full_mlups", b_p2_full},
+           {"measured_threads", double(max_threads)}}));
   return 0;
 }

@@ -2,24 +2,43 @@
 // a two-phase curvature-flow problem and exchange ghost layers every step
 // (the waLBerla-style runtime of paper §4).
 //
-//   ./distributed_demo [ranks] [steps]
+//   ./distributed_demo [--health=ignore|warn|throw] [ranks] [steps]
+//
+// --health enables per-step in-situ physics checks on every rank.
+// --health=throw turns any NaN/phase-sum/conservation violation into a
+// failing exit code, which is how ctest guards against silent physics
+// regressions.
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "pfc/app/distributed.hpp"
 #include "pfc/app/params.hpp"
 
 int main(int argc, char** argv) {
   using namespace pfc;
-  const int ranks = argc > 1 ? std::atoi(argv[1]) : 4;
-  const int steps = argc > 2 ? std::atoi(argv[2]) : 200;
+  obs::HealthOptions health;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--health=", 9) == 0) {
+      health.enable().with_policy(obs::parse_health_policy(argv[i] + 9));
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  const int ranks = pos.size() > 0 ? std::atoi(pos[0]) : 4;
+  const int steps = pos.size() > 1 ? std::atoi(pos[1]) : 200;
 
   app::GrandChemParams params = app::make_two_phase(2);
   app::GrandChemModel model(params);
 
   mpi::run(ranks, [&](mpi::Comm& comm) {
-    const auto opts =
-        app::DistributedOptions{}.with_cells(96, 96).with_blocks(2, 2);
+    const auto opts = app::DistributedOptions{}
+                          .with_cells(96, 96)
+                          .with_blocks(2, 2)
+                          .with_health(health);
     app::DistributedSimulation sim(model, opts, &comm);
 
     sim.init(
@@ -44,6 +63,13 @@ int main(int argc, char** argv) {
                     (unsigned long long)rep.exchange_bytes);
       }
       if (b < 4) sim.run(steps / 4);
+    }
+    if (comm.rank() == 0 && health.enabled) {
+      const obs::HealthStats& hs = sim.health().stats();
+      std::printf("rank 0 | health: %lld scans, %llu violations "
+                  "(policy %s)\n",
+                  hs.checks, (unsigned long long)hs.total_violations(),
+                  obs::health_policy_name(health.policy));
     }
   });
   std::printf("done.\n");

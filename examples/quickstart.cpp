@@ -2,10 +2,16 @@
 // and JIT-compile its kernels, run mean-curvature flow of a shrinking disk,
 // write VTK output and a machine-readable observability report.
 //
-//   ./quickstart [output.vtk] [report.json] [bursts]
+//   ./quickstart [--trace[=trace.json]] [output.vtk] [report.json] [bursts]
+//
+// --trace records a chrome://tracing span timeline (per-kernel, per-slab
+// and boundary-fill spans) — open the file in chrome://tracing or Perfetto.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "pfc/app/analysis.hpp"
 #include "pfc/app/params.hpp"
@@ -14,17 +20,33 @@
 
 int main(int argc, char** argv) {
   using namespace pfc;
-  const char* vtk_path = argc > 1 ? argv[1] : "quickstart.vtk";
-  const char* report_path = argc > 2 ? argv[2] : "quickstart_report.json";
-  const int bursts = argc > 3 ? std::atoi(argv[3]) : 10;
+  bool trace = false;
+  std::string trace_path = "trace.json";
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace", 7) == 0) {
+      trace = true;
+      if (argv[i][7] == '=') trace_path = argv[i] + 8;
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  const char* vtk_path = pos.size() > 0 ? pos[0] : "quickstart.vtk";
+  const char* report_path = pos.size() > 1 ? pos[1]
+                                           : "quickstart_report.json";
+  const int bursts = pos.size() > 2 ? std::atoi(pos[2]) : 10;
 
   // 1. model: two phases, curvature-driven (no chemical driving force)
   app::GrandChemParams params = app::make_two_phase(/*dims=*/2);
   app::GrandChemModel model(params);
 
   // 2. compile: energy functional -> PDEs -> stencils -> optimized C -> JIT
-  const auto opts = app::SimulationOptions{}.with_cells(128, 128)
-                        .with_threads(4);
+  auto opts = app::SimulationOptions{}.with_cells(128, 128)
+                  .with_threads(4)
+                  .with_health(obs::HealthOptions{}.enable().every(100));
+  if (trace) {
+    opts.with_trace(obs::TraceOptions{}.enable().with_path(trace_path));
+  }
   app::Simulation sim(model, opts);
   const obs::CompileReport& cr = sim.compiled().compile_report();
   std::printf("generated %zu bytes of C in %.3f s (%lld -> %lld ops/cell), "
@@ -62,5 +84,10 @@ int main(int argc, char** argv) {
   j.set("compile", cr.to_json());
   obs::write_json(report_path, j);
   std::printf("wrote %s and %s\n", vtk_path, report_path);
+  if (trace) {
+    std::printf("wrote %s (%llu spans) - open in chrome://tracing\n",
+                trace_path.c_str(),
+                (unsigned long long)sim.tracer().events_recorded());
+  }
   return 0;
 }

@@ -9,11 +9,14 @@ namespace pfc::app {
 
 void CompiledKernel::run(const backend::Binding& b,
                          const std::array<long long, 3>& n, double t,
-                         long long t_step, ThreadPool* pool) const {
+                         long long t_step, ThreadPool* pool,
+                         obs::TraceRecorder* tracer) const {
   if (fn_ != nullptr) {
-    backend::run_compiled(ir, fn_, b, n, t, t_step, pool);
+    backend::run_compiled(ir, fn_, b, n, t, t_step, pool, tracer);
   } else {
     PFC_ASSERT(interp_ != nullptr, "CompiledKernel has no backend");
+    // Interpreter slabs carry no per-thread spans; the driver's kernel span
+    // still covers the launch.
     interp_->run(b, n, t, t_step, pool);
   }
 }

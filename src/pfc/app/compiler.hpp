@@ -38,7 +38,8 @@ class CompiledKernel {
   ir::Kernel ir;
 
   void run(const backend::Binding& b, const std::array<long long, 3>& n,
-           double t, long long t_step, ThreadPool* pool = nullptr) const;
+           double t, long long t_step, ThreadPool* pool = nullptr,
+           obs::TraceRecorder* tracer = nullptr) const;
 
  private:
   friend class ModelCompiler;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "pfc/perf/drift.hpp"
 #include "pfc/support/timer.hpp"
 
 namespace pfc::app {
@@ -27,7 +28,8 @@ DistributedSimulation::DistributedSimulation(const GrandChemModel& model,
               opts.boundary),
       comm_(comm),
       compiled_(ModelCompiler(opts.compile).compile(model)),
-      exchange_(forest_, comm) {
+      exchange_(forest_, comm),
+      health_(opts.health, &reg_) {
   const int my_rank = comm != nullptr ? comm->rank() : 0;
   const int dims = model.params().dims;
   for (const grid::Block* b : forest_.blocks_of_rank(my_rank)) {
@@ -47,6 +49,24 @@ DistributedSimulation::DistributedSimulation(const GrandChemModel& model,
                           0);
     }
     locals_.push_back(std::move(lb));
+  }
+
+  tracer_.configure(opts.trace, /*pid=*/my_rank);
+  if (tracer_.enabled()) {
+    for (const auto& [stage, t] : compiled_.compile_report().stage_timers) {
+      tracer_.instant(tracer_.intern("compile/" + stage), "compile", -1,
+                      t.seconds);
+    }
+  }
+  if (!locals_.empty()) {
+    const auto& bs = locals_.front()->block->size;
+    cells_per_launch_ = bs[0] * bs[1] * bs[2];
+    std::vector<const ir::Kernel*> kernels;
+    for (const auto& ck : compiled_.phi_kernels) kernels.push_back(&ck.ir);
+    for (const auto& ck : compiled_.mu_kernels) kernels.push_back(&ck.ir);
+    // per-block launches are serial: one core per launch
+    predicted_mlups_ = perf::predicted_mlups_by_kernel(
+        kernels, bs, perf::MachineModel::skylake_sp(), /*cores=*/1);
   }
 }
 
@@ -128,6 +148,9 @@ obs::RunReport DistributedSimulation::run(int steps) {
 
   for (int it = 0; it < steps; ++it) {
     const double t = double(step_) * model_.params().dt;
+    trace_this_step_ = tracer_.sampled(step_);
+    obs::TraceRecorder* tr = trace_this_step_ ? &tracer_ : nullptr;
+    const double step_ts = tr != nullptr ? tr->now_us() : 0.0;
     double step_kernel_seconds = 0.0;
     double step_exchange_seconds = 0.0;
     std::uint64_t step_exchange_bytes = 0;
@@ -136,13 +159,20 @@ obs::RunReport DistributedSimulation::run(int steps) {
       for (std::size_t i = 0; i < locals_.size(); ++i) {
         LocalBlock& lb = *locals_[i];
         const std::array<long long, 3> n = lb.block->size;
+        const int block_id = lb.block->linear_id;
         Timer block_timer;
         for (const auto& ck : kernels) {
           Timer timer;
-          ck.run(bind(ck.ir, lb), n, t, step_);
-          reg_.add_time("kernel/" + ck.ir.name, timer.seconds());
+          const double ts = tr != nullptr ? tr->now_us() : 0.0;
+          ck.run(bind(ck.ir, lb), n, t, step_, nullptr, tr);
+          const double s = timer.seconds();
+          if (tr != nullptr) {
+            tr->complete(ck.ir.name.c_str(), "kernel", ts, s * 1e6, step_,
+                         block_id);
+          }
+          reg_.add_time("kernel/" + ck.ir.name, s);
         }
-        reg_.add_time("block/" + std::to_string(lb.block->linear_id),
+        reg_.add_time("block/" + std::to_string(block_id),
                       block_timer.seconds());
         step_kernel_seconds += block_timer.seconds();
       }
@@ -150,8 +180,12 @@ obs::RunReport DistributedSimulation::run(int steps) {
     const auto timed_exchange = [&](std::vector<grid::LocalBlockField>& view,
                                     int tag) {
       Timer timer;
+      const double ts = tr != nullptr ? tr->now_us() : 0.0;
       exchange_.exchange(view, tag);
       const double s = timer.seconds();
+      if (tr != nullptr) {
+        tr->complete("exchange", "ghost", ts, s * 1e6, step_, -1);
+      }
       reg_.add_time("exchange", s);
       step_exchange_seconds += s;
       const std::uint64_t b = exchange_.last_bytes_sent();
@@ -175,6 +209,22 @@ obs::RunReport DistributedSimulation::run(int steps) {
     updates.add(std::uint64_t(local_cells));
     reg_.push_step({step_, step_kernel_seconds, step_exchange_seconds,
                     step_exchange_bytes, std::uint64_t(local_cells)});
+    if (tr != nullptr) {
+      tr->complete("step", "step", step_ts, tr->now_us() - step_ts,
+                   step_ - 1, -1);
+    }
+    if (health_.due(step_)) {
+      for (const auto& lb : locals_) {
+        health_.scan_block(lb->phi_src, &lb->mu_src);
+      }
+      health_.finish_scan(step_);  // may throw under HealthPolicy::Throw
+    }
+  }
+  if (tracer_.enabled()) {
+    const bool multi_rank = comm_ != nullptr && comm_->size() > 1;
+    const int rank = comm_ != nullptr ? comm_->rank() : 0;
+    tracer_.write(multi_rank ? obs::rank_trace_path(opts_.trace.path, rank)
+                             : opts_.trace.path);
   }
   return report();
 }
@@ -207,6 +257,10 @@ obs::RunReport DistributedSimulation::report() const {
   r.block_imbalance =
       obs::safe_rate(block_max, block_sum / std::max(block_n, 1));
   r.recent_steps = reg_.recent_steps();
+  r.health = health_.stats();
+  r.health_policy = opts_.health.policy;
+  perf::fill_model_accuracy(r, predicted_mlups_, cells_per_launch_,
+                            model_.params().dims);
   return r;
 }
 

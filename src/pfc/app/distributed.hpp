@@ -27,6 +27,14 @@ struct DistributedOptions : DomainOptions {
     DomainOptions::with_compile(c);
     return *this;
   }
+  DistributedOptions& with_trace(const obs::TraceOptions& t) {
+    DomainOptions::with_trace(t);
+    return *this;
+  }
+  DistributedOptions& with_health(const obs::HealthOptions& h) {
+    DomainOptions::with_health(h);
+    return *this;
+  }
   DistributedOptions& with_blocks(int bx, int by, int bz = 1) {
     blocks_per_dim = {bx, by, bz};
     return *this;
@@ -58,6 +66,11 @@ class DistributedSimulation {
   /// Cumulative report without advancing time.
   obs::RunReport report() const;
   const obs::Registry& registry() const { return reg_; }
+  /// The span recorder (pid = rank; multi-rank runs write per-rank files
+  /// via obs::rank_trace_path).
+  const obs::TraceRecorder& tracer() const { return tracer_; }
+  /// The in-situ health monitor of this rank's blocks.
+  const obs::HealthMonitor& health() const { return health_; }
 
   /// Sum over local blocks of component c of phi (for cross-validation).
   double local_phi_sum(int c) const;
@@ -92,6 +105,14 @@ class DistributedSimulation {
   grid::GhostExchange exchange_;
   long long step_ = 0;
   obs::Registry reg_;
+  obs::TraceRecorder tracer_;
+  obs::HealthMonitor health_;
+  /// ECM-predicted MLUP/s per kernel at the local block size (serial
+  /// per-block launches, so cores = 1); feeds model_accuracy.
+  std::map<std::string, double> predicted_mlups_;
+  /// Interior cells of one block launch (all blocks are equal-sized).
+  long long cells_per_launch_ = 0;
+  bool trace_this_step_ = false;
 };
 
 }  // namespace pfc::app

@@ -11,6 +11,8 @@
 
 #include "pfc/app/compiler.hpp"
 #include "pfc/grid/boundary.hpp"
+#include "pfc/obs/health.hpp"
+#include "pfc/obs/trace.hpp"
 
 namespace pfc::app {
 
@@ -20,6 +22,10 @@ struct DomainOptions {
   std::array<long long, 3> cells{64, 64, 1};
   grid::BoundaryKind boundary = grid::BoundaryKind::Periodic;
   CompileOptions compile;
+  /// Span-timeline recording (chrome://tracing JSON); off by default.
+  obs::TraceOptions trace;
+  /// In-situ physics health monitoring; off by default.
+  obs::HealthOptions health;
 
   DomainOptions& with_cells(long long nx, long long ny, long long nz = 1) {
     cells = {nx, ny, nz};
@@ -31,6 +37,14 @@ struct DomainOptions {
   }
   DomainOptions& with_compile(const CompileOptions& c) {
     compile = c;
+    return *this;
+  }
+  DomainOptions& with_trace(const obs::TraceOptions& t) {
+    trace = t;
+    return *this;
+  }
+  DomainOptions& with_health(const obs::HealthOptions& h) {
+    health = h;
     return *this;
   }
 };

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "pfc/perf/drift.hpp"
 #include "pfc/support/timer.hpp"
 
 #ifndef M_PI
@@ -38,7 +39,8 @@ Simulation::Simulation(GrandChemModel model, const SimulationOptions& opts)
       mu_src_arr_(model_.mu_src(),
                   {opts.cells[0], opts.cells[1], opts.cells[2]}, 1),
       mu_dst_arr_(model_.mu_dst(),
-                  {opts.cells[0], opts.cells[1], opts.cells[2]}, 1) {
+                  {opts.cells[0], opts.cells[1], opts.cells[2]}, 1),
+      health_(opts.health, &reg_) {
   const int dims = model_.params().dims;
   if (compiled_.phi_flux_field) {
     phi_flux_arr_.emplace(*compiled_.phi_flux_field,
@@ -49,6 +51,23 @@ Simulation::Simulation(GrandChemModel model, const SimulationOptions& opts)
                          flux_size(opts.cells, dims), 0);
   }
   if (opts.threads > 1) pool_ = std::make_unique<ThreadPool>(opts.threads);
+
+  tracer_.configure(opts.trace, /*pid=*/0);
+  if (tracer_.enabled()) {
+    // compile stages as instant events at the timeline origin, carrying
+    // their duration as args.seconds (the stages ran before the epoch)
+    for (const auto& [stage, t] : compiled_.compile_report().stage_timers) {
+      tracer_.instant(tracer_.intern("compile/" + stage), "compile", -1,
+                      t.seconds);
+    }
+  }
+  // cache ECM predictions once: block geometry/threads are fixed from here
+  std::vector<const ir::Kernel*> kernels;
+  for (const auto& ck : compiled_.phi_kernels) kernels.push_back(&ck.ir);
+  for (const auto& ck : compiled_.mu_kernels) kernels.push_back(&ck.ir);
+  predicted_mlups_ = perf::predicted_mlups_by_kernel(
+      kernels, opts.cells, perf::MachineModel::skylake_sp(), opts.threads);
+
   if (opts.time_scheme == TimeScheme::Heun) {
     phi_0_.emplace(model_.phi_src(),
                    std::array<std::int64_t, 3>{opts.cells[0], opts.cells[1],
@@ -119,18 +138,27 @@ void Simulation::init_mu(
 
 double Simulation::euler_substep(double t) {
   const std::array<long long, 3> cells = opts_.cells;
+  obs::TraceRecorder* tr = trace_this_step_ ? &tracer_ : nullptr;
   double substep_seconds = 0.0;
   const auto timed_run = [&](const CompiledKernel& ck) {
     Timer timer;
-    ck.run(bind(ck.ir, false), cells, t, step_, pool_.get());
+    const double ts = tr != nullptr ? tr->now_us() : 0.0;
+    ck.run(bind(ck.ir, false), cells, t, step_, pool_.get(), tr);
     const double s = timer.seconds();
+    if (tr != nullptr) {
+      tr->complete(ck.ir.name.c_str(), "kernel", ts, s * 1e6, step_, 0);
+    }
     reg_.add_time("kernel/" + ck.ir.name, s);
     substep_seconds += s;
   };
+  const auto traced_fill = [&](Array& a) {
+    obs::TraceSpan span(tr, "boundary", "ghost", step_, 0);
+    fill_all_ghosts(a);
+  };
   for (const auto& ck : compiled_.phi_kernels) timed_run(ck);
-  fill_all_ghosts(phi_dst_arr_);
+  traced_fill(phi_dst_arr_);
   for (const auto& ck : compiled_.mu_kernels) timed_run(ck);
-  fill_all_ghosts(mu_dst_arr_);
+  traced_fill(mu_dst_arr_);
   phi_src_arr_.swap_data(phi_dst_arr_);
   mu_src_arr_.swap_data(mu_dst_arr_);
   return substep_seconds;
@@ -141,6 +169,8 @@ obs::RunReport Simulation::run(int n) {
   const long long cells = cells_per_step();
   obs::Counter& updates = reg_.counter("cell_updates");
   for (int it = 0; it < n; ++it) {
+    trace_this_step_ = tracer_.sampled(step_);
+    const double step_ts = trace_this_step_ ? tracer_.now_us() : 0.0;
     double step_seconds = 0.0;
     if (opts_.time_scheme == TimeScheme::Euler) {
       step_seconds = euler_substep(time());
@@ -173,7 +203,16 @@ obs::RunReport Simulation::run(int n) {
     // substeps advance time once.
     updates.add(std::uint64_t(cells));
     reg_.push_step({step_, step_seconds, 0.0, 0, std::uint64_t(cells)});
+    if (trace_this_step_) {
+      tracer_.complete("step", "step", step_ts, tracer_.now_us() - step_ts,
+                       step_ - 1, 0);
+    }
+    if (health_.due(step_)) {
+      health_.scan_block(phi_src_arr_, &mu_src_arr_);
+      health_.finish_scan(step_);  // may throw under HealthPolicy::Throw
+    }
   }
+  if (tracer_.enabled()) tracer_.write(opts_.trace.path);
   return report();
 }
 
@@ -191,6 +230,10 @@ obs::RunReport Simulation::report() const {
   }
   r.recent_steps = reg_.recent_steps();
   r.block_imbalance = step_ > 0 ? 1.0 : 0.0;  // single block
+  r.health = health_.stats();
+  r.health_policy = opts_.health.policy;
+  perf::fill_model_accuracy(r, predicted_mlups_, cells_per_step(),
+                            model_.params().dims);
   return r;
 }
 

@@ -44,6 +44,14 @@ struct SimulationOptions : DomainOptions {
     DomainOptions::with_compile(c);
     return *this;
   }
+  SimulationOptions& with_trace(const obs::TraceOptions& t) {
+    DomainOptions::with_trace(t);
+    return *this;
+  }
+  SimulationOptions& with_health(const obs::HealthOptions& h) {
+    DomainOptions::with_health(h);
+    return *this;
+  }
   SimulationOptions& with_threads(int t) {
     threads = t;
     return *this;
@@ -87,6 +95,10 @@ class Simulation {
   obs::RunReport report() const;
   /// The raw timer/counter registry behind the report.
   const obs::Registry& registry() const { return reg_; }
+  /// The span recorder behind TraceOptions (disabled unless configured).
+  const obs::TraceRecorder& tracer() const { return tracer_; }
+  /// The in-situ health monitor (no-op unless HealthOptions::enabled).
+  const obs::HealthMonitor& health() const { return health_; }
 
   /// \deprecated Use run()/report(): kernel timers live in the registry.
   [[deprecated("use report().kernel_timers")]]
@@ -115,6 +127,12 @@ class Simulation {
   std::unique_ptr<ThreadPool> pool_;
   long long step_ = 0;
   obs::Registry reg_;
+  obs::TraceRecorder tracer_;
+  obs::HealthMonitor health_;
+  /// ECM-predicted MLUP/s per kernel (cached; feeds model_accuracy).
+  std::map<std::string, double> predicted_mlups_;
+  /// True while the current step is on the trace sampling grid.
+  bool trace_this_step_ = false;
   /// Backing storage for the deprecated kernel_seconds() shim.
   mutable std::map<std::string, double> kernel_seconds_shim_;
 };

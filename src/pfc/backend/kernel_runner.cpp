@@ -80,13 +80,15 @@ RawArgs marshal(const ir::Kernel& k, const Binding& b,
 
 void run_compiled(const ir::Kernel& k, KernelFn fn, const Binding& b,
                   const std::array<long long, 3>& n, double t,
-                  long long t_step, ThreadPool* pool) {
+                  long long t_step, ThreadPool* pool,
+                  obs::TraceRecorder* tracer) {
   const RawArgs raw = marshal(k, b, n);
   const int outer = k.dims - 1;
   const long long outer_end =
       n[std::size_t(outer)] + k.extent_plus[std::size_t(outer)];
 
   const auto launch = [&](long long lo, long long hi) {
+    obs::TraceSpan span(tracer, k.name.c_str(), "slab", t_step, 0);
     fn(raw.fields.data(), raw.strides.data(), raw.n.data(),
        raw.block_off.data(), lo, hi, t, t_step, b.params.data());
   };

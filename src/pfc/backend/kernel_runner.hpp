@@ -6,6 +6,7 @@
 
 #include "pfc/backend/codegen_common.hpp"
 #include "pfc/field/array.hpp"
+#include "pfc/obs/trace.hpp"
 #include "pfc/support/thread_pool.hpp"
 
 namespace pfc::backend {
@@ -35,9 +36,13 @@ RawArgs marshal(const ir::Kernel& k, const Binding& b,
                 const std::array<long long, 3>& n);
 
 /// Runs a compiled kernel over the block, splitting the outermost used loop
-/// across `pool` (nullptr = serial).
+/// across `pool` (nullptr = serial). When `tracer` is non-null each slab
+/// launch records a span from its executing thread (category "slab"), so
+/// the timeline shows the per-thread work distribution under the driver's
+/// kernel span.
 void run_compiled(const ir::Kernel& k, KernelFn fn, const Binding& b,
                   const std::array<long long, 3>& n, double t,
-                  long long t_step, ThreadPool* pool = nullptr);
+                  long long t_step, ThreadPool* pool = nullptr,
+                  obs::TraceRecorder* tracer = nullptr);
 
 }  // namespace pfc::backend

@@ -1,5 +1,7 @@
 #include "pfc/obs/report.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "pfc/support/assert.hpp"
@@ -17,6 +19,15 @@ double RunReport::kernel_seconds(const std::string& kernel_name) const {
 
 double RunReport::exchange_bytes_per_second() const {
   return safe_rate(double(exchange_bytes), exchange_seconds);
+}
+
+double RunReport::worst_model_drift() const {
+  double worst = 0.0;
+  for (const auto& [target, a] : model_accuracy) {
+    if (a.predicted_seconds <= 0.0) continue;
+    worst = std::max(worst, std::abs(a.ratio - 1.0));
+  }
+  return worst;
 }
 
 Json RunReport::to_json() const {
@@ -37,8 +48,23 @@ Json RunReport::to_json() const {
       {"num_blocks", double(num_blocks)},
       {"block_imbalance", block_imbalance},
       {"exchange_bytes_per_second", exchange_bytes_per_second()},
+      {"worst_model_drift", worst_model_drift()},
   };
-  return make_report_json("run", name, timers, counters, derived);
+  Json j = make_report_json("run", name, timers, counters, derived);
+  if (!model_accuracy.empty()) {
+    Json ma = Json::object();
+    for (const auto& [target, a] : model_accuracy) {
+      ma.set(target, Json::object()
+                         .set("predicted_seconds", Json(a.predicted_seconds))
+                         .set("measured_seconds", Json(a.measured_seconds))
+                         .set("ratio", Json(a.ratio)));
+    }
+    j.set("model_accuracy", std::move(ma));
+  }
+  Json h = health.to_json();
+  h.set("policy", Json(health_policy_name(health_policy)));
+  j.set("health", std::move(h));
+  return j;
 }
 
 void CompileReport::add_stage(const std::string& stage, double seconds) {
@@ -103,12 +129,15 @@ Json make_report_json(const std::string& kind, const std::string& name,
 }
 
 void write_json(const std::string& path, const Json& j) {
+  write_text(path, j.dump(2) + "\n");
+}
+
+void write_text(const std::string& path, const std::string& text) {
   std::FILE* f = std::fopen(path.c_str(), "w");
-  PFC_REQUIRE(f != nullptr, "obs::write_json: cannot open " + path);
-  const std::string text = j.dump(2) + "\n";
+  PFC_REQUIRE(f != nullptr, "obs::write_text: cannot open " + path);
   const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
   std::fclose(f);
-  PFC_REQUIRE(written == text.size(), "obs::write_json: short write to " +
+  PFC_REQUIRE(written == text.size(), "obs::write_text: short write to " +
                                           path);
 }
 

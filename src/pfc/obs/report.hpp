@@ -3,7 +3,7 @@
 // one JSON schema:
 //
 //   {
-//     "schema":   "pfc-obs-report-v1",
+//     "schema":   "pfc-obs-report-v2",
 //     "kind":     "run" | "compile" | "bench",
 //     "name":     "<producer>",
 //     "timers":   { "<path>": {"seconds": s, "count": n}, ... },
@@ -11,9 +11,18 @@
 //     "derived":  { "<stat>": x, ... }
 //   }
 //
-// Producers may add extra keys (e.g. quickstart embeds its CompileReport
-// under "compile"); validators require only the six above. See
-// tools/report_check.cpp for the machine check run by ctest.
+// v2 adds two optional run-report sections (validated when present):
+//
+//     "model_accuracy": { "<target>": {"predicted_seconds": p,
+//                                      "measured_seconds": m,
+//                                      "ratio": m/p}, ... }
+//     "health":         HealthStats::to_json() + "policy"
+//
+// where <target> is "kernel/<ir name>" (ECM prediction, paper Fig. 2) or
+// "exchange" (network model, Table 2). Producers may add extra keys (e.g.
+// quickstart embeds its CompileReport under "compile"); validators require
+// only the six core sections. See tools/report_check.cpp for the machine
+// check run by ctest.
 #pragma once
 
 #include <array>
@@ -21,11 +30,26 @@
 #include <string>
 #include <vector>
 
+#include "pfc/obs/health.hpp"
 #include "pfc/obs/registry.hpp"
 
 namespace pfc::obs {
 
-inline constexpr const char* kReportSchema = "pfc-obs-report-v1";
+inline constexpr const char* kReportSchema = "pfc-obs-report-v2";
+/// Previous schema revision; validators still accept it for stored reports.
+inline constexpr const char* kReportSchemaV1 = "pfc-obs-report-v1";
+
+/// Model-vs-measured drift of one prediction target: how long the
+/// performance model said a component should have taken over the whole run
+/// vs. what the timers measured (the paper's Fig. 2 validation, tracked on
+/// every run instead of only in benches).
+struct ModelAccuracy {
+  double predicted_seconds = 0.0;
+  double measured_seconds = 0.0;
+  /// measured/predicted, safe_rate-guarded (1.0 = model exact, > 1 = slower
+  /// than predicted, 0 = no prediction available).
+  double ratio = 0.0;
+};
 
 /// Cumulative signals of a (possibly distributed) simulation run. Returned
 /// by Simulation::run() / DistributedSimulation::run(); totals cover the
@@ -45,6 +69,18 @@ struct RunReport {
   /// nothing ran yet).
   double block_imbalance = 0.0;
   std::vector<StepStats> recent_steps;  ///< ring-buffer tail, oldest first
+
+  /// Model-vs-measured drift by target ("kernel/<name>", "exchange");
+  /// filled by the drivers via perf::fill_model_accuracy. Empty when no
+  /// kernel ran yet.
+  std::map<std::string, ModelAccuracy> model_accuracy;
+  /// In-situ health findings (all-zero when monitoring is disabled).
+  HealthStats health;
+  /// Policy the run's health monitor applied (serialized with health).
+  HealthPolicy health_policy = HealthPolicy::Warn;
+  /// Worst measured/predicted ratio distance from 1.0 across all targets
+  /// with a prediction (0.0 when model_accuracy is empty).
+  double worst_model_drift() const;
 
   /// Million lattice-cell updates per second over kernel time only — the
   /// paper's MLUP/s metric. Guarded: 0.0 before any step ran.
@@ -90,5 +126,9 @@ Json make_report_json(const std::string& kind, const std::string& name,
 /// Writes `j` to `path` with a trailing newline; throws pfc::Error on I/O
 /// failure.
 void write_json(const std::string& path, const Json& j);
+
+/// Writes raw text to `path`; throws pfc::Error on I/O failure. (The trace
+/// exporter uses this for compact one-line JSON dumps.)
+void write_text(const std::string& path, const std::string& text);
 
 }  // namespace pfc::obs

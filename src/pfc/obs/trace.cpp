@@ -1,0 +1,199 @@
+#include "pfc/obs/trace.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "pfc/obs/report.hpp"
+#include "pfc/support/assert.hpp"
+
+namespace pfc::obs {
+
+namespace {
+
+/// Recorder ids are never reused, so a stale entry in a thread's cache can
+/// never alias a live recorder.
+std::atomic<std::uint64_t> g_next_recorder_id{1};
+
+}  // namespace
+
+/// Per-thread ring of events. Created lazily on a thread's first record and
+/// owned by the recorder; threads only keep a non-owning cache entry.
+struct TraceRecorder::Buffer {
+  int tid = 0;
+  std::vector<TraceEvent> ring;
+  std::size_t capacity = 0;
+  std::size_t next = 0;          ///< overwrite position once full
+  std::uint64_t recorded = 0;    ///< total events ever pushed
+
+  void push(const TraceEvent& e) {
+    ++recorded;
+    if (ring.size() < capacity) {
+      ring.push_back(e);
+      return;
+    }
+    ring[next] = e;  // ring full: overwrite oldest
+    next = (next + 1) % capacity;
+  }
+};
+
+TraceRecorder::TraceRecorder()
+    : id_(g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+void TraceRecorder::configure(const TraceOptions& opts, int pid) {
+  PFC_REQUIRE(opts.sample_every >= 1,
+              "trace: sample_every must be >= 1, got " +
+                  std::to_string(opts.sample_every));
+  PFC_REQUIRE(opts.max_events >= 1, "trace: max_events must be >= 1");
+  opts_ = opts;
+  pid_ = pid;
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+double TraceRecorder::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TraceRecorder::Buffer& TraceRecorder::local_buffer() {
+  // One cache per thread mapping recorder id -> buffer. Entries of dead
+  // recorders stay behind as inert id keys (ids are unique), bounded by the
+  // number of recorders a thread ever records into.
+  thread_local std::unordered_map<std::uint64_t, Buffer*> cache;
+  const auto it = cache.find(id_);
+  if (it != cache.end()) return *it->second;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto buf = std::make_unique<Buffer>();
+  buf->tid = static_cast<int>(buffers_.size());
+  buf->capacity = opts_.max_events;
+  buf->ring.reserve(std::min<std::size_t>(opts_.max_events, 4096));
+  buffers_.push_back(std::move(buf));
+  cache[id_] = buffers_.back().get();
+  return *buffers_.back();
+}
+
+void TraceRecorder::complete(const char* name, const char* cat, double ts_us,
+                             double dur_us, long long step, int block) {
+  if (!opts_.enabled) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'X';
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.step = step;
+  e.block = block;
+  Buffer& b = local_buffer();
+  e.tid = b.tid;
+  b.push(e);
+}
+
+void TraceRecorder::instant(const char* name, const char* cat,
+                            long long step, double value) {
+  if (!opts_.enabled) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'i';
+  e.ts_us = now_us();
+  e.step = step;
+  e.value = value;
+  Buffer& b = local_buffer();
+  e.tid = b.tid;
+  b.push(e);
+}
+
+const char* TraceRecorder::intern(const std::string& s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& known : interned_) {
+    if (*known == s) return known->c_str();
+  }
+  interned_.push_back(std::make_unique<std::string>(s));
+  return interned_.back()->c_str();
+}
+
+std::uint64_t TraceRecorder::events_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = 0;
+  for (const auto& b : buffers_) n += b->recorded;
+  return n;
+}
+
+std::uint64_t TraceRecorder::events_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t kept = 0, recorded = 0;
+  for (const auto& b : buffers_) {
+    kept += b->ring.size();
+    recorded += b->recorded;
+  }
+  return recorded - std::min(recorded, kept);
+}
+
+Json TraceRecorder::to_chrome_json() const {
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& b : buffers_) {
+      all.insert(all.end(), b->ring.begin(), b->ring.end());
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  if (all.size() > opts_.max_events) {
+    // global cap: keep the newest window
+    all.erase(all.begin(),
+              all.begin() + static_cast<std::ptrdiff_t>(all.size() -
+                                                        opts_.max_events));
+  }
+
+  Json events = Json::array();
+  for (const TraceEvent& e : all) {
+    Json je = Json::object()
+                  .set("name", Json(e.name))
+                  .set("cat", Json(e.cat))
+                  .set("ph", Json(std::string(1, e.ph)))
+                  .set("ts", Json(e.ts_us))
+                  .set("pid", Json(pid_))
+                  .set("tid", Json(e.tid));
+    if (e.ph == 'X') je.set("dur", Json(e.dur_us));
+    if (e.ph == 'i') je.set("s", Json("t"));  // thread-scoped instant
+    Json args = Json::object();
+    if (e.step >= 0) args.set("step", Json(e.step));
+    if (e.block >= 0) args.set("block", Json(e.block));
+    if (e.value >= 0.0) args.set("seconds", Json(e.value));
+    if (!args.items().empty()) je.set("args", std::move(args));
+    events.push(std::move(je));
+  }
+  return Json::object()
+      .set("traceEvents", std::move(events))
+      .set("displayTimeUnit", Json("ms"))
+      .set("otherData",
+           Json::object()
+               .set("producer", Json("pfc::obs::trace"))
+               .set("rank", Json(pid_))
+               .set("dropped_events", Json(events_dropped())));
+}
+
+void TraceRecorder::write(const std::string& path) const {
+  if (!opts_.enabled) return;
+  write_text(path, to_chrome_json().dump(-1) + "\n");
+}
+
+std::string rank_trace_path(const std::string& path, int rank) {
+  const std::string suffix = ".rank" + std::to_string(rank);
+  const std::size_t slash = path.rfind('/');
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + suffix;  // no extension: append
+  }
+  return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
+}  // namespace pfc::obs

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <set>
 
 #include "pfc/app/distributed.hpp"
 #include "pfc/app/params.hpp"
@@ -124,6 +126,67 @@ TEST(DistributedTest, SplitKernelsDistributedMatchReference) {
     max_err = std::max(max_err, std::abs(got[i] - ref[i]));
   }
   EXPECT_LT(max_err, 1e-9);
+}
+
+TEST(DistributedTest, RunZeroStepsYieldsZeroedReport) {
+  GrandChemModel model(make_two_phase(2));
+  DistributedOptions o;
+  o.cells = {32, 32, 1};
+  o.blocks_per_dim = {2, 2, 1};
+  o.compile.backend = Backend::Interpreter;
+  DistributedSimulation dist(model, o, nullptr);
+  dist.init(&phi_init, &mu_init);
+  const obs::RunReport rep = dist.run(0);
+  EXPECT_EQ(rep.steps, 0);
+  EXPECT_EQ(rep.cell_updates, 0u);
+  EXPECT_EQ(rep.mlups(), 0.0);
+  EXPECT_EQ(rep.kernel_seconds_total, 0.0);
+  EXPECT_EQ(rep.block_imbalance, 0.0);
+  EXPECT_TRUE(rep.kernel_timers.empty());
+  EXPECT_EQ(rep.health.checks, 0);
+  EXPECT_EQ(rep.num_blocks, 4);
+  // init's ghost exchange is not a timed step: no drift entries yet
+  EXPECT_EQ(rep.model_accuracy.count("exchange"), 0u);
+}
+
+TEST(DistributedTest, TracedHealthMonitoredMultiBlockRun) {
+  GrandChemModel model(make_two_phase(2));
+  DistributedOptions o;
+  o.cells = {32, 32, 1};
+  o.blocks_per_dim = {2, 2, 1};
+  o.compile.backend = Backend::Interpreter;
+  o.with_trace(obs::TraceOptions{}.enable().with_path(
+      ::testing::TempDir() + "pfc_test_dist_trace.json"));
+  o.with_health(obs::HealthOptions{}.enable());
+  DistributedSimulation dist(model, o, nullptr);
+  dist.init(&phi_init, &mu_init);
+  const obs::RunReport rep = dist.run(3);
+
+  EXPECT_EQ(rep.health.checks, 3);
+  EXPECT_EQ(rep.health.total_violations(), 0u);
+  for (const auto& [name, t] : rep.kernel_timers) {
+    ASSERT_TRUE(rep.model_accuracy.count("kernel/" + name)) << name;
+  }
+  // a multi-block step exchanges ghosts, so the netmodel entry appears
+  ASSERT_TRUE(rep.model_accuracy.count("exchange"));
+  EXPECT_GT(rep.model_accuracy.at("exchange").predicted_seconds, 0.0);
+
+  // per-block kernel spans and exchange spans land in the timeline
+  std::set<double> blocks;
+  std::size_t exchange_spans = 0;
+  const obs::Json doc = dist.tracer().to_chrome_json();
+  for (const obs::Json& e : doc.find("traceEvents")->elements()) {
+    const std::string& cat = e.find("cat")->str();
+    const obs::Json* args = e.find("args");
+    if (cat == "kernel" && args != nullptr && args->find("block")) {
+      blocks.insert(args->find("block")->number());
+    }
+    if (cat == "ghost") ++exchange_spans;
+  }
+  EXPECT_EQ(blocks.size(), 4u) << "every block must tag its kernel spans";
+  EXPECT_EQ(exchange_spans, 6u) << "two exchanges per step";
+  std::remove(
+      (::testing::TempDir() + "pfc_test_dist_trace.json").c_str());
 }
 
 }  // namespace

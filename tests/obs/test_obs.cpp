@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "pfc/app/params.hpp"
 #include "pfc/app/simulation.hpp"
@@ -65,6 +66,18 @@ TEST(ObsRegistryTest, SafeRateGuardsEmptyDenominators) {
   RunReport empty;
   EXPECT_EQ(empty.mlups(), 0.0);
   EXPECT_EQ(empty.exchange_bytes_per_second(), 0.0);
+}
+
+TEST(ObsRegistryTest, SafeRateGuardsNonFiniteOperands) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(safe_rate(inf, 2.0), 0.0);
+  EXPECT_EQ(safe_rate(std::nan(""), 2.0), 0.0);
+  EXPECT_EQ(safe_rate(5.0, inf), 0.0);
+  EXPECT_EQ(safe_rate(0.0, 0.0), 0.0);
+  EXPECT_EQ(safe_rate(5.0, std::numeric_limits<double>::denorm_min() * 0.0),
+            0.0);
+  // signed numerators pass through: rates may legitimately be deltas
+  EXPECT_DOUBLE_EQ(safe_rate(-6.0, 2.0), -3.0);
 }
 
 TEST(ObsRegistryTest, StepRingBufferKeepsTail) {
@@ -191,6 +204,52 @@ TEST(ObsReportTest, HeunSubstepsCountAsOneLatticeUpdate) {
   // ...while every kernel really ran twice per step
   for (const auto& [name, t] : rep.kernel_timers) {
     EXPECT_EQ(t.count, 6u) << name;
+  }
+}
+
+TEST(ObsReportTest, RunZeroStepsYieldsZeroedReport) {
+  app::GrandChemModel model(app::make_two_phase(2));
+  app::Simulation sim(model, interp_opts(false));
+  init_disk(sim);
+  const RunReport rep = sim.run(0);
+  EXPECT_EQ(rep.steps, 0);
+  EXPECT_EQ(rep.cell_updates, 0u);
+  EXPECT_EQ(rep.mlups(), 0.0);
+  EXPECT_EQ(rep.kernel_seconds_total, 0.0);
+  EXPECT_EQ(rep.block_imbalance, 0.0);
+  EXPECT_TRUE(rep.kernel_timers.empty());
+  EXPECT_TRUE(rep.model_accuracy.empty());
+  EXPECT_EQ(rep.worst_model_drift(), 0.0);
+  EXPECT_EQ(rep.health.checks, 0);
+  // the empty report still serializes to the full v2 schema
+  const Json j = rep.to_json();
+  EXPECT_EQ(j.find("schema")->str(), kReportSchema);
+  ASSERT_NE(j.find("health"), nullptr);
+  EXPECT_EQ(j.find("health")->find("checks")->number(), 0.0);
+}
+
+TEST(ObsReportTest, ModelAccuracyCoversEveryGeneratedKernel) {
+  app::GrandChemModel model(app::make_two_phase(2));
+  for (const bool split : {false, true}) {
+    app::Simulation sim(model, interp_opts(split));
+    init_disk(sim);
+    const RunReport rep = sim.run(2);
+    for (const auto& [name, t] : rep.kernel_timers) {
+      const auto it = rep.model_accuracy.find("kernel/" + name);
+      ASSERT_NE(it, rep.model_accuracy.end())
+          << "no model_accuracy entry for kernel " << name;
+      EXPECT_TRUE(std::isfinite(it->second.ratio)) << name;
+      EXPECT_GE(it->second.ratio, 0.0) << name;
+      EXPECT_GE(it->second.predicted_seconds, 0.0) << name;
+      EXPECT_DOUBLE_EQ(it->second.measured_seconds, t.seconds) << name;
+    }
+    EXPECT_TRUE(std::isfinite(rep.worst_model_drift()));
+    // the section survives the JSON round trip
+    const Json j = rep.to_json();
+    ASSERT_NE(j.find("model_accuracy"), nullptr);
+    EXPECT_EQ(j.find("model_accuracy")->items().size(),
+              rep.model_accuracy.size());
+    ASSERT_NE(j.find("derived")->find("worst_model_drift"), nullptr);
   }
 }
 

@@ -1,0 +1,191 @@
+// Trace timeline recorder: sampling grid, ring-buffer retention, the
+// chrome://tracing JSON contract, per-thread buffers, and the traced
+// Simulation integration (kernel + boundary spans end to end).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "pfc/app/params.hpp"
+#include "pfc/app/simulation.hpp"
+#include "pfc/obs/trace.hpp"
+#include "pfc/support/thread_pool.hpp"
+
+namespace pfc::obs {
+namespace {
+
+TEST(TraceRecorderTest, DefaultRecorderIsInert) {
+  TraceRecorder rec;
+  EXPECT_FALSE(rec.enabled());
+  EXPECT_FALSE(rec.sampled(0));
+  rec.complete("k", "kernel", 0.0, 1.0);
+  rec.instant("i", "compile");
+  EXPECT_EQ(rec.events_recorded(), 0u);
+  // null-safe RAII span compiles the record out entirely
+  { TraceSpan span(nullptr, "noop", "kernel"); }
+  { TraceSpan span(&rec, "noop", "kernel"); }
+  EXPECT_EQ(rec.events_recorded(), 0u);
+}
+
+TEST(TraceRecorderTest, SampledFollowsSamplingGrid) {
+  TraceRecorder rec;
+  rec.configure(TraceOptions{}.enable().every(3));
+  EXPECT_TRUE(rec.sampled(0));
+  EXPECT_FALSE(rec.sampled(1));
+  EXPECT_FALSE(rec.sampled(2));
+  EXPECT_TRUE(rec.sampled(3));
+  rec.configure(TraceOptions{}.enable());
+  EXPECT_TRUE(rec.sampled(1));
+  EXPECT_THROW(rec.configure(TraceOptions{}.enable().every(0)), Error);
+}
+
+TEST(TraceRecorderTest, ChromeJsonCarriesSpanAndInstantFields) {
+  TraceRecorder rec;
+  rec.configure(TraceOptions{}.enable(), /*pid=*/7);
+  rec.complete("phi-full", "kernel", 10.0, 5.0, /*step=*/2, /*block=*/1);
+  rec.instant(rec.intern(std::string("compile/jit")), "compile", -1, 0.25);
+  const Json j = rec.to_chrome_json();
+
+  const Json* events = j.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->elements().size(), 2u);
+
+  const Json& span = events->elements()[0];
+  EXPECT_EQ(span.find("name")->str(), "phi-full");
+  EXPECT_EQ(span.find("cat")->str(), "kernel");
+  EXPECT_EQ(span.find("ph")->str(), "X");
+  EXPECT_DOUBLE_EQ(span.find("ts")->number(), 10.0);
+  EXPECT_DOUBLE_EQ(span.find("dur")->number(), 5.0);
+  EXPECT_EQ(span.find("pid")->number(), 7.0);
+  ASSERT_NE(span.find("args"), nullptr);
+  EXPECT_EQ(span.find("args")->find("step")->number(), 2.0);
+  EXPECT_EQ(span.find("args")->find("block")->number(), 1.0);
+
+  const Json& inst = events->elements()[1];
+  EXPECT_EQ(inst.find("name")->str(), "compile/jit");
+  EXPECT_EQ(inst.find("ph")->str(), "i");
+  EXPECT_EQ(inst.find("s")->str(), "t");
+  EXPECT_DOUBLE_EQ(inst.find("args")->find("seconds")->number(), 0.25);
+
+  ASSERT_NE(j.find("otherData"), nullptr);
+  EXPECT_EQ(j.find("otherData")->find("rank")->number(), 7.0);
+}
+
+TEST(TraceRecorderTest, RingBufferKeepsNewestEvents) {
+  TraceRecorder rec;
+  rec.configure(TraceOptions{}.enable().with_max_events(4));
+  for (int i = 0; i < 10; ++i) {
+    rec.complete("k", "kernel", double(i), 1.0);
+  }
+  EXPECT_EQ(rec.events_recorded(), 10u);
+  EXPECT_EQ(rec.events_dropped(), 6u);
+  const Json j = rec.to_chrome_json();
+  const auto& events = j.find("traceEvents")->elements();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_DOUBLE_EQ(events.front().find("ts")->number(), 6.0);
+  EXPECT_DOUBLE_EQ(events.back().find("ts")->number(), 9.0);
+  EXPECT_EQ(j.find("otherData")->find("dropped_events")->number(), 6.0);
+}
+
+TEST(TraceRecorderTest, InternReturnsStablePointers) {
+  TraceRecorder rec;
+  const char* a1 = rec.intern(std::string("alpha"));
+  const char* a2 = rec.intern(std::string("alpha"));
+  const char* b = rec.intern(std::string("beta"));
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_STREQ(b, "beta");
+}
+
+TEST(TraceRecorderTest, PoolThreadsRecordIntoDistinctTids) {
+  TraceRecorder rec;
+  rec.configure(TraceOptions{}.enable());
+  ThreadPool pool(4);
+  pool.run_on_all([&](int) { rec.complete("slabwork", "slab", 0.0, 1.0); });
+  const Json j = rec.to_chrome_json();
+  const auto& events = j.find("traceEvents")->elements();
+  ASSERT_EQ(events.size(), 4u);
+  std::set<double> tids;
+  for (const Json& e : events) tids.insert(e.find("tid")->number());
+  EXPECT_EQ(tids.size(), 4u) << "each worker thread must own a tid";
+}
+
+TEST(TraceRecorderTest, RankTracePathInsertsRankBeforeExtension) {
+  EXPECT_EQ(rank_trace_path("trace.json", 2), "trace.rank2.json");
+  EXPECT_EQ(rank_trace_path("out/t.json", 0), "out/t.rank0.json");
+  EXPECT_EQ(rank_trace_path("noext", 3), "noext.rank3");
+  EXPECT_EQ(rank_trace_path("dir.d/trace", 1), "dir.d/trace.rank1");
+}
+
+TEST(TraceSimulationTest, TracedRunRecordsKernelAndBoundarySpans) {
+  const std::string path =
+      ::testing::TempDir() + "pfc_test_trace_sim.json";
+  app::GrandChemModel model(app::make_two_phase(2));
+  app::SimulationOptions o;
+  o.with_cells(16, 16);
+  o.compile.backend = app::Backend::Interpreter;
+  o.with_trace(TraceOptions{}.enable().with_path(path));
+  app::Simulation sim(model, o);
+  sim.init_phi([](long long, long long, long long, int c) {
+    return c == 0 ? 1.0 : 0.0;
+  });
+  sim.init_mu([](long long, long long, long long, int) { return 0.0; });
+  sim.run(2);
+
+  std::size_t kernel_spans = 0, ghost_spans = 0, step_spans = 0,
+              compile_instants = 0;
+  const Json j = sim.tracer().to_chrome_json();
+  for (const Json& e : j.find("traceEvents")->elements()) {
+    const std::string& cat = e.find("cat")->str();
+    if (cat == "kernel") ++kernel_spans;
+    if (cat == "ghost") ++ghost_spans;
+    if (cat == "step") ++step_spans;
+    if (cat == "compile") ++compile_instants;
+  }
+  const std::size_t kernels = sim.compiled().phi_kernels.size() +
+                              sim.compiled().mu_kernels.size();
+  EXPECT_EQ(kernel_spans, 2 * kernels);
+  EXPECT_EQ(ghost_spans, 4u) << "two boundary fills per step";
+  EXPECT_EQ(step_spans, 2u);
+  EXPECT_GT(compile_instants, 0u) << "compile stages become instants";
+
+  // run() wrote the file; it must be a parseable chrome://tracing document
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string err;
+  const Json parsed = Json::parse(ss.str(), &err);
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_NE(parsed.find("traceEvents"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSimulationTest, SamplingSkipsOffGridSteps) {
+  app::GrandChemModel model(app::make_two_phase(2));
+  app::SimulationOptions o;
+  o.with_cells(16, 16);
+  o.compile.backend = app::Backend::Interpreter;
+  const std::string path =
+      ::testing::TempDir() + "pfc_test_trace_sampled.json";
+  o.with_trace(TraceOptions{}.enable().every(2).with_path(path));
+  app::Simulation sim(model, o);
+  sim.init_phi([](long long, long long, long long, int c) {
+    return c == 0 ? 1.0 : 0.0;
+  });
+  sim.init_mu([](long long, long long, long long, int) { return 0.0; });
+  sim.run(4);  // steps 0..3; only 0 and 2 are on the grid
+
+  std::size_t step_spans = 0;
+  const Json j = sim.tracer().to_chrome_json();
+  for (const Json& e : j.find("traceEvents")->elements()) {
+    if (e.find("cat")->str() == "step") ++step_spans;
+  }
+  EXPECT_EQ(step_spans, 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pfc::obs

@@ -1,8 +1,15 @@
 // Validates a pfc-obs report JSON file against the shared schema
-// (pfc-obs-report-v1). Run by ctest against the file quickstart emits, so
-// every producer that funnels through obs::make_report_json stays honest.
+// (pfc-obs-report-v2), including the optional model_accuracy (ECM/netmodel
+// drift) and health sections. Run by ctest against the file quickstart
+// emits, so every producer that funnels through obs::make_report_json stays
+// honest.
+//
+// With --trace the argument is instead a chrome://tracing trace file (as
+// written by obs::TraceRecorder) and the structure of its traceEvents is
+// validated, including that kernel and ghost-exchange spans are present.
 //
 // Usage: report_check <report.json> [expected-kind]
+//        report_check --trace <trace.json>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -43,11 +50,89 @@ std::string read_file(const char* path) {
   return text;
 }
 
+void check_finite(const pfc::obs::Json& v, const std::string& where) {
+  if (!v.is_number()) {
+    fail(where + ": expected a number");
+    return;
+  }
+  const double x = v.number();
+  if (!(x - x == 0.0)) fail(where + ": non-finite value");
+}
+
+/// --trace mode: structural validation of a chrome://tracing document.
+int check_trace(const char* path) {
+  const std::string text = read_file(path);
+  if (g_errors) return 1;
+  std::string err;
+  const pfc::obs::Json j = pfc::obs::Json::parse(text, &err);
+  if (!err.empty()) {
+    fail("parse error: " + err);
+    return 1;
+  }
+  const pfc::obs::Json* events =
+      j.is_object() ? j.find("traceEvents") : nullptr;
+  if (events == nullptr || !events->is_array()) {
+    fail("top level must be an object with a \"traceEvents\" array");
+    return 1;
+  }
+  std::size_t kernel_spans = 0, ghost_spans = 0, slab_spans = 0;
+  for (std::size_t i = 0; i < events->elements().size(); ++i) {
+    const pfc::obs::Json& e = events->elements()[i];
+    const std::string where = "traceEvents[" + std::to_string(i) + ']';
+    if (!e.is_object()) {
+      fail(where + ": expected an object");
+      continue;
+    }
+    for (const char* key : {"name", "cat", "ph", "ts", "pid", "tid"}) {
+      if (!e.find(key)) fail(where + ": missing \"" + key + '"');
+    }
+    if (g_errors) continue;
+    check_finite(*e.find("ts"), where + "/ts");
+    const std::string ph =
+        e.find("ph")->is_string() ? e.find("ph")->str() : "";
+    if (ph != "X" && ph != "i") {
+      fail(where + ": ph must be \"X\" or \"i\"");
+      continue;
+    }
+    if (ph == "X") {
+      if (!e.find("dur")) {
+        fail(where + ": complete event without \"dur\"");
+      } else {
+        check_finite(*e.find("dur"), where + "/dur");
+      }
+    }
+    const std::string cat =
+        e.find("cat")->is_string() ? e.find("cat")->str() : "";
+    if (ph == "X" && cat == "kernel") ++kernel_spans;
+    if (ph == "X" && cat == "ghost") ++ghost_spans;
+    if (ph == "X" && cat == "slab") ++slab_spans;
+  }
+  if (kernel_spans == 0) fail("no kernel spans (cat \"kernel\", ph \"X\")");
+  if (ghost_spans == 0) {
+    fail("no ghost-exchange/boundary spans (cat \"ghost\", ph \"X\")");
+  }
+  if (g_errors) {
+    std::fprintf(stderr, "report_check: %s FAILED (%d error%s)\n", path,
+                 g_errors, g_errors == 1 ? "" : "s");
+    return 1;
+  }
+  std::printf("report_check: %s OK (%zu events: %zu kernel, %zu ghost, "
+              "%zu slab spans)\n",
+              path, events->elements().size(), kernel_spans, ghost_spans,
+              slab_spans);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "--trace") == 0) {
+    return check_trace(argv[2]);
+  }
   if (argc < 2 || argc > 3) {
-    std::fprintf(stderr, "usage: report_check <report.json> [kind]\n");
+    std::fprintf(stderr,
+                 "usage: report_check <report.json> [kind]\n"
+                 "       report_check --trace <trace.json>\n");
     return 2;
   }
   const std::string text = read_file(argv[1]);
@@ -114,6 +199,47 @@ int main(int argc, char** argv) {
   } else {
     for (const auto& [stat, v] : derived.items()) {
       check_finite_nonneg(v, "derived/" + stat);
+    }
+  }
+
+  // v2 sections (optional: run reports always carry health; compile/bench
+  // reports may omit both)
+  if (const pfc::obs::Json* ma = j.find("model_accuracy")) {
+    if (!ma->is_object()) {
+      fail("model_accuracy must be an object");
+    } else {
+      for (const auto& [target, a] : ma->items()) {
+        const std::string where = "model_accuracy/" + target;
+        if (!a.is_object()) {
+          fail(where + ": expected an object");
+          continue;
+        }
+        for (const char* key :
+             {"predicted_seconds", "measured_seconds", "ratio"}) {
+          const pfc::obs::Json* v = a.find(key);
+          if (!v) {
+            fail(where + ": missing \"" + key + '"');
+            continue;
+          }
+          check_finite_nonneg(*v, where + '/' + key);
+        }
+      }
+    }
+  }
+  if (const pfc::obs::Json* h = j.find("health")) {
+    if (!h->is_object()) {
+      fail("health must be an object");
+    } else {
+      const pfc::obs::Json* policy = h->find("policy");
+      if (!policy || !policy->is_string() ||
+          (policy->str() != "ignore" && policy->str() != "warn" &&
+           policy->str() != "throw")) {
+        fail("health/policy must be \"ignore\", \"warn\" or \"throw\"");
+      }
+      for (const auto& [stat, v] : h->items()) {
+        if (stat == "policy") continue;
+        check_finite_nonneg(v, "health/" + stat);
+      }
     }
   }
 
