@@ -6,6 +6,7 @@
 //   * split (staggered precompute) vs full kernels
 //   * approximate (fast) division/sqrt vs exact
 //   * compile-time-folded vs runtime-symbolic model parameters
+//   * explicit SIMD: scalar vs width 4 vs width 8 (+ streaming stores)
 //
 // Also reports the generation + external-compilation time (the paper quotes
 // 30-60 s for a full recompilation; our models are smaller).
@@ -75,6 +76,12 @@ app::CompileOptions scheduled() {
   o.schedule = true;
   return o;
 }
+app::CompileOptions simd(int width, bool stream = false) {
+  app::CompileOptions o;
+  o.vector_width = width;
+  o.streaming_stores = stream;
+  return o;
+}
 
 void BM_P1_baseline(benchmark::State& s) { run_variant(s, base()); }
 void BM_P1_no_cse(benchmark::State& s) { run_variant(s, no_cse()); }
@@ -82,6 +89,14 @@ void BM_P1_no_hoisting(benchmark::State& s) { run_variant(s, no_hoist()); }
 void BM_P1_split_kernels(benchmark::State& s) { run_variant(s, split()); }
 void BM_P1_fast_math(benchmark::State& s) { run_variant(s, fast()); }
 void BM_P1_scheduled(benchmark::State& s) { run_variant(s, scheduled()); }
+// SIMD ablation axis: the baseline auto-probes the native width; these pin
+// it so the axis is comparable across hosts.
+void BM_P1_simd_scalar(benchmark::State& s) { run_variant(s, simd(1)); }
+void BM_P1_simd_w4(benchmark::State& s) { run_variant(s, simd(4)); }
+void BM_P1_simd_w8(benchmark::State& s) { run_variant(s, simd(8)); }
+void BM_P1_simd_w8_stream(benchmark::State& s) {
+  run_variant(s, simd(8, true));
+}
 
 BENCHMARK(BM_P1_baseline)->Unit(benchmark::kMillisecond)->MinTime(0.5);
 BENCHMARK(BM_P1_no_cse)->Unit(benchmark::kMillisecond)->MinTime(0.5);
@@ -89,6 +104,12 @@ BENCHMARK(BM_P1_no_hoisting)->Unit(benchmark::kMillisecond)->MinTime(0.5);
 BENCHMARK(BM_P1_split_kernels)->Unit(benchmark::kMillisecond)->MinTime(0.5);
 BENCHMARK(BM_P1_fast_math)->Unit(benchmark::kMillisecond)->MinTime(0.5);
 BENCHMARK(BM_P1_scheduled)->Unit(benchmark::kMillisecond)->MinTime(0.5);
+BENCHMARK(BM_P1_simd_scalar)->Unit(benchmark::kMillisecond)->MinTime(0.5);
+BENCHMARK(BM_P1_simd_w4)->Unit(benchmark::kMillisecond)->MinTime(0.5);
+BENCHMARK(BM_P1_simd_w8)->Unit(benchmark::kMillisecond)->MinTime(0.5);
+BENCHMARK(BM_P1_simd_w8_stream)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.5);
 
 /// Interpreter backend as reference for the "generic application without
 /// code generation" comparison of §5.1 (expressions evaluated generically
@@ -122,8 +143,10 @@ int main(int argc, char** argv) {
       std::printf(" %s %.3f s (x%llu)", stage.c_str(), t.seconds,
                   (unsigned long long)t.count);
     }
-    std::printf("; ops/cell %lld -> %lld after CSE+hoisting\n\n",
-                cr.ops_per_cell_pre, cr.ops_per_cell_post);
+    std::printf("; ops/cell %lld -> %lld after CSE+hoisting, %.1f widened "
+                "(vector width %d)\n\n",
+                cr.ops_per_cell_pre, cr.ops_per_cell_post,
+                cr.ops_per_cell_widened, cr.vector_width);
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -12,6 +12,7 @@
 #include "bench_common.hpp"
 
 #include "pfc/app/simulation.hpp"
+#include "pfc/backend/jit.hpp"
 #include "pfc/perf/ecm.hpp"
 #include "pfc/support/thread_pool.hpp"
 
@@ -22,13 +23,15 @@ namespace {
 
 /// Measured MLUP/s of the mu kernels for a P1 simulation on `threads`.
 double measure_mu(bool split, int threads, int steps,
-                  const std::array<long long, 3>& cells) {
+                  const std::array<long long, 3>& cells,
+                  int vector_width = 0) {
   app::GrandChemParams params = app::make_p1(3);
   app::GrandChemModel model(params);
   app::SimulationOptions o;
   o.cells = cells;
   o.threads = threads;
   o.compile.split_mu = split;
+  o.compile.vector_width = vector_width;
   app::Simulation sim(model, o);
   sim.init_phi([](long long x, long long, long long, int c) {
     const double s = app::interface_profile(double(x % 16) - 8.0, 10.0);
@@ -49,19 +52,27 @@ double measure_mu(bool split, int threads, int steps,
 }  // namespace
 
 int main() {
-  const perf::MachineModel machine = perf::MachineModel::skylake_sp();
+  const perf::MachineModel machine = perf::default_machine();
   const std::array<long long, 3> block{60, 60, 60};
+  // ECM curves model the width the JIT actually compiles at on this host
+  const int vw = backend::probe_native_vector_width();
 
   std::printf("=== Fig 2 (left): ECM model vs measurement, P1 mu kernels, "
-              "60^3 blocks ===\n\n");
+              "60^3 blocks ===\n");
+  std::printf("    machine %s, vector width %d\n\n", machine.name.c_str(),
+              vw);
 
   // --- model curves over the full modelled socket ---
   auto full_kernels = lower_kernels(Which::MuP1, false);
   auto split_kernels = lower_kernels(Which::MuP1, true);
-  const auto full_ecm = perf::ecm_predict(full_kernels[0], block, machine);
+  const auto lc = perf::TrafficSource::LayerCondition;
+  const auto full_ecm =
+      perf::ecm_predict(full_kernels[0], block, machine, lc, vw);
   // split = staggered + consumer kernels; combine as harmonic throughput
-  const auto stag_ecm = perf::ecm_predict(split_kernels[0], block, machine);
-  const auto main_ecm = perf::ecm_predict(split_kernels[1], block, machine);
+  const auto stag_ecm =
+      perf::ecm_predict(split_kernels[0], block, machine, lc, vw);
+  const auto main_ecm =
+      perf::ecm_predict(split_kernels[1], block, machine, lc, vw);
   const auto split_mlups = [&](int c) {
     const double a = stag_ecm.mlups(machine, c);
     const double b = main_ecm.mlups(machine, c);
@@ -95,6 +106,13 @@ int main() {
   std::printf("\n[absolute numbers are host-dependent; the paper's shapes "
               "under test: decaying split vs flat full per-core rates]\n");
 
+  // --- SIMD ablation: same kernel, scalar emission vs native width ---
+  const double meas_full_scalar = measure_mu(false, max_threads, 3, meas, 1);
+  const double vector_speedup = obs::safe_rate(meas_full, meas_full_scalar);
+  std::printf("\nmu-full at width %d: %.2f MLUP/s vs scalar %.2f MLUP/s -> "
+              "%.2fx\n",
+              vw, meas_full, meas_full_scalar, vector_speedup);
+
   const int socket = machine.cores;
   write_bench_report(
       "fig2_ecm_mu",
@@ -109,6 +127,10 @@ int main() {
             double(full_ecm.saturation_cores(machine))},
            {"measured_mu_split_mlups", meas_split},
            {"measured_mu_full_mlups", meas_full},
-           {"measured_threads", double(max_threads)}}));
+           {"measured_mu_full_scalar_mlups", meas_full_scalar},
+           {"measured_vector_speedup", vector_speedup},
+           {"measured_threads", double(max_threads)}},
+          /*timers=*/{},
+          /*counters=*/{{"vector_width", std::uint64_t(vw)}}));
   return 0;
 }

@@ -6,6 +6,7 @@
 #include "bench_common.hpp"
 
 #include "pfc/app/simulation.hpp"
+#include "pfc/backend/jit.hpp"
 #include "pfc/perf/ecm.hpp"
 #include "pfc/support/thread_pool.hpp"
 
@@ -16,17 +17,21 @@ namespace {
 
 double model_mlups(Which w, bool split, int cores,
                    const perf::MachineModel& m,
-                   const std::array<long long, 3>& block) {
+                   const std::array<long long, 3>& block, int vector_width) {
   const auto kernels = lower_kernels(w, split);
   double inv = 0;
   for (const auto& k : kernels) {
-    inv += 1.0 / perf::ecm_predict(k, block, m).mlups(m, cores);
+    inv += 1.0 / perf::ecm_predict(k, block, m,
+                                   perf::TrafficSource::LayerCondition,
+                                   vector_width)
+                     .mlups(m, cores);
   }
   return 1.0 / inv;
 }
 
 double measure_phi(Which w, bool split, int threads, int steps,
-                   const std::array<long long, 3>& cells) {
+                   const std::array<long long, 3>& cells,
+                   int vector_width = 0) {
   app::GrandChemParams params =
       w == Which::PhiP1 ? app::make_p1(3) : app::make_p2(3);
   app::GrandChemModel model(params);
@@ -34,6 +39,7 @@ double measure_phi(Which w, bool split, int threads, int steps,
   o.cells = cells;
   o.threads = threads;
   o.compile.split_phi = split;
+  o.compile.vector_width = vector_width;
   app::Simulation sim(model, o);
   sim.init_phi([](long long x, long long, long long, int c) {
     const double s = app::interface_profile(double(x % 16) - 8.0, 10.0);
@@ -55,29 +61,33 @@ double measure_phi(Which w, bool split, int threads, int steps,
 }  // namespace
 
 int main() {
-  const perf::MachineModel machine = perf::MachineModel::skylake_sp();
+  const perf::MachineModel machine = perf::default_machine();
   const std::array<long long, 3> block{60, 60, 60};
+  // ECM curves model the width the JIT actually compiles at on this host
+  const int vw = backend::probe_native_vector_width();
 
   std::printf("=== Fig 2 (middle): ECM model vs measurement, phi kernels, "
-              "P1 and P2 ===\n\n");
+              "P1 and P2 ===\n");
+  std::printf("    machine %s, vector width %d\n\n", machine.name.c_str(),
+              vw);
   std::printf("%6s %16s %16s %16s %16s   [ECM, MLUP/s per core]\n", "cores",
               "P1 phi-split", "P1 phi-full", "P2 phi-split", "P2 phi-full");
   for (int c : {1, 4, 8, 12, 16, 20, 24}) {
     std::printf("%6d %16.2f %16.2f %16.2f %16.2f\n", c,
-                model_mlups(Which::PhiP1, true, c, machine, block) / c,
-                model_mlups(Which::PhiP1, false, c, machine, block) / c,
-                model_mlups(Which::PhiP2, true, c, machine, block) / c,
-                model_mlups(Which::PhiP2, false, c, machine, block) / c);
+                model_mlups(Which::PhiP1, true, c, machine, block, vw) / c,
+                model_mlups(Which::PhiP1, false, c, machine, block, vw) / c,
+                model_mlups(Which::PhiP2, true, c, machine, block, vw) / c,
+                model_mlups(Which::PhiP2, false, c, machine, block, vw) / c);
   }
   const int socket = machine.cores;
   const double m_p1_split =
-      model_mlups(Which::PhiP1, true, socket, machine, block);
+      model_mlups(Which::PhiP1, true, socket, machine, block, vw);
   const double m_p1_full =
-      model_mlups(Which::PhiP1, false, socket, machine, block);
+      model_mlups(Which::PhiP1, false, socket, machine, block, vw);
   const double m_p2_split =
-      model_mlups(Which::PhiP2, true, socket, machine, block);
+      model_mlups(Which::PhiP2, true, socket, machine, block, vw);
   const double m_p2_full =
-      model_mlups(Which::PhiP2, false, socket, machine, block);
+      model_mlups(Which::PhiP2, false, socket, machine, block, vw);
   const bool p1_full_wins = m_p1_full > m_p1_split;
   const bool p2_split_wins = m_p2_split > m_p2_full;
   std::printf("\nfull-socket model choice: P1 -> %s (paper: full), "
@@ -99,6 +109,14 @@ int main() {
                 b_p1_full / t, b_p2_split / t, b_p2_full / t);
   }
 
+  // --- SIMD ablation: same kernel, scalar emission vs native width ---
+  const double b_p1_full_scalar =
+      measure_phi(Which::PhiP1, false, max_threads, 3, meas, 1);
+  const double vector_speedup = obs::safe_rate(b_p1_full, b_p1_full_scalar);
+  std::printf("\nP1 phi-full at width %d: %.2f MLUP/s vs scalar %.2f "
+              "MLUP/s -> %.2fx\n",
+              vw, b_p1_full, b_p1_full_scalar, vector_speedup);
+
   write_bench_report(
       "fig2_ecm_phi",
       bench_report_json(
@@ -111,8 +129,12 @@ int main() {
            {"model_p2_chooses_split", p2_split_wins ? 1.0 : 0.0},
            {"measured_p1_phi_split_mlups", b_p1_split},
            {"measured_p1_phi_full_mlups", b_p1_full},
+           {"measured_p1_phi_full_scalar_mlups", b_p1_full_scalar},
+           {"measured_vector_speedup", vector_speedup},
            {"measured_p2_phi_split_mlups", b_p2_split},
            {"measured_p2_phi_full_mlups", b_p2_full},
-           {"measured_threads", double(max_threads)}}));
+           {"measured_threads", double(max_threads)}},
+          /*timers=*/{},
+          /*counters=*/{{"vector_width", std::uint64_t(vw)}}));
   return 0;
 }

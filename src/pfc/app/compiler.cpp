@@ -3,6 +3,7 @@
 #include "pfc/backend/c_emitter.hpp"
 #include "pfc/ir/opcount.hpp"
 #include "pfc/ir/schedule.hpp"
+#include "pfc/ir/vectorize.hpp"
 #include "pfc/support/timer.hpp"
 
 namespace pfc::app {
@@ -12,7 +13,8 @@ void CompiledKernel::run(const backend::Binding& b,
                          long long t_step, ThreadPool* pool,
                          obs::TraceRecorder* tracer) const {
   if (fn_ != nullptr) {
-    backend::run_compiled(ir, fn_, b, n, t, t_step, pool, tracer);
+    backend::run_compiled(ir, fn_, b, n, t, t_step, pool, tracer,
+                          vector_width_);
   } else {
     PFC_ASSERT(interp_ != nullptr, "CompiledKernel has no backend");
     // Interpreter slabs carry no per-thread spans; the driver's kernel span
@@ -100,6 +102,8 @@ CompiledModel ModelCompiler::compile_updates(
   };
 
   if (opts_.backend == Backend::Interpreter) {
+    // The interpreter evaluates the IR cell by cell; width stays 1.
+    out.report_.ops_per_cell_widened = double(out.report_.ops_per_cell_post);
     for (auto* group : {&out.phi_kernels, &out.mu_kernels}) {
       for (auto& ck : *group) {
         ck.interp_ = std::make_shared<backend::InterpreterKernel>(ck.ir);
@@ -109,24 +113,42 @@ CompiledModel ModelCompiler::compile_updates(
     return out;
   }
 
+  // Resolve the SIMD width: 0 = probe the JIT target once per process.
+  int width = opts_.vector_width;
+  if (width <= 0) width = backend::probe_native_vector_width();
+  PFC_REQUIRE(ir::vector_width_supported(width),
+              "unsupported vector_width " + std::to_string(width) +
+                  " (use 0=auto, 1, 2, 4 or 8)");
+  out.report_.vector_width = width;
+
   // Emit all kernels into one translation unit and JIT it.
   Timer stage;
   backend::CEmitOptions eo;
   eo.fast_math = opts_.fast_math;
+  eo.vector_width = width;
+  eo.streaming_stores = opts_.streaming_stores;
   std::string source;
   bool first = true;
   for (auto* group : {&out.phi_kernels, &out.mu_kernels}) {
     for (auto& ck : *group) {
       eo.include_preamble = first;
       first = false;
+      const ir::VectorPlan plan =
+          ir::plan_vectorize(ck.ir, {width, opts_.streaming_stores});
+      out.report_.ops_per_cell_widened +=
+          plan.enabled() ? plan.flops_per_cell_vector
+                         : double(plan.flops_per_cell_scalar);
+      ck.vector_width_ = plan.enabled() ? plan.width : 1;
       source += backend::emit_c(ck.ir, eo);
       source += "\n";
     }
   }
   out.source_ = source;
   out.report_.add_stage("emit", stage.seconds());
+  backend::JitLibrary::Options jo;
+  jo.extra_flags = opts_.jit_extra_flags;
   out.library_ = std::make_shared<backend::JitLibrary>(
-      backend::JitLibrary::compile(source));
+      backend::JitLibrary::compile(source, jo));
   out.report_.add_stage("jit", out.library_->compile_seconds());
   for (auto* group : {&out.phi_kernels, &out.mu_kernels}) {
     for (auto& ck : *group) {

@@ -30,6 +30,17 @@ struct CompileOptions {
   /// valid for CPU code).
   bool schedule = false;
   std::size_t schedule_beam_width = 20;
+  /// Explicit SIMD width (doubles) of the generated C innermost loop:
+  /// 0 = auto (probe the JIT target's ISA; PFC_VECTOR_WIDTH env overrides),
+  /// 1 = scalar, 2/4/8 = fixed. The interpreter backend is always scalar.
+  int vector_width = 0;
+  /// Non-temporal (streaming) stores for write-only destination fields of
+  /// the vectorized loop — bypasses the write-allocate read of the store
+  /// stream (paper §3.5's memory-bandwidth discussion).
+  bool streaming_stores = false;
+  /// Extra flags appended to the JIT compile line (e.g. "-ffp-contract=off"
+  /// for bitwise-reproducible equivalence tests).
+  std::string jit_extra_flags;
 };
 
 /// One executable kernel: the optimized IR plus a backend handle.
@@ -41,10 +52,14 @@ class CompiledKernel {
            double t, long long t_step, ThreadPool* pool = nullptr,
            obs::TraceRecorder* tracer = nullptr) const;
 
+  /// SIMD width the kernel's code was emitted with (1 = scalar).
+  int vector_width() const { return vector_width_; }
+
  private:
   friend class ModelCompiler;
   backend::KernelFn fn_ = nullptr;  // JIT entry (library owned by model)
   std::shared_ptr<backend::InterpreterKernel> interp_;
+  int vector_width_ = 1;
 };
 
 /// The compiled model: kernels in execution order per PDE.

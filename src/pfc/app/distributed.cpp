@@ -66,7 +66,8 @@ DistributedSimulation::DistributedSimulation(const GrandChemModel& model,
     for (const auto& ck : compiled_.mu_kernels) kernels.push_back(&ck.ir);
     // per-block launches are serial: one core per launch
     predicted_mlups_ = perf::predicted_mlups_by_kernel(
-        kernels, bs, perf::MachineModel::skylake_sp(), /*cores=*/1);
+        kernels, bs, opts.machine, /*cores=*/1,
+        compiled_.compile_report().vector_width);
   }
 }
 

@@ -13,6 +13,7 @@
 #include "pfc/grid/boundary.hpp"
 #include "pfc/obs/health.hpp"
 #include "pfc/obs/trace.hpp"
+#include "pfc/perf/machine.hpp"
 
 namespace pfc::app {
 
@@ -26,6 +27,9 @@ struct DomainOptions {
   obs::TraceOptions trace;
   /// In-situ physics health monitoring; off by default.
   obs::HealthOptions health;
+  /// Machine the ECM/drift layer models this run against. Defaults to the
+  /// PFC_MACHINE env preset (perf::default_machine()), else Skylake-SP.
+  perf::MachineModel machine = perf::default_machine();
 
   DomainOptions& with_cells(long long nx, long long ny, long long nz = 1) {
     cells = {nx, ny, nz};
@@ -45,6 +49,10 @@ struct DomainOptions {
   }
   DomainOptions& with_health(const obs::HealthOptions& h) {
     health = h;
+    return *this;
+  }
+  DomainOptions& with_machine(const perf::MachineModel& m) {
+    machine = m;
     return *this;
   }
 };

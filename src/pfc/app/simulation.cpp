@@ -66,7 +66,8 @@ Simulation::Simulation(GrandChemModel model, const SimulationOptions& opts)
   for (const auto& ck : compiled_.phi_kernels) kernels.push_back(&ck.ir);
   for (const auto& ck : compiled_.mu_kernels) kernels.push_back(&ck.ir);
   predicted_mlups_ = perf::predicted_mlups_by_kernel(
-      kernels, opts.cells, perf::MachineModel::skylake_sp(), opts.threads);
+      kernels, opts.cells, opts.machine, opts.threads,
+      compiled_.compile_report().vector_width);
 
   if (opts.time_scheme == TimeScheme::Heun) {
     phi_0_.emplace(model_.phi_src(),
@@ -176,25 +177,15 @@ obs::RunReport Simulation::run(int n) {
       step_seconds = euler_substep(time());
     } else {
       // Heun: u1 = u0 + dt f(u0); u2 = u1 + dt f(u1); u_new = (u0 + u2) / 2
-      phi_0_->copy_from(phi_src_arr_);
-      mu_0_->copy_from(mu_src_arr_);
+      // Staging copy and trapezoidal average are memory-bound; both split
+      // across the pool (ghosts are refreshed from the interior below, so
+      // blending them too is harmless).
+      phi_0_->copy_from(phi_src_arr_, pool_.get());
+      mu_0_->copy_from(mu_src_arr_, pool_.get());
       step_seconds += euler_substep(time());       // src now holds u1
       step_seconds += euler_substep(time() + dt);  // src now holds u2
-      const auto average = [](Array& cur, const Array& u0) {
-        const auto& n3 = cur.size();
-        for (int c = 0; c < cur.components(); ++c) {
-          for (std::int64_t z = 0; z < n3[2]; ++z) {
-            for (std::int64_t y = 0; y < n3[1]; ++y) {
-              for (std::int64_t x = 0; x < n3[0]; ++x) {
-                cur.at(x, y, z, c) =
-                    0.5 * (cur.at(x, y, z, c) + u0.at(x, y, z, c));
-              }
-            }
-          }
-        }
-      };
-      average(phi_src_arr_, *phi_0_);
-      average(mu_src_arr_, *mu_0_);
+      phi_src_arr_.average_with(*phi_0_, pool_.get());
+      mu_src_arr_.average_with(*mu_0_, pool_.get());
       fill_all_ghosts(phi_src_arr_);
       fill_all_ghosts(mu_src_arr_);
     }

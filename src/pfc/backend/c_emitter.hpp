@@ -5,6 +5,14 @@
 // materializes in code. Shared-memory parallelism is slab-based: the host
 // passes [outer_begin, outer_end) so a thread pool can split the outermost
 // loop (the role OpenMP plays in the paper's generated code).
+//
+// With vector_width > 1 the emitter consumes an ir::VectorPlan and renders
+// the paper's "C + OpenMP + SIMD" form explicitly: the x loop splits into a
+// scalar alignment peel, an aligned vector main loop stepping `width` cells
+// through GCC/Clang vector extensions, and a scalar remainder. Hoisted
+// scalars get one broadcast at their definition level, contiguous field
+// accesses become vector loads, and write-only destinations can use
+// non-temporal streaming stores (fenced before the slab returns).
 #pragma once
 
 #include <string>
@@ -19,8 +27,15 @@ struct CEmitOptions {
   /// Include the runtime preamble (Philox etc.). Disable when several
   /// kernels are emitted into one translation unit.
   bool include_preamble = true;
-  /// Emit `#pragma omp simd`-style ivdep hints on the inner loop.
+  /// Emit `#pragma omp simd`-style ivdep hints on the inner loop (scalar
+  /// code only; explicit vectorization needs no hint).
   bool simd_hint = true;
+  /// Doubles per vector lane group: 1 emits the scalar loop, 2/4/8 emit the
+  /// explicit-SIMD split loop. All kernels of one translation unit must use
+  /// the same width (the vector preamble is emitted once).
+  int vector_width = 1;
+  /// Non-temporal stores for write-only destination fields.
+  bool streaming_stores = false;
 };
 
 /// Returns the generated source. The entry point is named

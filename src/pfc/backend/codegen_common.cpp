@@ -62,4 +62,228 @@ static inline double pfc_rsqrt_fast(double v) {
 )PFC";
 }
 
+std::string vector_preamble(int width) {
+  // One vector width per translation unit; the guard makes concatenated
+  // emit_c outputs (one TU for all kernels of a model) idempotent.
+  std::string out = "#ifndef PFC_VW\n#define PFC_VW " +
+                    std::to_string(width) + "\n";
+  out += R"PFC(
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+typedef double pfc_vd __attribute__((vector_size(sizeof(double) * PFC_VW)));
+/* same lanes, 8-byte alignment: the type behind unaligned loads/stores */
+typedef double pfc_vd_unaligned
+    __attribute__((vector_size(sizeof(double) * PFC_VW), aligned(8)));
+
+static inline pfc_vd pfc_vd_set1(double s) {
+  pfc_vd v;
+  for (int i = 0; i < PFC_VW; ++i) v[i] = s;
+  return v;
+}
+
+/* {x0, x0+1, ...} — the per-lane x coordinate of a vector iteration */
+static inline pfc_vd pfc_vd_iota(double x0) {
+  pfc_vd v;
+  for (int i = 0; i < PFC_VW; ++i) v[i] = x0 + (double)i;
+  return v;
+}
+
+static inline pfc_vd pfc_vd_loadu(const double* p) {
+  return *(const pfc_vd_unaligned*)p;
+}
+
+static inline void pfc_vd_storeu(double* p, pfc_vd v) {
+  *(pfc_vd_unaligned*)p = v;
+}
+
+static inline void pfc_vd_storea(double* p, pfc_vd v) { *(pfc_vd*)p = v; }
+
+/* Non-temporal store: bypasses the cache hierarchy for write-only
+   destinations. Requires a full-vector-aligned address (the emitter's
+   alignment peel guarantees this for the primary write field). */
+static inline void pfc_vd_stream(double* p, pfc_vd v) {
+#if defined(__clang__)
+  __builtin_nontemporal_store(v, (pfc_vd*)p);
+#elif defined(__AVX512F__) && PFC_VW == 8
+  __m512d w;
+  __builtin_memcpy(&w, &v, sizeof w);
+  _mm512_stream_pd(p, w);
+#elif defined(__AVX__) && PFC_VW == 4
+  __m256d w;
+  __builtin_memcpy(&w, &v, sizeof w);
+  _mm256_stream_pd(p, w);
+#elif defined(__SSE2__) && PFC_VW == 2
+  __m128d w;
+  __builtin_memcpy(&w, &v, sizeof w);
+  _mm_stream_pd(p, w);
+#else
+  *(pfc_vd*)p = v; /* no non-temporal form on this target */
+#endif
+}
+
+/* Drain the write-combining buffers of non-temporal stores. The thread
+   pool's mutex release orders normal stores but NOT movnt, so every kernel
+   that streamed must fence before returning its slab. */
+static inline void pfc_vd_stream_fence(void) {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_sfence();
+#else
+  __sync_synchronize();
+#endif
+}
+
+/* IEEE-exact vector sqrt: packed hardware form when available, else a lane
+   loop (identical results either way). */
+static inline pfc_vd pfc_vd_sqrt(pfc_vd a) {
+#if defined(__AVX512F__) && PFC_VW == 8
+  __m512d w;
+  __builtin_memcpy(&w, &a, sizeof w);
+  w = _mm512_sqrt_pd(w);
+  pfc_vd r;
+  __builtin_memcpy(&r, &w, sizeof r);
+  return r;
+#elif defined(__AVX__) && PFC_VW == 4
+  __m256d w;
+  __builtin_memcpy(&w, &a, sizeof w);
+  w = _mm256_sqrt_pd(w);
+  pfc_vd r;
+  __builtin_memcpy(&r, &w, sizeof r);
+  return r;
+#elif defined(__SSE2__) && PFC_VW == 2
+  __m128d w;
+  __builtin_memcpy(&w, &a, sizeof w);
+  w = _mm_sqrt_pd(w);
+  pfc_vd r;
+  __builtin_memcpy(&r, &w, sizeof r);
+  return r;
+#else
+  pfc_vd r;
+  for (int i = 0; i < PFC_VW; ++i) r[i] = sqrt(a[i]);
+  return r;
+#endif
+}
+
+static inline pfc_vd pfc_vd_rsqrt(pfc_vd a) {
+  /* matches the scalar dialect's (1.0 / sqrt(x)) bit for bit */
+  return pfc_vd_set1(1.0) / pfc_vd_sqrt(a);
+}
+
+static inline pfc_vd pfc_vd_sqrt_fast(pfc_vd a) {
+  pfc_vd r;
+  for (int i = 0; i < PFC_VW; ++i) r[i] = (double)sqrtf((float)a[i]);
+  return r;
+}
+
+static inline pfc_vd pfc_vd_rsqrt_fast(pfc_vd a) {
+  pfc_vd r;
+  for (int i = 0; i < PFC_VW; ++i) r[i] = pfc_rsqrt_fast(a[i]);
+  return r;
+}
+
+/* lane-wise min/max/abs: vectorized by the compiler (no errno concerns) */
+static inline pfc_vd pfc_vd_fmin(pfc_vd a, pfc_vd b) {
+  pfc_vd r;
+  for (int i = 0; i < PFC_VW; ++i) r[i] = a[i] < b[i] ? a[i] : b[i];
+  return r;
+}
+
+static inline pfc_vd pfc_vd_fmax(pfc_vd a, pfc_vd b) {
+  pfc_vd r;
+  for (int i = 0; i < PFC_VW; ++i) r[i] = a[i] > b[i] ? a[i] : b[i];
+  return r;
+}
+
+static inline pfc_vd pfc_vd_fabs(pfc_vd a) {
+  pfc_vd r;
+  for (int i = 0; i < PFC_VW; ++i) r[i] = fabs(a[i]);
+  return r;
+}
+
+/* comparisons as 0.0/1.0 masks, matching the scalar dialect's ternaries */
+static inline pfc_vd pfc_vd_lt(pfc_vd a, pfc_vd b) {
+  pfc_vd r;
+  for (int i = 0; i < PFC_VW; ++i) r[i] = a[i] < b[i] ? 1.0 : 0.0;
+  return r;
+}
+
+static inline pfc_vd pfc_vd_gt(pfc_vd a, pfc_vd b) {
+  pfc_vd r;
+  for (int i = 0; i < PFC_VW; ++i) r[i] = a[i] > b[i] ? 1.0 : 0.0;
+  return r;
+}
+
+static inline pfc_vd pfc_vd_le(pfc_vd a, pfc_vd b) {
+  pfc_vd r;
+  for (int i = 0; i < PFC_VW; ++i) r[i] = a[i] <= b[i] ? 1.0 : 0.0;
+  return r;
+}
+
+static inline pfc_vd pfc_vd_ge(pfc_vd a, pfc_vd b) {
+  pfc_vd r;
+  for (int i = 0; i < PFC_VW; ++i) r[i] = a[i] >= b[i] ? 1.0 : 0.0;
+  return r;
+}
+
+/* Select(c, a, b): per-lane blend, c != 0 picks a */
+static inline pfc_vd pfc_vd_sel(pfc_vd c, pfc_vd a, pfc_vd b) {
+  pfc_vd r;
+  for (int i = 0; i < PFC_VW; ++i) r[i] = c[i] != 0.0 ? a[i] : b[i];
+  return r;
+}
+
+/* lane-serial libm calls: no packed form, one scalar call per lane */
+static inline pfc_vd pfc_vd_exp(pfc_vd a) {
+  pfc_vd r;
+  for (int i = 0; i < PFC_VW; ++i) r[i] = exp(a[i]);
+  return r;
+}
+
+static inline pfc_vd pfc_vd_log(pfc_vd a) {
+  pfc_vd r;
+  for (int i = 0; i < PFC_VW; ++i) r[i] = log(a[i]);
+  return r;
+}
+
+static inline pfc_vd pfc_vd_sin(pfc_vd a) {
+  pfc_vd r;
+  for (int i = 0; i < PFC_VW; ++i) r[i] = sin(a[i]);
+  return r;
+}
+
+static inline pfc_vd pfc_vd_cos(pfc_vd a) {
+  pfc_vd r;
+  for (int i = 0; i < PFC_VW; ++i) r[i] = cos(a[i]);
+  return r;
+}
+
+static inline pfc_vd pfc_vd_tanh(pfc_vd a) {
+  pfc_vd r;
+  for (int i = 0; i < PFC_VW; ++i) r[i] = tanh(a[i]);
+  return r;
+}
+
+static inline pfc_vd pfc_vd_pow(pfc_vd a, pfc_vd b) {
+  pfc_vd r;
+  for (int i = 0; i < PFC_VW; ++i) r[i] = pow(a[i], b[i]);
+  return r;
+}
+
+/* lane-serial Philox: same casts as the scalar dialect, bit-identical */
+static inline pfc_vd pfc_vd_philox(pfc_vd x, pfc_vd y, pfc_vd z, pfc_vd t,
+                                   pfc_vd seed, pfc_vd stream) {
+  pfc_vd r;
+  for (int i = 0; i < PFC_VW; ++i) {
+    r[i] = pfc_philox_uniform((pfc_u64)x[i], (pfc_u64)y[i], (pfc_u64)z[i],
+                              (pfc_u64)t[i], (pfc_u64)seed[i],
+                              (pfc_u64)stream[i]);
+  }
+  return r;
+}
+)PFC";
+  out += "#endif /* PFC_VW */\n";
+  return out;
+}
+
 }  // namespace pfc::backend

@@ -16,6 +16,15 @@ std::string sanitize_identifier(const std::string& name);
 /// mirroring pfc::rng::philox_uniform (bit-identical results).
 const char* runtime_preamble();
 
+/// C source of the SIMD runtime for one translation unit: the pfc_vd vector
+/// type (`width` doubles, GCC/Clang vector extensions), broadcast/iota
+/// constructors, unaligned/aligned/non-temporal load-store helpers, and
+/// lane-wise fallbacks for the operations without packed hardware forms
+/// (libm transcendentals, Philox). Each TU has exactly one width; the text
+/// is `#ifndef`-guarded so concatenating kernels stays safe. Must follow
+/// runtime_preamble() in the TU (the Philox helper calls into it).
+std::string vector_preamble(int width);
+
 /// The generated entry point signature, documented once:
 ///
 ///   extern "C" void NAME(double* const* fields,

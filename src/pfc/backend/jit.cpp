@@ -32,6 +32,34 @@ void remove_tree(const std::string& dir) {
 
 }  // namespace
 
+int probe_native_vector_width() {
+  static const int cached = [] {
+    if (const char* env = std::getenv("PFC_VECTOR_WIDTH")) {
+      const int w = std::atoi(env);
+      if (w == 1 || w == 2 || w == 4 || w == 8) return w;
+    }
+    const char* env_cxx = std::getenv("CXX");
+    const std::string compiler =
+        (env_cxx != nullptr && *env_cxx != '\0') ? env_cxx : "c++";
+    char tmpl[] = "/tmp/pfc_probe_XXXXXX";
+    const int fd = ::mkstemp(tmpl);
+    if (fd < 0) return 4;
+    ::close(fd);
+    const std::string cmd = compiler +
+                            " -O3 -march=native -dM -E -x c++ /dev/null > " +
+                            tmpl + " 2>/dev/null";
+    const int rc = std::system(cmd.c_str());
+    const std::string macros = rc == 0 ? read_file(tmpl) : std::string{};
+    std::remove(tmpl);
+    if (macros.find("__AVX512F__") != std::string::npos) return 8;
+    if (macros.find("__AVX__") != std::string::npos) return 4;
+    if (macros.find("__SSE2__") != std::string::npos) return 2;
+    if (macros.find("__ARM_NEON") != std::string::npos) return 2;
+    return 4;
+  }();
+  return cached;
+}
+
 JitLibrary JitLibrary::compile(const std::string& source,
                                const Options& opts) {
   char tmpl[] = "/tmp/pfc_jit_XXXXXX";

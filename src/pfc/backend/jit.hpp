@@ -12,6 +12,15 @@
 
 namespace pfc::backend {
 
+/// Widest double-vector (in lanes) the JIT's target supports, probed once
+/// by preprocessing an empty file with the JIT compiler's own flags
+/// (-march=native) and inspecting the ISA macros: AVX-512 → 8, AVX → 4,
+/// SSE2/NEON → 2. The env var PFC_VECTOR_WIDTH (1/2/4/8) overrides the
+/// probe; an unusable compiler falls back to 4 (GCC/Clang vector
+/// extensions lower any width to whatever the target has). Cached after
+/// the first call.
+int probe_native_vector_width();
+
 /// A compiled shared object holding one or more kernel entry points.
 /// Move-only RAII: unloads the library and removes the scratch directory.
 class JitLibrary {

@@ -81,7 +81,7 @@ RawArgs marshal(const ir::Kernel& k, const Binding& b,
 void run_compiled(const ir::Kernel& k, KernelFn fn, const Binding& b,
                   const std::array<long long, 3>& n, double t,
                   long long t_step, ThreadPool* pool,
-                  obs::TraceRecorder* tracer) {
+                  obs::TraceRecorder* tracer, int vector_width) {
   const RawArgs raw = marshal(k, b, n);
   const int outer = k.dims - 1;
   const long long outer_end =
@@ -97,7 +97,9 @@ void run_compiled(const ir::Kernel& k, KernelFn fn, const Binding& b,
     launch(0, outer_end);
     return;
   }
-  pool->parallel_for(0, outer_end, launch);
+  const long long align =
+      (k.dims == 1 && vector_width > 1) ? vector_width : 1;
+  pool->parallel_for(0, outer_end, launch, align);
 }
 
 }  // namespace pfc::backend

@@ -39,10 +39,14 @@ RawArgs marshal(const ir::Kernel& k, const Binding& b,
 /// across `pool` (nullptr = serial). When `tracer` is non-null each slab
 /// launch records a span from its executing thread (category "slab"), so
 /// the timeline shows the per-thread work distribution under the driver's
-/// kernel span.
+/// kernel span. `vector_width` is the SIMD width the kernel was emitted
+/// with; for 1-D kernels (where x itself is the slab-split loop) slab
+/// boundaries are rounded to multiples of it so each slab keeps one
+/// aligned main loop instead of re-peeling mid-row.
 void run_compiled(const ir::Kernel& k, KernelFn fn, const Binding& b,
                   const std::array<long long, 3>& n, double t,
                   long long t_step, ThreadPool* pool = nullptr,
-                  obs::TraceRecorder* tracer = nullptr);
+                  obs::TraceRecorder* tracer = nullptr,
+                  int vector_width = 1);
 
 }  // namespace pfc::backend

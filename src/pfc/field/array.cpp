@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "pfc/support/thread_pool.hpp"
+
 namespace pfc {
 
 namespace {
@@ -59,6 +61,41 @@ void Array::copy_from(const Array& other) {
               "copy_from: shape mismatch");
   std::memcpy(data_.get(), other.data_.get(),
               std::size_t(alloc_) * sizeof(double));
+}
+
+void Array::copy_from(const Array& other, ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() == 1) {
+    copy_from(other);
+    return;
+  }
+  PFC_REQUIRE(alloc_ == other.alloc_ && size_ == other.size_,
+              "copy_from: shape mismatch");
+  double* dst = data_.get();
+  const double* src = other.data_.get();
+  pool->parallel_for(
+      0, alloc_,
+      [dst, src](std::int64_t lo, std::int64_t hi) {
+        std::memcpy(dst + lo, src + lo,
+                    std::size_t(hi - lo) * sizeof(double));
+      },
+      /*chunk_align=*/8);
+}
+
+void Array::average_with(const Array& u0, ThreadPool* pool) {
+  PFC_REQUIRE(alloc_ == u0.alloc_ && size_ == u0.size_,
+              "average_with: shape mismatch");
+  double* dst = data_.get();
+  const double* src = u0.data_.get();
+  const auto blend = [dst, src](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      dst[i] = 0.5 * (dst[i] + src[i]);
+    }
+  };
+  if (pool == nullptr || pool->num_threads() == 1) {
+    blend(0, alloc_);
+    return;
+  }
+  pool->parallel_for(0, alloc_, blend, /*chunk_align=*/8);
 }
 
 void Array::swap(Array& other) noexcept {

@@ -18,6 +18,8 @@
 
 namespace pfc {
 
+class ThreadPool;
+
 class Array {
  public:
   /// Creates storage for `field` with the given interior size (cells per
@@ -63,8 +65,17 @@ class Array {
   void fill(double v);
   void fill_component(int c, double v);
 
-  /// Copies interior + ghosts from another array of identical shape.
+  /// Copies interior + ghosts from another array of identical shape. With a
+  /// pool the copy splits into per-thread memcpy chunks (the Heun staging
+  /// copy is memory-bound and scales with threads).
   void copy_from(const Array& other);
+  void copy_from(const Array& other, ThreadPool* pool);
+
+  /// In-place blend `this = 0.5 * (this + u0)` over the whole buffer —
+  /// interior, ghosts and padding alike (padding is zero in both operands).
+  /// Shapes must match; splits across `pool` when given. This is Heun's
+  /// trapezoidal average u_new = (u0 + u2) / 2.
+  void average_with(const Array& u0, ThreadPool* pool = nullptr);
 
   /// Swaps buffers with another array of identical shape (the src/dst swap
   /// at the end of every time step).

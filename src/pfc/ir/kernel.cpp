@@ -158,6 +158,9 @@ Kernel build_kernel(const fd::StencilKernel& sk, const BuildOptions& opts) {
         k.uses_time = true;
         continue;
       }
+      if (s->builtin() == sym::Builtin::Coord0) k.uses_coord[0] = true;
+      if (s->builtin() == sym::Builtin::Coord1) k.uses_coord[1] = true;
+      if (s->builtin() == sym::Builtin::Coord2) k.uses_coord[2] = true;
       if (is_builtin_symbol(s)) continue;
       if (temp_deps.count(s->name()) != 0) continue;
       bool dup = false;

@@ -59,6 +59,11 @@ class Kernel {
   /// (fluctuations, analytic temperature).
   bool uses_time = false;
 
+  /// Per-dimension: true if any expression references that loop coordinate
+  /// (Philox counters, analytic T(z)). The emitters materialize the
+  /// int→double coordinate conversions only when these are set.
+  std::array<bool, 3> uses_coord{false, false, false};
+
   /// Positions (body indices) of modelled __threadfence() barriers inserted
   /// by the GPU register transformations; consumed by the GPU perf model.
   std::vector<std::size_t> fence_positions;

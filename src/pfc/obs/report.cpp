@@ -93,10 +93,12 @@ Json CompileReport::to_json() const {
       {"ops_per_cell_pre", std::uint64_t(ops_per_cell_pre)},
       {"ops_per_cell_post", std::uint64_t(ops_per_cell_post)},
       {"num_kernels", std::uint64_t(kernel_names.size())},
+      {"vector_width", std::uint64_t(vector_width)},
   };
   const std::map<std::string, double> derived{
       {"generation_seconds", generation_seconds()},
       {"compile_seconds", compile_seconds()},
+      {"ops_per_cell_widened", ops_per_cell_widened},
   };
   Json j = make_report_json("compile", name, timers, counters, derived);
   Json names = Json::array();

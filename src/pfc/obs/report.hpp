@@ -104,6 +104,13 @@ struct CompileReport {
   /// RHS) and after (optimized IR body) CSE/hoisting.
   long long ops_per_cell_pre = 0;
   long long ops_per_cell_post = 0;
+  /// SIMD width (doubles per lane vector) the C backend emitted with; 1 for
+  /// scalar code and the interpreter backend.
+  int vector_width = 1;
+  /// Per-cell FLOPs after widening: packable ops amortize over the vector
+  /// width, lane-serial calls (transcendentals, RNG) do not. Equals
+  /// ops_per_cell_post at width 1.
+  double ops_per_cell_widened = 0.0;
   std::vector<std::string> kernel_names;  ///< IR names, execution order
 
   void add_stage(const std::string& stage, double seconds);

@@ -8,9 +8,12 @@ namespace pfc::perf {
 
 double predicted_kernel_mlups(const ir::Kernel& k,
                               const std::array<long long, 3>& block,
-                              const MachineModel& m, int cores) {
+                              const MachineModel& m, int cores,
+                              int vector_width) {
   try {
-    const double mlups = ecm_predict(k, block, m).mlups(m, cores);
+    const double mlups =
+        ecm_predict(k, block, m, TrafficSource::LayerCondition, vector_width)
+            .mlups(m, cores);
     return std::isfinite(mlups) && mlups > 0.0 ? mlups : 0.0;
   } catch (const Error&) {
     return 0.0;  // model limitation, not a run failure
@@ -19,11 +22,11 @@ double predicted_kernel_mlups(const ir::Kernel& k,
 
 std::map<std::string, double> predicted_mlups_by_kernel(
     const std::vector<const ir::Kernel*>& kernels,
-    const std::array<long long, 3>& block, const MachineModel& m,
-    int cores) {
+    const std::array<long long, 3>& block, const MachineModel& m, int cores,
+    int vector_width) {
   std::map<std::string, double> out;
   for (const ir::Kernel* k : kernels) {
-    out[k->name] = predicted_kernel_mlups(*k, block, m, cores);
+    out[k->name] = predicted_kernel_mlups(*k, block, m, cores, vector_width);
   }
   return out;
 }

@@ -20,16 +20,20 @@
 namespace pfc::perf {
 
 /// ECM-predicted MLUP/s of one kernel at `block` on `cores` threads.
-/// Returns 0.0 (meaning "no prediction") instead of throwing if the model
-/// cannot handle the kernel, so drift tracking never kills a run.
+/// `vector_width` is the SIMD width of the generated code (0 = machine
+/// width, see ecm_predict). Returns 0.0 (meaning "no prediction") instead
+/// of throwing if the model cannot handle the kernel, so drift tracking
+/// never kills a run.
 double predicted_kernel_mlups(const ir::Kernel& k,
                               const std::array<long long, 3>& block,
-                              const MachineModel& m, int cores);
+                              const MachineModel& m, int cores,
+                              int vector_width = 0);
 
 /// Convenience: predictions for a set of kernels keyed by IR name.
 std::map<std::string, double> predicted_mlups_by_kernel(
     const std::vector<const ir::Kernel*>& kernels,
-    const std::array<long long, 3>& block, const MachineModel& m, int cores);
+    const std::array<long long, 3>& block, const MachineModel& m, int cores,
+    int vector_width = 0);
 
 /// Fills rep.model_accuracy from cached per-kernel predictions and the
 /// measured kernel timers:

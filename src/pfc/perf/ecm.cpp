@@ -34,7 +34,8 @@ int EcmPrediction::saturation_cores(const MachineModel& m) const {
 
 EcmPrediction ecm_predict(const ir::Kernel& k,
                           const std::array<long long, 3>& block,
-                          const MachineModel& m, TrafficSource source) {
+                          const MachineModel& m, TrafficSource source,
+                          int vector_width) {
   EcmPrediction p;
 
   // --- in-core execution: instruction throughput of the vectorized body ---
@@ -49,6 +50,10 @@ EcmPrediction ecm_predict(const ir::Kernel& k,
   // L1 load/store port pressure
   t = std::max(t, double(ops.loads) * m.load_rtp +
                       double(ops.stores) * m.store_rtp);
+  // Code emitted at less than the machine's full SIMD width needs
+  // simd_doubles/width instructions to produce one cache line of results.
+  const int width = vector_width <= 0 ? m.simd_doubles : vector_width;
+  t *= double(m.simd_doubles) / double(width);
   p.t_comp = t;
 
   // --- data transfers ---

@@ -26,9 +26,14 @@ struct EcmPrediction {
 };
 
 /// Builds the ECM prediction for one kernel at the given block size.
+/// `vector_width` is the SIMD width (doubles) the generated code actually
+/// uses: a width-w loop needs simd_doubles/w instructions per cache line of
+/// results, so t_comp scales accordingly. 0 (default) assumes the machine's
+/// full width — the seed model's behavior.
 EcmPrediction ecm_predict(const ir::Kernel& k,
                           const std::array<long long, 3>& block,
                           const MachineModel& m,
-                          TrafficSource source = TrafficSource::LayerCondition);
+                          TrafficSource source = TrafficSource::LayerCondition,
+                          int vector_width = 0);
 
 }  // namespace pfc::perf

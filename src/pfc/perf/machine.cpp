@@ -1,5 +1,9 @@
 #include "pfc/perf/machine.hpp"
 
+#include <cstdlib>
+
+#include "pfc/support/assert.hpp"
+
 namespace pfc::perf {
 
 MachineModel MachineModel::skylake_sp() {
@@ -15,6 +19,66 @@ MachineModel MachineModel::skylake_sp() {
   };
   m.mem_bw_gbytes = 110.0;
   return m;
+}
+
+MachineModel MachineModel::haswell_ep() {
+  MachineModel m;
+  m.name = "Haswell-EP (Piz Daint multicore socket)";
+  m.freq_ghz = 2.6;
+  m.cores = 12;
+  m.simd_doubles = 4;  // AVX2
+  m.add_rtp = 0.5;
+  m.mul_rtp = 0.5;
+  m.div_rtp = 16.0;    // vdivpd ymm
+  m.sqrt_rtp = 21.0;
+  m.rsqrt_rtp = 5.0;   // no vrsqrt14pd: NR from vrsqrtps
+  m.blend_rtp = 0.5;
+  m.load_rtp = 0.5;
+  m.store_rtp = 1.0;
+  m.caches = {
+      {"L1", 32 * 1024, 2.0},
+      {"L2", 256 * 1024, 2.0},
+      {"L3", 30 * 1024 * 1024 / 12, 6.0},
+  };
+  m.mem_bw_gbytes = 60.0;
+  return m;
+}
+
+MachineModel MachineModel::zen2() {
+  MachineModel m;
+  m.name = "Zen 2 (EPYC 7742 socket)";
+  m.freq_ghz = 2.25;
+  m.cores = 64;
+  m.simd_doubles = 4;  // AVX2 datapath
+  m.add_rtp = 0.5;
+  m.mul_rtp = 0.5;
+  m.div_rtp = 13.0;
+  m.sqrt_rtp = 20.0;
+  m.rsqrt_rtp = 5.0;
+  m.blend_rtp = 0.5;
+  m.load_rtp = 0.5;
+  m.store_rtp = 1.0;
+  m.caches = {
+      {"L1", 32 * 1024, 2.0},
+      {"L2", 512 * 1024, 3.0},
+      {"L3", 16 * 1024 * 1024 / 4, 8.0},  // 16 MiB per 4-core CCX
+  };
+  m.mem_bw_gbytes = 190.0;  // 8 channels DDR4-3200
+  return m;
+}
+
+MachineModel MachineModel::by_name(const std::string& key) {
+  if (key == "skylake_sp" || key == "skx") return skylake_sp();
+  if (key == "haswell_ep" || key == "hsw") return haswell_ep();
+  if (key == "zen2" || key == "rome") return zen2();
+  throw Error("unknown machine model '" + key +
+              "' (valid: skylake_sp/skx, haswell_ep/hsw, zen2/rome)");
+}
+
+MachineModel default_machine() {
+  const char* env = std::getenv("PFC_MACHINE");
+  if (env != nullptr && *env != '\0') return MachineModel::by_name(env);
+  return MachineModel::skylake_sp();
 }
 
 GpuModel GpuModel::p100() {

@@ -42,7 +42,23 @@ struct MachineModel {
 
   /// Skylake-SP (Xeon Platinum 8174-like, SuperMUC-NG node socket).
   static MachineModel skylake_sp();
+  /// Haswell-EP (Xeon E5-2690 v3-like, Piz Daint multicore socket): AVX2,
+  /// so 4-wide doubles and no dedicated rsqrt14pd.
+  static MachineModel haswell_ep();
+  /// Zen 2 (EPYC 7742-like socket): AVX2 with 8 memory channels.
+  static MachineModel zen2();
+
+  /// Looks a CPU preset up by key: "skylake_sp" (also "skx"), "haswell_ep"
+  /// (also "hsw"), "zen2" (also "rome"). Throws pfc::Error on unknown keys,
+  /// listing the valid ones.
+  static MachineModel by_name(const std::string& key);
 };
+
+/// The machine the drivers model against when the caller does not pick one:
+/// the PFC_MACHINE env var interpreted via by_name(), else skylake_sp().
+/// An invalid PFC_MACHINE value throws (surfacing the typo) rather than
+/// silently falling back.
+MachineModel default_machine();
 
 struct GpuModel {
   std::string name;

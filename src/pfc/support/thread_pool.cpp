@@ -61,7 +61,8 @@ void ThreadPool::run_on_all(const std::function<void(int)>& fn) {
 
 void ThreadPool::parallel_for(
     std::int64_t begin, std::int64_t end,
-    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+    const std::function<void(std::int64_t, std::int64_t)>& fn,
+    std::int64_t chunk_align) {
   const std::int64_t n = end - begin;
   if (n <= 0) return;
   const int nt = num_threads();
@@ -69,7 +70,9 @@ void ThreadPool::parallel_for(
     fn(begin, end);
     return;
   }
-  const std::int64_t chunk = (n + nt - 1) / nt;
+  const std::int64_t align = std::max<std::int64_t>(1, chunk_align);
+  std::int64_t chunk = (n + nt - 1) / nt;
+  chunk = (chunk + align - 1) / align * align;
   run_on_all([&](int t) {
     const std::int64_t lo = begin + chunk * t;
     const std::int64_t hi = std::min(end, lo + chunk);

@@ -27,8 +27,12 @@ class ThreadPool {
 
   /// Runs fn(chunk_begin, chunk_end) across the pool covering [begin, end).
   /// Blocks until all chunks are done. The calling thread participates.
+  /// `chunk_align` rounds the chunk size up to a multiple (interior chunk
+  /// boundaries land on multiples of begin + k*align; the last chunk takes
+  /// the remainder) — the backend uses it to keep SIMD slab splits aligned.
   void parallel_for(std::int64_t begin, std::int64_t end,
-                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+                    const std::function<void(std::int64_t, std::int64_t)>& fn,
+                    std::int64_t chunk_align = 1);
 
   /// Runs fn(thread_index) once on every pool member (including the caller,
   /// which gets index 0). Blocks until done.

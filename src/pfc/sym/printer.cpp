@@ -31,6 +31,16 @@ const char* comparison_op(Func f) {
   }
 }
 
+const char* comparison_helper(Func f) {
+  switch (f) {
+    case Func::Less: return "pfc_vd_lt";
+    case Func::Greater: return "pfc_vd_gt";
+    case Func::LessEq: return "pfc_vd_le";
+    case Func::GreaterEq: return "pfc_vd_ge";
+    default: PFC_ASSERT(false);
+  }
+}
+
 class Printer {
  public:
   explicit Printer(const PrintOptions& opts) : opts_(opts) {}
@@ -40,8 +50,8 @@ class Printer {
     int prec = kPrecAtom;
     switch (e->kind()) {
       case Kind::Number: {
-        s = number_string(e->number());
-        prec = e->number() < 0 ? kPrecUnary : kPrecAtom;
+        s = number_atom(e->number());
+        prec = !vec() && e->number() < 0 ? kPrecUnary : kPrecAtom;
         break;
       }
       case Kind::Symbol: {
@@ -117,6 +127,14 @@ class Printer {
 
  private:
   bool c_like() const { return opts_.dialect != Dialect::Pretty; }
+  bool vec() const { return opts_.dialect == Dialect::CVec; }
+
+  /// A number as an atomic term: broadcast through set1 in the vector
+  /// dialect (GCC vector extensions reject mixed scalar/vector operands).
+  std::string number_atom(double v) const {
+    if (vec()) return "pfc_vd_set1(" + number_string(v) + ")";
+    return number_string(v);
+  }
 
   static std::string number_string(double v) {
     if (v == std::floor(v) && std::abs(v) < 1e15) {
@@ -130,6 +148,10 @@ class Printer {
   }
 
   std::string sqrt_of(const std::string& arg) const {
+    if (vec()) {
+      return (opts_.fast_math ? "pfc_vd_sqrt_fast(" : "pfc_vd_sqrt(") + arg +
+             ")";
+    }
     if (opts_.fast_math) {
       if (opts_.dialect == Dialect::Cuda) {
         return "(double)__fsqrt_rn((float)(" + arg + "))";
@@ -142,6 +164,10 @@ class Printer {
   }
 
   std::string rsqrt_of(const std::string& arg) const {
+    if (vec()) {
+      return (opts_.fast_math ? "pfc_vd_rsqrt_fast(" : "pfc_vd_rsqrt(") +
+             arg + ")";
+    }
     if (opts_.fast_math) {
       if (opts_.dialect == Dialect::Cuda) {
         return "__frsqrt_rn(" + arg + ")";
@@ -163,6 +189,29 @@ class Printer {
 
   std::string print_call(const Expr& e) {
     const Func f = e->func();
+    if (vec()) {
+      if (is_comparison(f)) {
+        return std::string(comparison_helper(f)) + "(" + print(e->arg(0), 0) +
+               ", " + print(e->arg(1), 0) + ")";
+      }
+      if (f == Func::Select) {
+        return "pfc_vd_sel(" + print(e->arg(0), 0) + ", " +
+               print(e->arg(1), 0) + ", " + print(e->arg(2), 0) + ")";
+      }
+      if (f == Func::Sqrt) return sqrt_of(print(e->arg(0), 0));
+      if (f == Func::RSqrt) return rsqrt_of(print(e->arg(0), 0));
+      // Lane-serial helpers: Philox and the libm functions have no packed
+      // form; the preamble loops over lanes calling the scalar routine.
+      std::ostringstream os;
+      os << "pfc_vd_" << (f == Func::PhiloxUniform ? "philox" : func_name(f))
+         << '(';
+      for (std::size_t i = 0; i < e->arity(); ++i) {
+        if (i) os << ", ";
+        os << print(e->arg(i), 0);
+      }
+      os << ')';
+      return os.str();
+    }
     if (c_like()) {
       if (is_comparison(f)) {
         return "((" + print(e->arg(0), 0) + " " + comparison_op(f) + " " +
@@ -207,7 +256,7 @@ class Printer {
   std::string print_pow(const Expr& base, const Expr& exp) {
     long n = 0;
     if (exp->integer_value(&n)) {
-      if (n < 0) return divide("1.0", print_pow_pos(base, -n));
+      if (n < 0) return divide(number_atom(1.0), print_pow_pos(base, -n));
       return print_pow_pos(base, n);
     }
     if (exp->is_number(0.5)) return sqrt_of(print(base, 0));
@@ -218,9 +267,14 @@ class Printer {
     }
     if (exp->is_number(-1.5)) {
       const std::string b = print(base, 0);
-      return divide("1.0", "(" + b + " * " + sqrt_of(b) + ")");
+      return divide(number_atom(1.0), "(" + b + " * " + sqrt_of(b) + ")");
     }
-    return "pow(" + print(base, 0) + ", " + print(exp, 0) + ")";
+    return pow_call(print(base, 0), print(exp, 0));
+  }
+
+  std::string pow_call(const std::string& base, const std::string& exp) const {
+    if (vec()) return "pfc_vd_pow(" + base + ", " + exp + ")";
+    return "pow(" + base + ", " + exp + ")";
   }
 
   std::string print_pow_pos(const Expr& base, long n) {
@@ -232,6 +286,7 @@ class Printer {
       for (long i = 1; i < n; ++i) s += "*" + b;
       return "(" + s + ")";
     }
+    if (vec()) return pow_call(print(base, 0), number_atom(double(n)));
     return "pow(" + print(base, 0) + ", " + std::to_string(n) + ")";
   }
 
@@ -254,9 +309,9 @@ class Printer {
     std::ostringstream os;
     bool have_num = false;
     if (coeff == -1.0 && !numer.empty()) {
-      os << '-';
+      os << '-';  // unary minus is valid on GCC vector operands too
     } else if (coeff != 1.0 || numer.empty()) {
-      os << number_string(coeff);
+      os << number_atom(coeff);
       have_num = true;
     }
     for (const auto& s : numer) {

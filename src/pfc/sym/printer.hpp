@@ -6,6 +6,11 @@
 //   * Cuda   — like C but can use device intrinsics for the operations the
 //              user marked for approximate evaluation (paper §3.5:
 //              fdividef, __frsqrt_rn)
+//   * CVec   — like C but every value is a `pfc_vd` SIMD vector of doubles
+//              (GCC/Clang vector extensions): numbers broadcast through
+//              pfc_vd_set1, comparisons/select/sqrt/libm calls go through
+//              the pfc_vd_* helpers of the vector runtime preamble, while
+//              +,-,*,/ stay infix so the compiler can contract to FMAs
 #pragma once
 
 #include <functional>
@@ -15,7 +20,7 @@
 
 namespace pfc::sym {
 
-enum class Dialect { Pretty, C, Cuda };
+enum class Dialect { Pretty, C, Cuda, CVec };
 
 struct PrintOptions {
   Dialect dialect = Dialect::Pretty;

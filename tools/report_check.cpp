@@ -8,7 +8,13 @@
 // written by obs::TraceRecorder) and the structure of its traceEvents is
 // validated, including that kernel and ghost-exchange spans are present.
 //
-// Usage: report_check <report.json> [expected-kind]
+// With --require-vector-width the report must additionally carry a
+// counters/vector_width entry (either top-level or inside an embedded
+// "compile" sub-report, as quickstart writes it) whose value is one of the
+// supported SIMD widths {1, 2, 4, 8}. This keeps the compile pipeline's
+// vectorization decision visible in every report funnel.
+//
+// Usage: report_check [--require-vector-width] <report.json> [expected-kind]
 //        report_check --trace <trace.json>
 #include <cstdio>
 #include <cstring>
@@ -123,15 +129,53 @@ int check_trace(const char* path) {
   return 0;
 }
 
+/// --require-vector-width: the SIMD width the compile pipeline chose must
+/// be recorded and supported. Quickstart-style run reports embed the
+/// CompileReport under "compile"; compile reports carry it top-level.
+void check_vector_width(const pfc::obs::Json& j) {
+  const pfc::obs::Json* counters = j.find("counters");
+  const pfc::obs::Json* vw =
+      counters && counters->is_object() ? counters->find("vector_width")
+                                        : nullptr;
+  if (!vw) {
+    if (const pfc::obs::Json* compile = j.find("compile")) {
+      const pfc::obs::Json* cc =
+          compile->is_object() ? compile->find("counters") : nullptr;
+      if (cc && cc->is_object()) vw = cc->find("vector_width");
+    }
+  }
+  if (!vw) {
+    fail("counters/vector_width missing (checked top-level and embedded "
+         "\"compile\" report)");
+    return;
+  }
+  if (!vw->is_number()) {
+    fail("counters/vector_width: expected a number");
+    return;
+  }
+  const double w = vw->number();
+  if (w != 1.0 && w != 2.0 && w != 4.0 && w != 8.0) {
+    fail("counters/vector_width: " + std::to_string(w) +
+         " is not a supported SIMD width (1, 2, 4 or 8)");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc == 3 && std::strcmp(argv[1], "--trace") == 0) {
     return check_trace(argv[2]);
   }
+  bool require_vector_width = false;
+  if (argc >= 2 && std::strcmp(argv[1], "--require-vector-width") == 0) {
+    require_vector_width = true;
+    --argc;
+    ++argv;
+  }
   if (argc < 2 || argc > 3) {
     std::fprintf(stderr,
-                 "usage: report_check <report.json> [kind]\n"
+                 "usage: report_check [--require-vector-width] "
+                 "<report.json> [kind]\n"
                  "       report_check --trace <trace.json>\n");
     return 2;
   }
@@ -242,6 +286,8 @@ int main(int argc, char** argv) {
       }
     }
   }
+
+  if (require_vector_width) check_vector_width(j);
 
   if (g_errors) {
     std::fprintf(stderr, "report_check: %s FAILED (%d error%s)\n", argv[1],
