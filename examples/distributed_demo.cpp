@@ -2,12 +2,13 @@
 // a two-phase curvature-flow problem and exchange ghost layers every step
 // (the waLBerla-style runtime of paper §4).
 //
-//   ./distributed_demo [--health=ignore|warn|throw] [ranks] [steps]
+//   ./distributed_demo [--health=ignore|warn|throw|recover] [ranks] [steps]
 //
 // --health enables per-step in-situ physics checks on every rank.
 // --health=throw turns any NaN/phase-sum/conservation violation into a
 // failing exit code, which is how ctest guards against silent physics
-// regressions.
+// regressions; --health=recover rolls back to the last good snapshot
+// instead (all ranks agree on the decision via an allreduce).
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -16,6 +17,7 @@
 
 #include "pfc/app/distributed.hpp"
 #include "pfc/app/params.hpp"
+#include "pfc/support/assert.hpp"
 
 int main(int argc, char** argv) {
   using namespace pfc;
@@ -23,7 +25,19 @@ int main(int argc, char** argv) {
   std::vector<const char*> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--health=", 9) == 0) {
-      health.enable().with_policy(obs::parse_health_policy(argv[i] + 9));
+      try {
+        health.enable().with_policy(obs::parse_health_policy(argv[i] + 9));
+      } catch (const Error& e) {
+        std::fprintf(stderr, "distributed_demo: %s\n", e.what());
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr,
+                   "distributed_demo: unknown flag \"%s\"\n"
+                   "usage: distributed_demo "
+                   "[--health=ignore|warn|throw|recover] [ranks] [steps]\n",
+                   argv[i]);
+      return 2;
     } else {
       pos.push_back(argv[i]);
     }

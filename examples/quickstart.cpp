@@ -2,10 +2,15 @@
 // and JIT-compile its kernels, run mean-curvature flow of a shrinking disk,
 // write VTK output and a machine-readable observability report.
 //
-//   ./quickstart [--trace[=trace.json]] [output.vtk] [report.json] [bursts]
+//   ./quickstart [--trace[=trace.json]] [--health=<policy>]
+//                [--checkpoint-every=N] [--checkpoint-dir=DIR]
+//                [--restart[=DIR]] [output.vtk] [report.json] [bursts]
 //
 // --trace records a chrome://tracing span timeline (per-kernel, per-slab
 // and boundary-fill spans) — open the file in chrome://tracing or Perfetto.
+// --health picks the in-situ check policy (ignore|warn|throw|recover).
+// --checkpoint-every writes an on-disk checkpoint every N steps;
+// --restart resumes bitwise-identically from the last one.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -17,16 +22,66 @@
 #include "pfc/app/params.hpp"
 #include "pfc/app/simulation.hpp"
 #include "pfc/grid/vtk.hpp"
+#include "pfc/support/assert.hpp"
+
+namespace {
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::fprintf(stderr,
+               "quickstart: %s\n"
+               "usage: quickstart [--trace[=trace.json]] "
+               "[--health=ignore|warn|throw|recover]\n"
+               "                  [--checkpoint-every=N] "
+               "[--checkpoint-dir=DIR] [--restart[=DIR]]\n"
+               "                  [output.vtk] [report.json] [bursts]\n",
+               msg.c_str());
+  std::exit(2);
+}
+
+long long parse_count(const char* text, const char* flag) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || v < 0) {
+    usage_error(std::string("invalid value \"") + text + "\" for " + flag +
+                " (expected a non-negative integer)");
+  }
+  return v;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace pfc;
   bool trace = false;
   std::string trace_path = "trace.json";
+  auto health = obs::HealthOptions{}.enable().every(100);
+  std::string ckpt_dir = "quickstart_ckpt";
+  long long ckpt_every = 0;
+  bool restart = false;
+  std::string restart_dir;
   std::vector<const char*> pos;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--trace", 7) == 0) {
+    if (std::strncmp(argv[i], "--trace", 7) == 0 &&
+        (argv[i][7] == '\0' || argv[i][7] == '=')) {
       trace = true;
       if (argv[i][7] == '=') trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--health=", 9) == 0) {
+      try {
+        health.with_policy(obs::parse_health_policy(argv[i] + 9));
+      } catch (const Error& e) {
+        usage_error(e.what());
+      }
+    } else if (std::strncmp(argv[i], "--checkpoint-every=", 19) == 0) {
+      ckpt_every = parse_count(argv[i] + 19, "--checkpoint-every");
+    } else if (std::strncmp(argv[i], "--checkpoint-dir=", 17) == 0) {
+      ckpt_dir = argv[i] + 17;
+    } else if (std::strcmp(argv[i], "--restart") == 0) {
+      restart = true;
+    } else if (std::strncmp(argv[i], "--restart=", 10) == 0) {
+      restart = true;
+      restart_dir = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      usage_error(std::string("unknown flag \"") + argv[i] + '"');
     } else {
       pos.push_back(argv[i]);
     }
@@ -43,9 +98,18 @@ int main(int argc, char** argv) {
   // 2. compile: energy functional -> PDEs -> stencils -> optimized C -> JIT
   auto opts = app::SimulationOptions{}.with_cells(128, 128)
                   .with_threads(4)
-                  .with_health(obs::HealthOptions{}.enable().every(100));
+                  .with_health(health);
   if (trace) {
     opts.with_trace(obs::TraceOptions{}.enable().with_path(trace_path));
+  }
+  if (ckpt_every > 0 || restart) {
+    auto res = resilience::ResilienceOptions{}
+                   .every(int(ckpt_every))
+                   .with_directory(ckpt_dir);
+    if (restart) {
+      res.with_restart(restart_dir.empty() ? ckpt_dir : restart_dir);
+    }
+    opts.with_resilience(res);
   }
   app::Simulation sim(model, opts);
   const obs::CompileReport& cr = sim.compiled().compile_report();
@@ -55,15 +119,22 @@ int main(int argc, char** argv) {
               cr.generation_seconds(), cr.ops_per_cell_pre,
               cr.ops_per_cell_post, cr.compile_seconds());
 
-  // 3. initial condition: a solid disk in melt
-  sim.init_phi([&](long long x, long long y, long long, int c) {
-    const double d = std::sqrt(double((x - 64) * (x - 64) +
-                                      (y - 64) * (y - 64))) -
-                     40.0;
-    const double solid = app::interface_profile(d, 2.5 * params.epsilon);
-    return c == 1 ? solid : 1.0 - solid;
-  });
-  sim.init_mu([](long long, long long, long long, int) { return 0.0; });
+  // 3. initial condition: a solid disk in melt (a restart restores the
+  // saved state instead, so re-seeding would throw the run away)
+  if (restart) {
+    std::printf("restarted from %s at step %lld\n",
+                (restart_dir.empty() ? ckpt_dir : restart_dir).c_str(),
+                sim.step_count());
+  } else {
+    sim.init_phi([&](long long x, long long y, long long, int c) {
+      const double d = std::sqrt(double((x - 64) * (x - 64) +
+                                        (y - 64) * (y - 64))) -
+                       40.0;
+      const double solid = app::interface_profile(d, 2.5 * params.epsilon);
+      return c == 1 ? solid : 1.0 - solid;
+    });
+    sim.init_mu([](long long, long long, long long, int) { return 0.0; });
+  }
 
   // 4. time loop: the disk shrinks at a rate independent of its radius
   std::printf("%8s %12s %12s\n", "step", "solid area", "interface");
@@ -84,6 +155,12 @@ int main(int argc, char** argv) {
   j.set("compile", cr.to_json());
   obs::write_json(report_path, j);
   std::printf("wrote %s and %s\n", vtk_path, report_path);
+  if (ckpt_every > 0) {
+    std::printf("checkpoints: %llu written to %s (last at step %lld)\n",
+                (unsigned long long)sim.resilience_stats().checkpoint_files,
+                ckpt_dir.c_str(),
+                sim.resilience_stats().last_checkpoint_step);
+  }
   if (trace) {
     std::printf("wrote %s (%llu spans) - open in chrome://tracing\n",
                 trace_path.c_str(),

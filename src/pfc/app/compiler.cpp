@@ -1,5 +1,7 @@
 #include "pfc/app/compiler.hpp"
 
+#include <cstdio>
+
 #include "pfc/backend/c_emitter.hpp"
 #include "pfc/ir/opcount.hpp"
 #include "pfc/ir/schedule.hpp"
@@ -7,6 +9,14 @@
 #include "pfc/support/timer.hpp"
 
 namespace pfc::app {
+
+namespace {
+// Compiler diagnostics span many lines; the report keeps only the headline.
+std::string first_line(const std::string& s) {
+  const auto nl = s.find('\n');
+  return nl == std::string::npos ? s : s.substr(0, nl);
+}
+}  // namespace
 
 void CompiledKernel::run(const backend::Binding& b,
                          const std::array<long long, 3>& n, double t,
@@ -119,40 +129,84 @@ CompiledModel ModelCompiler::compile_updates(
   PFC_REQUIRE(ir::vector_width_supported(width),
               "unsupported vector_width " + std::to_string(width) +
                   " (use 0=auto, 1, 2, 4 or 8)");
-  out.report_.vector_width = width;
 
-  // Emit all kernels into one translation unit and JIT it.
-  Timer stage;
-  backend::CEmitOptions eo;
-  eo.fast_math = opts_.fast_math;
-  eo.vector_width = width;
-  eo.streaming_stores = opts_.streaming_stores;
-  std::string source;
-  bool first = true;
-  for (auto* group : {&out.phi_kernels, &out.mu_kernels}) {
-    for (auto& ck : *group) {
-      eo.include_preamble = first;
-      first = false;
-      const ir::VectorPlan plan =
-          ir::plan_vectorize(ck.ir, {width, opts_.streaming_stores});
-      out.report_.ops_per_cell_widened +=
-          plan.enabled() ? plan.flops_per_cell_vector
-                         : double(plan.flops_per_cell_scalar);
-      ck.vector_width_ = plan.enabled() ? plan.width : 1;
-      source += backend::emit_c(ck.ir, eo);
-      source += "\n";
+  // Degradation chain: a JIT failure at the requested width retries scalar
+  // C, and a scalar failure falls back to the interpreter, instead of
+  // aborting the run. The surviving tier and the first failure are recorded
+  // in the compile report.
+  std::vector<int> attempt_widths{width};
+  if (width > 1) attempt_widths.push_back(1);
+  int forced_failures = opts_.fail_jit_attempts;
+
+  for (const int w : attempt_widths) {
+    // Emit all kernels into one translation unit at this width and JIT it.
+    Timer stage;
+    backend::CEmitOptions eo;
+    eo.fast_math = opts_.fast_math;
+    eo.vector_width = w;
+    eo.streaming_stores = opts_.streaming_stores;
+    out.report_.ops_per_cell_widened = 0.0;
+    std::string source;
+    bool first = true;
+    for (auto* group : {&out.phi_kernels, &out.mu_kernels}) {
+      for (auto& ck : *group) {
+        eo.include_preamble = first;
+        first = false;
+        const ir::VectorPlan plan =
+            ir::plan_vectorize(ck.ir, {w, opts_.streaming_stores});
+        out.report_.ops_per_cell_widened +=
+            plan.enabled() ? plan.flops_per_cell_vector
+                           : double(plan.flops_per_cell_scalar);
+        ck.vector_width_ = plan.enabled() ? plan.width : 1;
+        source += backend::emit_c(ck.ir, eo);
+        source += "\n";
+      }
     }
+    out.source_ = source;
+    out.report_.add_stage("emit", stage.seconds());
+
+    backend::JitLibrary::Options jo;
+    jo.extra_flags = opts_.jit_extra_flags;
+    const bool forced = forced_failures > 0;
+    if (forced) jo.compiler = "false";  // always exits 1: injected failure
+    stage.reset();
+    try {
+      out.library_ = std::make_shared<backend::JitLibrary>(
+          backend::JitLibrary::compile(source, jo));
+    } catch (const Error& e) {
+      out.report_.add_stage("jit", stage.seconds());
+      ++out.report_.fallback_attempts;
+      if (forced) --forced_failures;
+      if (out.report_.fallback_reason.empty()) {
+        out.report_.fallback_reason =
+            forced ? "injected jit fault" : first_line(e.what());
+      }
+      std::fprintf(stderr,
+                   "pfc jit: width-%d compile failed (%s), degrading\n", w,
+                   forced ? "injected fault" : first_line(e.what()).c_str());
+      continue;
+    }
+    out.report_.add_stage("jit", out.library_->compile_seconds());
+    out.report_.vector_width = w;
+    out.report_.backend_tier = w > 1 ? "vector" : "scalar";
+    for (auto* group : {&out.phi_kernels, &out.mu_kernels}) {
+      for (auto& ck : *group) {
+        ck.fn_ = out.library_->get(backend::entry_name(ck.ir));
+      }
+    }
+    sync_shims();
+    return out;
   }
-  out.source_ = source;
-  out.report_.add_stage("emit", stage.seconds());
-  backend::JitLibrary::Options jo;
-  jo.extra_flags = opts_.jit_extra_flags;
-  out.library_ = std::make_shared<backend::JitLibrary>(
-      backend::JitLibrary::compile(source, jo));
-  out.report_.add_stage("jit", out.library_->compile_seconds());
+
+  // Every JIT rung failed: degrade to the interpreter so the run survives
+  // (slow but correct — the IR is the same the C backend would compile).
+  out.report_.vector_width = 1;
+  out.report_.backend_tier = "interpreter";
+  out.report_.ops_per_cell_widened = double(out.report_.ops_per_cell_post);
   for (auto* group : {&out.phi_kernels, &out.mu_kernels}) {
     for (auto& ck : *group) {
-      ck.fn_ = out.library_->get(backend::entry_name(ck.ir));
+      ck.vector_width_ = 1;
+      ck.interp_ = std::make_shared<backend::InterpreterKernel>(ck.ir);
     }
   }
   sync_shims();

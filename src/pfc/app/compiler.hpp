@@ -41,6 +41,11 @@ struct CompileOptions {
   /// Extra flags appended to the JIT compile line (e.g. "-ffp-contract=off"
   /// for bitwise-reproducible equivalence tests).
   std::string jit_extra_flags;
+  /// Fault injection: force the first N JIT attempts to fail (the external
+  /// compiler is replaced by `false`), driving the vector → scalar →
+  /// interpreter degradation chain deterministically. Drivers populate this
+  /// from resilience::FaultPlan::fail_jit_attempts.
+  int fail_jit_attempts = 0;
 };
 
 /// One executable kernel: the optimized IR plus a backend handle.

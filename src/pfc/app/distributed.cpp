@@ -1,6 +1,8 @@
 #include "pfc/app/distributed.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <limits>
 
 #include "pfc/perf/drift.hpp"
 #include "pfc/support/timer.hpp"
@@ -16,6 +18,14 @@ std::array<std::int64_t, 3> flux_size(const std::array<long long, 3>& n,
   return s;
 }
 
+// JIT fault injection must reach the ctor's compile (member-init list).
+CompileOptions compile_opts_with_faults(const DistributedOptions& o) {
+  CompileOptions c = o.compile;
+  c.fail_jit_attempts =
+      resilience::effective_faults(o.resilience).fail_jit_attempts;
+  return c;
+}
+
 }  // namespace
 
 DistributedSimulation::DistributedSimulation(const GrandChemModel& model,
@@ -27,7 +37,7 @@ DistributedSimulation::DistributedSimulation(const GrandChemModel& model,
               comm != nullptr ? comm->size() : 1, model.params().dims,
               opts.boundary),
       comm_(comm),
-      compiled_(ModelCompiler(opts.compile).compile(model)),
+      compiled_(ModelCompiler(compile_opts_with_faults(opts)).compile(model)),
       exchange_(forest_, comm),
       health_(opts.health, &reg_) {
   const int my_rank = comm != nullptr ? comm->rank() : 0;
@@ -69,6 +79,10 @@ DistributedSimulation::DistributedSimulation(const GrandChemModel& model,
         kernels, bs, opts.machine, /*cores=*/1,
         compiled_.compile_report().vector_width);
   }
+
+  dt_current_ = model_.params().dt;
+  faults_ = resilience::effective_faults(opts.resilience);
+  if (!opts.resilience.restart_from.empty()) restore_from_disk();
 }
 
 backend::Binding DistributedSimulation::bind(const ir::Kernel& k,
@@ -146,9 +160,17 @@ obs::RunReport DistributedSimulation::run(int steps) {
   }
   obs::Counter& updates = reg_.counter("cell_updates");
   obs::Counter& xbytes = reg_.counter("exchange_bytes");
-
-  for (int it = 0; it < steps; ++it) {
-    const double t = double(step_) * model_.params().dt;
+  const auto& res = opts_.resilience;
+  const bool recovery =
+      health_.enabled() && opts_.health.policy == obs::HealthPolicy::Recover;
+  if ((recovery || res.checkpoint_every > 0) && !snapshot_.valid()) {
+    capture_checkpoint(/*to_disk=*/false);
+  }
+  // Net-step semantics as in Simulation::run: rollbacks rewind step_ and
+  // the loop keeps going until the target step is reached.
+  const long long target = step_ + steps;
+  while (step_ < target) {
+    const double t = time_;
     trace_this_step_ = tracer_.sampled(step_);
     obs::TraceRecorder* tr = trace_this_step_ ? &tracer_ : nullptr;
     const double step_ts = tr != nullptr ? tr->now_us() : 0.0;
@@ -207,6 +229,7 @@ obs::RunReport DistributedSimulation::run(int steps) {
       lb->mu_src.swap_data(lb->mu_dst);
     }
     ++step_;
+    time_ += dt_current_;
     updates.add(std::uint64_t(local_cells));
     reg_.push_step({step_, step_kernel_seconds, step_exchange_seconds,
                     step_exchange_bytes, std::uint64_t(local_cells)});
@@ -214,11 +237,36 @@ obs::RunReport DistributedSimulation::run(int steps) {
       tr->complete("step", "step", step_ts, tr->now_us() - step_ts,
                    step_ - 1, -1);
     }
-    if (health_.due(step_)) {
+    maybe_inject_nan();
+    const bool cp_due =
+        res.checkpoint_every > 0 && step_ % res.checkpoint_every == 0;
+    std::uint64_t found = 0;
+    if (health_.due(step_) || (cp_due && health_.enabled())) {
       for (const auto& lb : locals_) {
         health_.scan_block(lb->phi_src, &lb->mu_src);
       }
-      health_.finish_scan(step_);  // may throw under HealthPolicy::Throw
+      found = health_.finish_scan(step_);  // throws under Throw
+    }
+    // Ranks must agree on rollback vs. checkpoint: each rank only scans
+    // its own blocks, so reduce the finding over the communicator.
+    double global_found = double(found);
+    if (comm_ != nullptr && (recovery || cp_due) && health_.enabled()) {
+      global_found = comm_->allreduce_sum(global_found);
+    }
+    if (global_found > 0 && recovery) {
+      if (retries_ >= res.max_retries) {
+        throw Error("pfc resilience: violation at step " +
+                    std::to_string(step_) + " persists after " +
+                    std::to_string(retries_) + " rollbacks, giving up");
+      }
+      ++retries_;
+      last_violation_step_ = std::max(last_violation_step_, step_);
+      rollback();
+      continue;
+    }
+    if (step_ > last_violation_step_) retries_ = 0;
+    if (cp_due && global_found == 0) {
+      capture_checkpoint(!res.directory.empty());
     }
   }
   if (tracer_.enabled()) {
@@ -260,9 +308,157 @@ obs::RunReport DistributedSimulation::report() const {
   r.recent_steps = reg_.recent_steps();
   r.health = health_.stats();
   r.health_policy = opts_.health.policy;
+  r.resilience = res_stats_;
+  r.resilience.dt_current = dt_current_;
   perf::fill_model_accuracy(r, predicted_mlups_, cells_per_launch_,
                             model_.params().dims);
   return r;
+}
+
+std::string DistributedSimulation::layout_signature() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, ";phases=%d;mu=%d", model_.params().phases,
+                model_.params().num_mu());
+  return forest_.layout_signature() + buf;
+}
+
+int DistributedSimulation::file_rank() const {
+  return comm_ != nullptr ? comm_->rank() : -1;
+}
+
+void DistributedSimulation::refresh_src_ghosts() {
+  auto phi_view = field_view(&LocalBlock::phi_src);
+  exchange_.exchange(phi_view, /*field_tag=*/0);
+  auto mu_view = field_view(&LocalBlock::mu_src);
+  exchange_.exchange(mu_view, /*field_tag=*/1);
+}
+
+void DistributedSimulation::capture_checkpoint(bool to_disk) {
+  std::vector<const Array*> snap;
+  for (const auto& lb : locals_) {
+    snap.push_back(&lb->phi_src);
+    snap.push_back(&lb->mu_src);
+  }
+  snapshot_.capture({step_, time_, dt_current_}, snap);
+  ++res_stats_.checkpoints;
+  res_stats_.last_checkpoint_step = step_;
+  if (!to_disk) return;
+  resilience::CheckpointMeta meta;
+  meta.step = step_;
+  meta.time = time_;
+  meta.dt = dt_current_;
+  meta.rng_seed = model_.params().rng_seed;
+  meta.layout = layout_signature();
+  meta.health = health_.stats();
+  meta.counters["cell_updates"] = reg_.counter_value("cell_updates");
+  meta.counters["exchange_bytes"] = reg_.counter_value("exchange_bytes");
+  std::vector<resilience::CheckpointArray> arrays;
+  for (const auto& lb : locals_) {
+    const std::string id = std::to_string(lb->block->linear_id);
+    arrays.push_back({"phi/block" + id, &lb->phi_src});
+    arrays.push_back({"mu/block" + id, &lb->mu_src});
+  }
+  resilience::write_checkpoint(opts_.resilience.directory, meta, arrays,
+                               file_rank(), faults_.truncate_checkpoint);
+  if (faults_.truncate_checkpoint) ++res_stats_.faults_injected;
+  ++res_stats_.checkpoint_files;
+}
+
+void DistributedSimulation::rollback() {
+  PFC_REQUIRE(snapshot_.valid(), "resilience: no snapshot to roll back to");
+  std::vector<Array*> snap;
+  for (auto& lb : locals_) {
+    snap.push_back(&lb->phi_src);
+    snap.push_back(&lb->mu_src);
+  }
+  snapshot_.restore(snap);
+  refresh_src_ghosts();
+  step_ = snapshot_.meta().step;
+  time_ = snapshot_.meta().time;
+  ++res_stats_.rollbacks;
+  const double shrink = opts_.resilience.dt_shrink;
+  if (shrink > 0.0 && shrink < 1.0) {
+    rebuild_with_dt(dt_current_ * shrink);
+    ++res_stats_.dt_shrinks;
+  }
+  if (comm_ == nullptr || comm_->rank() == 0) {
+    std::fprintf(stderr,
+                 "pfc resilience: rolled back to step %lld (retry %d/%d, "
+                 "dt=%g)\n",
+                 step_, retries_, opts_.resilience.max_retries, dt_current_);
+  }
+}
+
+void DistributedSimulation::rebuild_with_dt(double new_dt) {
+  model_ = model_.with_dt(new_dt);
+  dt_current_ = new_dt;
+  compiled_ = ModelCompiler(opts_.compile).compile(model_);
+  const int dims = model_.params().dims;
+  for (auto& lb : locals_) {
+    lb->phi_flux.reset();
+    lb->mu_flux.reset();
+    if (compiled_.phi_flux_field) {
+      lb->phi_flux.emplace(*compiled_.phi_flux_field,
+                           flux_size(lb->block->size, dims), 0);
+    }
+    if (compiled_.mu_flux_field) {
+      lb->mu_flux.emplace(*compiled_.mu_flux_field,
+                          flux_size(lb->block->size, dims), 0);
+    }
+  }
+}
+
+void DistributedSimulation::maybe_inject_nan() {
+  if (fault_nan_fired_ || faults_.nan_step < 0 || step_ != faults_.nan_step) {
+    return;
+  }
+  fault_nan_fired_ = true;
+  // Global cell coordinates: only the owning rank's block gets the NaN.
+  std::array<long long, 3> c = faults_.nan_cell;
+  const auto& g = forest_.global_cells();
+  for (int d = 0; d < 3; ++d) {
+    c[std::size_t(d)] = std::clamp(c[std::size_t(d)], 0LL,
+                                   g[std::size_t(d)] - 1);
+  }
+  for (auto& lb : locals_) {
+    const auto& off = lb->block->offset;
+    const auto& n = lb->block->size;
+    bool inside = true;
+    for (int d = 0; d < 3; ++d) {
+      const auto ld = c[std::size_t(d)] - off[std::size_t(d)];
+      if (ld < 0 || ld >= n[std::size_t(d)]) inside = false;
+    }
+    if (!inside) continue;
+    lb->phi_src.at(c[0] - off[0], c[1] - off[1], c[2] - off[2], 0) =
+        std::numeric_limits<double>::quiet_NaN();
+    ++res_stats_.faults_injected;
+    std::fprintf(stderr,
+                 "pfc fault: injected NaN into phi at step %lld, global "
+                 "cell (%lld,%lld,%lld)\n",
+                 step_, c[0], c[1], c[2]);
+    break;
+  }
+}
+
+void DistributedSimulation::restore_from_disk() {
+  std::vector<resilience::RestoreArray> arrays;
+  for (auto& lb : locals_) {
+    const std::string id = std::to_string(lb->block->linear_id);
+    arrays.push_back({"phi/block" + id, &lb->phi_src});
+    arrays.push_back({"mu/block" + id, &lb->mu_src});
+  }
+  const resilience::CheckpointMeta meta = resilience::read_checkpoint(
+      opts_.resilience.restart_from, arrays, layout_signature(), file_rank());
+  PFC_REQUIRE(meta.rng_seed == model_.params().rng_seed,
+              "resilience: checkpoint rng_seed differs from the model's — "
+              "restart would change the noise stream");
+  refresh_src_ghosts();
+  step_ = meta.step;
+  time_ = meta.time;
+  health_.restore_stats(meta.health);
+  if (meta.dt != dt_current_) rebuild_with_dt(meta.dt);
+  res_stats_.restarted = true;
+  res_stats_.restart_step = meta.step;
 }
 
 double DistributedSimulation::local_phi_sum(int c) const {

@@ -35,6 +35,10 @@ struct DistributedOptions : DomainOptions {
     DomainOptions::with_health(h);
     return *this;
   }
+  DistributedOptions& with_resilience(const resilience::ResilienceOptions& r) {
+    DomainOptions::with_resilience(r);
+    return *this;
+  }
   DistributedOptions& with_blocks(int bx, int by, int bz = 1) {
     blocks_per_dim = {bx, by, bz};
     return *this;
@@ -45,6 +49,8 @@ struct DistributedOptions : DomainOptions {
 /// callback (or with comm == nullptr for serial multi-block execution).
 class DistributedSimulation {
  public:
+  /// With `opts.resilience.restart_from` set, every rank restores its own
+  /// blocks from the per-rank checkpoint files; skip init() in that case.
   DistributedSimulation(const GrandChemModel& model,
                         const DistributedOptions& opts, mpi::Comm* comm);
 
@@ -71,6 +77,8 @@ class DistributedSimulation {
   const obs::TraceRecorder& tracer() const { return tracer_; }
   /// The in-situ health monitor of this rank's blocks.
   const obs::HealthMonitor& health() const { return health_; }
+  /// Checkpoint/rollback accounting of this rank.
+  const obs::ResilienceStats& resilience_stats() const { return res_stats_; }
 
   /// Sum over local blocks of component c of phi (for cross-validation).
   double local_phi_sum(int c) const;
@@ -96,7 +104,20 @@ class DistributedSimulation {
   std::vector<grid::LocalBlockField> field_view(
       Array LocalBlock::* src) ;
 
-  const GrandChemModel& model_;
+  // --- resilience (mirrors Simulation; rollback is rank-coordinated) ---
+  std::string layout_signature() const;
+  int file_rank() const;  ///< rank suffix for checkpoint files (−1 serial)
+  void capture_checkpoint(bool to_disk);
+  void rollback();
+  void rebuild_with_dt(double new_dt);
+  void maybe_inject_nan();
+  void restore_from_disk();
+  /// Re-exchanges ghosts of both src fields (after restore/rollback).
+  void refresh_src_ghosts();
+
+  /// Owned copy (shares the caller's Field handles) so a dt shrink can
+  /// regenerate kernels without mutating the caller's model.
+  GrandChemModel model_;
   DistributedOptions opts_;
   grid::BlockForest forest_;
   mpi::Comm* comm_;
@@ -104,6 +125,14 @@ class DistributedSimulation {
   std::vector<std::unique_ptr<LocalBlock>> locals_;
   grid::GhostExchange exchange_;
   long long step_ = 0;
+  double time_ = 0.0;
+  double dt_current_ = 0.0;
+  resilience::FaultPlan faults_;
+  bool fault_nan_fired_ = false;
+  resilience::Snapshot snapshot_;
+  obs::ResilienceStats res_stats_;
+  int retries_ = 0;
+  long long last_violation_step_ = -1;
   obs::Registry reg_;
   obs::TraceRecorder tracer_;
   obs::HealthMonitor health_;

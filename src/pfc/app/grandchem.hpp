@@ -78,6 +78,16 @@ class GrandChemModel {
 
   const GrandChemParams& params() const { return params_; }
 
+  /// Copy of this model with a different time step. The copy shares this
+  /// model's Field handles, so kernels recompiled from it bind to the same
+  /// arrays — this is how the resilience layer shrinks dt after a rollback
+  /// even though dt folds into the generated code.
+  GrandChemModel with_dt(double new_dt) const {
+    GrandChemModel m = *this;
+    m.params_.dt = new_dt;
+    return m;
+  }
+
   const FieldPtr& phi_src() const { return phi_src_; }
   const FieldPtr& phi_dst() const { return phi_dst_; }
   const FieldPtr& mu_src() const { return mu_src_; }

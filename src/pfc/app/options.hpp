@@ -14,6 +14,7 @@
 #include "pfc/obs/health.hpp"
 #include "pfc/obs/trace.hpp"
 #include "pfc/perf/machine.hpp"
+#include "pfc/resilience/resilience.hpp"
 
 namespace pfc::app {
 
@@ -30,6 +31,8 @@ struct DomainOptions {
   /// Machine the ECM/drift layer models this run against. Defaults to the
   /// PFC_MACHINE env preset (perf::default_machine()), else Skylake-SP.
   perf::MachineModel machine = perf::default_machine();
+  /// Checkpoint/restart and health-driven recovery; off by default.
+  resilience::ResilienceOptions resilience;
 
   DomainOptions& with_cells(long long nx, long long ny, long long nz = 1) {
     cells = {nx, ny, nz};
@@ -53,6 +56,10 @@ struct DomainOptions {
   }
   DomainOptions& with_machine(const perf::MachineModel& m) {
     machine = m;
+    return *this;
+  }
+  DomainOptions& with_resilience(const resilience::ResilienceOptions& r) {
+    resilience = r;
     return *this;
   }
 };

@@ -1,6 +1,9 @@
 #include "pfc/app/simulation.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <limits>
 
 #include "pfc/perf/drift.hpp"
 #include "pfc/support/timer.hpp"
@@ -20,6 +23,15 @@ std::array<std::int64_t, 3> flux_size(const std::array<long long, 3>& n,
   return s;
 }
 
+// JIT fault injection must reach the ctor's compile, which runs in the
+// member-init list — fold the plan into the compile options up front.
+CompileOptions compile_opts_with_faults(const SimulationOptions& o) {
+  CompileOptions c = o.compile;
+  c.fail_jit_attempts =
+      resilience::effective_faults(o.resilience).fail_jit_attempts;
+  return c;
+}
+
 }  // namespace
 
 double interface_profile(double signed_distance, double width) {
@@ -31,7 +43,7 @@ double interface_profile(double signed_distance, double width) {
 Simulation::Simulation(GrandChemModel model, const SimulationOptions& opts)
     : model_(std::move(model)),
       opts_(opts),
-      compiled_(ModelCompiler(opts.compile).compile(model_)),
+      compiled_(ModelCompiler(compile_opts_with_faults(opts)).compile(model_)),
       phi_src_arr_(model_.phi_src(),
                    {opts.cells[0], opts.cells[1], opts.cells[2]}, 1),
       phi_dst_arr_(model_.phi_dst(),
@@ -79,6 +91,10 @@ Simulation::Simulation(GrandChemModel model, const SimulationOptions& opts)
                                               opts.cells[2]},
                   1);
   }
+
+  dt_current_ = model_.params().dt;
+  faults_ = resilience::effective_faults(opts.resilience);
+  if (!opts.resilience.restart_from.empty()) restore_from_disk();
 }
 
 backend::Binding Simulation::bind(const ir::Kernel& k,
@@ -166,15 +182,26 @@ double Simulation::euler_substep(double t) {
 }
 
 obs::RunReport Simulation::run(int n) {
-  const double dt = model_.params().dt;
   const long long cells = cells_per_step();
   obs::Counter& updates = reg_.counter("cell_updates");
-  for (int it = 0; it < n; ++it) {
+  const auto& res = opts_.resilience;
+  const bool recovery =
+      health_.enabled() && opts_.health.policy == obs::HealthPolicy::Recover;
+  // Baseline rollback target: without one, a violation before the first
+  // periodic checkpoint would be unrecoverable.
+  if ((recovery || res.checkpoint_every > 0) && !snapshot_.valid()) {
+    capture_checkpoint(/*to_disk=*/false);
+  }
+  // run(n) advances n *net* steps: a rollback rewinds step_, and the loop
+  // keeps going until the target is reached (bounded by max_retries).
+  const long long target = step_ + n;
+  while (step_ < target) {
+    const double dt = dt_current_;
     trace_this_step_ = tracer_.sampled(step_);
     const double step_ts = trace_this_step_ ? tracer_.now_us() : 0.0;
     double step_seconds = 0.0;
     if (opts_.time_scheme == TimeScheme::Euler) {
-      step_seconds = euler_substep(time());
+      step_seconds = euler_substep(time_);
     } else {
       // Heun: u1 = u0 + dt f(u0); u2 = u1 + dt f(u1); u_new = (u0 + u2) / 2
       // Staging copy and trapezoidal average are memory-bound; both split
@@ -182,29 +209,163 @@ obs::RunReport Simulation::run(int n) {
       // blending them too is harmless).
       phi_0_->copy_from(phi_src_arr_, pool_.get());
       mu_0_->copy_from(mu_src_arr_, pool_.get());
-      step_seconds += euler_substep(time());       // src now holds u1
-      step_seconds += euler_substep(time() + dt);  // src now holds u2
+      step_seconds += euler_substep(time_);       // src now holds u1
+      step_seconds += euler_substep(time_ + dt);  // src now holds u2
       phi_src_arr_.average_with(*phi_0_, pool_.get());
       mu_src_arr_.average_with(*mu_0_, pool_.get());
       fill_all_ghosts(phi_src_arr_);
       fill_all_ghosts(mu_src_arr_);
     }
     ++step_;
+    time_ += dt;
     // One lattice update per step, whatever the scheme — Heun's two
-    // substeps advance time once.
+    // substeps advance time once. Rolled-back steps stay counted: the
+    // counter measures work actually performed.
     updates.add(std::uint64_t(cells));
     reg_.push_step({step_, step_seconds, 0.0, 0, std::uint64_t(cells)});
     if (trace_this_step_) {
       tracer_.complete("step", "step", step_ts, tracer_.now_us() - step_ts,
                        step_ - 1, 0);
     }
-    if (health_.due(step_)) {
+    maybe_inject_nan();
+    const bool cp_due =
+        res.checkpoint_every > 0 && step_ % res.checkpoint_every == 0;
+    std::uint64_t found = 0;
+    // A checkpoint-due step always scans (when monitoring is on), so a
+    // capture never preserves unverified state.
+    if (health_.due(step_) || (cp_due && health_.enabled())) {
       health_.scan_block(phi_src_arr_, &mu_src_arr_);
-      health_.finish_scan(step_);  // may throw under HealthPolicy::Throw
+      found = health_.finish_scan(step_);  // throws under Throw
     }
+    if (found > 0 && recovery) {
+      if (retries_ >= res.max_retries) {
+        throw Error("pfc resilience: violation at step " +
+                    std::to_string(step_) + " persists after " +
+                    std::to_string(retries_) + " rollbacks, giving up");
+      }
+      ++retries_;
+      last_violation_step_ = std::max(last_violation_step_, step_);
+      rollback();
+      continue;
+    }
+    // Progress beyond the troubled step means the recovery worked.
+    if (step_ > last_violation_step_) retries_ = 0;
+    if (cp_due && found == 0) capture_checkpoint(!res.directory.empty());
   }
   if (tracer_.enabled()) tracer_.write(opts_.trace.path);
   return report();
+}
+
+std::string Simulation::layout_signature() const {
+  char buf[160];
+  std::snprintf(
+      buf, sizeof buf,
+      "cells=%lldx%lldx%lld;dims=%d;phases=%d;mu=%d;boundary=%s;blocks=1",
+      opts_.cells[0], opts_.cells[1], opts_.cells[2], model_.params().dims,
+      model_.params().phases, model_.params().num_mu(),
+      opts_.boundary == grid::BoundaryKind::Periodic ? "periodic"
+                                                     : "zerogradient");
+  return buf;
+}
+
+void Simulation::capture_checkpoint(bool to_disk) {
+  snapshot_.capture({step_, time_, dt_current_},
+                    {&phi_src_arr_, &mu_src_arr_});
+  ++res_stats_.checkpoints;
+  res_stats_.last_checkpoint_step = step_;
+  if (!to_disk) return;
+  resilience::CheckpointMeta meta;
+  meta.step = step_;
+  meta.time = time_;
+  meta.dt = dt_current_;
+  meta.rng_seed = model_.params().rng_seed;
+  meta.layout = layout_signature();
+  meta.health = health_.stats();
+  meta.counters["cell_updates"] = reg_.counter_value("cell_updates");
+  resilience::write_checkpoint(
+      opts_.resilience.directory, meta,
+      {{"phi", &phi_src_arr_}, {"mu", &mu_src_arr_}}, /*rank=*/-1,
+      faults_.truncate_checkpoint);
+  if (faults_.truncate_checkpoint) ++res_stats_.faults_injected;
+  ++res_stats_.checkpoint_files;
+}
+
+void Simulation::rollback() {
+  PFC_REQUIRE(snapshot_.valid(), "resilience: no snapshot to roll back to");
+  snapshot_.restore({&phi_src_arr_, &mu_src_arr_});
+  fill_all_ghosts(phi_src_arr_);
+  fill_all_ghosts(mu_src_arr_);
+  step_ = snapshot_.meta().step;
+  time_ = snapshot_.meta().time;
+  ++res_stats_.rollbacks;
+  const double shrink = opts_.resilience.dt_shrink;
+  if (shrink > 0.0 && shrink < 1.0) {
+    rebuild_with_dt(dt_current_ * shrink);
+    ++res_stats_.dt_shrinks;
+  }
+  std::fprintf(stderr,
+               "pfc resilience: rolled back to step %lld (retry %d/%d, "
+               "dt=%g)\n",
+               step_, retries_, opts_.resilience.max_retries, dt_current_);
+}
+
+void Simulation::rebuild_with_dt(double new_dt) {
+  // with_dt() shares the model's Field handles, so the recompiled kernels
+  // bind to the existing φ/µ arrays; only the flux scratch fields are new.
+  model_ = model_.with_dt(new_dt);
+  dt_current_ = new_dt;
+  compiled_ = ModelCompiler(opts_.compile).compile(model_);
+  const int dims = model_.params().dims;
+  phi_flux_arr_.reset();
+  mu_flux_arr_.reset();
+  if (compiled_.phi_flux_field) {
+    phi_flux_arr_.emplace(*compiled_.phi_flux_field,
+                          flux_size(opts_.cells, dims), 0);
+  }
+  if (compiled_.mu_flux_field) {
+    mu_flux_arr_.emplace(*compiled_.mu_flux_field,
+                         flux_size(opts_.cells, dims), 0);
+  }
+}
+
+void Simulation::maybe_inject_nan() {
+  if (fault_nan_fired_ || faults_.nan_step < 0 || step_ != faults_.nan_step) {
+    return;
+  }
+  fault_nan_fired_ = true;
+  ++res_stats_.faults_injected;
+  std::array<long long, 3> c = faults_.nan_cell;
+  for (int d = 0; d < 3; ++d) {
+    c[std::size_t(d)] =
+        std::clamp(c[std::size_t(d)], 0LL, opts_.cells[std::size_t(d)] - 1);
+  }
+  phi_src_arr_.at(c[0], c[1], c[2], 0) =
+      std::numeric_limits<double>::quiet_NaN();
+  std::fprintf(stderr,
+               "pfc fault: injected NaN into phi at step %lld, cell "
+               "(%lld,%lld,%lld)\n",
+               step_, c[0], c[1], c[2]);
+}
+
+void Simulation::restore_from_disk() {
+  std::vector<resilience::RestoreArray> arrays{{"phi", &phi_src_arr_},
+                                               {"mu", &mu_src_arr_}};
+  const resilience::CheckpointMeta meta = resilience::read_checkpoint(
+      opts_.resilience.restart_from, arrays, layout_signature());
+  PFC_REQUIRE(meta.rng_seed == model_.params().rng_seed,
+              "resilience: checkpoint rng_seed " +
+                  std::to_string(meta.rng_seed) +
+                  " differs from the model's " +
+                  std::to_string(model_.params().rng_seed) +
+                  " — restart would change the noise stream");
+  fill_all_ghosts(phi_src_arr_);
+  fill_all_ghosts(mu_src_arr_);
+  step_ = meta.step;
+  time_ = meta.time;
+  health_.restore_stats(meta.health);
+  if (meta.dt != dt_current_) rebuild_with_dt(meta.dt);
+  res_stats_.restarted = true;
+  res_stats_.restart_step = meta.step;
 }
 
 obs::RunReport Simulation::report() const {
@@ -223,6 +384,8 @@ obs::RunReport Simulation::report() const {
   r.block_imbalance = step_ > 0 ? 1.0 : 0.0;  // single block
   r.health = health_.stats();
   r.health_policy = opts_.health.policy;
+  r.resilience = res_stats_;
+  r.resilience.dt_current = dt_current_;
   perf::fill_model_accuracy(r, predicted_mlups_, cells_per_step(),
                             model_.params().dims);
   return r;

@@ -16,6 +16,7 @@
 
 #include "pfc/app/options.hpp"
 #include "pfc/obs/report.hpp"
+#include "pfc/resilience/checkpoint.hpp"
 
 namespace pfc::app {
 
@@ -52,6 +53,10 @@ struct SimulationOptions : DomainOptions {
     DomainOptions::with_health(h);
     return *this;
   }
+  SimulationOptions& with_resilience(const resilience::ResilienceOptions& r) {
+    DomainOptions::with_resilience(r);
+    return *this;
+  }
   SimulationOptions& with_threads(int t) {
     threads = t;
     return *this;
@@ -64,6 +69,9 @@ struct SimulationOptions : DomainOptions {
 
 class Simulation {
  public:
+  /// When `opts.resilience.restart_from` names a checkpoint directory, the
+  /// simulation restores φ/µ/step/time (and dt, recompiling if a shrink had
+  /// been applied) from it; skip init_*() in that case.
   Simulation(GrandChemModel model, const SimulationOptions& opts);
 
   const GrandChemModel& model() const { return model_; }
@@ -88,7 +96,12 @@ class Simulation {
   obs::RunReport run(int n);
 
   long long step_count() const { return step_; }
-  double time() const { return double(step_) * model_.params().dt; }
+  /// Accumulated simulation time. Summed step by step (not step_ * dt): dt
+  /// may shrink after a rollback, and a checkpointed time restores bitwise
+  /// because the manifest stores the accumulated double exactly.
+  double time() const { return time_; }
+  /// Current time-step size (params().dt until a rollback shrank it).
+  double dt() const { return dt_current_; }
 
   /// Cumulative report without advancing time (equals the last run()'s
   /// return value).
@@ -99,6 +112,8 @@ class Simulation {
   const obs::TraceRecorder& tracer() const { return tracer_; }
   /// The in-situ health monitor (no-op unless HealthOptions::enabled).
   const obs::HealthMonitor& health() const { return health_; }
+  /// Checkpoint/rollback accounting (mirrors report().resilience).
+  const obs::ResilienceStats& resilience_stats() const { return res_stats_; }
 
   /// \deprecated Use run()/report(): kernel timers live in the registry.
   [[deprecated("use report().kernel_timers")]]
@@ -117,6 +132,22 @@ class Simulation {
     return opts_.cells[0] * opts_.cells[1] * opts_.cells[2];
   }
 
+  // --- resilience (checkpoint/rollback/recovery) ---
+  std::string layout_signature() const;
+  /// Captures the in-memory rollback snapshot; also writes the on-disk
+  /// checkpoint when `to_disk`.
+  void capture_checkpoint(bool to_disk);
+  /// Restores the last snapshot (state, step, time) and applies the
+  /// configured dt shrink.
+  void rollback();
+  /// Regenerates + recompiles the kernels with a new dt (dt folds into the
+  /// generated code) and rebinds the flux scratch arrays.
+  void rebuild_with_dt(double new_dt);
+  /// Fires FaultPlan::nan_step once when due (right after `step_` advanced).
+  void maybe_inject_nan();
+  /// Restores state from opts_.resilience.restart_from (ctor helper).
+  void restore_from_disk();
+
   GrandChemModel model_;
   SimulationOptions opts_;
   CompiledModel compiled_;
@@ -126,6 +157,16 @@ class Simulation {
   std::optional<Array> phi_0_, mu_0_;
   std::unique_ptr<ThreadPool> pool_;
   long long step_ = 0;
+  double time_ = 0.0;
+  /// Live dt: starts at params().dt, shrunk by rollbacks (kernels are
+  /// recompiled to match — dt is folded into the generated code).
+  double dt_current_ = 0.0;
+  resilience::FaultPlan faults_;
+  bool fault_nan_fired_ = false;
+  resilience::Snapshot snapshot_;
+  obs::ResilienceStats res_stats_;
+  int retries_ = 0;
+  long long last_violation_step_ = -1;
   obs::Registry reg_;
   obs::TraceRecorder tracer_;
   obs::HealthMonitor health_;

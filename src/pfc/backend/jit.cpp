@@ -5,8 +5,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "pfc/support/assert.hpp"
 #include "pfc/support/timer.hpp"
@@ -23,21 +25,46 @@ std::string read_file(const std::string& path) {
 }
 
 void remove_tree(const std::string& dir) {
-  // scratch dirs contain only our three files; no recursion needed
-  for (const char* f : {"kernel.cpp", "kernel.so", "cc.log"}) {
-    std::remove((dir + "/" + f).c_str());
+  // Besides our own kernel.cpp/kernel.so/cc.log the external compiler may
+  // leave temp objects behind on a failed compile or link (LTO scratch,
+  // -save-temps passed via extra flags); remove whatever is there so a
+  // failure never leaks scratch space.
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+// Scratch root for JIT build directories; PFC_JIT_TMPDIR overrides /tmp
+// (tests point it at a private directory to assert nothing leaks).
+std::string scratch_root() {
+  if (const char* env = std::getenv("PFC_JIT_TMPDIR")) {
+    if (*env != '\0') {
+      std::error_code ec;
+      std::filesystem::create_directories(env, ec);
+      return env;
+    }
   }
-  ::rmdir(dir.c_str());
+  return "/tmp";
 }
 
 }  // namespace
 
 int probe_native_vector_width() {
-  static const int cached = [] {
-    if (const char* env = std::getenv("PFC_VECTOR_WIDTH")) {
-      const int w = std::atoi(env);
-      if (w == 1 || w == 2 || w == 4 || w == 8) return w;
+  // The env override is re-read on every call (not cached) so a bad value
+  // always fails fast and tests can flip it; only the ISA probe is cached.
+  if (const char* env = std::getenv("PFC_VECTOR_WIDTH")) {
+    if (*env != '\0') {
+      char* end = nullptr;
+      const long w = std::strtol(env, &end, 10);
+      const bool valid =
+          end != env && *end == '\0' && (w == 1 || w == 2 || w == 4 || w == 8);
+      if (!valid) {
+        throw Error(std::string("pfc: invalid PFC_VECTOR_WIDTH \"") + env +
+                    "\" (accepted values: 1, 2, 4, 8)");
+      }
+      return int(w);
     }
+  }
+  static const int cached = [] {
     const char* env_cxx = std::getenv("CXX");
     const std::string compiler =
         (env_cxx != nullptr && *env_cxx != '\0') ? env_cxx : "c++";
@@ -62,8 +89,10 @@ int probe_native_vector_width() {
 
 JitLibrary JitLibrary::compile(const std::string& source,
                                const Options& opts) {
-  char tmpl[] = "/tmp/pfc_jit_XXXXXX";
-  const char* dir = ::mkdtemp(tmpl);
+  const std::string tmpl_str = scratch_root() + "/pfc_jit_XXXXXX";
+  std::vector<char> tmpl(tmpl_str.begin(), tmpl_str.end());
+  tmpl.push_back('\0');
+  const char* dir = ::mkdtemp(tmpl.data());
   PFC_REQUIRE(dir != nullptr, "mkdtemp failed for JIT scratch space");
 
   JitLibrary lib;
@@ -73,7 +102,11 @@ JitLibrary JitLibrary::compile(const std::string& source,
   const std::string src_path = lib.dir_ + "/kernel.cpp";
   {
     std::ofstream out(src_path);
-    PFC_REQUIRE(out.good(), "cannot write JIT source file");
+    if (!out.good()) {
+      remove_tree(lib.dir_);
+      lib.dir_.clear();
+      throw Error("cannot write JIT source file " + src_path);
+    }
     out << source;
   }
 

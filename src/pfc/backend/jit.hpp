@@ -16,13 +16,16 @@ namespace pfc::backend {
 /// by preprocessing an empty file with the JIT compiler's own flags
 /// (-march=native) and inspecting the ISA macros: AVX-512 → 8, AVX → 4,
 /// SSE2/NEON → 2. The env var PFC_VECTOR_WIDTH (1/2/4/8) overrides the
-/// probe; an unusable compiler falls back to 4 (GCC/Clang vector
-/// extensions lower any width to whatever the target has). Cached after
-/// the first call.
+/// probe and is checked strictly: any other value throws pfc::Error listing
+/// the accepted ones. An unusable compiler falls back to 4 (GCC/Clang
+/// vector extensions lower any width to whatever the target has). The ISA
+/// probe is cached after the first call; the env override is not.
 int probe_native_vector_width();
 
 /// A compiled shared object holding one or more kernel entry points.
 /// Move-only RAII: unloads the library and removes the scratch directory.
+/// Scratch directories live under /tmp (or PFC_JIT_TMPDIR when set) and are
+/// fully removed — including any stray compiler artifacts — on failure too.
 class JitLibrary {
  public:
   struct Options {

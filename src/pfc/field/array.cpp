@@ -117,6 +117,30 @@ void Array::swap_data(Array& other) {
   std::swap(data_, other.data_);
 }
 
+void Array::copy_interior_out(double* dst) const {
+  for (int c = 0; c < field_->components(); ++c) {
+    for (std::int64_t z = 0; z < size_[2]; ++z) {
+      for (std::int64_t y = 0; y < size_[1]; ++y) {
+        const double* line = &data_[std::size_t(index(0, y, z, c))];
+        std::memcpy(dst, line, std::size_t(size_[0]) * sizeof(double));
+        dst += size_[0];
+      }
+    }
+  }
+}
+
+void Array::copy_interior_in(const double* src) {
+  for (int c = 0; c < field_->components(); ++c) {
+    for (std::int64_t z = 0; z < size_[2]; ++z) {
+      for (std::int64_t y = 0; y < size_[1]; ++y) {
+        double* line = &data_[std::size_t(index(0, y, z, c))];
+        std::memcpy(line, src, std::size_t(size_[0]) * sizeof(double));
+        src += size_[0];
+      }
+    }
+  }
+}
+
 double Array::max_abs_diff(const Array& a, const Array& b) {
   PFC_REQUIRE(a.size_ == b.size_ &&
                   a.field_->components() == b.field_->components(),

@@ -86,6 +86,19 @@ class Array {
   /// component counts must match.
   void swap_data(Array& other);
 
+  /// Interior doubles across all components (checkpoint payload size).
+  std::int64_t interior_count() const {
+    return size_[0] * size_[1] * size_[2] * components();
+  }
+
+  /// Serializes the interior (no ghosts, no padding) into `dst` in
+  /// (c, z, y, x) order, x fastest — the checkpoint wire layout, identical
+  /// whatever the padded in-memory strides are.
+  void copy_interior_out(double* dst) const;
+  /// Inverse of copy_interior_out; ghost layers are left untouched (the
+  /// caller refreshes them via boundary fill / ghost exchange).
+  void copy_interior_in(const double* src);
+
   /// Max |a - b| over the interior (all components). Shapes must match.
   static double max_abs_diff(const Array& a, const Array& b);
 

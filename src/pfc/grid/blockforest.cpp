@@ -1,6 +1,7 @@
 #include "pfc/grid/blockforest.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "pfc/support/assert.hpp"
 
@@ -120,6 +121,18 @@ std::pair<int, int> BlockForest::rank_load_extremes() const {
   for (const auto& b : blocks_) ++counts[std::size_t(b.owner)];
   const auto [mn, mx] = std::minmax_element(counts.begin(), counts.end());
   return {*mx, *mn};
+}
+
+std::string BlockForest::layout_signature() const {
+  char buf[160];
+  std::snprintf(
+      buf, sizeof buf,
+      "cells=%lldx%lldx%lld;blocks=%dx%dx%d;ranks=%d;dims=%d;boundary=%s",
+      global_cells_[0], global_cells_[1], global_cells_[2],
+      blocks_per_dim_[0], blocks_per_dim_[1], blocks_per_dim_[2], num_ranks_,
+      dims_, boundary_ == BoundaryKind::Periodic ? "periodic"
+                                                 : "zerogradient");
+  return buf;
 }
 
 }  // namespace pfc::grid

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "pfc/grid/boundary.hpp"
@@ -54,6 +55,12 @@ class BlockForest {
 
   /// Max/min number of blocks per rank (load balance quality).
   std::pair<int, int> rank_load_extremes() const;
+
+  /// Compact description of the decomposition geometry (global cells,
+  /// blocks per dim, rank count, dims, boundary). Checkpoint manifests
+  /// embed it so a restart into a different layout fails fast instead of
+  /// scattering data to the wrong blocks.
+  std::string layout_signature() const;
 
  private:
   std::array<long long, 3> global_cells_;

@@ -13,6 +13,7 @@ const char* health_policy_name(HealthPolicy p) {
     case HealthPolicy::Ignore: return "ignore";
     case HealthPolicy::Warn: return "warn";
     case HealthPolicy::Throw: return "throw";
+    case HealthPolicy::Recover: return "recover";
   }
   return "?";
 }
@@ -21,8 +22,9 @@ HealthPolicy parse_health_policy(const std::string& name) {
   if (name == "ignore") return HealthPolicy::Ignore;
   if (name == "warn") return HealthPolicy::Warn;
   if (name == "throw") return HealthPolicy::Throw;
+  if (name == "recover") return HealthPolicy::Recover;
   throw Error("pfc: unknown health policy \"" + name +
-              "\" (expected ignore, warn or throw)");
+              "\" (expected ignore, warn, throw or recover)");
 }
 
 Json HealthStats::to_json() const {
@@ -34,6 +36,22 @@ Json HealthStats::to_json() const {
       .set("mu_blowups", Json(mu_blowups))
       .set("max_phase_sum_error", Json(max_phase_sum_error))
       .set("conservation_drift", Json(conservation_drift));
+}
+
+HealthStats HealthStats::from_json(const Json& j) {
+  const auto num = [&j](const char* key) {
+    const Json* v = j.find(key);
+    return v != nullptr && v->is_number() ? v->number() : 0.0;
+  };
+  HealthStats s;
+  s.checks = (long long)num("checks");
+  s.nonfinite_values = (std::uint64_t)num("nonfinite_values");
+  s.phase_sum_violations = (std::uint64_t)num("phase_sum_violations");
+  s.simplex_violations = (std::uint64_t)num("simplex_violations");
+  s.mu_blowups = (std::uint64_t)num("mu_blowups");
+  s.max_phase_sum_error = num("max_phase_sum_error");
+  s.conservation_drift = num("conservation_drift");
+  return s;
 }
 
 HealthMonitor::HealthMonitor(const HealthOptions& opts, Registry* registry)
@@ -94,8 +112,8 @@ void HealthMonitor::scan_block(const Array& phi, const Array* mu) {
   }
 }
 
-void HealthMonitor::finish_scan(long long step) {
-  if (!opts_.enabled) return;
+std::uint64_t HealthMonitor::finish_scan(long long step) {
+  if (!opts_.enabled) return 0;
   ++stats_.checks;
   stats_.nonfinite_values += scan_nonfinite_;
   stats_.phase_sum_violations += scan_phase_sum_;
@@ -140,7 +158,7 @@ void HealthMonitor::finish_scan(long long step) {
   scan_phase_total_ = 0.0;
   scan_cells_ = 0;
 
-  if (found == 0) return;
+  if (found == 0) return 0;
   switch (opts_.policy) {
     case HealthPolicy::Ignore:
       break;
@@ -149,7 +167,12 @@ void HealthMonitor::finish_scan(long long step) {
       break;
     case HealthPolicy::Throw:
       throw Error(std::string("pfc health check failed: ") + detail);
+    case HealthPolicy::Recover:
+      // the driver rolls back; the monitor only reports
+      std::fprintf(stderr, "pfc health (recovering): %s\n", detail);
+      break;
   }
+  return found;
 }
 
 }  // namespace pfc::obs

@@ -30,11 +30,14 @@ class Array;  // field/array.hpp — scanned, never mutated
 
 namespace pfc::obs {
 
-/// What to do when a scan finds violations.
-enum class HealthPolicy { Ignore, Warn, Throw };
+/// What to do when a scan finds violations. Recover tells the driver's
+/// resilience layer to roll back to the last good checkpoint (bounded
+/// retries, optional dt shrink) instead of warning or aborting.
+enum class HealthPolicy { Ignore, Warn, Throw, Recover };
 
 const char* health_policy_name(HealthPolicy p);
-/// Parses "ignore" / "warn" / "throw" (throws pfc::Error otherwise).
+/// Parses "ignore" / "warn" / "throw" / "recover" (throws pfc::Error
+/// listing the accepted values otherwise).
 HealthPolicy parse_health_policy(const std::string& name);
 
 /// Driver-level health knobs (lives on app::DomainOptions).
@@ -81,6 +84,9 @@ struct HealthStats {
            mu_blowups;
   }
   Json to_json() const;
+  /// Inverse of to_json (checkpoint manifests carry the stats so restart
+  /// resumes the accumulated accounting). Missing keys read as zero.
+  static HealthStats from_json(const Json& j);
 };
 
 /// Scans fields on the steps its options select and applies the policy.
@@ -105,11 +111,15 @@ class HealthMonitor {
   void scan_block(const Array& phi, const Array* mu);
 
   /// Closes the scan opened by scan_block() calls: updates drift, bumps
-  /// counters and applies the policy (Warn prints one stderr line; Throw
-  /// raises pfc::Error naming the step and findings).
-  void finish_scan(long long step);
+  /// counters and applies the policy (Warn/Recover print one stderr line;
+  /// Throw raises pfc::Error naming the step and findings). Returns the
+  /// number of violations this scan found — under Recover the driver acts
+  /// on it (rollback), the monitor itself never mutates simulation state.
+  std::uint64_t finish_scan(long long step);
 
   const HealthStats& stats() const { return stats_; }
+  /// Seeds the cumulative stats (checkpoint restart).
+  void restore_stats(const HealthStats& s) { stats_ = s; }
 
  private:
   HealthOptions opts_;

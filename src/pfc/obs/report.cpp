@@ -30,6 +30,19 @@ double RunReport::worst_model_drift() const {
   return worst;
 }
 
+Json ResilienceStats::to_json() const {
+  return Json::object()
+      .set("checkpoints", Json(checkpoints))
+      .set("checkpoint_files", Json(checkpoint_files))
+      .set("last_checkpoint_step", Json(double(last_checkpoint_step)))
+      .set("rollbacks", Json(rollbacks))
+      .set("dt_shrinks", Json(dt_shrinks))
+      .set("faults_injected", Json(faults_injected))
+      .set("restarted", Json(restarted))
+      .set("restart_step", Json(double(restart_step)))
+      .set("dt_current", Json(dt_current));
+}
+
 Json RunReport::to_json() const {
   std::map<std::string, TimerStat> timers;
   for (const auto& [k, t] : kernel_timers) timers["kernel/" + k] = t;
@@ -64,6 +77,7 @@ Json RunReport::to_json() const {
   Json h = health.to_json();
   h.set("policy", Json(health_policy_name(health_policy)));
   j.set("health", std::move(h));
+  j.set("resilience", resilience.to_json());
   return j;
 }
 
@@ -104,6 +118,9 @@ Json CompileReport::to_json() const {
   Json names = Json::array();
   for (const auto& n : kernel_names) names.push(Json(n));
   j.set("kernels", std::move(names));
+  j.set("backend_tier", Json(backend_tier));
+  j.set("fallback_reason", Json(fallback_reason));
+  j.set("fallback_attempts", Json(std::uint64_t(fallback_attempts)));
   return j;
 }
 
@@ -135,12 +152,22 @@ void write_json(const std::string& path, const Json& j) {
 }
 
 void write_text(const std::string& path, const std::string& text) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  PFC_REQUIRE(f != nullptr, "obs::write_text: cannot open " + path);
+  // Atomic publish: a reader either sees the previous complete file or the
+  // new complete file, never a torn write (rename(2) is atomic within a
+  // filesystem, and the tmp file lives next to its target).
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  PFC_REQUIRE(f != nullptr, "obs::write_text: cannot open " + tmp);
   const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
-  std::fclose(f);
-  PFC_REQUIRE(written == text.size(), "obs::write_text: short write to " +
-                                          path);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != text.size() || !flushed) {
+    std::remove(tmp.c_str());
+    throw Error("obs::write_text: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("obs::write_text: cannot rename " + tmp + " to " + path);
+  }
 }
 
 }  // namespace pfc::obs

@@ -11,7 +11,7 @@
 //     "derived":  { "<stat>": x, ... }
 //   }
 //
-// v2 adds two optional run-report sections (validated when present):
+// v2 added two optional run-report sections (validated when present):
 //
 //     "model_accuracy": { "<target>": {"predicted_seconds": p,
 //                                      "measured_seconds": m,
@@ -19,10 +19,19 @@
 //     "health":         HealthStats::to_json() + "policy"
 //
 // where <target> is "kernel/<ir name>" (ECM prediction, paper Fig. 2) or
-// "exchange" (network model, Table 2). Producers may add extra keys (e.g.
-// quickstart embeds its CompileReport under "compile"); validators require
-// only the six core sections. See tools/report_check.cpp for the machine
-// check run by ctest.
+// "exchange" (network model, Table 2).
+//
+// v3 adds the resilience accounting:
+//
+//     "resilience":     ResilienceStats::to_json() — checkpoints captured/
+//                       written, rollbacks, dt shrinks, injected faults,
+//                       restart provenance (run reports), and
+//     "backend_tier" / "fallback_reason" on compile reports — which rung of
+//     the JIT fallback chain (vector → scalar → interpreter) actually runs.
+//
+// Producers may add extra keys (e.g. quickstart embeds its CompileReport
+// under "compile"); validators require only the six core sections. See
+// tools/report_check.cpp for the machine check run by ctest.
 #pragma once
 
 #include <array>
@@ -35,8 +44,10 @@
 
 namespace pfc::obs {
 
-inline constexpr const char* kReportSchema = "pfc-obs-report-v2";
-/// Previous schema revision; validators still accept it for stored reports.
+inline constexpr const char* kReportSchema = "pfc-obs-report-v3";
+/// Previous schema revisions; validators still accept them for stored
+/// reports.
+inline constexpr const char* kReportSchemaV2 = "pfc-obs-report-v2";
 inline constexpr const char* kReportSchemaV1 = "pfc-obs-report-v1";
 
 /// Model-vs-measured drift of one prediction target: how long the
@@ -49,6 +60,24 @@ struct ModelAccuracy {
   /// measured/predicted, safe_rate-guarded (1.0 = model exact, > 1 = slower
   /// than predicted, 0 = no prediction available).
   double ratio = 0.0;
+};
+
+/// Resilience accounting of one run (the v3 "resilience" report section):
+/// how often the run checkpointed, rolled back, shrank dt or absorbed an
+/// injected fault, and whether it was restored from disk. All-zero when the
+/// resilience layer never acted.
+struct ResilienceStats {
+  std::uint64_t checkpoints = 0;       ///< in-memory snapshot captures
+  std::uint64_t checkpoint_files = 0;  ///< on-disk manifests written
+  long long last_checkpoint_step = 0;
+  std::uint64_t rollbacks = 0;         ///< health-driven recoveries
+  std::uint64_t dt_shrinks = 0;
+  std::uint64_t faults_injected = 0;   ///< FaultPlan activations
+  bool restarted = false;              ///< restored from disk at startup
+  long long restart_step = 0;          ///< step the restore resumed at
+  double dt_current = 0.0;             ///< dt after any shrinks
+
+  Json to_json() const;
 };
 
 /// Cumulative signals of a (possibly distributed) simulation run. Returned
@@ -78,6 +107,8 @@ struct RunReport {
   HealthStats health;
   /// Policy the run's health monitor applied (serialized with health).
   HealthPolicy health_policy = HealthPolicy::Warn;
+  /// Checkpoint/rollback/restart accounting (v3 "resilience" section).
+  ResilienceStats resilience;
   /// Worst measured/predicted ratio distance from 1.0 across all targets
   /// with a prediction (0.0 when model_accuracy is empty).
   double worst_model_drift() const;
@@ -112,6 +143,14 @@ struct CompileReport {
   /// ops_per_cell_post at width 1.
   double ops_per_cell_widened = 0.0;
   std::vector<std::string> kernel_names;  ///< IR names, execution order
+  /// Which rung of the degradation chain actually executes: "vector"
+  /// (JIT, SIMD width > 1), "scalar" (JIT, width 1) or "interpreter".
+  std::string backend_tier = "interpreter";
+  /// First failure that forced a downgrade (empty when the requested
+  /// backend compiled cleanly).
+  std::string fallback_reason;
+  /// External-compiler invocations that failed before the surviving tier.
+  int fallback_attempts = 0;
 
   void add_stage(const std::string& stage, double seconds);
   /// Symbolic-pipeline time: every stage except the external compiler.

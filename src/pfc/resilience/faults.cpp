@@ -1,0 +1,86 @@
+#include "pfc/resilience/resilience.hpp"
+
+#include <cstdlib>
+
+#include "pfc/support/assert.hpp"
+
+namespace pfc::resilience {
+
+namespace {
+
+constexpr const char* kGrammar =
+    "expected ';'-separated tokens: nan@<step>[:x,y,z], jit[=N], truncate";
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+long long parse_ll(const std::string& s, const std::string& where) {
+  PFC_REQUIRE(!s.empty(), "fault plan: empty number in " + where + " (" +
+                              kGrammar + ")");
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  PFC_REQUIRE(end != nullptr && *end == '\0' && v >= 0,
+              "fault plan: bad number '" + s + "' in " + where + " (" +
+                  kGrammar + ")");
+  return v;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan p;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t sep = spec.find(';', pos);
+    const std::string raw =
+        spec.substr(pos, sep == std::string::npos ? sep : sep - pos);
+    pos = sep == std::string::npos ? spec.size() + 1 : sep + 1;
+    const std::string tok = trim(raw);
+    if (tok.empty()) continue;
+    if (tok == "truncate") {
+      p.truncate_checkpoint = true;
+    } else if (tok == "jit") {
+      p.fail_jit_attempts = 1 << 20;  // fail every attempt -> interpreter
+    } else if (tok.rfind("jit=", 0) == 0) {
+      p.fail_jit_attempts = int(parse_ll(tok.substr(4), "jit=N"));
+    } else if (tok.rfind("nan@", 0) == 0) {
+      const std::string body = tok.substr(4);
+      const std::size_t colon = body.find(':');
+      p.nan_step = parse_ll(body.substr(0, colon), "nan@<step>");
+      if (colon != std::string::npos) {
+        const std::string cells = body.substr(colon + 1);
+        std::size_t c0 = cells.find(','), c1 = std::string::npos;
+        if (c0 != std::string::npos) c1 = cells.find(',', c0 + 1);
+        PFC_REQUIRE(c0 != std::string::npos && c1 != std::string::npos,
+                    "fault plan: nan cell needs x,y,z (" +
+                        std::string(kGrammar) + ")");
+        p.nan_cell = {parse_ll(cells.substr(0, c0), "nan cell x"),
+                      parse_ll(cells.substr(c0 + 1, c1 - c0 - 1),
+                               "nan cell y"),
+                      parse_ll(cells.substr(c1 + 1), "nan cell z")};
+      }
+    } else {
+      throw Error("pfc: unknown fault token '" + tok + "' (" + kGrammar +
+                  ")");
+    }
+  }
+  return p;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* env = std::getenv("PFC_FAULT");
+  if (env == nullptr || *env == '\0') return FaultPlan{};
+  return parse(env);
+}
+
+FaultPlan effective_faults(const ResilienceOptions& opts) {
+  const char* env = std::getenv("PFC_FAULT");
+  if (env != nullptr && *env != '\0') return FaultPlan::parse(env);
+  return opts.faults;
+}
+
+}  // namespace pfc::resilience

@@ -1,12 +1,17 @@
 // Validates a pfc-obs report JSON file against the shared schema
-// (pfc-obs-report-v2), including the optional model_accuracy (ECM/netmodel
-// drift) and health sections. Run by ctest against the file quickstart
-// emits, so every producer that funnels through obs::make_report_json stays
-// honest.
+// (pfc-obs-report-v3; stored v2 reports are still accepted), including the
+// optional model_accuracy (ECM/netmodel drift), health and resilience
+// sections. Run by ctest against the file quickstart emits, so every
+// producer that funnels through obs::make_report_json stays honest.
 //
 // With --trace the argument is instead a chrome://tracing trace file (as
 // written by obs::TraceRecorder) and the structure of its traceEvents is
 // validated, including that kernel and ghost-exchange spans are present.
+//
+// With --checkpoint the argument is a checkpoint manifest (as written by
+// pfc::resilience::write_checkpoint): schema, required keys, the per-array
+// entries (shape/offset/count/checksum format, contiguous offsets) and the
+// state file's existence and exact size are validated.
 //
 // With --require-vector-width the report must additionally carry a
 // counters/vector_width entry (either top-level or inside an embedded
@@ -16,6 +21,7 @@
 //
 // Usage: report_check [--require-vector-width] <report.json> [expected-kind]
 //        report_check --trace <trace.json>
+//        report_check --checkpoint <manifest.json>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -23,6 +29,7 @@
 
 #include "pfc/obs/json.hpp"
 #include "pfc/obs/report.hpp"
+#include "pfc/resilience/checkpoint.hpp"
 
 namespace {
 
@@ -129,6 +136,103 @@ int check_trace(const char* path) {
   return 0;
 }
 
+/// --checkpoint mode: structural validation of a checkpoint manifest plus
+/// the existence and exact size of the state file it references.
+int check_checkpoint(const char* path) {
+  const std::string text = read_file(path);
+  if (g_errors) return 1;
+  std::string err;
+  const pfc::obs::Json j = pfc::obs::Json::parse(text, &err);
+  if (!err.empty()) {
+    fail("parse error: " + err);
+    return 1;
+  }
+  if (!j.is_object()) {
+    fail("top level must be an object");
+    return 1;
+  }
+  for (const char* key : {"schema", "step", "time", "dt", "rng_seed",
+                          "layout", "data_file", "arrays"}) {
+    if (!j.find(key)) fail(std::string("missing required key \"") + key + '"');
+  }
+  if (g_errors) return 1;
+  if (!j.find("schema")->is_string() ||
+      j.find("schema")->str() != pfc::resilience::kCheckpointSchema) {
+    fail(std::string("schema must be \"") +
+         pfc::resilience::kCheckpointSchema + '"');
+  }
+  check_finite_nonneg(*j.find("step"), "step");
+  check_finite_nonneg(*j.find("time"), "time");
+  check_finite_nonneg(*j.find("dt"), "dt");
+  if (j.find("dt")->is_number() && !(j.find("dt")->number() > 0.0)) {
+    fail("dt must be positive");
+  }
+  if (!j.find("layout")->is_string() || j.find("layout")->str().empty()) {
+    fail("layout must be a non-empty string");
+  }
+  const pfc::obs::Json& arrays = *j.find("arrays");
+  if (!arrays.is_array() || arrays.elements().empty()) {
+    fail("arrays must be a non-empty array");
+    return 1;
+  }
+  double expected_offset = 0.0;
+  for (std::size_t i = 0; i < arrays.elements().size(); ++i) {
+    const pfc::obs::Json& e = arrays.elements()[i];
+    const std::string where = "arrays[" + std::to_string(i) + ']';
+    if (!e.is_object()) {
+      fail(where + ": expected an object");
+      continue;
+    }
+    for (const char* key :
+         {"name", "components", "size", "offset", "count", "fnv1a64"}) {
+      if (!e.find(key)) fail(where + ": missing \"" + key + '"');
+    }
+    if (g_errors) continue;
+    check_finite_nonneg(*e.find("components"), where + "/components");
+    check_finite_nonneg(*e.find("offset"), where + "/offset");
+    check_finite_nonneg(*e.find("count"), where + "/count");
+    if (e.find("offset")->is_number() &&
+        e.find("offset")->number() != expected_offset) {
+      fail(where + ": offsets are not contiguous");
+    }
+    if (e.find("count")->is_number()) {
+      expected_offset += e.find("count")->number();
+    }
+    const pfc::obs::Json* sum = e.find("fnv1a64");
+    if (!sum->is_string() || sum->str().rfind("0x", 0) != 0 ||
+        sum->str().size() != 18) {
+      fail(where + ": fnv1a64 must be an \"0x\" + 16-hex-digit string");
+    }
+  }
+  // the state file must exist next to the manifest and match the manifest's
+  // total element count exactly
+  std::string dir(path);
+  const std::size_t slash = dir.find_last_of('/');
+  dir = slash == std::string::npos ? "." : dir.substr(0, slash);
+  const std::string data_path = dir + "/" + j.find("data_file")->str();
+  std::FILE* f = std::fopen(data_path.c_str(), "rb");
+  if (!f) {
+    fail("state file missing: " + data_path);
+  } else {
+    std::fseek(f, 0, SEEK_END);
+    const long fsize = std::ftell(f);
+    std::fclose(f);
+    if (double(fsize) != expected_offset * double(sizeof(double))) {
+      fail("state file " + data_path + " has " + std::to_string(fsize) +
+           " bytes, manifest expects " +
+           std::to_string((long long)(expected_offset * sizeof(double))));
+    }
+  }
+  if (g_errors) {
+    std::fprintf(stderr, "report_check: %s FAILED (%d error%s)\n", path,
+                 g_errors, g_errors == 1 ? "" : "s");
+    return 1;
+  }
+  std::printf("report_check: %s OK (checkpoint, %zu arrays, %lld doubles)\n",
+              path, arrays.elements().size(), (long long)expected_offset);
+  return 0;
+}
+
 /// --require-vector-width: the SIMD width the compile pipeline chose must
 /// be recorded and supported. Quickstart-style run reports embed the
 /// CompileReport under "compile"; compile reports carry it top-level.
@@ -166,6 +270,9 @@ int main(int argc, char** argv) {
   if (argc == 3 && std::strcmp(argv[1], "--trace") == 0) {
     return check_trace(argv[2]);
   }
+  if (argc == 3 && std::strcmp(argv[1], "--checkpoint") == 0) {
+    return check_checkpoint(argv[2]);
+  }
   bool require_vector_width = false;
   if (argc >= 2 && std::strcmp(argv[1], "--require-vector-width") == 0) {
     require_vector_width = true;
@@ -176,7 +283,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: report_check [--require-vector-width] "
                  "<report.json> [kind]\n"
-                 "       report_check --trace <trace.json>\n");
+                 "       report_check --trace <trace.json>\n"
+                 "       report_check --checkpoint <manifest.json>\n");
     return 2;
   }
   const std::string text = read_file(argv[1]);
@@ -197,9 +305,13 @@ int main(int argc, char** argv) {
   }
   if (g_errors) return 1;
 
-  if (!j.find("schema")->is_string() ||
-      j.find("schema")->str() != pfc::obs::kReportSchema) {
-    fail(std::string("schema must be \"") + pfc::obs::kReportSchema + '"');
+  const bool is_v3 = j.find("schema")->is_string() &&
+                     j.find("schema")->str() == pfc::obs::kReportSchema;
+  const bool is_v2 = j.find("schema")->is_string() &&
+                     j.find("schema")->str() == pfc::obs::kReportSchemaV2;
+  if (!is_v3 && !is_v2) {
+    fail(std::string("schema must be \"") + pfc::obs::kReportSchema +
+         "\" (or the stored \"" + pfc::obs::kReportSchemaV2 + "\")");
   }
   const pfc::obs::Json& kind = *j.find("kind");
   if (!kind.is_string() || (kind.str() != "run" && kind.str() != "compile" &&
@@ -277,14 +389,56 @@ int main(int argc, char** argv) {
       const pfc::obs::Json* policy = h->find("policy");
       if (!policy || !policy->is_string() ||
           (policy->str() != "ignore" && policy->str() != "warn" &&
-           policy->str() != "throw")) {
-        fail("health/policy must be \"ignore\", \"warn\" or \"throw\"");
+           policy->str() != "throw" && policy->str() != "recover")) {
+        fail("health/policy must be \"ignore\", \"warn\", \"throw\" or "
+             "\"recover\"");
       }
       for (const auto& [stat, v] : h->items()) {
         if (stat == "policy") continue;
         check_finite_nonneg(v, "health/" + stat);
       }
     }
+  }
+
+  // v3 sections: run reports carry "resilience", compile reports carry the
+  // backend tier of the degradation chain
+  if (const pfc::obs::Json* r = j.find("resilience")) {
+    if (!r->is_object()) {
+      fail("resilience must be an object");
+    } else {
+      for (const char* key :
+           {"checkpoints", "checkpoint_files", "rollbacks", "dt_shrinks",
+            "faults_injected", "dt_current"}) {
+        const pfc::obs::Json* v = r->find(key);
+        if (!v) {
+          fail(std::string("resilience: missing \"") + key + '"');
+          continue;
+        }
+        check_finite_nonneg(*v, std::string("resilience/") + key);
+      }
+      const pfc::obs::Json* restarted = r->find("restarted");
+      if (!restarted ||
+          restarted->kind() != pfc::obs::Json::Kind::Bool) {
+        fail("resilience/restarted must be a bool");
+      }
+    }
+  } else if (is_v3 && kind.is_string() && kind.str() == "run") {
+    fail("v3 run reports must carry a \"resilience\" section");
+  }
+  if (const pfc::obs::Json* tier = j.find("backend_tier")) {
+    if (!tier->is_string() ||
+        (tier->str() != "vector" && tier->str() != "scalar" &&
+         tier->str() != "interpreter")) {
+      fail("backend_tier must be \"vector\", \"scalar\" or \"interpreter\"");
+    }
+    const pfc::obs::Json* attempts = j.find("fallback_attempts");
+    if (!attempts) {
+      fail("backend_tier present but \"fallback_attempts\" missing");
+    } else {
+      check_finite_nonneg(*attempts, "fallback_attempts");
+    }
+  } else if (is_v3 && kind.is_string() && kind.str() == "compile") {
+    fail("v3 compile reports must carry \"backend_tier\"");
   }
 
   if (require_vector_width) check_vector_width(j);
