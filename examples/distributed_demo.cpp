@@ -2,42 +2,75 @@
 // a two-phase curvature-flow problem and exchange ghost layers every step
 // (the waLBerla-style runtime of paper §4).
 //
-//   ./distributed_demo [--health=ignore|warn|throw|recover] [ranks] [steps]
+//   ./distributed_demo [--health=ignore|warn|throw|recover] [--overlap]
+//                      [--threads=N] [--report=report.json] [ranks] [steps]
 //
 // --health enables per-step in-situ physics checks on every rank.
 // --health=throw turns any NaN/phase-sum/conservation violation into a
 // failing exit code, which is how ctest guards against silent physics
 // regressions; --health=recover rolls back to the last good snapshot
 // instead (all ranks agree on the decision via an allreduce).
+// --overlap switches the step to interior/frontier communication hiding
+// (DESIGN.md §8): bitwise-identical results, exchange hidden behind the
+// interior sweep. --threads slab-splits that interior sweep per rank.
+// --report writes rank 0's run report JSON (v4 schema, validated by the
+// report_overlap_valid ctest).
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "pfc/app/distributed.hpp"
 #include "pfc/app/params.hpp"
 #include "pfc/support/assert.hpp"
 
+namespace {
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::fprintf(stderr,
+               "distributed_demo: %s\n"
+               "usage: distributed_demo [--health=ignore|warn|throw|recover] "
+               "[--overlap]\n"
+               "                        [--threads=N] [--report=report.json] "
+               "[ranks] [steps]\n",
+               msg.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace pfc;
   obs::HealthOptions health;
+  app::OverlapMode overlap = app::OverlapMode::Off;
+  int threads = 1;
+  std::string report_path;
   std::vector<const char*> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--health=", 9) == 0) {
       try {
         health.enable().with_policy(obs::parse_health_policy(argv[i] + 9));
       } catch (const Error& e) {
-        std::fprintf(stderr, "distributed_demo: %s\n", e.what());
-        return 2;
+        usage_error(e.what());
+      }
+    } else if (std::strcmp(argv[i], "--overlap") == 0) {
+      overlap = app::OverlapMode::InteriorFrontier;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      char* end = nullptr;
+      threads = int(std::strtol(argv[i] + 10, &end, 10));
+      if (end == argv[i] + 10 || *end != '\0' || threads < 1) {
+        usage_error(std::string("invalid value \"") + (argv[i] + 10) +
+                    "\" for --threads (expected a positive integer)");
+      }
+    } else if (std::strncmp(argv[i], "--report=", 9) == 0) {
+      report_path = argv[i] + 9;
+      if (report_path.empty()) {
+        usage_error("--report needs a file path");
       }
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
-      std::fprintf(stderr,
-                   "distributed_demo: unknown flag \"%s\"\n"
-                   "usage: distributed_demo "
-                   "[--health=ignore|warn|throw|recover] [ranks] [steps]\n",
-                   argv[i]);
-      return 2;
+      usage_error(std::string("unknown flag \"") + argv[i] + '"');
     } else {
       pos.push_back(argv[i]);
     }
@@ -52,7 +85,9 @@ int main(int argc, char** argv) {
     const auto opts = app::DistributedOptions{}
                           .with_cells(96, 96)
                           .with_blocks(2, 2)
-                          .with_health(health);
+                          .with_health(health)
+                          .with_overlap(overlap)
+                          .with_threads(threads);
     app::DistributedSimulation sim(model, opts, &comm);
 
     sim.init(
@@ -78,12 +113,24 @@ int main(int argc, char** argv) {
       }
       if (b < 4) sim.run(steps / 4);
     }
+    const obs::RunReport rep = sim.report();
+    if (comm.rank() == 0 && overlap == app::OverlapMode::InteriorFrontier) {
+      std::printf("rank 0 | overlap: interior %.3fs frontier %.3fs | "
+                  "pack %.3fs wait %.3fs | hidden %.0f%% of exchange\n",
+                  rep.overlap.interior_seconds, rep.overlap.frontier_seconds,
+                  rep.overlap.pack_seconds, rep.overlap.wait_seconds,
+                  100.0 * rep.overlap.hidden_fraction);
+    }
     if (comm.rank() == 0 && health.enabled) {
       const obs::HealthStats& hs = sim.health().stats();
       std::printf("rank 0 | health: %lld scans, %llu violations "
                   "(policy %s)\n",
                   hs.checks, (unsigned long long)hs.total_violations(),
                   obs::health_policy_name(health.policy));
+    }
+    if (comm.rank() == 0 && !report_path.empty()) {
+      obs::write_json(report_path, rep.to_json());
+      std::printf("rank 0 | wrote %s\n", report_path.c_str());
     }
   });
   std::printf("done.\n");

@@ -21,15 +21,16 @@ std::string first_line(const std::string& s) {
 void CompiledKernel::run(const backend::Binding& b,
                          const std::array<long long, 3>& n, double t,
                          long long t_step, ThreadPool* pool,
-                         obs::TraceRecorder* tracer) const {
+                         obs::TraceRecorder* tracer,
+                         const backend::CellRange* range) const {
   if (fn_ != nullptr) {
     backend::run_compiled(ir, fn_, b, n, t, t_step, pool, tracer,
-                          vector_width_);
+                          vector_width_, range);
   } else {
     PFC_ASSERT(interp_ != nullptr, "CompiledKernel has no backend");
     // Interpreter slabs carry no per-thread spans; the driver's kernel span
     // still covers the launch.
-    interp_->run(b, n, t, t_step, pool);
+    interp_->run(b, n, t, t_step, pool, range);
   }
 }
 

@@ -26,6 +26,66 @@ CompileOptions compile_opts_with_faults(const DistributedOptions& o) {
   return c;
 }
 
+/// Peels the `width`-thick shell off `full`, outermost dim first, into
+/// disjoint slabs (≤ 2·dims of them); returns the remaining inset box.
+/// Degenerate boxes (2·width ≥ extent) leave an empty interior with the
+/// whole box covered by slabs — still correct, just nothing to overlap.
+backend::CellRange peel_frontier(const backend::CellRange& full,
+                                 const std::array<long long, 3>& width,
+                                 int dims,
+                                 std::vector<backend::CellRange>& slabs) {
+  backend::CellRange inner = full;
+  for (int d = dims - 1; d >= 0; --d) {
+    const auto dd = std::size_t(d);
+    if (width[dd] <= 0) continue;
+    backend::CellRange lo = inner, hi = inner;
+    lo.hi[dd] = std::min(inner.hi[dd], inner.lo[dd] + width[dd]);
+    hi.lo[dd] = std::max(lo.hi[dd], inner.hi[dd] - width[dd]);
+    if (lo.cells() > 0) slabs.push_back(lo);
+    if (hi.cells() > 0) slabs.push_back(hi);
+    inner.lo[dd] = lo.hi[dd];
+    inner.hi[dd] = hi.lo[dd];
+  }
+  return inner;
+}
+
+/// Frontier width per kernel of one execution group, back to front: every
+/// kernel writing the exchanged field needs a `ghost`-wide shell (the
+/// exchange packs those edge cells), and an upstream kernel j feeding a
+/// downstream kernel l must widen l's shell by l's read offsets into j's
+/// output (plus the iteration-extent difference on the high side).
+std::vector<std::array<long long, 3>> frontier_widths(
+    const std::vector<CompiledKernel>& kernels, std::uint64_t exchanged_id,
+    int dims, int ghost) {
+  std::vector<std::array<long long, 3>> w(kernels.size(), {0, 0, 0});
+  for (std::size_t j = kernels.size(); j-- > 0;) {
+    for (const auto& wr : kernels[j].ir.writes) {
+      if (wr->id() == exchanged_id) {
+        for (int d = 0; d < dims; ++d) {
+          w[j][std::size_t(d)] =
+              std::max(w[j][std::size_t(d)], (long long)ghost);
+        }
+      }
+    }
+    for (std::size_t l = j + 1; l < kernels.size(); ++l) {
+      const auto reads = backend::read_offset_ranges(kernels[l].ir);
+      for (const auto& wr : kernels[j].ir.writes) {
+        const auto it = reads.find(wr->id());
+        if (it == reads.end()) continue;
+        for (int d = 0; d < dims; ++d) {
+          const auto dd = std::size_t(d);
+          const long long extent_diff = kernels[j].ir.extent_plus[dd] -
+                                        kernels[l].ir.extent_plus[dd];
+          w[j][dd] = std::max(
+              {w[j][dd], w[l][dd] + it->second.hi[dd],
+               w[l][dd] + extent_diff - it->second.lo[dd]});
+        }
+      }
+    }
+  }
+  return w;
+}
+
 }  // namespace
 
 DistributedSimulation::DistributedSimulation(const GrandChemModel& model,
@@ -38,7 +98,9 @@ DistributedSimulation::DistributedSimulation(const GrandChemModel& model,
               opts.boundary),
       comm_(comm),
       compiled_(ModelCompiler(compile_opts_with_faults(opts)).compile(model)),
-      exchange_(forest_, comm),
+      exchange_(forest_, comm,
+                std::max(model.phi_src()->components(),
+                         model.mu_src()->components())),
       health_(opts.health, &reg_) {
   const int my_rank = comm != nullptr ? comm->rank() : 0;
   const int dims = model.params().dims;
@@ -80,9 +142,52 @@ DistributedSimulation::DistributedSimulation(const GrandChemModel& model,
         compiled_.compile_report().vector_width);
   }
 
+  if (opts_.overlap == OverlapMode::InteriorFrontier && opts_.threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(opts_.threads);
+  }
+  compute_overlap_regions();
+
   dt_current_ = model_.params().dt;
   faults_ = resilience::effective_faults(opts.resilience);
   if (!opts.resilience.restart_from.empty()) restore_from_disk();
+}
+
+void DistributedSimulation::compute_overlap_regions() {
+  phi_regions_.clear();
+  mu_regions_.clear();
+  overlap_interior_cells_ = 0;
+  overlap_frontier_cells_ = 0;
+  if (opts_.overlap != OverlapMode::InteriorFrontier || locals_.empty()) {
+    return;
+  }
+  const int dims = model_.params().dims;
+  const std::array<long long, 3> n = locals_.front()->block->size;
+
+  const auto build = [&](const std::vector<CompiledKernel>& kernels,
+                         std::uint64_t exchanged_id,
+                         int ghost) -> std::vector<KernelRegions> {
+    const auto widths = frontier_widths(kernels, exchanged_id, dims, ghost);
+    std::vector<KernelRegions> regions(kernels.size());
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+      const backend::CellRange full = backend::full_range(kernels[i].ir, n);
+      regions[i].interior =
+          peel_frontier(full, widths[i], dims, regions[i].frontier);
+    }
+    return regions;
+  };
+  phi_regions_ = build(compiled_.phi_kernels, model_.phi_dst()->id(),
+                       locals_.front()->phi_dst.ghost_layers());
+  mu_regions_ = build(compiled_.mu_kernels, model_.mu_dst()->id(),
+                      locals_.front()->mu_dst.ghost_layers());
+
+  // Per-step cell accounting on the dst-kernel lattice (extent_plus = 0,
+  // so interior + frontier = block cells, summed over local blocks).
+  PFC_ASSERT(!phi_regions_.empty());
+  const long long block_cells = n[0] * n[1] * n[2];
+  const long long interior = phi_regions_.back().interior.cells();
+  overlap_interior_cells_ = interior * (long long)locals_.size();
+  overlap_frontier_cells_ =
+      (block_cells - interior) * (long long)locals_.size();
 }
 
 backend::Binding DistributedSimulation::bind(const ir::Kernel& k,
@@ -216,13 +321,93 @@ obs::RunReport DistributedSimulation::run(int steps) {
       step_exchange_bytes += b;
     };
 
-    run_group(compiled_.phi_kernels);
-    auto phi_view = field_view(&LocalBlock::phi_dst);
-    timed_exchange(phi_view, /*field_tag=*/2);
+    // Communication-hiding step (OverlapMode::InteriorFrontier): compute
+    // the frontier shell first (the cells the exchange packs), post the
+    // exchange nonblocking, run the interior while messages fly, then
+    // complete the exchange. Kernel/block timer counts stay identical to
+    // the synchronous path (one add per block/kernel/step) so the drift
+    // model's launches × cells_per_launch accounting stays honest.
+    const auto run_group_overlap =
+        [&](const std::vector<CompiledKernel>& kernels,
+            const std::vector<KernelRegions>& regions,
+            std::vector<grid::LocalBlockField>& view, int tag) {
+          std::vector<double> acc(locals_.size() * kernels.size(), 0.0);
+          const auto sweep = [&](bool frontier, ThreadPool* pool) {
+            for (std::size_t i = 0; i < locals_.size(); ++i) {
+              LocalBlock& lb = *locals_[i];
+              const std::array<long long, 3> n = lb.block->size;
+              for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+                const CompiledKernel& ck = kernels[ki];
+                Timer timer;
+                if (frontier) {
+                  for (const auto& slab : regions[ki].frontier) {
+                    ck.run(bind(ck.ir, lb), n, t, step_, nullptr, nullptr,
+                           &slab);
+                  }
+                } else if (regions[ki].interior.cells() > 0) {
+                  ck.run(bind(ck.ir, lb), n, t, step_, pool, tr,
+                         &regions[ki].interior);
+                }
+                acc[i * kernels.size() + ki] += timer.seconds();
+              }
+            }
+          };
+          const auto phase = [&](const char* name, const char* cat,
+                                 const auto& fn) {
+            Timer timer;
+            const double ts = tr != nullptr ? tr->now_us() : 0.0;
+            fn();
+            const double s = timer.seconds();
+            if (tr != nullptr) {
+              tr->complete(name, cat, ts, s * 1e6, step_, -1);
+            }
+            reg_.add_time(name, s);
+            return s;
+          };
 
-    run_group(compiled_.mu_kernels);
+          phase("kernel.frontier", "kernel",
+                [&] { sweep(/*frontier=*/true, nullptr); });
+          const double pack_s = phase("exchange.pack", "ghost",
+                                      [&] { exchange_.begin(view, tag); });
+          const std::uint64_t b = exchange_.last_bytes_sent();
+          xbytes.add(b);
+          step_exchange_bytes += b;
+          phase("kernel.interior", "kernel",
+                [&] { sweep(/*frontier=*/false, pool_.get()); });
+          const double wait_s =
+              phase("exchange.wait", "ghost", [&] { exchange_.finish(); });
+
+          // Only pack + wait are exposed exchange time in this mode.
+          reg_.add_time("exchange", pack_s + wait_s);
+          step_exchange_seconds += pack_s + wait_s;
+
+          for (std::size_t i = 0; i < locals_.size(); ++i) {
+            double block_s = 0.0;
+            for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+              const double s = acc[i * kernels.size() + ki];
+              reg_.add_time("kernel/" + kernels[ki].ir.name, s);
+              block_s += s;
+            }
+            reg_.add_time(
+                "block/" + std::to_string(locals_[i]->block->linear_id),
+                block_s);
+            step_kernel_seconds += block_s;
+          }
+        };
+
+    auto phi_view = field_view(&LocalBlock::phi_dst);
     auto mu_view = field_view(&LocalBlock::mu_dst);
-    timed_exchange(mu_view, /*field_tag=*/3);
+    if (opts_.overlap == OverlapMode::InteriorFrontier) {
+      run_group_overlap(compiled_.phi_kernels, phi_regions_, phi_view,
+                        /*field_tag=*/2);
+      run_group_overlap(compiled_.mu_kernels, mu_regions_, mu_view,
+                        /*field_tag=*/3);
+    } else {
+      run_group(compiled_.phi_kernels);
+      timed_exchange(phi_view, /*field_tag=*/2);
+      run_group(compiled_.mu_kernels);
+      timed_exchange(mu_view, /*field_tag=*/3);
+    }
 
     for (auto& lb : locals_) {
       lb->phi_src.swap_data(lb->phi_dst);
@@ -296,6 +481,14 @@ obs::RunReport DistributedSimulation::report() const {
       r.kernel_seconds_total += t.seconds;
     } else if (path == "exchange") {
       r.exchange_seconds = t.seconds;
+    } else if (path == "exchange.pack") {
+      r.overlap.pack_seconds = t.seconds;
+    } else if (path == "exchange.wait") {
+      r.overlap.wait_seconds = t.seconds;
+    } else if (path == "kernel.interior") {
+      r.overlap.interior_seconds = t.seconds;
+    } else if (path == "kernel.frontier") {
+      r.overlap.frontier_seconds = t.seconds;
     } else if (path.rfind("block/", 0) == 0) {
       block_max = std::max(block_max, t.seconds);
       block_sum += t.seconds;
@@ -310,6 +503,11 @@ obs::RunReport DistributedSimulation::report() const {
   r.health_policy = opts_.health.policy;
   r.resilience = res_stats_;
   r.resilience.dt_current = dt_current_;
+  r.overlap.enabled = opts_.overlap == OverlapMode::InteriorFrontier;
+  r.overlap.interior_cells = overlap_interior_cells_;
+  r.overlap.frontier_cells = overlap_frontier_cells_;
+  // fill_model_accuracy derives hidden_seconds/hidden_fraction from the
+  // overlap phase timers and the netmodel comm prediction.
   perf::fill_model_accuracy(r, predicted_mlups_, cells_per_launch_,
                             model_.params().dims);
   return r;
@@ -406,6 +604,7 @@ void DistributedSimulation::rebuild_with_dt(double new_dt) {
                           flux_size(lb->block->size, dims), 0);
     }
   }
+  compute_overlap_regions();
 }
 
 void DistributedSimulation::maybe_inject_nan() {

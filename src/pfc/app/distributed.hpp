@@ -9,10 +9,25 @@
 
 namespace pfc::app {
 
+/// How the distributed step schedules ghost exchange against compute.
+enum class OverlapMode {
+  /// Synchronous: sweep all cells, then exchange (the seed behaviour).
+  Off,
+  /// Communication hiding: compute the frontier shell first, post the
+  /// exchange nonblocking, compute the interior while messages fly, then
+  /// complete the exchange. Bitwise-identical results to Off.
+  InteriorFrontier,
+};
+
 struct DistributedOptions : DomainOptions {
   /// `cells` (from DomainOptions) is the *global* domain, decomposed into
   /// `blocks_per_dim` equal blocks per dimension.
   std::array<int, 3> blocks_per_dim{2, 2, 1};
+  /// Exchange/compute scheduling of the step (see OverlapMode).
+  OverlapMode overlap = OverlapMode::Off;
+  /// Thread-pool size for slab-splitting the interior sweep while the
+  /// exchange is in flight (1 = interior runs on the rank's own thread).
+  int threads = 1;
 
   DistributedOptions& with_cells(long long nx, long long ny,
                                  long long nz = 1) {
@@ -41,6 +56,14 @@ struct DistributedOptions : DomainOptions {
   }
   DistributedOptions& with_blocks(int bx, int by, int bz = 1) {
     blocks_per_dim = {bx, by, bz};
+    return *this;
+  }
+  DistributedOptions& with_overlap(OverlapMode m) {
+    overlap = m;
+    return *this;
+  }
+  DistributedOptions& with_threads(int t) {
+    threads = t;
     return *this;
   }
 };
@@ -100,9 +123,25 @@ class DistributedSimulation {
     std::optional<Array> phi_flux, mu_flux;
   };
 
+  /// Interior box + disjoint frontier slabs of one kernel's iteration
+  /// space. The frontier covers every cell whose value the exchange round
+  /// reads (directly or through a downstream kernel of the same group);
+  /// the interior touches no ghost-dependent data, so it can run while the
+  /// exchange is in flight. Widths are derived from the read-offset ranges
+  /// marshal() computes, so split staggered pipelines get correct shells.
+  struct KernelRegions {
+    backend::CellRange interior;
+    std::vector<backend::CellRange> frontier;
+  };
+
   backend::Binding bind(const ir::Kernel& k, LocalBlock& lb) const;
   std::vector<grid::LocalBlockField> field_view(
       Array LocalBlock::* src) ;
+
+  /// (Re)derives phi_regions_/mu_regions_ and the per-step interior/
+  /// frontier cell counts from the compiled kernels (called at
+  /// construction and after a dt-shrink recompile).
+  void compute_overlap_regions();
 
   // --- resilience (mirrors Simulation; rollback is rank-coordinated) ---
   std::string layout_signature() const;
@@ -124,6 +163,14 @@ class DistributedSimulation {
   CompiledModel compiled_;
   std::vector<std::unique_ptr<LocalBlock>> locals_;
   grid::GhostExchange exchange_;
+  /// Slab-split pool for interior sweeps (overlap mode, threads > 1).
+  std::unique_ptr<ThreadPool> pool_;
+  /// Per-kernel interior/frontier decomposition, parallel to
+  /// compiled_.phi_kernels / mu_kernels (empty when overlap is Off).
+  std::vector<KernelRegions> phi_regions_, mu_regions_;
+  /// Per-step local cell counts of the decomposition (dst-kernel lattice).
+  long long overlap_interior_cells_ = 0;
+  long long overlap_frontier_cells_ = 0;
   long long step_ = 0;
   double time_ = 0.0;
   double dt_current_ = 0.0;

@@ -177,7 +177,7 @@ std::string emit_c(const ir::Kernel& k, const CEmitOptions& opts) {
   os << "extern \"C\" void " << entry_name(k)
      << "(double* const* fields, const long long* strides,\n"
         "    const long long* n, const long long* block_off,\n"
-        "    long long outer_begin, long long outer_end,\n"
+        "    const long long* lo, const long long* hi,\n"
         "    double t, long long t_step, const double* params) {\n";
   os << "  (void)n; (void)block_off; (void)t; (void)t_step; (void)params;\n";
 
@@ -303,10 +303,9 @@ std::string emit_c(const ir::Kernel& k, const CEmitOptions& opts) {
   emit_level(ir::Level::Invariant, "  ", false);
   emit_broadcasts(ir::Level::Invariant, "  ");
 
-  const int ex = k.extent_plus[0], ey = k.extent_plus[1];
   std::string indent = "  ";
   if (k.dims == 3) {
-    os << indent << "for (long long z = outer_begin; z < outer_end; ++z) {\n";
+    os << indent << "for (long long z = lo[2]; z < hi[2]; ++z) {\n";
     indent += "  ";
     if (k.uses_coord[2]) {
       os << indent << "const double " << kCoordName[2]
@@ -320,12 +319,7 @@ std::string emit_c(const ir::Kernel& k, const CEmitOptions& opts) {
     emit_broadcasts(ir::Level::PerZ, indent.c_str());
   }
   if (k.dims >= 2) {
-    if (k.dims == 3) {
-      os << indent << "for (long long y = 0; y < n[1] + " << ey
-         << "; ++y) {\n";
-    } else {
-      os << indent << "for (long long y = outer_begin; y < outer_end; ++y) {\n";
-    }
+    os << indent << "for (long long y = lo[1]; y < hi[1]; ++y) {\n";
     indent += "  ";
     if (k.uses_coord[1]) {
       os << indent << "const double " << kCoordName[1]
@@ -354,12 +348,11 @@ std::string emit_c(const ir::Kernel& k, const CEmitOptions& opts) {
     emit_level(ir::Level::Body, ind.c_str(), true);
   };
 
-  // x-loop bounds: the innermost loop is the split one for dims >= 2; in
-  // 1D the host splits x itself, so the bounds are the slab arguments.
-  const std::string xlo =
-      k.dims >= 2 ? "0" : std::string("outer_begin");
-  const std::string xhi = k.dims >= 2 ? "n[0] + " + std::to_string(ex)
-                                      : std::string("outer_end");
+  // x-loop bounds come from the sub-range box like every other dim; the
+  // host passes the full box for a monolithic sweep, a sub-box for
+  // interior/frontier or thread-slab execution.
+  const std::string xlo = "lo[0]";
+  const std::string xhi = "hi[0]";
 
   if (!plan.enabled()) {
     if (opts.simd_hint) os << indent << "#pragma GCC ivdep\n";

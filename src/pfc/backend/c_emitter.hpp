@@ -2,9 +2,11 @@
 // translation unit. The generated loop nest is ordered z, y, x to match the
 // fzyx layout (unit stride innermost); hoisted temporaries are emitted at
 // their loop level, which is how the analytic-temperature optimization
-// materializes in code. Shared-memory parallelism is slab-based: the host
-// passes [outer_begin, outer_end) so a thread pool can split the outermost
-// loop (the role OpenMP plays in the paper's generated code).
+// materializes in code. Every loop dim d runs over the caller's
+// [lo[d], hi[d]) sub-box: a thread pool splits the outermost loop into
+// slabs (the role OpenMP plays in the paper's generated code), and the
+// distributed driver runs disjoint interior/frontier boxes to hide ghost
+// exchange behind interior compute.
 //
 // With vector_width > 1 the emitter consumes an ir::VectorPlan and renders
 // the paper's "C + OpenMP + SIMD" form explicitly: the x loop splits into a

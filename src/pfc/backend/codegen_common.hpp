@@ -31,17 +31,23 @@ std::string vector_preamble(int width);
 ///                        const long long* strides,   // 4 per field: x,y,z,c
 ///                        const long long* n,         // interior cells
 ///                        const long long* block_off, // global cell offset
-///                        long long outer_begin, long long outer_end,
+///                        const long long* lo,        // 3: iteration box lo
+///                        const long long* hi,        // 3: iteration box hi
 ///                        double t, long long t_step,
 ///                        const double* params);
 ///
 /// `fields[i]` points at the interior origin of component 0 of
-/// kernel.fields[i]. The outer loop (dim = dims-1) runs over
-/// [outer_begin, outer_end) so the host can split slabs across threads.
+/// kernel.fields[i]. Loop dim d runs over [lo[d], hi[d]) — the full sweep
+/// is lo = 0, hi[d] = n[d] + extent_plus[d]. The host uses sub-boxes both
+/// to split slabs across threads (outer dim only) and to run the
+/// interior/frontier decomposition of the communication-hiding distributed
+/// step (any dim). The vector backend re-anchors its alignment peel to the
+/// actual row pointer at lo[0], so sub-range execution stays bitwise
+/// identical to the monolithic sweep at any SIMD width.
 /// `block_off` makes loop coordinates global (analytic T(z), Philox
 /// counters) when a block is part of a larger distributed domain.
 using KernelFn = void (*)(double* const*, const long long*, const long long*,
-                          const long long*, long long, long long, double,
-                          long long, const double*);
+                          const long long*, const long long*,
+                          const long long*, double, long long, const double*);
 
 }  // namespace pfc::backend

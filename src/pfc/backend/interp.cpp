@@ -233,13 +233,13 @@ double powi(double b, long n) {
 
 void InterpreterKernel::run(const Binding& b,
                             const std::array<long long, 3>& n, double t,
-                            long long t_step, ThreadPool* pool) const {
+                            long long t_step, ThreadPool* pool,
+                            const CellRange* range) const {
   const RawArgs raw = marshal(kernel_, b, n);
+  const CellRange box = range != nullptr ? *range : full_range(kernel_, n);
+  if (box.cells() == 0) return;
   const int dims = kernel_.dims;
-  const long long ex = kernel_.extent_plus[0], ey = kernel_.extent_plus[1];
   const int outer = dims - 1;
-  const long long outer_end =
-      n[std::size_t(outer)] + kernel_.extent_plus[std::size_t(outer)];
 
   // resolve per-load pointer deltas for this launch
   struct Resolved {
@@ -323,14 +323,14 @@ void InterpreterKernel::run(const Binding& b,
     };
 
     exec(segs_[0]);  // invariant (recomputed per thread: same values)
-    const long long ny = n[1] + ey;
-    const long long nx = n[0] + ex;
+    const long long ylo = box.lo[1], yhi = box.hi[1];
+    const long long xlo = box.lo[0], xhi = box.hi[0];
     if (dims == 3) {
       for (cz = lo; cz < hi; ++cz) {
         exec(segs_[1]);
-        for (cy = 0; cy < ny; ++cy) {
+        for (cy = ylo; cy < yhi; ++cy) {
           exec(segs_[2]);
-          for (cx = 0; cx < nx; ++cx) exec(segs_[3]);
+          for (cx = xlo; cx < xhi; ++cx) exec(segs_[3]);
         }
       }
     } else if (dims == 2) {
@@ -338,7 +338,7 @@ void InterpreterKernel::run(const Binding& b,
       exec(segs_[1]);
       for (cy = lo; cy < hi; ++cy) {
         exec(segs_[2]);
-        for (cx = 0; cx < nx; ++cx) exec(segs_[3]);
+        for (cx = xlo; cx < xhi; ++cx) exec(segs_[3]);
       }
     } else {
       cz = cy = 0;
@@ -348,11 +348,14 @@ void InterpreterKernel::run(const Binding& b,
     }
   };
 
-  if (pool == nullptr || pool->num_threads() == 1 || outer_end < 2) {
-    body(0, outer_end);
+  const long long outer_lo = box.lo[std::size_t(outer)];
+  const long long outer_hi = box.hi[std::size_t(outer)];
+  if (pool == nullptr || pool->num_threads() == 1 ||
+      outer_hi - outer_lo < 2) {
+    body(outer_lo, outer_hi);
     return;
   }
-  pool->parallel_for(0, outer_end, body);
+  pool->parallel_for(outer_lo, outer_hi, body);
 }
 
 }  // namespace pfc::backend

@@ -20,9 +20,11 @@ class InterpreterKernel {
 
   const ir::Kernel& kernel() const { return kernel_; }
 
-  /// Executes the kernel over the block (same semantics as run_compiled).
+  /// Executes the kernel over the block (same semantics as run_compiled,
+  /// including optional sub-box `range` execution).
   void run(const Binding& b, const std::array<long long, 3>& n, double t,
-           long long t_step, ThreadPool* pool = nullptr) const;
+           long long t_step, ThreadPool* pool = nullptr,
+           const CellRange* range = nullptr) const;
 
   /// Virtual registers used (a crude complexity metric for tests).
   int num_registers() const { return num_regs_; }

@@ -7,18 +7,9 @@
 
 namespace pfc::backend {
 
-RawArgs marshal(const ir::Kernel& k, const Binding& b,
-                const std::array<long long, 3>& n) {
-  PFC_REQUIRE(b.arrays.size() == k.fields.size(),
-              "binding has wrong number of arrays for kernel " + k.name);
-  PFC_REQUIRE(b.params.size() == k.scalar_params.size(),
-              "binding has wrong number of scalar params for " + k.name);
-
-  // exact per-field, per-dim signed offset ranges of all reads
-  struct OffRange {
-    std::array<int, 3> lo{0, 0, 0}, hi{0, 0, 0};
-  };
-  std::unordered_map<std::uint64_t, OffRange> ranges;
+std::unordered_map<std::uint64_t, OffsetRange> read_offset_ranges(
+    const ir::Kernel& k) {
+  std::unordered_map<std::uint64_t, OffsetRange> ranges;
   for (const auto& sa : k.body) {
     for (const auto& fr : sym::field_refs(sa.assign.rhs)) {
       auto& r = ranges[fr->field()->id()];
@@ -30,6 +21,28 @@ RawArgs marshal(const ir::Kernel& k, const Binding& b,
       }
     }
   }
+  return ranges;
+}
+
+CellRange full_range(const ir::Kernel& k, const std::array<long long, 3>& n) {
+  CellRange r;
+  for (int d = 0; d < k.dims; ++d) {
+    r.lo[std::size_t(d)] = 0;
+    r.hi[std::size_t(d)] =
+        n[std::size_t(d)] + k.extent_plus[std::size_t(d)];
+  }
+  return r;
+}
+
+RawArgs marshal(const ir::Kernel& k, const Binding& b,
+                const std::array<long long, 3>& n) {
+  PFC_REQUIRE(b.arrays.size() == k.fields.size(),
+              "binding has wrong number of arrays for kernel " + k.name);
+  PFC_REQUIRE(b.params.size() == k.scalar_params.size(),
+              "binding has wrong number of scalar params for " + k.name);
+
+  // exact per-field, per-dim signed offset ranges of all reads
+  const auto ranges = read_offset_ranges(k);
   RawArgs raw;
   raw.n = n;
   raw.block_off = b.block_offset;
@@ -81,25 +94,34 @@ RawArgs marshal(const ir::Kernel& k, const Binding& b,
 void run_compiled(const ir::Kernel& k, KernelFn fn, const Binding& b,
                   const std::array<long long, 3>& n, double t,
                   long long t_step, ThreadPool* pool,
-                  obs::TraceRecorder* tracer, int vector_width) {
+                  obs::TraceRecorder* tracer, int vector_width,
+                  const CellRange* range) {
   const RawArgs raw = marshal(k, b, n);
+  const CellRange box = range != nullptr ? *range : full_range(k, n);
+  if (box.cells() == 0) return;
   const int outer = k.dims - 1;
-  const long long outer_end =
-      n[std::size_t(outer)] + k.extent_plus[std::size_t(outer)];
 
   const auto launch = [&](long long lo, long long hi) {
     obs::TraceSpan span(tracer, k.name.c_str(), "slab", t_step, 0);
+    std::array<long long, 3> slab_lo = box.lo;
+    std::array<long long, 3> slab_hi = box.hi;
+    slab_lo[std::size_t(outer)] = lo;
+    slab_hi[std::size_t(outer)] = hi;
     fn(raw.fields.data(), raw.strides.data(), raw.n.data(),
-       raw.block_off.data(), lo, hi, t, t_step, b.params.data());
+       raw.block_off.data(), slab_lo.data(), slab_hi.data(), t, t_step,
+       b.params.data());
   };
 
-  if (pool == nullptr || pool->num_threads() == 1 || outer_end < 2) {
-    launch(0, outer_end);
+  const long long outer_lo = box.lo[std::size_t(outer)];
+  const long long outer_hi = box.hi[std::size_t(outer)];
+  if (pool == nullptr || pool->num_threads() == 1 ||
+      outer_hi - outer_lo < 2) {
+    launch(outer_lo, outer_hi);
     return;
   }
   const long long align =
       (k.dims == 1 && vector_width > 1) ? vector_width : 1;
-  pool->parallel_for(0, outer_end, launch, align);
+  pool->parallel_for(outer_lo, outer_hi, launch, align);
 }
 
 }  // namespace pfc::backend

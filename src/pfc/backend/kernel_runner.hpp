@@ -2,6 +2,8 @@
 // slab dispatch — shared by the JIT and interpreter backends.
 #pragma once
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "pfc/backend/codegen_common.hpp"
@@ -35,6 +37,38 @@ struct RawArgs {
 RawArgs marshal(const ir::Kernel& k, const Binding& b,
                 const std::array<long long, 3>& n);
 
+/// Half-open iteration sub-box [lo, hi) in kernel loop coordinates (same
+/// coordinates as the generated loop nest: 0..n+extent_plus per used dim,
+/// [0, 1) on unused dims). Used by the distributed driver to run the
+/// interior/frontier decomposition that hides ghost exchange.
+struct CellRange {
+  std::array<long long, 3> lo{0, 0, 0};
+  std::array<long long, 3> hi{1, 1, 1};
+  long long cells() const {
+    long long c = 1;
+    for (int d = 0; d < 3; ++d) {
+      const long long e = hi[std::size_t(d)] - lo[std::size_t(d)];
+      if (e <= 0) return 0;
+      c *= e;
+    }
+    return c;
+  }
+};
+
+/// The full iteration box of `k` over a block interior of size `n`.
+CellRange full_range(const ir::Kernel& k, const std::array<long long, 3>& n);
+
+/// Per-dim signed offset range over all reads of one field.
+struct OffsetRange {
+  std::array<int, 3> lo{0, 0, 0}, hi{0, 0, 0};
+};
+
+/// Exact per-field read-offset ranges of a kernel, keyed by field id. The
+/// same analysis marshal() uses for ghost validation; the distributed
+/// driver derives frontier-shell widths from it.
+std::unordered_map<std::uint64_t, OffsetRange> read_offset_ranges(
+    const ir::Kernel& k);
+
 /// Runs a compiled kernel over the block, splitting the outermost used loop
 /// across `pool` (nullptr = serial). When `tracer` is non-null each slab
 /// launch records a span from its executing thread (category "slab"), so
@@ -42,11 +76,13 @@ RawArgs marshal(const ir::Kernel& k, const Binding& b,
 /// kernel span. `vector_width` is the SIMD width the kernel was emitted
 /// with; for 1-D kernels (where x itself is the slab-split loop) slab
 /// boundaries are rounded to multiples of it so each slab keeps one
-/// aligned main loop instead of re-peeling mid-row.
+/// aligned main loop instead of re-peeling mid-row. `range` restricts the
+/// sweep to a sub-box (nullptr = full box); the emitted peel re-anchors to
+/// the sub-box so results are bitwise identical to the monolithic sweep.
 void run_compiled(const ir::Kernel& k, KernelFn fn, const Binding& b,
                   const std::array<long long, 3>& n, double t,
                   long long t_step, ThreadPool* pool = nullptr,
                   obs::TraceRecorder* tracer = nullptr,
-                  int vector_width = 1);
+                  int vector_width = 1, const CellRange* range = nullptr);
 
 }  // namespace pfc::backend

@@ -43,6 +43,19 @@ Json ResilienceStats::to_json() const {
       .set("dt_current", Json(dt_current));
 }
 
+Json OverlapStats::to_json() const {
+  return Json::object()
+      .set("enabled", Json(enabled))
+      .set("pack_seconds", Json(pack_seconds))
+      .set("wait_seconds", Json(wait_seconds))
+      .set("interior_seconds", Json(interior_seconds))
+      .set("frontier_seconds", Json(frontier_seconds))
+      .set("interior_cells", Json(double(interior_cells)))
+      .set("frontier_cells", Json(double(frontier_cells)))
+      .set("hidden_seconds", Json(hidden_seconds))
+      .set("hidden_fraction", Json(hidden_fraction));
+}
+
 Json RunReport::to_json() const {
   std::map<std::string, TimerStat> timers;
   for (const auto& [k, t] : kernel_timers) timers["kernel/" + k] = t;
@@ -78,6 +91,7 @@ Json RunReport::to_json() const {
   h.set("policy", Json(health_policy_name(health_policy)));
   j.set("health", std::move(h));
   j.set("resilience", resilience.to_json());
+  if (overlap.enabled) j.set("overlap", overlap.to_json());
   return j;
 }
 

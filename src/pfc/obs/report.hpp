@@ -29,6 +29,16 @@
 //     "backend_tier" / "fallback_reason" on compile reports — which rung of
 //     the JIT fallback chain (vector → scalar → interpreter) actually runs.
 //
+// v4 adds the communication-hiding accounting of the overlapped distributed
+// step (OverlapMode::InteriorFrontier):
+//
+//     "overlap":        OverlapStats::to_json() — pack/wait/interior/
+//                       frontier seconds, interior/frontier cell counts,
+//                       and the netmodel-derived hidden-seconds /
+//                       hidden-fraction. Emitted only when the run
+//                       overlapped; synchronous runs stay v3-shaped (plus
+//                       the bumped schema string).
+//
 // Producers may add extra keys (e.g. quickstart embeds its CompileReport
 // under "compile"); validators require only the six core sections. See
 // tools/report_check.cpp for the machine check run by ctest.
@@ -44,9 +54,10 @@
 
 namespace pfc::obs {
 
-inline constexpr const char* kReportSchema = "pfc-obs-report-v3";
+inline constexpr const char* kReportSchema = "pfc-obs-report-v4";
 /// Previous schema revisions; validators still accept them for stored
 /// reports.
+inline constexpr const char* kReportSchemaV3 = "pfc-obs-report-v3";
 inline constexpr const char* kReportSchemaV2 = "pfc-obs-report-v2";
 inline constexpr const char* kReportSchemaV1 = "pfc-obs-report-v1";
 
@@ -80,6 +91,27 @@ struct ResilienceStats {
   Json to_json() const;
 };
 
+/// Communication-hiding accounting of one run (the v4 "overlap" report
+/// section): phase timings of the split distributed step and the
+/// netmodel-derived hidden-communication estimate. All-zero with
+/// enabled == false when the driver ran the synchronous exchange.
+struct OverlapStats {
+  bool enabled = false;
+  double pack_seconds = 0.0;      ///< begin(): pack + post (exposed)
+  double wait_seconds = 0.0;      ///< finish(): wait + unpack + later axes
+  double interior_seconds = 0.0;  ///< interior compute (hides the wait)
+  double frontier_seconds = 0.0;  ///< frontier-shell compute (exposed)
+  long long interior_cells = 0;   ///< per-step local interior cells
+  long long frontier_cells = 0;   ///< per-step local frontier-shell cells
+  /// Communication time the netmodel says was hidden behind interior
+  /// compute: min(interior_seconds, predicted comm seconds).
+  double hidden_seconds = 0.0;
+  /// hidden_seconds / predicted comm seconds, clamped to [0, 1].
+  double hidden_fraction = 0.0;
+
+  Json to_json() const;
+};
+
 /// Cumulative signals of a (possibly distributed) simulation run. Returned
 /// by Simulation::run() / DistributedSimulation::run(); totals cover the
 /// simulation's whole lifetime, not just the last run() call, so the
@@ -109,6 +141,9 @@ struct RunReport {
   HealthPolicy health_policy = HealthPolicy::Warn;
   /// Checkpoint/rollback/restart accounting (v3 "resilience" section).
   ResilienceStats resilience;
+  /// Communication-hiding accounting (v4 "overlap" section; serialized
+  /// only when enabled).
+  OverlapStats overlap;
   /// Worst measured/predicted ratio distance from 1.0 across all targets
   /// with a prediction (0.0 when model_accuracy is empty).
   double worst_model_drift() const;

@@ -35,6 +35,14 @@ double step_time(double compute_s, double comm_bytes, int messages,
   return compute_s + std::max(0.0, exposed) + staging_s;
 }
 
+double overlapped_step_time(double interior_s, double frontier_s,
+                            double comm_bytes, int messages,
+                            const NetworkModel& net) {
+  const double wire_s = net.latency_s * double(messages) +
+                        comm_bytes / (net.bandwidth_gbytes * 1e9);
+  return std::max(interior_s, wire_s) + frontier_s;
+}
+
 double scaled_mlups_per_rank(double block_cells, double compute_s,
                              double comm_bytes, int messages, int ranks,
                              const CommConfig& cfg, const NetworkModel& net) {

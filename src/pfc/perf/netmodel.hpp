@@ -42,6 +42,17 @@ int messages_per_step(int dims);
 double step_time(double compute_s, double comm_bytes, int messages,
                  const CommConfig& cfg, const NetworkModel& net);
 
+/// Step time of the interior/frontier-split overlapped step the runtime
+/// actually executes: the wire time runs concurrently with interior
+/// compute, and the frontier shell is computed outside the overlap window —
+///   max(T_interior, T_comm) + T_frontier.
+/// Unlike step_time's `overlap` flag (a modelled residual), this form takes
+/// the measured or modelled interior/frontier split explicitly, so
+/// model-drift tracking can compare it against the runtime's phase timers.
+double overlapped_step_time(double interior_s, double frontier_s,
+                            double comm_bytes, int messages,
+                            const NetworkModel& net);
+
 /// Weak/strong scaling efficiency: per-rank MLUP/s when `ranks` ranks each
 /// compute their block in `compute_s` and exchange `comm_bytes`.
 /// Includes a mild log-scale latency growth for collective-style sync.

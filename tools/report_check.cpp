@@ -1,8 +1,9 @@
 // Validates a pfc-obs report JSON file against the shared schema
-// (pfc-obs-report-v3; stored v2 reports are still accepted), including the
-// optional model_accuracy (ECM/netmodel drift), health and resilience
-// sections. Run by ctest against the file quickstart emits, so every
-// producer that funnels through obs::make_report_json stays honest.
+// (pfc-obs-report-v4; stored v3/v2 reports are still accepted), including
+// the optional model_accuracy (ECM/netmodel drift), health, resilience and
+// overlap (communication-hiding phase split) sections. Run by ctest against
+// the file quickstart emits, so every producer that funnels through
+// obs::make_report_json stays honest.
 //
 // With --trace the argument is instead a chrome://tracing trace file (as
 // written by obs::TraceRecorder) and the structure of its traceEvents is
@@ -19,7 +20,14 @@
 // supported SIMD widths {1, 2, 4, 8}. This keeps the compile pipeline's
 // vectorization decision visible in every report funnel.
 //
-// Usage: report_check [--require-vector-width] <report.json> [expected-kind]
+// With --require-overlap the report must carry an enabled "overlap"
+// section (v4): the interior/frontier phase timers of a communication-
+// hiding run. Its internal consistency (hidden_fraction in [0, 1], cell
+// counts tiling the local lattice) is validated whenever the section is
+// present, flag or not.
+//
+// Usage: report_check [--require-vector-width] [--require-overlap]
+//                     <report.json> [expected-kind]
 //        report_check --trace <trace.json>
 //        report_check --checkpoint <manifest.json>
 #include <cstdio>
@@ -264,6 +272,43 @@ void check_vector_width(const pfc::obs::Json& j) {
   }
 }
 
+/// "overlap" section (v4): phase timers and cell counts of the
+/// interior/frontier communication-hiding split. `local_cells` (from
+/// derived/cells_per_step, 0 if absent) pins the decomposition: interior
+/// and frontier must tile the rank's per-step lattice exactly.
+void check_overlap(const pfc::obs::Json& o, double local_cells) {
+  if (!o.is_object()) {
+    fail("overlap must be an object");
+    return;
+  }
+  const pfc::obs::Json* enabled = o.find("enabled");
+  if (!enabled || enabled->kind() != pfc::obs::Json::Kind::Bool) {
+    fail("overlap/enabled must be a bool");
+  }
+  for (const char* key :
+       {"pack_seconds", "wait_seconds", "interior_seconds",
+        "frontier_seconds", "interior_cells", "frontier_cells",
+        "hidden_seconds", "hidden_fraction"}) {
+    const pfc::obs::Json* v = o.find(key);
+    if (!v) {
+      fail(std::string("overlap: missing \"") + key + '"');
+      continue;
+    }
+    check_finite_nonneg(*v, std::string("overlap/") + key);
+  }
+  if (g_errors) return;
+  const double hf = o.find("hidden_fraction")->number();
+  if (hf > 1.0) fail("overlap/hidden_fraction must be in [0, 1]");
+  const double cells = o.find("interior_cells")->number() +
+                       o.find("frontier_cells")->number();
+  if (local_cells > 0.0 && cells != local_cells) {
+    fail("overlap: interior_cells + frontier_cells (" +
+         std::to_string((long long)cells) +
+         ") must tile the local lattice (derived/cells_per_step = " +
+         std::to_string((long long)local_cells) + ')');
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -274,15 +319,23 @@ int main(int argc, char** argv) {
     return check_checkpoint(argv[2]);
   }
   bool require_vector_width = false;
-  if (argc >= 2 && std::strcmp(argv[1], "--require-vector-width") == 0) {
-    require_vector_width = true;
+  bool require_overlap = false;
+  while (argc >= 2 && std::strncmp(argv[1], "--", 2) == 0) {
+    if (std::strcmp(argv[1], "--require-vector-width") == 0) {
+      require_vector_width = true;
+    } else if (std::strcmp(argv[1], "--require-overlap") == 0) {
+      require_overlap = true;
+    } else {
+      std::fprintf(stderr, "report_check: unknown flag %s\n", argv[1]);
+      return 2;
+    }
     --argc;
     ++argv;
   }
   if (argc < 2 || argc > 3) {
     std::fprintf(stderr,
                  "usage: report_check [--require-vector-width] "
-                 "<report.json> [kind]\n"
+                 "[--require-overlap] <report.json> [kind]\n"
                  "       report_check --trace <trace.json>\n"
                  "       report_check --checkpoint <manifest.json>\n");
     return 2;
@@ -305,13 +358,16 @@ int main(int argc, char** argv) {
   }
   if (g_errors) return 1;
 
-  const bool is_v3 = j.find("schema")->is_string() &&
+  const bool is_v4 = j.find("schema")->is_string() &&
                      j.find("schema")->str() == pfc::obs::kReportSchema;
+  const bool is_v3 = j.find("schema")->is_string() &&
+                     j.find("schema")->str() == pfc::obs::kReportSchemaV3;
   const bool is_v2 = j.find("schema")->is_string() &&
                      j.find("schema")->str() == pfc::obs::kReportSchemaV2;
-  if (!is_v3 && !is_v2) {
+  if (!is_v4 && !is_v3 && !is_v2) {
     fail(std::string("schema must be \"") + pfc::obs::kReportSchema +
-         "\" (or the stored \"" + pfc::obs::kReportSchemaV2 + "\")");
+         "\" (or the stored \"" + pfc::obs::kReportSchemaV3 + "\" / \"" +
+         pfc::obs::kReportSchemaV2 + "\")");
   }
   const pfc::obs::Json& kind = *j.find("kind");
   if (!kind.is_string() || (kind.str() != "run" && kind.str() != "compile" &&
@@ -422,8 +478,8 @@ int main(int argc, char** argv) {
         fail("resilience/restarted must be a bool");
       }
     }
-  } else if (is_v3 && kind.is_string() && kind.str() == "run") {
-    fail("v3 run reports must carry a \"resilience\" section");
+  } else if ((is_v4 || is_v3) && kind.is_string() && kind.str() == "run") {
+    fail("v3+ run reports must carry a \"resilience\" section");
   }
   if (const pfc::obs::Json* tier = j.find("backend_tier")) {
     if (!tier->is_string() ||
@@ -437,8 +493,29 @@ int main(int argc, char** argv) {
     } else {
       check_finite_nonneg(*attempts, "fallback_attempts");
     }
-  } else if (is_v3 && kind.is_string() && kind.str() == "compile") {
-    fail("v3 compile reports must carry \"backend_tier\"");
+  } else if ((is_v4 || is_v3) && kind.is_string() && kind.str() == "compile") {
+    fail("v3+ compile reports must carry \"backend_tier\"");
+  }
+
+  // v4 section: overlap phase split of a communication-hiding run. Older
+  // schemas never wrote it, so its presence pins the report to v4.
+  const pfc::obs::Json* overlap = j.find("overlap");
+  if (overlap != nullptr) {
+    if (!is_v4) fail("\"overlap\" section requires the v4 schema");
+    const pfc::obs::Json* cps =
+        derived.is_object() ? derived.find("cells_per_step") : nullptr;
+    check_overlap(*overlap,
+                  cps != nullptr && cps->is_number() ? cps->number() : 0.0);
+  } else if (require_overlap) {
+    fail("--require-overlap: report carries no \"overlap\" section");
+  }
+  if (require_overlap && overlap != nullptr) {
+    const pfc::obs::Json* enabled = overlap->find("enabled");
+    if (enabled == nullptr ||
+        enabled->kind() != pfc::obs::Json::Kind::Bool ||
+        !enabled->boolean()) {
+      fail("--require-overlap: overlap/enabled must be true");
+    }
   }
 
   if (require_vector_width) check_vector_width(j);
