@@ -3,7 +3,8 @@
 // (the waLBerla-style runtime of paper §4).
 //
 //   ./distributed_demo [--health=ignore|warn|throw|recover] [--overlap]
-//                      [--threads=N] [--report=report.json] [ranks] [steps]
+//                      [--threads=N] [--report=report.json]
+//                      [--jobspec=FILE] [ranks] [steps]
 //
 // --health enables per-step in-situ physics checks on every rank.
 // --health=throw turns any NaN/phase-sum/conservation violation into a
@@ -14,29 +15,31 @@
 // (DESIGN.md §8): bitwise-identical results, exchange hidden behind the
 // interior sweep. --threads slab-splits that interior sweep per rank.
 // --report writes rank 0's run report JSON (v4 schema, validated by the
-// report_overlap_valid ctest).
+// report_overlap_valid ctest). --jobspec runs a pfc-jobspec-v1 file
+// (forced to distributed mode) through app::run_job instead.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
 #include "pfc/app/distributed.hpp"
+#include "pfc/app/jobspec.hpp"
 #include "pfc/app/params.hpp"
+#include "pfc/support/argparse.hpp"
 #include "pfc/support/assert.hpp"
 
 namespace {
 
-[[noreturn]] void usage_error(const std::string& msg) {
-  std::fprintf(stderr,
-               "distributed_demo: %s\n"
-               "usage: distributed_demo [--health=ignore|warn|throw|recover] "
-               "[--overlap]\n"
-               "                        [--threads=N] [--report=report.json] "
-               "[ranks] [steps]\n",
-               msg.c_str());
-  std::exit(2);
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw pfc::Error("cannot open " + path);
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
 }
 
 }  // namespace
@@ -47,36 +50,50 @@ int main(int argc, char** argv) {
   app::OverlapMode overlap = app::OverlapMode::Off;
   int threads = 1;
   std::string report_path;
-  std::vector<const char*> pos;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--health=", 9) == 0) {
-      try {
-        health.enable().with_policy(obs::parse_health_policy(argv[i] + 9));
-      } catch (const Error& e) {
-        usage_error(e.what());
+  std::string jobspec_path;
+
+  support::ArgParser args(
+      "distributed_demo",
+      "distributed_demo [--health=ignore|warn|throw|recover] [--overlap]\n"
+      "                 [--threads=N] [--report=report.json] "
+      "[--jobspec=FILE] [ranks] [steps]");
+  args.on_value("health", [&](const std::string& v) {
+    health.enable().with_policy(obs::parse_health_policy(v));
+  });
+  args.on_flag("overlap",
+               [&] { overlap = app::OverlapMode::InteriorFrontier; });
+  args.positive("threads", &threads);
+  args.on_value("report", [&](const std::string& v) {
+    if (v.empty()) throw Error("--report needs a file path");
+    report_path = v;
+  });
+  args.value("jobspec", &jobspec_path);
+  const std::vector<const char*> pos = args.parse(argc, argv);
+
+  // --jobspec: run the spec through the serve engine, forced distributed
+  // (serial multi-block), and print its result summary.
+  if (!jobspec_path.empty()) {
+    try {
+      app::JobSpec spec = app::JobSpec::parse(read_file(jobspec_path));
+      spec.mode = "distributed";
+      const app::JobResult result = app::run_job(spec);
+      if (!report_path.empty()) {
+        obs::write_json(report_path, result.to_json());
       }
-    } else if (std::strcmp(argv[i], "--overlap") == 0) {
-      overlap = app::OverlapMode::InteriorFrontier;
-    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      char* end = nullptr;
-      threads = int(std::strtol(argv[i] + 10, &end, 10));
-      if (end == argv[i] + 10 || *end != '\0' || threads < 1) {
-        usage_error(std::string("invalid value \"") + (argv[i] + 10) +
-                    "\" for --threads (expected a positive integer)");
-      }
-    } else if (std::strncmp(argv[i], "--report=", 9) == 0) {
-      report_path = argv[i] + 9;
-      if (report_path.empty()) {
-        usage_error("--report needs a file path");
-      }
-    } else if (std::strncmp(argv[i], "--", 2) == 0) {
-      usage_error(std::string("unknown flag \"") + argv[i] + '"');
-    } else {
-      pos.push_back(argv[i]);
+      std::printf("job \"%s\": %lld steps, %.2f MLUP/s, phi fnv1a64 "
+                  "%016llx\n",
+                  result.name.c_str(), result.steps, result.run.mlups(),
+                  (unsigned long long)result.phi_checksum);
+      return 0;
+    } catch (const Error& e) {
+      args.fail(e.what());
     }
   }
-  const int ranks = pos.size() > 0 ? std::atoi(pos[0]) : 4;
-  const int steps = pos.size() > 1 ? std::atoi(pos[1]) : 200;
+
+  const int ranks =
+      pos.size() > 0 ? int(support::parse_count(pos[0], "ranks")) : 4;
+  const int steps =
+      pos.size() > 1 ? int(support::parse_count(pos[1], "steps")) : 200;
 
   app::GrandChemParams params = app::make_two_phase(2);
   app::GrandChemModel model(params);

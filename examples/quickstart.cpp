@@ -4,7 +4,8 @@
 //
 //   ./quickstart [--trace[=trace.json]] [--health=<policy>] [--overlap]
 //                [--checkpoint-every=N] [--checkpoint-dir=DIR]
-//                [--restart[=DIR]] [output.vtk] [report.json] [bursts]
+//                [--restart[=DIR]] [--jobspec=FILE]
+//                [output.vtk] [report.json] [bursts]
 //
 // --trace records a chrome://tracing span timeline (per-kernel, per-slab
 // and boundary-fill spans) — open the file in chrome://tracing or Perfetto.
@@ -14,42 +15,34 @@
 // --overlap runs the same problem through the multi-block distributed
 // runtime with interior/frontier communication hiding (DESIGN.md §8) —
 // bitwise-identical physics, and the report gains an "overlap" section.
+// --jobspec runs a pfc-jobspec-v1 file through the same engine the serve
+// daemon uses (app::run_job) and writes its result JSON instead.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
 #include "pfc/app/analysis.hpp"
 #include "pfc/app/distributed.hpp"
+#include "pfc/app/jobspec.hpp"
 #include "pfc/app/params.hpp"
 #include "pfc/app/simulation.hpp"
 #include "pfc/grid/vtk.hpp"
+#include "pfc/support/argparse.hpp"
 #include "pfc/support/assert.hpp"
 
 namespace {
 
-[[noreturn]] void usage_error(const std::string& msg) {
-  std::fprintf(stderr,
-               "quickstart: %s\n"
-               "usage: quickstart [--trace[=trace.json]] "
-               "[--health=ignore|warn|throw|recover] [--overlap]\n"
-               "                  [--checkpoint-every=N] "
-               "[--checkpoint-dir=DIR] [--restart[=DIR]]\n"
-               "                  [output.vtk] [report.json] [bursts]\n",
-               msg.c_str());
-  std::exit(2);
-}
-
-long long parse_count(const char* text, const char* flag) {
-  char* end = nullptr;
-  const long long v = std::strtoll(text, &end, 10);
-  if (end == text || *end != '\0' || v < 0) {
-    usage_error(std::string("invalid value \"") + text + "\" for " + flag +
-                " (expected a non-negative integer)");
-  }
-  return v;
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw pfc::Error("cannot open " + path);
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
 }
 
 }  // namespace
@@ -64,39 +57,57 @@ int main(int argc, char** argv) {
   long long ckpt_every = 0;
   bool restart = false;
   std::string restart_dir;
-  std::vector<const char*> pos;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--trace", 7) == 0 &&
-        (argv[i][7] == '\0' || argv[i][7] == '=')) {
-      trace = true;
-      if (argv[i][7] == '=') trace_path = argv[i] + 8;
-    } else if (std::strncmp(argv[i], "--health=", 9) == 0) {
-      try {
-        health.with_policy(obs::parse_health_policy(argv[i] + 9));
-      } catch (const Error& e) {
-        usage_error(e.what());
-      }
-    } else if (std::strncmp(argv[i], "--checkpoint-every=", 19) == 0) {
-      ckpt_every = parse_count(argv[i] + 19, "--checkpoint-every");
-    } else if (std::strncmp(argv[i], "--checkpoint-dir=", 17) == 0) {
-      ckpt_dir = argv[i] + 17;
-    } else if (std::strcmp(argv[i], "--overlap") == 0) {
-      overlap = true;
-    } else if (std::strcmp(argv[i], "--restart") == 0) {
-      restart = true;
-    } else if (std::strncmp(argv[i], "--restart=", 10) == 0) {
-      restart = true;
-      restart_dir = argv[i] + 10;
-    } else if (std::strncmp(argv[i], "--", 2) == 0) {
-      usage_error(std::string("unknown flag \"") + argv[i] + '"');
-    } else {
-      pos.push_back(argv[i]);
-    }
-  }
+  std::string jobspec_path;
+
+  support::ArgParser args(
+      "quickstart",
+      "quickstart [--trace[=trace.json]] "
+      "[--health=ignore|warn|throw|recover] [--overlap]\n"
+      "           [--checkpoint-every=N] [--checkpoint-dir=DIR] "
+      "[--restart[=DIR]]\n"
+      "           [--jobspec=FILE] [output.vtk] [report.json] [bursts]");
+  args.on_optional_value("trace", [&](const std::string* v) {
+    trace = true;
+    if (v != nullptr) trace_path = *v;
+  });
+  args.on_value("health", [&](const std::string& v) {
+    health.with_policy(obs::parse_health_policy(v));
+  });
+  args.count("checkpoint-every", &ckpt_every);
+  args.value("checkpoint-dir", &ckpt_dir);
+  args.flag("overlap", &overlap);
+  args.on_optional_value("restart", [&](const std::string* v) {
+    restart = true;
+    if (v != nullptr) restart_dir = *v;
+  });
+  args.value("jobspec", &jobspec_path);
+  const std::vector<const char*> pos = args.parse(argc, argv);
+
   const char* vtk_path = pos.size() > 0 ? pos[0] : "quickstart.vtk";
   const char* report_path = pos.size() > 1 ? pos[1]
                                            : "quickstart_report.json";
-  const int bursts = pos.size() > 2 ? std::atoi(pos[2]) : 10;
+  const int bursts =
+      pos.size() > 2
+          ? int(support::parse_count(pos[2], "bursts"))
+          : 10;
+
+  // --jobspec: bypass the built-in scenario and run the spec through the
+  // same engine the serve daemon uses; the report path gets the JobResult.
+  if (!jobspec_path.empty()) {
+    try {
+      const app::JobSpec spec = app::JobSpec::parse(read_file(jobspec_path));
+      const app::JobResult result = app::run_job(spec);
+      const char* out = pos.size() > 1 ? pos[1] : "quickstart_job.json";
+      obs::write_json(out, result.to_json());
+      std::printf("job \"%s\": %lld steps, %.2f MLUP/s, phi fnv1a64 %016llx"
+                  " — wrote %s\n",
+                  result.name.c_str(), result.steps, result.run.mlups(),
+                  (unsigned long long)result.phi_checksum, out);
+      return 0;
+    } catch (const Error& e) {
+      args.fail(e.what());
+    }
+  }
 
   // 1. model: two phases, curvature-driven (no chemical driving force)
   app::GrandChemParams params = app::make_two_phase(/*dims=*/2);
@@ -106,8 +117,8 @@ int main(int argc, char** argv) {
   // with interior/frontier communication hiding (serial, 2x2 blocks).
   if (overlap) {
     if (ckpt_every > 0 || restart) {
-      usage_error("--overlap cannot be combined with checkpointing; use "
-                  "distributed_demo for resilient distributed runs");
+      args.fail("--overlap cannot be combined with checkpointing; use "
+                "distributed_demo for resilient distributed runs");
     }
     auto dopts = app::DistributedOptions{}
                      .with_cells(128, 128)

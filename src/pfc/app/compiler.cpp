@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "pfc/backend/c_emitter.hpp"
+#include "pfc/backend/kernel_cache.hpp"
 #include "pfc/ir/opcount.hpp"
 #include "pfc/ir/schedule.hpp"
 #include "pfc/ir/vectorize.hpp"
@@ -106,12 +107,6 @@ CompiledModel ModelCompiler::compile_updates(
   attach(groups[0], out.phi_kernels);
   if (groups.size() > 1) attach(groups[1], out.mu_kernels);
 
-  // The pre-obs accessors stay populated as thin shims over the report.
-  const auto sync_shims = [&out] {
-    out.generation_seconds = out.report_.generation_seconds();
-    out.compile_seconds = out.report_.compile_seconds();
-  };
-
   if (opts_.backend == Backend::Interpreter) {
     // The interpreter evaluates the IR cell by cell; width stays 1.
     out.report_.ops_per_cell_widened = double(out.report_.ops_per_cell_post);
@@ -120,7 +115,6 @@ CompiledModel ModelCompiler::compile_updates(
         ck.interp_ = std::make_shared<backend::InterpreterKernel>(ck.ir);
       }
     }
-    sync_shims();
     return out;
   }
 
@@ -170,10 +164,42 @@ CompiledModel ModelCompiler::compile_updates(
     jo.extra_flags = opts_.jit_extra_flags;
     const bool forced = forced_failures > 0;
     if (forced) jo.compiler = "false";  // always exits 1: injected failure
+
+    // Content-addressed kernel cache: options configure it explicitly, the
+    // PFC_KERNEL_CACHE_DIR env enables it for unmodified binaries.
+    // Injected-fault attempts bypass the cache — they must exercise the
+    // external-compiler failure path, not be absorbed by an earlier hit.
+    backend::KernelCacheConfig cache;
+    if (!opts_.cache_dir.empty()) {
+      cache.directory = opts_.cache_dir;
+      cache.max_bytes = opts_.cache_max_bytes;
+    } else {
+      cache = backend::kernel_cache_config_from_env();
+    }
+    const bool use_cache = !forced && !cache.directory.empty();
+
     stage.reset();
+    double jit_seconds = 0.0;
     try {
-      out.library_ = std::make_shared<backend::JitLibrary>(
-          backend::JitLibrary::compile(source, jo));
+      if (use_cache) {
+        backend::KernelCacheResult cached =
+            backend::KernelCache::shared().acquire(source, jo, cache);
+        out.library_ = std::move(cached.library);
+        jit_seconds = cached.compile_seconds;
+        out.report_.cache_used = true;
+        out.report_.cache_hit = cached.hit;
+        out.report_.cache_key = cached.key;
+        const backend::KernelCacheStats cs =
+            backend::KernelCache::shared().stats();
+        out.report_.cache_hits = cs.hits;
+        out.report_.cache_misses = cs.misses;
+        out.report_.cache_evictions = cs.evictions;
+        out.report_.cache_bytes = cs.bytes;
+      } else {
+        out.library_ = std::make_shared<backend::JitLibrary>(
+            backend::JitLibrary::compile(source, jo));
+        jit_seconds = out.library_->compile_seconds();
+      }
     } catch (const Error& e) {
       out.report_.add_stage("jit", stage.seconds());
       ++out.report_.fallback_attempts;
@@ -187,7 +213,7 @@ CompiledModel ModelCompiler::compile_updates(
                    forced ? "injected fault" : first_line(e.what()).c_str());
       continue;
     }
-    out.report_.add_stage("jit", out.library_->compile_seconds());
+    out.report_.add_stage("jit", jit_seconds);
     out.report_.vector_width = w;
     out.report_.backend_tier = w > 1 ? "vector" : "scalar";
     for (auto* group : {&out.phi_kernels, &out.mu_kernels}) {
@@ -195,7 +221,6 @@ CompiledModel ModelCompiler::compile_updates(
         ck.fn_ = out.library_->get(backend::entry_name(ck.ir));
       }
     }
-    sync_shims();
     return out;
   }
 
@@ -210,7 +235,6 @@ CompiledModel ModelCompiler::compile_updates(
       ck.interp_ = std::make_shared<backend::InterpreterKernel>(ck.ir);
     }
   }
-  sync_shims();
   return out;
 }
 

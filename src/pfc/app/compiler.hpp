@@ -4,6 +4,7 @@
 // or interpreter) — and exposes every knob the paper's evaluation varies.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "pfc/app/grandchem.hpp"
@@ -46,6 +47,15 @@ struct CompileOptions {
   /// interpreter degradation chain deterministically. Drivers populate this
   /// from resilience::FaultPlan::fail_jit_attempts.
   int fail_jit_attempts = 0;
+  /// Content-addressed kernel cache directory: identical (source, flags)
+  /// compiles dlopen one shared .so instead of re-running the external
+  /// compiler (backend::KernelCache). Empty = the PFC_KERNEL_CACHE_DIR env
+  /// decides (unset env = no caching).
+  std::string cache_dir;
+  /// LRU byte budget of the cache directory (0 = unlimited). Ignored when
+  /// caching is off; overridden by PFC_KERNEL_CACHE_MB only when cache_dir
+  /// itself came from the environment.
+  std::uint64_t cache_max_bytes = 256ull << 20;
 };
 
 /// One executable kernel: the optimized IR plus a backend handle.
@@ -78,13 +88,10 @@ class CompiledModel {
   std::optional<FieldPtr> phi_flux_field;
   std::optional<FieldPtr> mu_flux_field;
 
-  /// Per-stage timings and pre/post-optimization op counts.
+  /// Per-stage timings and pre/post-optimization op counts — including the
+  /// kernel-cache provenance (cache_hit, content key, counters) when a
+  /// cache directory was configured.
   const obs::CompileReport& compile_report() const { return report_; }
-
-  /// \deprecated Shims kept source-compatible with the pre-obs API; both
-  /// mirror compile_report() (generation_seconds() / compile_seconds()).
-  double generation_seconds = 0.0;  ///< symbolic pipeline time
-  double compile_seconds = 0.0;     ///< external compiler time (JIT only)
 
   /// The generated C translation unit (empty for interpreter backend).
   const std::string& generated_source() const { return source_; }

@@ -730,8 +730,4 @@ std::vector<double> DistributedSimulation::gather_phi() const {
   return out;
 }
 
-std::size_t DistributedSimulation::last_exchange_bytes() const {
-  return exchange_.last_bytes_sent();
-}
-
 }  // namespace pfc::app

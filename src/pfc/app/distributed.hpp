@@ -79,6 +79,8 @@ class DistributedSimulation {
 
   const grid::BlockForest& forest() const { return forest_; }
   int num_local_blocks() const { return static_cast<int>(locals_.size()); }
+  /// The rank-wide compiled model (kernels are shared across local blocks).
+  const CompiledModel& compiled() const { return compiled_; }
 
   /// Initializes phi/mu from *global* cell coordinates.
   void init(const std::function<double(long long, long long, long long,
@@ -110,11 +112,6 @@ class DistributedSimulation {
   /// production path writes per-block VTK instead).
   /// Entry (x + gx*(y + gy*z), c).
   std::vector<double> gather_phi() const;
-
-  /// \deprecated Use report().exchange_bytes (cumulative) — this returns
-  /// only the bytes of the most recent exchange round.
-  [[deprecated("use report().exchange_bytes")]]
-  std::size_t last_exchange_bytes() const;
 
  private:
   struct LocalBlock {

@@ -1,0 +1,333 @@
+#include "pfc/app/jobspec.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "pfc/app/distributed.hpp"
+#include "pfc/app/params.hpp"
+#include "pfc/app/simulation.hpp"
+#include "pfc/resilience/checkpoint.hpp"
+
+namespace pfc::app {
+
+using obs::Json;
+
+namespace {
+
+[[noreturn]] void bad(const std::string& where, const std::string& msg) {
+  throw Error("jobspec: " + where + ": " + msg);
+}
+
+void require_object(const Json& j, const std::string& where) {
+  if (!j.is_object()) bad(where, "expected an object");
+}
+
+void check_keys(const Json& j, std::initializer_list<const char*> allowed,
+                const std::string& where) {
+  for (const auto& [key, v] : j.items()) {
+    (void)v;
+    bool ok = false;
+    for (const char* a : allowed) ok = ok || key == a;
+    if (!ok) bad(where + "." + key, "unknown key");
+  }
+}
+
+double read_num(const Json& j, const char* key, double def,
+                const std::string& where) {
+  const Json* v = j.find(key);
+  if (v == nullptr) return def;
+  if (!v->is_number()) bad(where + "." + key, "expected a number");
+  return v->number();
+}
+
+long long read_int(const Json& j, const char* key, long long def,
+                   const std::string& where) {
+  const Json* v = j.find(key);
+  if (v == nullptr) return def;
+  if (!v->is_number() || v->number() != std::floor(v->number())) {
+    bad(where + "." + key, "expected an integer");
+  }
+  return (long long)(v->number());
+}
+
+std::string read_str(const Json& j, const char* key, const std::string& def,
+                     const std::string& where) {
+  const Json* v = j.find(key);
+  if (v == nullptr) return def;
+  if (!v->is_string()) bad(where + "." + key, "expected a string");
+  return v->str();
+}
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[std::size_t(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- spec codec --------------------------------------------------------------
+
+Json JobSpec::to_json() const {
+  Json overrides = Json::object();
+  if (model.dt) overrides.set("dt", Json(*model.dt));
+  if (model.epsilon) overrides.set("epsilon", Json(*model.epsilon));
+  if (model.noise_amplitude) {
+    overrides.set("noise_amplitude", Json(*model.noise_amplitude));
+  }
+  if (model.rng_seed) overrides.set("rng_seed", Json(*model.rng_seed));
+
+  return Json::object()
+      .set("schema", Json(kJobSpecSchema))
+      .set("name", Json(name))
+      .set("model", Json::object()
+                        .set("preset", Json(model.preset))
+                        .set("dims", Json(model.dims))
+                        .set("overrides", std::move(overrides)))
+      .set("initial",
+           Json::object()
+               .set("kind", Json(initial.kind))
+               .set("radius_fraction", Json(initial.radius_fraction))
+               .set("interface_width_eps", Json(initial.interface_width_eps))
+               .set("solid_phase", Json(initial.solid_phase)))
+      .set("steps", Json(steps))
+      .set("mode", Json(mode))
+      .set("simulation", simulation_options_to_json(simulation))
+      .set("distributed", distributed_options_to_json(distributed));
+}
+
+JobSpec JobSpec::from_json(const Json& j, const std::string& where) {
+  require_object(j, where);
+  check_keys(j,
+             {"schema", "name", "model", "initial", "steps", "mode",
+              "simulation", "distributed"},
+             where);
+  const std::string schema = read_str(j, "schema", "", where);
+  if (schema != kJobSpecSchema) {
+    bad(where + ".schema", schema.empty()
+                               ? std::string("missing (expected \"") +
+                                     kJobSpecSchema + "\")"
+                               : "\"" + schema + "\" is not \"" +
+                                     kJobSpecSchema + "\"");
+  }
+
+  JobSpec s;
+  s.name = read_str(j, "name", s.name, where);
+
+  if (const Json* m = j.find("model")) {
+    const std::string mw = where + ".model";
+    require_object(*m, mw);
+    check_keys(*m, {"preset", "dims", "overrides"}, mw);
+    s.model.preset = read_str(*m, "preset", s.model.preset, mw);
+    s.model.dims = int(read_int(*m, "dims", s.model.dims, mw));
+    if (const Json* o = m->find("overrides")) {
+      const std::string ow = mw + ".overrides";
+      require_object(*o, ow);
+      check_keys(*o, {"dt", "epsilon", "noise_amplitude", "rng_seed"}, ow);
+      if (o->find("dt")) s.model.dt = read_num(*o, "dt", 0, ow);
+      if (o->find("epsilon")) s.model.epsilon = read_num(*o, "epsilon", 0, ow);
+      if (o->find("noise_amplitude")) {
+        s.model.noise_amplitude = read_num(*o, "noise_amplitude", 0, ow);
+      }
+      if (o->find("rng_seed")) {
+        s.model.rng_seed = std::uint64_t(read_int(*o, "rng_seed", 0, ow));
+      }
+    }
+  }
+
+  if (const Json* i = j.find("initial")) {
+    const std::string iw = where + ".initial";
+    require_object(*i, iw);
+    check_keys(*i,
+               {"kind", "radius_fraction", "interface_width_eps",
+                "solid_phase"},
+               iw);
+    s.initial.kind = read_str(*i, "kind", s.initial.kind, iw);
+    s.initial.radius_fraction =
+        read_num(*i, "radius_fraction", s.initial.radius_fraction, iw);
+    s.initial.interface_width_eps = read_num(
+        *i, "interface_width_eps", s.initial.interface_width_eps, iw);
+    s.initial.solid_phase =
+        int(read_int(*i, "solid_phase", s.initial.solid_phase, iw));
+  }
+
+  s.steps = read_int(j, "steps", s.steps, where);
+  s.mode = read_str(j, "mode", s.mode, where);
+  if (const Json* v = j.find("simulation")) {
+    s.simulation = simulation_options_from_json(*v, where + ".simulation");
+  }
+  if (const Json* v = j.find("distributed")) {
+    s.distributed = distributed_options_from_json(*v, where + ".distributed");
+  }
+  return s;
+}
+
+JobSpec JobSpec::parse(const std::string& text) {
+  std::string err;
+  const Json j = Json::parse(text, &err);
+  if (!err.empty()) throw Error("jobspec: JSON parse error: " + err);
+  JobSpec s = from_json(j);
+  s.validate();
+  return s;
+}
+
+void JobSpec::validate() const {
+  if (model.preset != "two_phase" && model.preset != "p1" &&
+      model.preset != "p2") {
+    bad("model.preset", "unknown preset \"" + model.preset +
+                            "\" (valid: two_phase, p1, p2)");
+  }
+  if (model.dims < 1 || model.dims > 3) bad("model.dims", "must be 1..3");
+  if (model.dt && *model.dt <= 0.0) bad("model.overrides.dt", "must be > 0");
+  if (model.epsilon && *model.epsilon <= 0.0) {
+    bad("model.overrides.epsilon", "must be > 0");
+  }
+  if (model.noise_amplitude && *model.noise_amplitude < 0.0) {
+    bad("model.overrides.noise_amplitude", "must be >= 0");
+  }
+  if (initial.kind != "disk" && initial.kind != "uniform") {
+    bad("initial.kind", "unknown kind \"" + initial.kind +
+                            "\" (valid: disk, uniform)");
+  }
+  if (initial.radius_fraction <= 0.0 || initial.radius_fraction > 0.5) {
+    bad("initial.radius_fraction", "must be in (0, 0.5]");
+  }
+  if (initial.interface_width_eps <= 0.0) {
+    bad("initial.interface_width_eps", "must be > 0");
+  }
+  if (initial.solid_phase < 0) bad("initial.solid_phase", "must be >= 0");
+  if (steps < 0) bad("steps", "must be >= 0");
+  if (mode != "single" && mode != "distributed") {
+    bad("mode", "unknown mode \"" + mode +
+                    "\" (valid: single, distributed)");
+  }
+}
+
+GrandChemParams JobSpec::make_params() const {
+  GrandChemParams p;
+  if (model.preset == "p1") {
+    p = make_p1(model.dims);
+  } else if (model.preset == "p2") {
+    p = make_p2(model.dims);
+  } else {
+    p = make_two_phase(model.dims);
+  }
+  if (model.dt) p.dt = *model.dt;
+  if (model.epsilon) p.epsilon = *model.epsilon;
+  if (model.noise_amplitude) p.noise_amplitude = *model.noise_amplitude;
+  if (model.rng_seed) p.rng_seed = *model.rng_seed;
+  if (initial.solid_phase >= p.phases) {
+    bad("initial.solid_phase",
+        "preset \"" + model.preset + "\" has only " +
+            std::to_string(p.phases) + " phases");
+  }
+  return p;
+}
+
+// --- execution ---------------------------------------------------------------
+
+std::uint64_t interior_checksum(const Array& a) {
+  const auto& n = a.size();
+  std::vector<double> buf;
+  buf.reserve(std::size_t(n[0] * n[1] * n[2]) * std::size_t(a.components()));
+  for (int c = 0; c < a.components(); ++c) {
+    for (std::int64_t z = 0; z < n[2]; ++z) {
+      for (std::int64_t y = 0; y < n[1]; ++y) {
+        for (std::int64_t x = 0; x < n[0]; ++x) {
+          buf.push_back(a.at(x, y, z, c));
+        }
+      }
+    }
+  }
+  return resilience::fnv1a64(buf.data(), buf.size() * sizeof(double));
+}
+
+Json JobResult::to_json() const {
+  return Json::object()
+      .set("name", Json(name))
+      .set("steps", Json(steps))
+      .set("phi_fnv1a64", Json(hex64(phi_checksum)))
+      .set("mu_fnv1a64", Json(hex64(mu_checksum)))
+      .set("run", run.to_json())
+      .set("compile", compile.to_json());
+}
+
+namespace {
+
+/// The initial-condition callbacks shared by both execution modes;
+/// coordinates are global interior cells.
+struct InitialCondition {
+  const JobSpec& spec;
+  const GrandChemParams& params;
+  std::array<long long, 3> cells;
+
+  double phi(long long x, long long y, long long z, int c) const {
+    if (spec.initial.kind == "uniform") {
+      return c == spec.initial.solid_phase ? 1.0 : 0.0;
+    }
+    // disk: distance over the model's spatial dims only
+    const std::array<long long, 3> pos{x, y, z};
+    double d2 = 0.0;
+    long long min_extent = cells[0];
+    for (int dim = 0; dim < params.dims; ++dim) {
+      const double delta = double(pos[std::size_t(dim)]) -
+                           0.5 * double(cells[std::size_t(dim)]);
+      d2 += delta * delta;
+      min_extent = std::min(min_extent, cells[std::size_t(dim)]);
+    }
+    const double radius = spec.initial.radius_fraction * double(min_extent);
+    const double d = std::sqrt(d2) - radius;
+    const double solid = interface_profile(
+        d, spec.initial.interface_width_eps * params.epsilon);
+    if (c == spec.initial.solid_phase) return solid;
+    if (c == params.liquid_phase) return 1.0 - solid;
+    return 0.0;
+  }
+};
+
+}  // namespace
+
+JobResult run_job(const JobSpec& spec) {
+  spec.validate();
+  const GrandChemParams params = spec.make_params();
+  GrandChemModel model(params);
+
+  JobResult result;
+  result.name = spec.name;
+  result.steps = spec.steps;
+
+  if (spec.mode == "distributed") {
+    DistributedSimulation sim(model, spec.distributed, nullptr);
+    const InitialCondition ic{spec, params, spec.distributed.cells};
+    sim.init(
+        [&](long long x, long long y, long long z, int c) {
+          return ic.phi(x, y, z, c);
+        },
+        [](long long, long long, long long, int) { return 0.0; });
+    result.run = sim.run(int(spec.steps));
+    result.compile = sim.compiled().compile_report();
+    const std::vector<double> phi = sim.gather_phi();
+    result.phi_checksum =
+        resilience::fnv1a64(phi.data(), phi.size() * sizeof(double));
+    result.mu_checksum = 0;  // µ has no gather path
+    return result;
+  }
+
+  Simulation sim(model, spec.simulation);
+  const InitialCondition ic{spec, params, spec.simulation.cells};
+  sim.init_phi([&](long long x, long long y, long long z, int c) {
+    return ic.phi(x, y, z, c);
+  });
+  sim.init_mu([](long long, long long, long long, int) { return 0.0; });
+  result.run = sim.run(int(spec.steps));
+  result.compile = sim.compiled().compile_report();
+  result.phi_checksum = interior_checksum(sim.phi());
+  result.mu_checksum = interior_checksum(sim.mu());
+  return result;
+}
+
+}  // namespace pfc::app

@@ -1,0 +1,63 @@
+// Lossless JSON round-trips for every driver-facing options aggregate —
+// the canonical representation the pfc-jobspec-v1 schema (app/jobspec.hpp),
+// the examples' --jobspec flags, the serve daemon and the tests all
+// consume. One rule everywhere:
+//
+//   * to_json writes every field, so two specs are comparable as plain
+//     JSON and the serialization doubles as documentation of the knob set;
+//   * from_json fills missing keys with the field's default but rejects
+//     unknown keys and type mismatches with a pfc::Error naming the path
+//     ("compile.vector_width: expected a number") — a typo in a job spec
+//     fails fast at submit time instead of silently running the default.
+//
+// The invariant the options_roundtrip ctest pins:
+//   from_json(to_json(opts)) == opts, field for field.
+#pragma once
+
+#include "pfc/app/distributed.hpp"
+#include "pfc/app/simulation.hpp"
+#include "pfc/obs/json.hpp"
+
+namespace pfc::app {
+
+// --- leaf option blocks ------------------------------------------------------
+obs::Json compile_options_to_json(const CompileOptions& o);
+CompileOptions compile_options_from_json(const obs::Json& j,
+                                         const std::string& where = "compile");
+
+obs::Json trace_options_to_json(const obs::TraceOptions& o);
+obs::TraceOptions trace_options_from_json(const obs::Json& j,
+                                          const std::string& where = "trace");
+
+obs::Json health_options_to_json(const obs::HealthOptions& o);
+obs::HealthOptions health_options_from_json(
+    const obs::Json& j, const std::string& where = "health");
+
+obs::Json resilience_options_to_json(const resilience::ResilienceOptions& o);
+resilience::ResilienceOptions resilience_options_from_json(
+    const obs::Json& j, const std::string& where = "resilience");
+
+obs::Json machine_model_to_json(const perf::MachineModel& m);
+perf::MachineModel machine_model_from_json(
+    const obs::Json& j, const std::string& where = "machine");
+
+// --- driver aggregates (include the DomainOptions base) ----------------------
+obs::Json simulation_options_to_json(const SimulationOptions& o);
+SimulationOptions simulation_options_from_json(
+    const obs::Json& j, const std::string& where = "simulation");
+
+obs::Json distributed_options_to_json(const DistributedOptions& o);
+DistributedOptions distributed_options_from_json(
+    const obs::Json& j, const std::string& where = "distributed");
+
+// --- enum spellings (shared with the jobspec and the CLI flags) --------------
+const char* backend_name(Backend b);
+Backend parse_backend(const std::string& name);
+const char* boundary_name(grid::BoundaryKind b);
+grid::BoundaryKind parse_boundary(const std::string& name);
+const char* time_scheme_name(TimeScheme s);
+TimeScheme parse_time_scheme(const std::string& name);
+const char* overlap_mode_name(OverlapMode m);
+OverlapMode parse_overlap_mode(const std::string& name);
+
+}  // namespace pfc::app

@@ -391,16 +391,4 @@ obs::RunReport Simulation::report() const {
   return r;
 }
 
-const std::map<std::string, double>& Simulation::kernel_seconds() const {
-  kernel_seconds_shim_.clear();
-  for (const auto& [path, t] : reg_.timers()) {
-    if (path.rfind("kernel/", 0) == 0) {
-      kernel_seconds_shim_[path.substr(7)] = t.seconds;
-    }
-  }
-  return kernel_seconds_shim_;
-}
-
-double Simulation::mlups() const { return report().mlups(); }
-
 }  // namespace pfc::app

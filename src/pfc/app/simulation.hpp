@@ -115,13 +115,6 @@ class Simulation {
   /// Checkpoint/rollback accounting (mirrors report().resilience).
   const obs::ResilienceStats& resilience_stats() const { return res_stats_; }
 
-  /// \deprecated Use run()/report(): kernel timers live in the registry.
-  [[deprecated("use report().kernel_timers")]]
-  const std::map<std::string, double>& kernel_seconds() const;
-  /// \deprecated Use report().mlups(). Both sweeps (and Heun's two
-  /// substeps) count as one lattice update; guarded against run(0).
-  [[deprecated("use report().mlups()")]] double mlups() const;
-
  private:
   backend::Binding bind(const ir::Kernel& k, bool for_flux_of_mu) const;
   void fill_all_ghosts(Array& a) { grid::fill_ghosts(a, opts_.boundary); }
@@ -174,8 +167,6 @@ class Simulation {
   std::map<std::string, double> predicted_mlups_;
   /// True while the current step is on the trace sampling grid.
   bool trace_this_step_ = false;
-  /// Backing storage for the deprecated kernel_seconds() shim.
-  mutable std::map<std::string, double> kernel_seconds_shim_;
 };
 
 // --- initial-condition helpers ----------------------------------------------

@@ -3,6 +3,7 @@
 #include <dlfcn.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -87,9 +88,29 @@ int probe_native_vector_width() {
   return cached;
 }
 
+JitLibrary JitLibrary::load(const std::string& so_path) {
+  JitLibrary lib;
+  lib.so_path_ = so_path;
+  lib.handle_ = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (lib.handle_ == nullptr) {
+    const std::string err = ::dlerror();
+    throw Error("pfc JIT dlopen failed for " + so_path + ": " + err);
+  }
+  return lib;
+}
+
 JitLibrary JitLibrary::compile(const std::string& source,
                                const Options& opts) {
-  const std::string tmpl_str = scratch_root() + "/pfc_jit_XXXXXX";
+  // pid + atomic counter make the scratch name unique before mkdtemp even
+  // runs: two threads compiling concurrently (the job server does this all
+  // day) and two processes sharing PFC_JIT_TMPDIR each get their own
+  // subdirectory, and a leftover directory from a crashed run can never be
+  // picked up by a later compile.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmpl_str = scratch_root() + "/pfc_jit_p" +
+                               std::to_string(::getpid()) + "_c" +
+                               std::to_string(counter.fetch_add(1)) +
+                               "_XXXXXX";
   std::vector<char> tmpl(tmpl_str.begin(), tmpl_str.end());
   tmpl.push_back('\0');
   const char* dir = ::mkdtemp(tmpl.data());
@@ -130,8 +151,8 @@ JitLibrary JitLibrary::compile(const std::string& source,
     throw Error("pfc JIT compilation failed:\n" + log);
   }
 
-  lib.handle_ = ::dlopen((lib.dir_ + "/kernel.so").c_str(),
-                         RTLD_NOW | RTLD_LOCAL);
+  lib.so_path_ = lib.dir_ + "/kernel.so";
+  lib.handle_ = ::dlopen(lib.so_path_.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (lib.handle_ == nullptr) {
     const std::string err = ::dlerror();
     if (!opts.keep_sources) remove_tree(lib.dir_);
@@ -143,10 +164,12 @@ JitLibrary JitLibrary::compile(const std::string& source,
 JitLibrary::JitLibrary(JitLibrary&& other) noexcept
     : handle_(other.handle_),
       dir_(std::move(other.dir_)),
+      so_path_(std::move(other.so_path_)),
       keep_(other.keep_),
       compile_seconds_(other.compile_seconds_) {
   other.handle_ = nullptr;
   other.dir_.clear();
+  other.so_path_.clear();
 }
 
 JitLibrary& JitLibrary::operator=(JitLibrary&& other) noexcept {

@@ -24,8 +24,12 @@ int probe_native_vector_width();
 
 /// A compiled shared object holding one or more kernel entry points.
 /// Move-only RAII: unloads the library and removes the scratch directory.
-/// Scratch directories live under /tmp (or PFC_JIT_TMPDIR when set) and are
-/// fully removed — including any stray compiler artifacts — on failure too.
+/// Scratch directories live under /tmp (or PFC_JIT_TMPDIR when set); each
+/// compile gets its own "pfc_jit_p<pid>_c<counter>_XXXXXX" subdirectory
+/// (pid + a process-wide atomic counter), so concurrent compiles in one
+/// process — or several server processes sharing one PFC_JIT_TMPDIR — can
+/// never collide. Scratch space is fully removed — including any stray
+/// compiler artifacts — on failure too.
 class JitLibrary {
  public:
   struct Options {
@@ -42,6 +46,12 @@ class JitLibrary {
     return compile(source, Options{});
   }
 
+  /// dlopens an already-compiled shared object (a kernel-cache hit). The
+  /// file is owned by the caller (the cache): no scratch directory is
+  /// created and nothing is removed on destruction. Throws pfc::Error when
+  /// the file is missing or not loadable (a corrupted cache entry).
+  static JitLibrary load(const std::string& so_path);
+
   JitLibrary(JitLibrary&& other) noexcept;
   JitLibrary& operator=(JitLibrary&& other) noexcept;
   ~JitLibrary();
@@ -49,11 +59,16 @@ class JitLibrary {
   /// Resolves an entry point; throws if missing.
   KernelFn get(const std::string& name) const;
 
-  /// Scratch directory (useful with keep_sources).
+  /// Scratch directory (useful with keep_sources; empty for load()ed
+  /// libraries).
   const std::string& directory() const { return dir_; }
 
+  /// Path of the loaded shared object (inside the scratch directory for
+  /// compiled libraries, the cache path for load()ed ones).
+  const std::string& shared_object_path() const { return so_path_; }
+
   /// Wall-clock seconds the external compiler took (paper §5.1 discusses
-  /// recompilation cost).
+  /// recompilation cost); 0.0 for load()ed libraries.
   double compile_seconds() const { return compile_seconds_; }
 
  private:
@@ -61,6 +76,7 @@ class JitLibrary {
 
   void* handle_ = nullptr;
   std::string dir_;
+  std::string so_path_;
   bool keep_ = false;
   double compile_seconds_ = 0.0;
 };

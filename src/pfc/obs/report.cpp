@@ -135,6 +135,15 @@ Json CompileReport::to_json() const {
   j.set("backend_tier", Json(backend_tier));
   j.set("fallback_reason", Json(fallback_reason));
   j.set("fallback_attempts", Json(std::uint64_t(fallback_attempts)));
+  if (cache_used) {
+    j.set("cache", Json::object()
+                       .set("hit", Json(cache_hit))
+                       .set("key", Json(cache_key))
+                       .set("hits", Json(cache_hits))
+                       .set("misses", Json(cache_misses))
+                       .set("evictions", Json(cache_evictions))
+                       .set("bytes", Json(cache_bytes)));
+  }
   return j;
 }
 

@@ -39,6 +39,16 @@
 //                       overlapped; synchronous runs stay v3-shaped (plus
 //                       the bumped schema string).
 //
+// v5 adds the kernel-cache provenance of a compile (pfc-jobspec-v1 /
+// pfc::serve era — the content-addressed shared-object cache):
+//
+//     "cache":          on compile reports whose JIT consulted the cache —
+//                       {"hit", "key", "hits", "misses", "evictions",
+//                        "bytes"}: whether *this* compile was served from
+//                       the cache, its SHA-256 content address, and the
+//                       process-wide cache counters after the request.
+//                       Uncached compiles omit the section.
+//
 // Producers may add extra keys (e.g. quickstart embeds its CompileReport
 // under "compile"); validators require only the six core sections. See
 // tools/report_check.cpp for the machine check run by ctest.
@@ -54,9 +64,10 @@
 
 namespace pfc::obs {
 
-inline constexpr const char* kReportSchema = "pfc-obs-report-v4";
+inline constexpr const char* kReportSchema = "pfc-obs-report-v5";
 /// Previous schema revisions; validators still accept them for stored
 /// reports.
+inline constexpr const char* kReportSchemaV4 = "pfc-obs-report-v4";
 inline constexpr const char* kReportSchemaV3 = "pfc-obs-report-v3";
 inline constexpr const char* kReportSchemaV2 = "pfc-obs-report-v2";
 inline constexpr const char* kReportSchemaV1 = "pfc-obs-report-v1";
@@ -186,6 +197,15 @@ struct CompileReport {
   std::string fallback_reason;
   /// External-compiler invocations that failed before the surviving tier.
   int fallback_attempts = 0;
+  /// Kernel-cache provenance (v5 "cache" section). cache_used is false
+  /// when no cache was configured; the section is emitted only when true.
+  bool cache_used = false;
+  bool cache_hit = false;        ///< this compile was served from the cache
+  std::string cache_key;         ///< SHA-256 content address (64 hex chars)
+  std::uint64_t cache_hits = 0;  ///< process-wide counters after this call
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_bytes = 0;  ///< resident cached shared-object bytes
 
   void add_stage(const std::string& stage, double seconds);
   /// Symbolic-pipeline time: every stage except the external compiler.

@@ -1,0 +1,165 @@
+#include "pfc/serve/protocol.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "pfc/support/assert.hpp"
+
+namespace pfc::serve {
+
+namespace {
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  PFC_REQUIRE(path.size() < sizeof(addr.sun_path),
+              "socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+int listen_unix(const std::string& path, int backlog) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  PFC_REQUIRE(fd >= 0, std::string("socket(): ") + std::strerror(errno));
+  ::unlink(path.c_str());
+  sockaddr_un addr = make_addr(path);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int e = errno;
+    ::close(fd);
+    throw Error("bind(" + path + "): " + std::strerror(e));
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int e = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    throw Error("listen(" + path + "): " + std::strerror(e));
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  PFC_REQUIRE(fd >= 0, std::string("socket(): ") + std::strerror(errno));
+  sockaddr_un addr = make_addr(path);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int e = errno;
+    ::close(fd);
+    throw Error("connect(" + path + "): " + std::strerror(e));
+  }
+  return fd;
+}
+
+LineChannel::~LineChannel() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+LineChannel::LineChannel(LineChannel&& o) noexcept
+    : fd_(o.fd_), buf_(std::move(o.buf_)) {
+  o.fd_ = -1;
+}
+
+LineChannel& LineChannel::operator=(LineChannel&& o) noexcept {
+  if (this != &o) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = o.fd_;
+    buf_ = std::move(o.buf_);
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+bool LineChannel::read_line(std::string& out) {
+  PFC_REQUIRE(fd_ >= 0, "read_line on a closed channel");
+  for (;;) {
+    const auto nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      out = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return false;  // EOF (any partial line is dropped)
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("recv(): ") + std::strerror(errno));
+    }
+    buf_.append(chunk, std::size_t(n));
+  }
+}
+
+obs::Json LineChannel::read_json() {
+  std::string line;
+  if (!read_line(line)) return obs::Json();
+  std::string err;
+  obs::Json j = obs::Json::parse(line, &err);
+  if (!err.empty()) throw Error("protocol: bad JSON line: " + err);
+  return j;
+}
+
+bool LineChannel::write_json(const obs::Json& j) {
+  PFC_REQUIRE(fd_ >= 0, "write_json on a closed channel");
+  std::string line = j.dump(-1);
+  line += '\n';
+  std::size_t off = 0;
+  while (off < line.size()) {
+    // MSG_NOSIGNAL: a vanished client must not SIGPIPE the daemon.
+    const ssize_t n = ::send(fd_, line.data() + off, line.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      throw Error(std::string("send(): ") + std::strerror(errno));
+    }
+    off += std::size_t(n);
+  }
+  return true;
+}
+
+obs::Json event_pong() {
+  return obs::Json::object()
+      .set("event", obs::Json("pong"))
+      .set("protocol", obs::Json(kProtocolVersion));
+}
+
+obs::Json event_accepted(long long job, const std::string& name) {
+  return obs::Json::object()
+      .set("event", obs::Json("accepted"))
+      .set("job", obs::Json(job))
+      .set("name", obs::Json(name));
+}
+
+obs::Json event_started(long long job) {
+  return obs::Json::object()
+      .set("event", obs::Json("started"))
+      .set("job", obs::Json(job));
+}
+
+obs::Json event_finished(long long job, obs::Json result) {
+  return obs::Json::object()
+      .set("event", obs::Json("finished"))
+      .set("job", obs::Json(job))
+      .set("result", std::move(result));
+}
+
+obs::Json event_error(long long job, const std::string& message) {
+  return obs::Json::object()
+      .set("event", obs::Json("error"))
+      .set("job", obs::Json(job))
+      .set("message", obs::Json(message));
+}
+
+obs::Json event_bye() {
+  return obs::Json::object().set("event", obs::Json("bye"));
+}
+
+}  // namespace pfc::serve

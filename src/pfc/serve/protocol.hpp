@@ -1,0 +1,76 @@
+// Wire protocol of the serve daemon (DESIGN.md §9): line-delimited JSON
+// over a local Unix-domain stream socket. Every request is one line, every
+// reply is a stream of one-line events; the connection closes when the
+// request is fully answered.
+//
+// Requests:
+//   {"op": "ping"}
+//   {"op": "submit", "spec": { <pfc-jobspec-v1> }}
+//   {"op": "list"}
+//   {"op": "shutdown"}
+//
+// Events:
+//   {"event": "pong", "protocol": "pfc-serve-v1"}
+//   {"event": "accepted", "job": N, "name": "..."}     submit: queued
+//   {"event": "started",  "job": N}                    submit: picked up
+//   {"event": "finished", "job": N, "result": {...}}   JobResult::to_json()
+//   {"event": "error",    "job": N, "message": "..."}  (job = -1: request
+//                                                       itself was invalid)
+//   {"event": "jobs", "jobs": [{"job":N,"name":..,"state":..}, ...]}
+//   {"event": "bye"}                                   shutdown ack
+#pragma once
+
+#include <string>
+
+#include "pfc/obs/json.hpp"
+
+namespace pfc::serve {
+
+inline constexpr const char* kProtocolVersion = "pfc-serve-v1";
+
+/// Creates a listening Unix-domain stream socket at `path` (unlinking any
+/// stale file first). Throws pfc::Error on failure.
+int listen_unix(const std::string& path, int backlog = 16);
+
+/// Connects to the daemon's socket. Throws pfc::Error on failure.
+int connect_unix(const std::string& path);
+
+/// One connected socket with line framing. Owns the fd (closes on
+/// destruction); movable, not copyable.
+class LineChannel {
+ public:
+  explicit LineChannel(int fd) : fd_(fd) {}
+  ~LineChannel();
+  LineChannel(LineChannel&& o) noexcept;
+  LineChannel& operator=(LineChannel&& o) noexcept;
+  LineChannel(const LineChannel&) = delete;
+  LineChannel& operator=(const LineChannel&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Reads until '\n' (stripped). Returns false on clean EOF; throws
+  /// pfc::Error on socket errors.
+  bool read_line(std::string& out);
+  /// Reads one line and parses it; returns a Null Json on EOF.
+  obs::Json read_json();
+
+  /// Writes one compact JSON line. Returns false if the peer is gone
+  /// (EPIPE/ECONNRESET) — event streams treat that as "client stopped
+  /// listening", not an error.
+  bool write_json(const obs::Json& j);
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  // bytes read past the last returned line
+};
+
+// --- event constructors (shared by server and client-side tests) -------------
+obs::Json event_pong();
+obs::Json event_accepted(long long job, const std::string& name);
+obs::Json event_started(long long job);
+obs::Json event_finished(long long job, obs::Json result);
+obs::Json event_error(long long job, const std::string& message);
+obs::Json event_bye();
+
+}  // namespace pfc::serve

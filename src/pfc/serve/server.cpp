@@ -1,0 +1,273 @@
+#include "pfc/serve/server.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "pfc/support/assert.hpp"
+
+namespace pfc::serve {
+
+using obs::Json;
+
+JobServer::~JobServer() { stop(); }
+
+void JobServer::start() {
+  PFC_REQUIRE(!started_, "JobServer::start() called twice");
+  PFC_REQUIRE(opts_.workers >= 1, "need at least one worker");
+  listen_fd_ = listen_unix(opts_.socket_path);
+  started_ = true;
+  pool_ = std::make_unique<ThreadPool>(opts_.workers);
+  // run_on_all blocks its caller, so a dedicated thread hosts the pool;
+  // every pool member (host thread included) becomes one job worker.
+  pool_host_ = std::thread([this] {
+    pool_->run_on_all([this](int) { worker_loop(); });
+  });
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void JobServer::wait() {
+  {
+    std::unique_lock<std::mutex> lk(mutex_);
+    cv_stopped_.wait(lk, [this] { return stopping_; });
+  }
+  join_all();
+}
+
+void JobServer::stop() {
+  if (!started_) return;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  cv_stopped_.notify_all();
+  // Break the accept loop out of its blocking accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  join_all();
+}
+
+void JobServer::join_all() {
+  std::lock_guard<std::mutex> jl(join_mutex_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (pool_host_.joinable()) pool_host_.join();
+  pool_.reset();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(opts_.socket_path.c_str());
+    listen_fd_ = -1;
+  }
+}
+
+std::vector<JobStatus> JobServer::jobs() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  std::vector<JobStatus> out;
+  out.reserve(status_.size());
+  for (const auto& [id, st] : status_) out.push_back(st);
+  return out;
+}
+
+void JobServer::set_state(long long id, const std::string& state,
+                          const std::string& error) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  JobStatus& st = status_[id];
+  st.state = state;
+  if (!error.empty()) st.error = error;
+}
+
+void JobServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (stop()) or broken beyond repair
+    }
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (stopping_) {
+        ::close(fd);
+        break;
+      }
+    }
+    try {
+      handle_connection(LineChannel(fd));
+    } catch (const std::exception& e) {
+      // A malformed connection must not take the dispatcher down.
+      if (!opts_.quiet) {
+        std::fprintf(stderr, "pfc_served: connection error: %s\n", e.what());
+      }
+    }
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (stopping_) break;
+  }
+}
+
+void JobServer::handle_connection(LineChannel conn) {
+  const Json req = conn.read_json();
+  if (req.kind() == Json::Kind::Null) return;  // client connected, said nothing
+  if (!req.is_object()) {
+    conn.write_json(event_error(-1, "request must be a JSON object"));
+    return;
+  }
+  const Json* op = req.find("op");
+  if (op == nullptr || !op->is_string()) {
+    conn.write_json(event_error(-1, "request needs a string \"op\""));
+    return;
+  }
+
+  if (op->str() == "ping") {
+    conn.write_json(event_pong());
+    return;
+  }
+
+  if (op->str() == "list") {
+    Json arr = Json::array();
+    for (const JobStatus& st : jobs()) {
+      Json e = Json::object()
+                   .set("job", Json(st.id))
+                   .set("name", Json(st.name))
+                   .set("state", Json(st.state));
+      if (!st.error.empty()) e.set("error", Json(st.error));
+      arr.push(std::move(e));
+    }
+    conn.write_json(
+        Json::object().set("event", Json("jobs")).set("jobs", std::move(arr)));
+    return;
+  }
+
+  if (op->str() == "shutdown") {
+    conn.write_json(event_bye());
+    std::lock_guard<std::mutex> lk(mutex_);
+    stopping_ = true;
+    cv_work_.notify_all();
+    cv_stopped_.notify_all();
+    return;  // accept_loop exits on its post-connection stopping check
+  }
+
+  if (op->str() == "submit") {
+    const Json* spec_json = req.find("spec");
+    if (spec_json == nullptr) {
+      conn.write_json(event_error(-1, "submit needs a \"spec\""));
+      return;
+    }
+    PendingJob job{0, app::JobSpec{}, std::move(conn)};
+    try {
+      job.spec = app::JobSpec::from_json(*spec_json, "spec");
+      job.spec.validate();
+    } catch (const Error& e) {
+      job.channel.write_json(event_error(-1, e.what()));
+      return;
+    }
+    // The daemon's kernel cache is the default; an explicit cache_dir in
+    // the spec wins (a job may opt into its own cache or out entirely).
+    if (!opts_.cache.directory.empty()) {
+      for (app::CompileOptions* co :
+           {&job.spec.simulation.compile, &job.spec.distributed.compile}) {
+        if (co->cache_dir.empty()) {
+          co->cache_dir = opts_.cache.directory;
+          co->cache_max_bytes = opts_.cache.max_bytes;
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      job.id = next_id_++;
+      status_[job.id] = {job.id, job.spec.name, "queued", ""};
+    }
+    job.channel.write_json(event_accepted(job.id, job.spec.name));
+    if (!opts_.quiet) {
+      std::fprintf(stderr, "pfc_served: job %lld (%s) queued\n", job.id,
+                   job.spec.name.c_str());
+    }
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      queue_.push_back(std::move(job));
+    }
+    cv_work_.notify_one();
+    return;
+  }
+
+  conn.write_json(event_error(-1, "unknown op \"" + op->str() + "\""));
+}
+
+void JobServer::worker_loop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lk(mutex_);
+    cv_work_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+    // Graceful shutdown: drain jobs already accepted before exiting.
+    if (queue_.empty()) return;
+    PendingJob job = std::move(queue_.front());
+    queue_.pop_front();
+    lk.unlock();
+    run_one(std::move(job));
+  }
+}
+
+void JobServer::run_one(PendingJob job) {
+  set_state(job.id, "running");
+  job.channel.write_json(event_started(job.id));
+  try {
+    const app::JobResult result = app::run_job(job.spec);
+    set_state(job.id, "finished");
+    job.channel.write_json(event_finished(job.id, result.to_json()));
+    if (!opts_.quiet) {
+      std::fprintf(stderr,
+                   "pfc_served: job %lld (%s) finished: %lld steps, "
+                   "cache %s\n",
+                   job.id, job.spec.name.c_str(), result.steps,
+                   result.compile.cache_used
+                       ? (result.compile.cache_hit ? "hit" : "miss")
+                       : "off");
+    }
+  } catch (const std::exception& e) {
+    // Per-job isolation: one failing job reports and dies alone.
+    set_state(job.id, "failed", e.what());
+    job.channel.write_json(event_error(job.id, e.what()));
+    if (!opts_.quiet) {
+      std::fprintf(stderr, "pfc_served: job %lld (%s) failed: %s\n", job.id,
+                   job.spec.name.c_str(), e.what());
+    }
+  }
+}
+
+// --- client ------------------------------------------------------------------
+
+Json Client::request_single(const Json& request) {
+  LineChannel conn(connect_unix(path_));
+  PFC_REQUIRE(conn.write_json(request), "daemon closed the connection");
+  const Json reply = conn.read_json();
+  PFC_REQUIRE(reply.is_object(), "daemon sent no reply");
+  return reply;
+}
+
+Json Client::ping() { return request_single(Json::object().set("op", Json("ping"))); }
+
+Json Client::list() { return request_single(Json::object().set("op", Json("list"))); }
+
+Json Client::shutdown_server() {
+  return request_single(Json::object().set("op", Json("shutdown")));
+}
+
+Json Client::submit(const Json& spec, std::vector<Json>* events) {
+  LineChannel conn(connect_unix(path_));
+  PFC_REQUIRE(conn.write_json(Json::object()
+                                  .set("op", Json("submit"))
+                                  .set("spec", spec)),
+              "daemon closed the connection");
+  for (;;) {
+    const Json ev = conn.read_json();
+    if (ev.kind() == Json::Kind::Null) {
+      throw Error("daemon closed the stream before a terminal event");
+    }
+    const Json* kind = ev.find("event");
+    PFC_REQUIRE(kind != nullptr && kind->is_string(),
+                "malformed event from daemon: " + ev.dump(-1));
+    if (kind->str() == "finished" || kind->str() == "error") return ev;
+    if (events != nullptr) events->push_back(ev);
+  }
+}
+
+}  // namespace pfc::serve

@@ -1,0 +1,122 @@
+// The serve daemon's core (DESIGN.md §9): accepts pfc-jobspec-v1 jobs over
+// a Unix-domain socket, queues them, and runs them on a worker pool hosted
+// by the existing ThreadPool. The dispatcher (accept loop) only parses and
+// enqueues — every simulation runs on a worker, isolated by a per-job
+// try/catch, streaming accepted/started/finished|error events back on the
+// submitting connection. Identical jobs hitting the same daemon share the
+// content-addressed kernel cache (backend::KernelCache), so the second
+// submit of a spec reports cache_hit=true and near-zero external-compiler
+// time in its compile report.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "pfc/app/jobspec.hpp"
+#include "pfc/backend/kernel_cache.hpp"
+#include "pfc/serve/protocol.hpp"
+#include "pfc/support/thread_pool.hpp"
+
+namespace pfc::serve {
+
+struct ServeOptions {
+  std::string socket_path = "pfc_serve.sock";
+  /// Concurrent jobs (each job may additionally thread its own sweep via
+  /// its spec's threads option).
+  int workers = 2;
+  /// Kernel cache every job defaults to (a spec's own compile.cache_dir
+  /// wins). Empty directory: per-job env/spec settings decide.
+  backend::KernelCacheConfig cache;
+  /// Suppress the per-job stderr log lines.
+  bool quiet = false;
+};
+
+struct JobStatus {
+  long long id = 0;
+  std::string name;
+  std::string state;  ///< "queued" | "running" | "finished" | "failed"
+  std::string error;  ///< message when state == "failed"
+};
+
+class JobServer {
+ public:
+  explicit JobServer(ServeOptions opts) : opts_(std::move(opts)) {}
+  ~JobServer();
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  /// Binds the socket and launches the dispatcher + worker threads.
+  /// Throws pfc::Error if the socket cannot be created.
+  void start();
+  /// Blocks until a shutdown request arrives (or stop() is called), then
+  /// drains the queue and joins all threads.
+  void wait();
+  /// Initiates shutdown and joins (idempotent; also called by ~JobServer).
+  void stop();
+
+  const ServeOptions& options() const { return opts_; }
+  /// Snapshot of every job this daemon has seen, in submission order.
+  std::vector<JobStatus> jobs() const;
+
+ private:
+  struct PendingJob {
+    long long id = 0;
+    app::JobSpec spec;
+    LineChannel channel;  ///< the submitter, kept open for event streaming
+  };
+
+  void accept_loop();
+  void handle_connection(LineChannel conn);
+  void worker_loop();
+  void run_one(PendingJob job);
+  void join_all();
+  void set_state(long long id, const std::string& state,
+                 const std::string& error = "");
+
+  ServeOptions opts_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::thread pool_host_;  ///< hosts pool_->run_on_all(worker_loop)
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_work_;     ///< queue push / stopping
+  std::condition_variable cv_stopped_;  ///< wait()
+  std::deque<PendingJob> queue_;
+  std::map<long long, JobStatus> status_;
+  long long next_id_ = 1;
+  bool stopping_ = false;
+  bool started_ = false;
+
+  std::mutex join_mutex_;  ///< serializes join_all from wait()/stop()/dtor
+};
+
+/// Client side of the protocol — what pfc_servectl and the round-trip test
+/// drive. One Client may issue many requests (each opens its own
+/// connection).
+class Client {
+ public:
+  explicit Client(std::string socket_path) : path_(std::move(socket_path)) {}
+
+  /// Throws pfc::Error if the daemon is unreachable or replies garbage.
+  obs::Json ping();
+  /// Submits a spec and blocks streaming events until the terminal one
+  /// ("finished" or "error"), which is returned. Non-terminal events are
+  /// appended to *events when given.
+  obs::Json submit(const obs::Json& spec,
+                   std::vector<obs::Json>* events = nullptr);
+  obs::Json list();
+  /// Asks the daemon to exit; returns its "bye" ack.
+  obs::Json shutdown_server();
+
+ private:
+  obs::Json request_single(const obs::Json& request);
+  std::string path_;
+};
+
+}  // namespace pfc::serve

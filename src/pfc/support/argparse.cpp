@@ -1,0 +1,115 @@
+#include "pfc/support/argparse.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "pfc/support/assert.hpp"
+
+namespace pfc::support {
+
+ArgParser::ArgParser(std::string prog, std::string usage)
+    : prog_(std::move(prog)), usage_(std::move(usage)) {}
+
+ArgParser& ArgParser::on_flag(const std::string& name,
+                              std::function<void()> fn) {
+  specs_.push_back(
+      {name, Kind::Flag, [fn = std::move(fn)](const std::string*) { fn(); }});
+  return *this;
+}
+
+ArgParser& ArgParser::on_value(const std::string& name,
+                               std::function<void(const std::string&)> fn) {
+  specs_.push_back({name, Kind::Value,
+                    [fn = std::move(fn)](const std::string* v) { fn(*v); }});
+  return *this;
+}
+
+ArgParser& ArgParser::on_optional_value(
+    const std::string& name, std::function<void(const std::string*)> fn) {
+  specs_.push_back({name, Kind::OptionalValue, std::move(fn)});
+  return *this;
+}
+
+ArgParser& ArgParser::flag(const std::string& name, bool* out) {
+  return on_flag(name, [out] { *out = true; });
+}
+
+ArgParser& ArgParser::value(const std::string& name, std::string* out) {
+  return on_value(name, [out](const std::string& v) { *out = v; });
+}
+
+ArgParser& ArgParser::count(const std::string& name, long long* out) {
+  return on_value(name, [name, out](const std::string& v) {
+    *out = parse_count(v, "--" + name);
+  });
+}
+
+ArgParser& ArgParser::positive(const std::string& name, int* out) {
+  return on_value(name, [name, out](const std::string& v) {
+    const long long n = parse_count(v, "--" + name);
+    if (n < 1) {
+      throw Error("invalid value \"" + v + "\" for --" + name +
+                  " (expected a positive integer)");
+    }
+    *out = int(n);
+  });
+}
+
+const ArgParser::Spec* ArgParser::find(const std::string& name) const {
+  for (const Spec& s : specs_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const char*> ArgParser::parse(int argc, char** argv) const {
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      pos.push_back(arg);
+      continue;
+    }
+    const char* eq = std::strchr(arg + 2, '=');
+    const std::string name =
+        eq != nullptr ? std::string(arg + 2, eq) : std::string(arg + 2);
+    const Spec* spec = find(name);
+    if (spec == nullptr) fail(std::string("unknown flag \"") + arg + '"');
+    if (spec->kind == Kind::Flag && eq != nullptr) {
+      fail("--" + name + " takes no value (got \"" + arg + "\")");
+    }
+    if (spec->kind == Kind::Value && eq == nullptr) {
+      fail("--" + name + " needs a value (--" + name + "=...)");
+    }
+    try {
+      if (eq != nullptr) {
+        const std::string value(eq + 1);
+        spec->fn(&value);
+      } else {
+        spec->fn(nullptr);
+      }
+    } catch (const Error& e) {
+      fail(e.what());
+    }
+  }
+  return pos;
+}
+
+void ArgParser::fail(const std::string& msg) const {
+  std::fprintf(stderr, "%s: %s\nusage: %s\n", prog_.c_str(), msg.c_str(),
+               usage_.c_str());
+  std::exit(2);
+}
+
+long long parse_count(const std::string& text, const std::string& what) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || v < 0) {
+    throw Error("invalid value \"" + text + "\" for " + what +
+                " (expected a non-negative integer)");
+  }
+  return v;
+}
+
+}  // namespace pfc::support

@@ -1,0 +1,72 @@
+// Fail-fast command-line parsing shared by the examples and the serve
+// tools. Flags are registered with handlers; any unknown flag, malformed
+// value or handler-thrown pfc::Error prints a one-line diagnostic plus the
+// usage text and exits with status 2 — the behaviour the *_rejects_bad_*
+// ctests pin. Three flag shapes cover every caller:
+//
+//   * bool flags:       --overlap            (a value like --overlap=yes is
+//                                             rejected, not ignored)
+//   * valued flags:     --threads=N          (the '=' and value are required)
+//   * optional-valued:  --trace[=path]       (bare or with a value)
+//
+// Everything that is not a registered flag and does not start with "--" is
+// collected as a positional argument, in order.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pfc::support {
+
+class ArgParser {
+ public:
+  /// `prog` names the binary in diagnostics; `usage` is the body printed
+  /// after "usage: " (may span multiple lines).
+  ArgParser(std::string prog, std::string usage);
+
+  /// --name with no value allowed.
+  ArgParser& on_flag(const std::string& name, std::function<void()> fn);
+  /// --name=value (value required).
+  ArgParser& on_value(const std::string& name,
+                      std::function<void(const std::string&)> fn);
+  /// --name or --name=value; the handler receives nullptr when bare.
+  ArgParser& on_optional_value(
+      const std::string& name,
+      std::function<void(const std::string*)> fn);
+
+  // Convenience binders over the handler hooks.
+  ArgParser& flag(const std::string& name, bool* out);
+  ArgParser& value(const std::string& name, std::string* out);
+  /// Non-negative integer value (rejects junk, minus signs, trailing text).
+  ArgParser& count(const std::string& name, long long* out);
+  /// Integer value >= 1.
+  ArgParser& positive(const std::string& name, int* out);
+
+  /// Parses argv; returns the positional arguments. Exits(2) with a usage
+  /// message on any error (including pfc::Error thrown by a handler).
+  std::vector<const char*> parse(int argc, char** argv) const;
+
+  /// Prints "<prog>: <msg>" plus the usage text and exits(2).
+  [[noreturn]] void fail(const std::string& msg) const;
+
+ private:
+  enum class Kind { Flag, Value, OptionalValue };
+  struct Spec {
+    std::string name;  // without the leading "--"
+    Kind kind;
+    std::function<void(const std::string*)> fn;
+  };
+
+  const Spec* find(const std::string& name) const;
+
+  std::string prog_;
+  std::string usage_;
+  std::vector<Spec> specs_;
+};
+
+/// Parses a non-negative integer or fails with a message naming `what`
+/// (shared by ArgParser::count and ad-hoc positional parsing).
+long long parse_count(const std::string& text, const std::string& what);
+
+}  // namespace pfc::support

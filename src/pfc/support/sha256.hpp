@@ -1,0 +1,39 @@
+// SHA-256 (FIPS 180-4): the content-addressing hash of the kernel cache.
+// Kernel sources are a few tens of kilobytes and hashed once per compile
+// request, so a straightforward portable implementation is plenty; what
+// matters is that equivalent job specs map to the same key on every
+// machine, which a cryptographic digest guarantees and a seeded fast hash
+// would not.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace pfc::support {
+
+/// Streaming SHA-256 context. Typical one-shot use: sha256_hex(text).
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(const void* data, std::size_t len);
+  void update(const std::string& s) { update(s.data(), s.size()); }
+
+  /// Finalizes and returns the 32-byte digest. The context must not be
+  /// updated afterwards.
+  std::array<std::uint8_t, 32> digest();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::uint64_t total_bytes_ = 0;
+  std::size_t buffered_ = 0;
+};
+
+/// Lower-case hex digest of `text` (64 characters).
+std::string sha256_hex(const std::string& text);
+
+}  // namespace pfc::support

@@ -101,11 +101,6 @@ TEST(DistributedTest, FourRanksConserveSimplexGlobally) {
     EXPECT_EQ(rep.steps, 12);
     EXPECT_GT(rep.mlups(), 0.0);
     EXPECT_GE(rep.block_imbalance, 1.0);
-    // the deprecated accessor still works and agrees with the last round
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    EXPECT_GT(dist.last_exchange_bytes(), 0u);
-#pragma GCC diagnostic pop
   });
 }
 

@@ -188,11 +188,8 @@ TEST(CompilerTest, JitSourceContainsBothKernels) {
   CompiledModel cm = mc.compile(m);
   EXPECT_NE(cm.generated_source().find("phi_full"), std::string::npos);
   EXPECT_NE(cm.generated_source().find("mu_full"), std::string::npos);
-  EXPECT_GT(cm.compile_seconds, 0.0);
-  // the deprecated shims agree with the compile report
   const obs::CompileReport& cr = cm.compile_report();
-  EXPECT_DOUBLE_EQ(cm.compile_seconds, cr.compile_seconds());
-  EXPECT_DOUBLE_EQ(cm.generation_seconds, cr.generation_seconds());
+  EXPECT_GT(cr.compile_seconds(), 0.0);
   EXPECT_GT(cr.generation_seconds(), 0.0);
   EXPECT_GT(cr.ops_per_cell_pre, 0);
   EXPECT_GE(cr.ops_per_cell_pre, cr.ops_per_cell_post)

@@ -1,0 +1,234 @@
+// Content-addressed kernel cache (backend::KernelCache): key stability,
+// hit/miss/eviction accounting, corrupted-entry fallback, concurrent-compile
+// dedup — plus the PFC_JIT_TMPDIR isolation contract two compiles in one
+// process rely on.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pfc/backend/jit.hpp"
+#include "pfc/backend/kernel_cache.hpp"
+#include "pfc/support/assert.hpp"
+
+namespace pfc::backend {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh directory under /tmp, removed on destruction.
+struct TempDir {
+  TempDir() {
+    std::string tmpl = (fs::temp_directory_path() / "pfc_kc_XXXXXX").string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    const char* made = ::mkdtemp(buf.data());
+    PFC_REQUIRE(made != nullptr, "mkdtemp failed in test");
+    path = made;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+std::string tiny_source(const std::string& tag) {
+  return "extern \"C\" void pfc_cache_probe_" + tag + "() {}\n";
+}
+
+bool is_lower_hex(const std::string& s) {
+  for (char c : s) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return true;
+}
+
+TEST(KernelCache, KeyIsStableAndContentAddressed) {
+  JitLibrary::Options opts;
+  const std::string a = KernelCache::key_of(tiny_source("a"), opts);
+  EXPECT_EQ(a, KernelCache::key_of(tiny_source("a"), opts));
+  EXPECT_EQ(a.size(), 64u);
+  EXPECT_TRUE(is_lower_hex(a));
+
+  // Anything that changes the binary changes the key...
+  EXPECT_NE(a, KernelCache::key_of(tiny_source("b"), opts));
+  JitLibrary::Options flags = opts;
+  flags.extra_flags = "-DPFC_TEST";
+  EXPECT_NE(a, KernelCache::key_of(tiny_source("a"), flags));
+  JitLibrary::Options o2 = opts;
+  o2.optimization = "-O2";
+  EXPECT_NE(a, KernelCache::key_of(tiny_source("a"), o2));
+
+  // ...and keep_sources, which only changes scratch handling, does not.
+  JitLibrary::Options keep = opts;
+  keep.keep_sources = true;
+  EXPECT_EQ(a, KernelCache::key_of(tiny_source("a"), keep));
+}
+
+TEST(KernelCache, MissThenMemoryHit) {
+  TempDir dir;
+  KernelCacheConfig cfg;
+  cfg.directory = dir.path;
+  KernelCache& cache = KernelCache::shared();
+  cache.reset();
+
+  const KernelCacheResult first =
+      cache.acquire(tiny_source("mh"), {}, cfg);
+  ASSERT_NE(first.library, nullptr);
+  EXPECT_FALSE(first.hit);
+  EXPECT_GT(first.compile_seconds, 0.0);
+  EXPECT_TRUE(fs::exists(dir.path + "/" + first.key + ".so"));
+
+  const KernelCacheResult again =
+      cache.acquire(tiny_source("mh"), {}, cfg);
+  ASSERT_NE(again.library, nullptr);
+  EXPECT_TRUE(again.hit);
+  EXPECT_EQ(again.key, first.key);
+  EXPECT_EQ(again.compile_seconds, 0.0);
+
+  const KernelCacheStats st = cache.stats();
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.entries, 1u);
+  EXPECT_GT(st.bytes, 0u);
+  cache.reset();
+}
+
+TEST(KernelCache, DiskHitSurvivesReset) {
+  TempDir dir;
+  KernelCacheConfig cfg;
+  cfg.directory = dir.path;
+  KernelCache& cache = KernelCache::shared();
+  cache.reset();
+  cache.acquire(tiny_source("disk"), {}, cfg);
+
+  // reset() drops the in-memory index but leaves the files: the next
+  // acquire rediscovers the entry as a disk hit (cross-process reuse).
+  cache.reset();
+  const KernelCacheResult r = cache.acquire(tiny_source("disk"), {}, cfg);
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.compile_seconds, 0.0);
+  const KernelCacheStats st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 0u);
+  cache.reset();
+}
+
+TEST(KernelCache, LruEvictsOldestWhenOverBudget) {
+  TempDir dir;
+  KernelCacheConfig cfg;
+  cfg.directory = dir.path;
+  cfg.max_bytes = 1;  // every .so is larger: only the newest entry survives
+  KernelCache& cache = KernelCache::shared();
+  cache.reset();
+
+  const KernelCacheResult a = cache.acquire(tiny_source("ev_a"), {}, cfg);
+  const KernelCacheResult b = cache.acquire(tiny_source("ev_b"), {}, cfg);
+  KernelCacheStats st = cache.stats();
+  EXPECT_EQ(st.evictions, 1u);
+  EXPECT_EQ(st.entries, 1u);
+  EXPECT_FALSE(fs::exists(dir.path + "/" + a.key + ".so"));
+  EXPECT_TRUE(fs::exists(dir.path + "/" + b.key + ".so"));
+  // A library handed out before its entry was evicted stays valid.
+  EXPECT_NE(a.library, nullptr);
+
+  // The evicted entry is gone for real: asking again recompiles.
+  const KernelCacheResult a2 = cache.acquire(tiny_source("ev_a"), {}, cfg);
+  EXPECT_FALSE(a2.hit);
+  st = cache.stats();
+  EXPECT_EQ(st.misses, 3u);
+  EXPECT_EQ(st.evictions, 2u);
+  cache.reset();
+}
+
+TEST(KernelCache, CorruptedEntryFallsBackToRecompile) {
+  TempDir dir;
+  KernelCacheConfig cfg;
+  cfg.directory = dir.path;
+  KernelCache& cache = KernelCache::shared();
+  cache.reset();
+  KernelCacheResult first = cache.acquire(tiny_source("corrupt"), {}, cfg);
+  // Unload the library before corrupting the file: dlopen dedups by inode,
+  // so a still-mapped object would mask the corruption.
+  cache.reset();
+  first.library.reset();
+
+  {
+    std::ofstream f(dir.path + "/" + first.key + ".so",
+                    std::ios::binary | std::ios::trunc);
+    f << "not an ELF shared object";
+  }
+
+  // Corruption costs a recompile, never an error or a wrong library.
+  const KernelCacheResult r = cache.acquire(tiny_source("corrupt"), {}, cfg);
+  ASSERT_NE(r.library, nullptr);
+  EXPECT_FALSE(r.hit);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // The recompile republished a loadable object.
+  cache.reset();
+  EXPECT_TRUE(cache.acquire(tiny_source("corrupt"), {}, cfg).hit);
+  cache.reset();
+}
+
+TEST(KernelCache, ConcurrentAcquiresCompileOnce) {
+  TempDir dir;
+  KernelCacheConfig cfg;
+  cfg.directory = dir.path;
+  KernelCache& cache = KernelCache::shared();
+  cache.reset();
+
+  KernelCacheResult r1, r2;
+  std::thread t1([&] { r1 = cache.acquire(tiny_source("cc"), {}, cfg); });
+  std::thread t2([&] { r2 = cache.acquire(tiny_source("cc"), {}, cfg); });
+  t1.join();
+  t2.join();
+
+  ASSERT_NE(r1.library, nullptr);
+  ASSERT_NE(r2.library, nullptr);
+  EXPECT_EQ(r1.key, r2.key);
+  const KernelCacheStats st = cache.stats();
+  EXPECT_EQ(st.misses, 1u) << "in-flight dedup must compile exactly once";
+  EXPECT_EQ(st.hits, 1u);
+  cache.reset();
+}
+
+// PFC_JIT_TMPDIR isolation: two compiles in one process (here: truly
+// concurrent, as the serve daemon's workers run them) each get their own
+// pfc_jit_p<pid>_c<counter> scratch directory under the shared tmpdir and
+// never collide.
+TEST(JitTmpDir, ConcurrentCompilesGetUniqueScratchDirs) {
+  TempDir dir;
+  ASSERT_EQ(::setenv("PFC_JIT_TMPDIR", dir.path.c_str(), 1), 0);
+
+  std::string dir_a, dir_b;
+  std::thread ta([&] {
+    JitLibrary lib = JitLibrary::compile(tiny_source("tmp_a"));
+    dir_a = lib.directory();
+    EXPECT_NO_THROW(lib.get("pfc_cache_probe_tmp_a"));
+  });
+  std::thread tb([&] {
+    JitLibrary lib = JitLibrary::compile(tiny_source("tmp_b"));
+    dir_b = lib.directory();
+    EXPECT_NO_THROW(lib.get("pfc_cache_probe_tmp_b"));
+  });
+  ta.join();
+  tb.join();
+  ::unsetenv("PFC_JIT_TMPDIR");
+
+  EXPECT_NE(dir_a, dir_b);
+  const std::string prefix =
+      dir.path + "/pfc_jit_p" + std::to_string(::getpid()) + "_c";
+  EXPECT_EQ(dir_a.compare(0, prefix.size(), prefix), 0) << dir_a;
+  EXPECT_EQ(dir_b.compare(0, prefix.size(), prefix), 0) << dir_b;
+}
+
+}  // namespace
+}  // namespace pfc::backend

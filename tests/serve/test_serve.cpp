@@ -1,0 +1,161 @@
+// End-to-end serve round-trip: a JobServer on a Unix socket accepts two
+// identical pfc-jobspec-v1 jobs; the second is served from the content-
+// addressed kernel cache (cache.hit=true, near-zero external-compiler
+// time) and both are bitwise-identical to a direct in-process run_job.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "pfc/app/jobspec.hpp"
+#include "pfc/backend/kernel_cache.hpp"
+#include "pfc/serve/server.hpp"
+
+namespace pfc::serve {
+namespace {
+
+namespace fs = std::filesystem;
+using obs::Json;
+
+struct TempDir {
+  TempDir() {
+    std::string tmpl = (fs::temp_directory_path() / "pfc_srv_XXXXXX").string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    path = ::mkdtemp(buf.data());
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+app::JobSpec small_spec() {
+  app::JobSpec spec;
+  spec.name = "serve-roundtrip";
+  spec.steps = 3;
+  spec.simulation.cells = {32, 32, 1};
+  spec.simulation.threads = 1;
+  return spec;
+}
+
+const Json& field(const Json& j, const char* key) {
+  const Json* v = j.find(key);
+  EXPECT_NE(v, nullptr) << "missing \"" << key << "\" in " << j.dump(-1);
+  static const Json null_json;
+  return v != nullptr ? *v : null_json;
+}
+
+TEST(Serve, RoundTripSecondJobHitsKernelCache) {
+  TempDir tmp;
+  backend::KernelCache::shared().reset();
+
+  ServeOptions opts;
+  opts.socket_path = tmp.path + "/serve.sock";
+  opts.workers = 2;
+  opts.cache.directory = tmp.path + "/cache";
+  opts.quiet = true;
+  JobServer server(opts);
+  server.start();
+
+  Client client(opts.socket_path);
+  const Json pong = client.ping();
+  EXPECT_EQ(field(pong, "event").str(), "pong");
+  EXPECT_EQ(field(pong, "protocol").str(), kProtocolVersion);
+
+  // A malformed spec is rejected at the dispatcher with an error event and
+  // must not take the daemon down.
+  const Json rejected = client.submit(Json::object());
+  EXPECT_EQ(field(rejected, "event").str(), "error");
+
+  const Json spec_json = small_spec().to_json();
+  std::vector<Json> events;
+  const Json first = client.submit(spec_json, &events);
+  ASSERT_EQ(field(first, "event").str(), "finished") << first.dump(-1);
+  // accepted and started stream before the terminal event
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(field(events[0], "event").str(), "accepted");
+  EXPECT_EQ(field(events[1], "event").str(), "started");
+
+  const Json second = client.submit(spec_json);
+  ASSERT_EQ(field(second, "event").str(), "finished") << second.dump(-1);
+
+  // Identical jobs, identical fields.
+  const Json& r1 = field(first, "result");
+  const Json& r2 = field(second, "result");
+  EXPECT_EQ(field(r1, "phi_fnv1a64").str(), field(r2, "phi_fnv1a64").str());
+  EXPECT_EQ(field(r1, "mu_fnv1a64").str(), field(r2, "mu_fnv1a64").str());
+
+  // The second submit is a kernel-cache hit with near-zero compile time.
+  const Json& cache = field(field(r2, "compile"), "cache");
+  EXPECT_TRUE(field(cache, "hit").boolean()) << cache.dump(-1);
+  EXPECT_GE(field(cache, "hits").number(), 1.0);
+  const Json* timers = field(r2, "compile").find("timers");
+  ASSERT_NE(timers, nullptr);
+  const Json* jit = timers->find("jit");
+  if (jit != nullptr) {
+    EXPECT_LE(field(*jit, "seconds").number(), 0.05);
+  }
+
+  // Daemon results match a direct in-process run bitwise (no cache for the
+  // local run: its spec carries no cache_dir and the env is untouched).
+  const app::JobResult local = app::run_job(small_spec());
+  const Json local_json = local.to_json();
+  EXPECT_EQ(field(r1, "phi_fnv1a64").str(),
+            field(local_json, "phi_fnv1a64").str());
+  EXPECT_EQ(field(r1, "mu_fnv1a64").str(),
+            field(local_json, "mu_fnv1a64").str());
+
+  // list reflects both finished jobs.
+  const Json listing = client.list();
+  const auto jobs = field(listing, "jobs").elements();
+  ASSERT_EQ(jobs.size(), 2u);
+  for (const Json& job : jobs) {
+    EXPECT_EQ(field(job, "state").str(), "finished");
+    EXPECT_EQ(field(job, "name").str(), "serve-roundtrip");
+  }
+  const auto statuses = server.jobs();
+  ASSERT_EQ(statuses.size(), 2u);
+  EXPECT_EQ(statuses[0].state, "finished");
+
+  // Client-driven shutdown unblocks wait().
+  const Json bye = client.shutdown_server();
+  EXPECT_EQ(field(bye, "event").str(), "bye");
+  server.wait();
+  backend::KernelCache::shared().reset();
+}
+
+TEST(Serve, FailedJobReportsErrorAndServerSurvives) {
+  TempDir tmp;
+  ServeOptions opts;
+  opts.socket_path = tmp.path + "/serve.sock";
+  opts.workers = 1;
+  opts.quiet = true;
+  JobServer server(opts);
+  server.start();
+  Client client(opts.socket_path);
+
+  // Valid spec, impossible job: solid_phase out of range fails inside the
+  // worker (make_params), not the dispatcher — the job errors, the daemon
+  // lives on.
+  app::JobSpec bad = small_spec();
+  bad.initial.solid_phase = 7;
+  const Json terminal = client.submit(bad.to_json());
+  EXPECT_EQ(field(terminal, "event").str(), "error");
+
+  const Json pong = client.ping();
+  EXPECT_EQ(field(pong, "event").str(), "pong");
+  const auto statuses = server.jobs();
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].state, "failed");
+  EXPECT_FALSE(statuses[0].error.empty());
+  server.stop();
+}
+
+}  // namespace
+}  // namespace pfc::serve

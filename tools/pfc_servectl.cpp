@@ -1,0 +1,181 @@
+// Control client of pfc_served.
+//
+//   pfc_servectl --socket=PATH ping
+//   pfc_servectl --socket=PATH submit <jobspec.json>
+//   pfc_servectl --socket=PATH list
+//   pfc_servectl --socket=PATH shutdown
+//   pfc_servectl --socket=PATH selftest <jobspec.json>
+//
+// submit streams the job's events to stderr and prints the terminal event
+// (finished/error) JSON to stdout; exit 1 if the job errored. selftest is
+// the end-to-end round-trip the serve_roundtrip ctest runs: submit the
+// same spec twice, run it a third time in-process, and verify that (a) the
+// second daemon job reports a kernel-cache hit with near-zero external-
+// compiler time, and (b) all three runs produce bitwise-identical fields
+// (equal FNV-1a checksums).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "pfc/app/jobspec.hpp"
+#include "pfc/serve/server.hpp"
+#include "pfc/support/argparse.hpp"
+
+namespace {
+
+using pfc::obs::Json;
+
+std::string read_file(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (!f) throw pfc::Error(std::string("cannot open ") + path);
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+const Json& need(const Json& j, const char* key, const std::string& where) {
+  const Json* v = j.find(key);
+  if (v == nullptr) {
+    throw pfc::Error("selftest: " + where + " lacks \"" + key + "\"");
+  }
+  return *v;
+}
+
+/// Pulls the φ/µ checksums out of a "finished" event.
+std::pair<std::string, std::string> checksums_of(const Json& ev,
+                                                 const std::string& who) {
+  const Json& result = need(ev, "result", who);
+  return {need(result, "phi_fnv1a64", who).str(),
+          need(result, "mu_fnv1a64", who).str()};
+}
+
+int selftest(pfc::serve::Client& client, const char* spec_path) {
+  const std::string text = read_file(spec_path);
+  // Validate locally first — a bad spec should fail here, not at the daemon.
+  const pfc::app::JobSpec spec = pfc::app::JobSpec::parse(text);
+  std::string err;
+  const Json spec_json = Json::parse(text, &err);
+
+  const Json first = client.submit(spec_json);
+  const Json second = client.submit(spec_json);
+  for (const auto* ev : {&first, &second}) {
+    if (need(*ev, "event", "terminal event").str() != "finished") {
+      std::fprintf(stderr, "pfc_servectl: selftest job failed: %s\n",
+                   ev->dump(-1).c_str());
+      return 1;
+    }
+  }
+
+  int errors = 0;
+  const auto [phi1, mu1] = checksums_of(first, "first job");
+  const auto [phi2, mu2] = checksums_of(second, "second job");
+  if (phi1 != phi2 || mu1 != mu2) {
+    std::fprintf(stderr,
+                 "pfc_servectl: selftest: repeated job diverged "
+                 "(phi %s vs %s, mu %s vs %s)\n",
+                 phi1.c_str(), phi2.c_str(), mu1.c_str(), mu2.c_str());
+    ++errors;
+  }
+
+  // The second identical job must have been served from the kernel cache.
+  const Json& compile =
+      need(need(second, "result", "second job"), "compile", "second job");
+  const Json* cache = compile.find("cache");
+  if (cache == nullptr || !need(*cache, "hit", "cache section").boolean()) {
+    std::fprintf(stderr,
+                 "pfc_servectl: selftest: second identical job did not hit "
+                 "the kernel cache\n");
+    ++errors;
+  }
+  const Json* timers = compile.find("timers");
+  const Json* jit = timers != nullptr ? timers->find("jit") : nullptr;
+  if (jit != nullptr) {
+    const double seconds = need(*jit, "seconds", "jit timer").number();
+    if (seconds > 0.05) {
+      std::fprintf(stderr,
+                   "pfc_servectl: selftest: cache-hit compile spent %.3f s "
+                   "in the external compiler\n",
+                   seconds);
+      ++errors;
+    }
+  }
+
+  // An in-process run of the same spec must match the daemon bitwise.
+  const pfc::app::JobResult local = pfc::app::run_job(spec);
+  const Json local_json = local.to_json();
+  const std::string local_phi = need(local_json, "phi_fnv1a64", "local").str();
+  const std::string local_mu = need(local_json, "mu_fnv1a64", "local").str();
+  if (local_phi != phi1 || local_mu != mu1) {
+    std::fprintf(stderr,
+                 "pfc_servectl: selftest: daemon and in-process runs "
+                 "diverged (phi %s vs %s, mu %s vs %s)\n",
+                 phi1.c_str(), local_phi.c_str(), mu1.c_str(),
+                 local_mu.c_str());
+    ++errors;
+  }
+
+  if (errors == 0) {
+    std::printf(
+        "pfc_servectl: selftest OK (phi %s, mu %s, second job cache hit)\n",
+        phi1.c_str(), mu1.c_str());
+  }
+  return errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pfc;
+  std::string socket_path;
+  support::ArgParser args(
+      "pfc_servectl",
+      "pfc_servectl --socket=PATH ping|list|shutdown\n"
+      "             --socket=PATH submit|selftest <jobspec.json>");
+  args.value("socket", &socket_path);
+  const auto pos = args.parse(argc, argv);
+
+  if (socket_path.empty()) args.fail("--socket=PATH is required");
+  if (pos.empty()) args.fail("missing command");
+  const std::string cmd = pos[0];
+
+  serve::Client client(socket_path);
+  try {
+    if (cmd == "ping" || cmd == "list" || cmd == "shutdown") {
+      if (pos.size() != 1) args.fail(cmd + " takes no arguments");
+      const obs::Json reply = cmd == "ping"        ? client.ping()
+                              : cmd == "list"      ? client.list()
+                                                   : client.shutdown_server();
+      std::printf("%s\n", reply.dump(-1).c_str());
+      return 0;
+    }
+    if (cmd == "submit") {
+      if (pos.size() != 2) args.fail("submit needs exactly one jobspec file");
+      std::string err;
+      const obs::Json spec = obs::Json::parse(read_file(pos[1]), &err);
+      if (!err.empty()) {
+        std::fprintf(stderr, "pfc_servectl: %s: %s\n", pos[1], err.c_str());
+        return 1;
+      }
+      std::vector<obs::Json> events;
+      const obs::Json terminal = client.submit(spec, &events);
+      for (const obs::Json& ev : events) {
+        std::fprintf(stderr, "%s\n", ev.dump(-1).c_str());
+      }
+      std::printf("%s\n", terminal.dump(-1).c_str());
+      return terminal.find("event")->str() == "finished" ? 0 : 1;
+    }
+    if (cmd == "selftest") {
+      if (pos.size() != 2) {
+        args.fail("selftest needs exactly one jobspec file");
+      }
+      return selftest(client, pos[1]);
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "pfc_servectl: %s\n", e.what());
+    return 1;
+  }
+  args.fail("unknown command \"" + cmd + "\"");
+}

@@ -1,0 +1,57 @@
+// The serve daemon: accepts pfc-jobspec-v1 jobs over a Unix-domain socket
+// and runs them concurrently on a worker pool, sharing one content-
+// addressed kernel cache across jobs (DESIGN.md §9).
+//
+//   pfc_served --socket=PATH [--workers=N] [--cache-dir=DIR]
+//              [--cache-mb=N] [--quiet]
+//
+// Runs in the foreground until a client sends {"op":"shutdown"} (or the
+// process is signalled). --cache-dir enables the kernel cache for every
+// job that does not configure its own; --cache-mb bounds it (LRU, 0 =
+// unlimited).
+#include <cstdio>
+
+#include "pfc/serve/server.hpp"
+#include "pfc/support/argparse.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pfc;
+  serve::ServeOptions opts;
+  opts.socket_path.clear();
+
+  support::ArgParser args(
+      "pfc_served",
+      "pfc_served --socket=PATH [--workers=N] [--cache-dir=DIR]\n"
+      "           [--cache-mb=N] [--quiet]");
+  args.value("socket", &opts.socket_path);
+  int workers = 2;
+  args.positive("workers", &workers);
+  args.value("cache-dir", &opts.cache.directory);
+  long long cache_mb = -1;
+  args.count("cache-mb", &cache_mb);
+  args.flag("quiet", &opts.quiet);
+  const auto pos = args.parse(argc, argv);
+
+  if (!pos.empty()) args.fail("unexpected positional argument");
+  if (opts.socket_path.empty()) args.fail("--socket=PATH is required");
+  opts.workers = workers;
+  if (cache_mb >= 0) opts.cache.max_bytes = std::uint64_t(cache_mb) << 20;
+
+  serve::JobServer server(opts);
+  try {
+    server.start();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "pfc_served: %s\n", e.what());
+    return 1;
+  }
+  if (!opts.quiet) {
+    std::fprintf(stderr,
+                 "pfc_served: listening on %s (%d workers, cache %s)\n",
+                 opts.socket_path.c_str(), opts.workers,
+                 opts.cache.directory.empty() ? "off"
+                                              : opts.cache.directory.c_str());
+  }
+  server.wait();
+  if (!opts.quiet) std::fprintf(stderr, "pfc_served: shut down\n");
+  return 0;
+}

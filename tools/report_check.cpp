@@ -1,8 +1,9 @@
 // Validates a pfc-obs report JSON file against the shared schema
-// (pfc-obs-report-v4; stored v3/v2 reports are still accepted), including
-// the optional model_accuracy (ECM/netmodel drift), health, resilience and
-// overlap (communication-hiding phase split) sections. Run by ctest against
-// the file quickstart emits, so every producer that funnels through
+// (pfc-obs-report-v5; stored v4/v3/v2 reports are still accepted),
+// including the optional model_accuracy (ECM/netmodel drift), health,
+// resilience, overlap (communication-hiding phase split) and cache
+// (kernel-cache provenance) sections. Run by ctest against the file
+// quickstart emits, so every producer that funnels through
 // obs::make_report_json stays honest.
 //
 // With --trace the argument is instead a chrome://tracing trace file (as
@@ -26,15 +27,26 @@
 // counts tiling the local lattice) is validated whenever the section is
 // present, flag or not.
 //
+// With --require-cache the compile report (top-level or embedded under
+// "compile") must carry the v5 "cache" section: kernel-cache provenance
+// (hit flag, 64-hex content key, process-wide hit/miss/evict/byte
+// counters). The section is structurally validated whenever present.
+//
+// With --jobspec the argument is a pfc-jobspec-v1 file; it is parsed with
+// the same strict decoder the serve daemon uses (unknown keys and type
+// mismatches are errors) and cross-field validated.
+//
 // Usage: report_check [--require-vector-width] [--require-overlap]
-//                     <report.json> [expected-kind]
+//                     [--require-cache] <report.json> [expected-kind]
 //        report_check --trace <trace.json>
 //        report_check --checkpoint <manifest.json>
+//        report_check --jobspec <jobspec.json>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "pfc/app/jobspec.hpp"
 #include "pfc/obs/json.hpp"
 #include "pfc/obs/report.hpp"
 #include "pfc/resilience/checkpoint.hpp"
@@ -309,6 +321,53 @@ void check_overlap(const pfc::obs::Json& o, double local_cells) {
   }
 }
 
+/// "cache" section (v5): kernel-cache provenance of a compile report.
+void check_cache(const pfc::obs::Json& c) {
+  if (!c.is_object()) {
+    fail("cache must be an object");
+    return;
+  }
+  const pfc::obs::Json* hit = c.find("hit");
+  if (!hit || hit->kind() != pfc::obs::Json::Kind::Bool) {
+    fail("cache/hit must be a bool");
+  }
+  const pfc::obs::Json* key = c.find("key");
+  if (!key || !key->is_string() || key->str().size() != 64 ||
+      key->str().find_first_not_of("0123456789abcdef") != std::string::npos) {
+    fail("cache/key must be a 64-hex-digit content hash");
+  }
+  for (const char* k : {"hits", "misses", "evictions", "bytes"}) {
+    const pfc::obs::Json* v = c.find(k);
+    if (!v) {
+      fail(std::string("cache: missing \"") + k + '"');
+      continue;
+    }
+    check_finite_nonneg(*v, std::string("cache/") + k);
+  }
+  // a hit implies the process saw at least one earlier acquire of this key
+  if (!g_errors && hit->boolean() && c.find("hits")->number() < 1.0) {
+    fail("cache/hit is true but cache/hits is 0");
+  }
+}
+
+/// --jobspec mode: strict decode + cross-field validation of a job spec.
+int check_jobspec(const char* path) {
+  const std::string text = read_file(path);
+  if (g_errors) return 1;
+  try {
+    const pfc::app::JobSpec spec = pfc::app::JobSpec::parse(text);
+    std::printf("report_check: %s OK (jobspec \"%s\", preset %s, %lld "
+                "steps, mode %s)\n",
+                path, spec.name.c_str(), spec.model.preset.c_str(),
+                spec.steps, spec.mode.c_str());
+    return 0;
+  } catch (const pfc::Error& e) {
+    fail(e.what());
+    std::fprintf(stderr, "report_check: %s FAILED (1 error)\n", path);
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -318,13 +377,19 @@ int main(int argc, char** argv) {
   if (argc == 3 && std::strcmp(argv[1], "--checkpoint") == 0) {
     return check_checkpoint(argv[2]);
   }
+  if (argc == 3 && std::strcmp(argv[1], "--jobspec") == 0) {
+    return check_jobspec(argv[2]);
+  }
   bool require_vector_width = false;
   bool require_overlap = false;
+  bool require_cache = false;
   while (argc >= 2 && std::strncmp(argv[1], "--", 2) == 0) {
     if (std::strcmp(argv[1], "--require-vector-width") == 0) {
       require_vector_width = true;
     } else if (std::strcmp(argv[1], "--require-overlap") == 0) {
       require_overlap = true;
+    } else if (std::strcmp(argv[1], "--require-cache") == 0) {
+      require_cache = true;
     } else {
       std::fprintf(stderr, "report_check: unknown flag %s\n", argv[1]);
       return 2;
@@ -335,9 +400,11 @@ int main(int argc, char** argv) {
   if (argc < 2 || argc > 3) {
     std::fprintf(stderr,
                  "usage: report_check [--require-vector-width] "
-                 "[--require-overlap] <report.json> [kind]\n"
+                 "[--require-overlap] [--require-cache] <report.json> "
+                 "[kind]\n"
                  "       report_check --trace <trace.json>\n"
-                 "       report_check --checkpoint <manifest.json>\n");
+                 "       report_check --checkpoint <manifest.json>\n"
+                 "       report_check --jobspec <jobspec.json>\n");
     return 2;
   }
   const std::string text = read_file(argv[1]);
@@ -358,16 +425,19 @@ int main(int argc, char** argv) {
   }
   if (g_errors) return 1;
 
-  const bool is_v4 = j.find("schema")->is_string() &&
+  const bool is_v5 = j.find("schema")->is_string() &&
                      j.find("schema")->str() == pfc::obs::kReportSchema;
+  const bool is_v4 = j.find("schema")->is_string() &&
+                     j.find("schema")->str() == pfc::obs::kReportSchemaV4;
   const bool is_v3 = j.find("schema")->is_string() &&
                      j.find("schema")->str() == pfc::obs::kReportSchemaV3;
   const bool is_v2 = j.find("schema")->is_string() &&
                      j.find("schema")->str() == pfc::obs::kReportSchemaV2;
-  if (!is_v4 && !is_v3 && !is_v2) {
+  if (!is_v5 && !is_v4 && !is_v3 && !is_v2) {
     fail(std::string("schema must be \"") + pfc::obs::kReportSchema +
-         "\" (or the stored \"" + pfc::obs::kReportSchemaV3 + "\" / \"" +
-         pfc::obs::kReportSchemaV2 + "\")");
+         "\" (or the stored \"" + pfc::obs::kReportSchemaV4 + "\" / \"" +
+         pfc::obs::kReportSchemaV3 + "\" / \"" + pfc::obs::kReportSchemaV2 +
+         "\")");
   }
   const pfc::obs::Json& kind = *j.find("kind");
   if (!kind.is_string() || (kind.str() != "run" && kind.str() != "compile" &&
@@ -478,7 +548,8 @@ int main(int argc, char** argv) {
         fail("resilience/restarted must be a bool");
       }
     }
-  } else if ((is_v4 || is_v3) && kind.is_string() && kind.str() == "run") {
+  } else if ((is_v5 || is_v4 || is_v3) && kind.is_string() &&
+             kind.str() == "run") {
     fail("v3+ run reports must carry a \"resilience\" section");
   }
   if (const pfc::obs::Json* tier = j.find("backend_tier")) {
@@ -493,7 +564,8 @@ int main(int argc, char** argv) {
     } else {
       check_finite_nonneg(*attempts, "fallback_attempts");
     }
-  } else if ((is_v4 || is_v3) && kind.is_string() && kind.str() == "compile") {
+  } else if ((is_v5 || is_v4 || is_v3) && kind.is_string() &&
+             kind.str() == "compile") {
     fail("v3+ compile reports must carry \"backend_tier\"");
   }
 
@@ -501,7 +573,7 @@ int main(int argc, char** argv) {
   // schemas never wrote it, so its presence pins the report to v4.
   const pfc::obs::Json* overlap = j.find("overlap");
   if (overlap != nullptr) {
-    if (!is_v4) fail("\"overlap\" section requires the v4 schema");
+    if (!is_v5 && !is_v4) fail("\"overlap\" section requires the v4 schema");
     const pfc::obs::Json* cps =
         derived.is_object() ? derived.find("cells_per_step") : nullptr;
     check_overlap(*overlap,
@@ -519,6 +591,22 @@ int main(int argc, char** argv) {
   }
 
   if (require_vector_width) check_vector_width(j);
+
+  // v5 section: kernel-cache provenance of a compile report. Run reports
+  // embed their compile report under "compile" (as quickstart writes it).
+  const pfc::obs::Json* cache = j.find("cache");
+  if (cache == nullptr) {
+    if (const pfc::obs::Json* compile = j.find("compile")) {
+      if (compile->is_object()) cache = compile->find("cache");
+    }
+  }
+  if (cache != nullptr) {
+    if (!is_v5) fail("\"cache\" section requires the v5 schema");
+    check_cache(*cache);
+  } else if (require_cache) {
+    fail("--require-cache: report carries no \"cache\" section (checked "
+         "top-level and embedded \"compile\" report)");
+  }
 
   if (g_errors) {
     std::fprintf(stderr, "report_check: %s FAILED (%d error%s)\n", argv[1],

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Serve round-trip ctest: start pfc_served on a private socket with a fresh
+# kernel-cache directory, run pfc_servectl selftest (submit the same spec
+# twice, verify the second job is a kernel-cache hit with near-zero compile
+# time and all runs are bitwise-identical), then shut the daemon down.
+#
+#   serve_roundtrip.sh <pfc_served> <pfc_servectl> <jobspec.json> <workdir>
+set -u
+
+SERVED=$1
+SERVECTL=$2
+JOBSPEC=$3
+WORKDIR=$4
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+SOCKET="$WORKDIR/serve.sock"
+
+"$SERVED" --socket="$SOCKET" --workers=2 \
+  --cache-dir="$WORKDIR/kernel_cache" --cache-mb=64 &
+SERVED_PID=$!
+trap 'kill "$SERVED_PID" 2>/dev/null; wait "$SERVED_PID" 2>/dev/null' EXIT
+
+# Wait for the socket to come up (the daemon binds before it logs).
+for _ in $(seq 1 100); do
+  [ -S "$SOCKET" ] && break
+  sleep 0.1
+done
+if ! [ -S "$SOCKET" ]; then
+  echo "serve_roundtrip: daemon never bound $SOCKET" >&2
+  exit 1
+fi
+
+"$SERVECTL" --socket="$SOCKET" ping || exit 1
+"$SERVECTL" --socket="$SOCKET" selftest "$JOBSPEC"
+STATUS=$?
+
+"$SERVECTL" --socket="$SOCKET" shutdown || exit 1
+wait "$SERVED_PID"
+DAEMON_STATUS=$?
+trap - EXIT
+
+if [ "$STATUS" -ne 0 ]; then
+  echo "serve_roundtrip: selftest failed" >&2
+  exit "$STATUS"
+fi
+if [ "$DAEMON_STATUS" -ne 0 ]; then
+  echo "serve_roundtrip: daemon exited with $DAEMON_STATUS" >&2
+  exit 1
+fi
+echo "serve_roundtrip: OK"
