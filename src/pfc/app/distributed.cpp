@@ -276,6 +276,7 @@ obs::RunReport DistributedSimulation::run(int steps) {
   const long long target = step_ + steps;
   while (step_ < target) {
     const double t = time_;
+    Timer step_wall;
     trace_this_step_ = tracer_.sampled(step_);
     obs::TraceRecorder* tr = trace_this_step_ ? &tracer_ : nullptr;
     const double step_ts = tr != nullptr ? tr->now_us() : 0.0;
@@ -453,6 +454,7 @@ obs::RunReport DistributedSimulation::run(int steps) {
     if (cp_due && global_found == 0) {
       capture_checkpoint(!res.directory.empty());
     }
+    record_progress(step_wall.seconds());
   }
   if (tracer_.enabled()) {
     const bool multi_rank = comm_ != nullptr && comm_->size() > 1;
@@ -461,6 +463,35 @@ obs::RunReport DistributedSimulation::run(int steps) {
                              : opts_.trace.path);
   }
   return report();
+}
+
+void DistributedSimulation::record_progress(double step_wall_seconds) {
+  step_seconds_ewma_ =
+      step_seconds_ewma_ <= 0.0
+          ? step_wall_seconds
+          : kProgressEwmaAlpha * step_wall_seconds +
+                (1.0 - kProgressEwmaAlpha) * step_seconds_ewma_;
+  if (!progress_.sink || progress_.every <= 0) return;
+  if (step_ % progress_.every != 0 || step_ <= last_progress_step_) return;
+  last_progress_step_ = step_;
+  long long local_cells = 0;
+  for (const auto& lb : locals_) {
+    local_cells += lb->block->size[0] * lb->block->size[1] * lb->block->size[2];
+  }
+  ProgressUpdate u;
+  u.step = step_;
+  u.steps_total = progress_.steps_total;
+  u.fraction = progress_.steps_total > 0
+                   ? double(step_) / double(progress_.steps_total)
+                   : 0.0;
+  u.step_seconds_ewma = step_seconds_ewma_;
+  u.mlups = obs::safe_rate(double(local_cells), step_seconds_ewma_) / 1e6;
+  u.eta_seconds =
+      progress_.steps_total > 0 && progress_.steps_total > step_
+          ? double(progress_.steps_total - step_) * step_seconds_ewma_
+          : 0.0;
+  u.health_violations = health_.stats().total_violations();
+  progress_.sink(u);
 }
 
 obs::RunReport DistributedSimulation::report() const {

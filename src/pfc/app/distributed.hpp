@@ -105,6 +105,10 @@ class DistributedSimulation {
   /// Checkpoint/rollback accounting of this rank.
   const obs::ResilienceStats& resilience_stats() const { return res_stats_; }
 
+  /// Enables periodic progress sampling of this rank's step loop (see
+  /// progress.hpp; the serve daemon sets this on single-process runs).
+  void set_progress(ProgressOptions p) { progress_ = std::move(p); }
+
   /// Sum over local blocks of component c of phi (for cross-validation).
   double local_phi_sum(int c) const;
 
@@ -150,6 +154,8 @@ class DistributedSimulation {
   void restore_from_disk();
   /// Re-exchanges ghosts of both src fields (after restore/rollback).
   void refresh_src_ghosts();
+  /// Updates the step-time EWMA and emits a progress sample when due.
+  void record_progress(double step_wall_seconds);
 
   /// Owned copy (shares the caller's Field handles) so a dt shrink can
   /// regenerate kernels without mutating the caller's model.
@@ -186,6 +192,9 @@ class DistributedSimulation {
   /// Interior cells of one block launch (all blocks are equal-sized).
   long long cells_per_launch_ = 0;
   bool trace_this_step_ = false;
+  ProgressOptions progress_;
+  double step_seconds_ewma_ = 0.0;
+  long long last_progress_step_ = -1;
 };
 
 }  // namespace pfc::app

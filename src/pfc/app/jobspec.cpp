@@ -1,5 +1,6 @@
 #include "pfc/app/jobspec.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -96,6 +97,7 @@ Json JobSpec::to_json() const {
                .set("solid_phase", Json(initial.solid_phase)))
       .set("steps", Json(steps))
       .set("mode", Json(mode))
+      .set("progress_every", Json(progress_every))
       .set("simulation", simulation_options_to_json(simulation))
       .set("distributed", distributed_options_to_json(distributed));
 }
@@ -104,7 +106,7 @@ JobSpec JobSpec::from_json(const Json& j, const std::string& where) {
   require_object(j, where);
   check_keys(j,
              {"schema", "name", "model", "initial", "steps", "mode",
-              "simulation", "distributed"},
+              "progress_every", "simulation", "distributed"},
              where);
   const std::string schema = read_str(j, "schema", "", where);
   if (schema != kJobSpecSchema) {
@@ -157,6 +159,7 @@ JobSpec JobSpec::from_json(const Json& j, const std::string& where) {
 
   s.steps = read_int(j, "steps", s.steps, where);
   s.mode = read_str(j, "mode", s.mode, where);
+  s.progress_every = read_int(j, "progress_every", s.progress_every, where);
   if (const Json* v = j.find("simulation")) {
     s.simulation = simulation_options_from_json(*v, where + ".simulation");
   }
@@ -201,6 +204,7 @@ void JobSpec::validate() const {
   }
   if (initial.solid_phase < 0) bad("initial.solid_phase", "must be >= 0");
   if (steps < 0) bad("steps", "must be >= 0");
+  if (progress_every < 0) bad("progress_every", "must be >= 0");
   if (mode != "single" && mode != "distributed") {
     bad("mode", "unknown mode \"" + mode +
                     "\" (valid: single, distributed)");
@@ -291,10 +295,15 @@ struct InitialCondition {
 
 }  // namespace
 
-JobResult run_job(const JobSpec& spec) {
+JobResult run_job(const JobSpec& spec, const ProgressSink& progress) {
   spec.validate();
   const GrandChemParams params = spec.make_params();
   GrandChemModel model(params);
+
+  // ~8 samples per job unless the spec pins a cadence explicitly.
+  const long long every =
+      spec.progress_every > 0 ? spec.progress_every
+                              : std::max<long long>(1, spec.steps / 8);
 
   JobResult result;
   result.name = spec.name;
@@ -302,6 +311,9 @@ JobResult run_job(const JobSpec& spec) {
 
   if (spec.mode == "distributed") {
     DistributedSimulation sim(model, spec.distributed, nullptr);
+    if (progress && spec.steps > 0) {
+      sim.set_progress({progress, every, spec.steps});
+    }
     const InitialCondition ic{spec, params, spec.distributed.cells};
     sim.init(
         [&](long long x, long long y, long long z, int c) {
@@ -318,6 +330,9 @@ JobResult run_job(const JobSpec& spec) {
   }
 
   Simulation sim(model, spec.simulation);
+  if (progress && spec.steps > 0) {
+    sim.set_progress({progress, every, spec.steps});
+  }
   const InitialCondition ic{spec, params, spec.simulation.cells};
   sim.init_phi([&](long long x, long long y, long long z, int c) {
     return ic.phi(x, y, z, c);

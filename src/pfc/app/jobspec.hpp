@@ -26,6 +26,7 @@
 #include <optional>
 
 #include "pfc/app/options_json.hpp"
+#include "pfc/app/progress.hpp"
 #include "pfc/obs/report.hpp"
 
 namespace pfc::app {
@@ -60,6 +61,9 @@ struct JobSpec {
   JobInitialSpec initial;
   long long steps = 100;
   std::string mode = "single";  ///< "single" | "distributed"
+  /// Steps between progress samples when a sink is attached (run_job's
+  /// `progress` argument). 0 = caller default (the daemon picks ~steps/8).
+  long long progress_every = 0;
   SimulationOptions simulation;
   DistributedOptions distributed;
 
@@ -94,8 +98,11 @@ struct JobResult {
 };
 
 /// Runs one job start-to-finish in the calling thread (the serve workers
-/// and the --jobspec example path both land here).
-JobResult run_job(const JobSpec& spec);
+/// and the --jobspec example path both land here). When `progress` is
+/// non-null the driver samples its step loop every
+/// `spec.progress_every > 0 ? spec.progress_every : max(1, steps / 8)`
+/// steps and invokes the sink on the stepping thread (see progress.hpp).
+JobResult run_job(const JobSpec& spec, const ProgressSink& progress = nullptr);
 
 /// FNV-1a over the interior cells of `a`, component-major (test utility;
 /// what JobResult's checksums are computed with).

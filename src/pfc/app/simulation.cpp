@@ -197,6 +197,7 @@ obs::RunReport Simulation::run(int n) {
   const long long target = step_ + n;
   while (step_ < target) {
     const double dt = dt_current_;
+    Timer step_wall;
     trace_this_step_ = tracer_.sampled(step_);
     const double step_ts = trace_this_step_ ? tracer_.now_us() : 0.0;
     double step_seconds = 0.0;
@@ -251,6 +252,7 @@ obs::RunReport Simulation::run(int n) {
     // Progress beyond the troubled step means the recovery worked.
     if (step_ > last_violation_step_) retries_ = 0;
     if (cp_due && found == 0) capture_checkpoint(!res.directory.empty());
+    record_progress(step_wall.seconds());
   }
   if (tracer_.enabled()) tracer_.write(opts_.trace.path);
   return report();
@@ -345,6 +347,32 @@ void Simulation::maybe_inject_nan() {
                "pfc fault: injected NaN into phi at step %lld, cell "
                "(%lld,%lld,%lld)\n",
                step_, c[0], c[1], c[2]);
+}
+
+void Simulation::record_progress(double step_wall_seconds) {
+  step_seconds_ewma_ =
+      step_seconds_ewma_ <= 0.0
+          ? step_wall_seconds
+          : kProgressEwmaAlpha * step_wall_seconds +
+                (1.0 - kProgressEwmaAlpha) * step_seconds_ewma_;
+  if (!progress_.sink || progress_.every <= 0) return;
+  if (step_ % progress_.every != 0 || step_ <= last_progress_step_) return;
+  last_progress_step_ = step_;
+  ProgressUpdate u;
+  u.step = step_;
+  u.steps_total = progress_.steps_total;
+  u.fraction = progress_.steps_total > 0
+                   ? double(step_) / double(progress_.steps_total)
+                   : 0.0;
+  u.step_seconds_ewma = step_seconds_ewma_;
+  u.mlups =
+      obs::safe_rate(double(cells_per_step()), step_seconds_ewma_) / 1e6;
+  u.eta_seconds =
+      progress_.steps_total > 0 && progress_.steps_total > step_
+          ? double(progress_.steps_total - step_) * step_seconds_ewma_
+          : 0.0;
+  u.health_violations = health_.stats().total_violations();
+  progress_.sink(u);
 }
 
 void Simulation::restore_from_disk() {

@@ -15,6 +15,7 @@
 #include <map>
 
 #include "pfc/app/options.hpp"
+#include "pfc/app/progress.hpp"
 #include "pfc/obs/report.hpp"
 #include "pfc/resilience/checkpoint.hpp"
 
@@ -115,6 +116,10 @@ class Simulation {
   /// Checkpoint/rollback accounting (mirrors report().resilience).
   const obs::ResilienceStats& resilience_stats() const { return res_stats_; }
 
+  /// Enables periodic progress sampling: run() invokes p.sink every
+  /// p.every completed steps (on the stepping thread; see progress.hpp).
+  void set_progress(ProgressOptions p) { progress_ = std::move(p); }
+
  private:
   backend::Binding bind(const ir::Kernel& k, bool for_flux_of_mu) const;
   void fill_all_ghosts(Array& a) { grid::fill_ghosts(a, opts_.boundary); }
@@ -138,6 +143,8 @@ class Simulation {
   void rebuild_with_dt(double new_dt);
   /// Fires FaultPlan::nan_step once when due (right after `step_` advanced).
   void maybe_inject_nan();
+  /// Updates the step-time EWMA and emits a progress sample when due.
+  void record_progress(double step_wall_seconds);
   /// Restores state from opts_.resilience.restart_from (ctor helper).
   void restore_from_disk();
 
@@ -167,6 +174,9 @@ class Simulation {
   std::map<std::string, double> predicted_mlups_;
   /// True while the current step is on the trace sampling grid.
   bool trace_this_step_ = false;
+  ProgressOptions progress_;
+  double step_seconds_ewma_ = 0.0;
+  long long last_progress_step_ = -1;
 };
 
 // --- initial-condition helpers ----------------------------------------------

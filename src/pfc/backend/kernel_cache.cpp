@@ -11,12 +11,43 @@
 #include <set>
 #include <vector>
 
+#include "pfc/obs/metrics.hpp"
 #include "pfc/support/assert.hpp"
 #include "pfc/support/sha256.hpp"
 
 namespace pfc::backend {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// Shared-registry mirrors of the cache accounting (what the serve
+/// daemon's "metrics" request exposes; Impl's own counters stay the
+/// source of truth for stats()).
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+  obs::Gauge& bytes;
+  obs::Gauge& entries;
+};
+
+CacheMetrics& cache_metrics() {
+  auto& m = obs::MetricsRegistry::shared();
+  static CacheMetrics cm{
+      m.counter("pfc_kernel_cache_hits_total",
+                "Kernel-cache lookups served from the index"),
+      m.counter("pfc_kernel_cache_misses_total",
+                "Kernel-cache lookups that compiled"),
+      m.counter("pfc_kernel_cache_evictions_total",
+                "Cached kernels unlinked by the LRU budget"),
+      m.gauge("pfc_kernel_cache_bytes", "Bytes of cached shared objects"),
+      m.gauge("pfc_kernel_cache_entries", "Cached shared objects"),
+  };
+  return cm;
+}
+
+}  // namespace
 
 struct KernelCache::Impl {
   struct Entry {
@@ -78,7 +109,14 @@ struct KernelCache::Impl {
       fs::remove(victim->second.path, ec);
       entries.erase(victim);
       ++evictions;
+      cache_metrics().evictions.add(1);
     }
+  }
+
+  /// Refreshes the shared-registry level gauges. Called under the lock.
+  void publish_levels() const {
+    cache_metrics().bytes.set(double(total_bytes()));
+    cache_metrics().entries.set(double(entries.size()));
   }
 };
 
@@ -156,6 +194,8 @@ KernelCacheResult KernelCache::acquire(const std::string& source,
       }
       e.last_use = impl->clock++;
       ++impl->hits;
+      cache_metrics().hits.add(1);
+      impl->publish_levels();
       result.library = e.library;
       result.hit = true;
       return result;
@@ -196,6 +236,7 @@ KernelCacheResult KernelCache::acquire(const std::string& source,
     lock.lock();
     impl->in_flight.erase(result.key);
     ++impl->misses;
+    cache_metrics().misses.add(1);
     impl->cv.notify_all();
     throw;
   }
@@ -203,6 +244,7 @@ KernelCacheResult KernelCache::acquire(const std::string& source,
   lock.lock();
   impl->in_flight.erase(result.key);
   ++impl->misses;
+  cache_metrics().misses.add(1);
   if (so_bytes > 0) {
     Impl::Entry e;
     e.library = library;
@@ -212,6 +254,7 @@ KernelCacheResult KernelCache::acquire(const std::string& source,
     impl->entries[result.key] = std::move(e);
     impl->evict_to_budget(config.max_bytes, result.key);
   }
+  impl->publish_levels();
   impl->cv.notify_all();
 
   result.library = std::move(library);
@@ -238,6 +281,7 @@ void KernelCache::reset() {
   impl->scanned_dirs.clear();
   impl->hits = impl->misses = impl->evictions = 0;
   impl->clock = 0;
+  impl->publish_levels();
 }
 
 KernelCacheConfig kernel_cache_config_from_env() {

@@ -1,0 +1,108 @@
+#include "pfc/obs/log.hpp"
+
+#include <chrono>
+
+#include "pfc/support/assert.hpp"
+
+namespace pfc::obs::log {
+
+Level level_from_string(const std::string& s) {
+  if (s == "debug") return Level::Debug;
+  if (s == "info") return Level::Info;
+  if (s == "warn") return Level::Warn;
+  if (s == "error") return Level::Error;
+  throw Error("log: unknown level \"" + s +
+              "\" (valid: debug, info, warn, error)");
+}
+
+const char* level_name(Level l) {
+  switch (l) {
+    case Level::Debug: return "debug";
+    case Level::Info: return "info";
+    case Level::Warn: return "warn";
+    case Level::Error: return "error";
+  }
+  return "info";
+}
+
+Logger& Logger::shared() {
+  static Logger instance;
+  return instance;
+}
+
+Logger::~Logger() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void Logger::configure(Level min_level, const std::string& json_path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  min_level_.store(int(min_level), std::memory_order_relaxed);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  if (!json_path.empty()) {
+    file_ = std::fopen(json_path.c_str(), "a");
+    PFC_REQUIRE(file_ != nullptr, "log: cannot open " + json_path);
+  }
+  records_.store(0, std::memory_order_relaxed);
+}
+
+void Logger::write(Level level, const std::string& component,
+                   const std::string& msg,
+                   const std::vector<Field>& fields) {
+  if (!enabled(level)) return;
+  const double ts =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.fetch_add(1, std::memory_order_relaxed);
+  if (file_ != nullptr) {
+    Json rec = Json::object()
+                   .set("ts", Json(ts))
+                   .set("level", Json(level_name(level)))
+                   .set("component", Json(component))
+                   .set("msg", Json(msg));
+    for (const Field& f : fields) rec.set(f.key, f.value);
+    const std::string line = rec.dump(-1);
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+    std::fflush(file_);
+    return;
+  }
+  // Human-readable stderr: "component [level] msg key=value ...".
+  std::string line = component;
+  line += " [";
+  line += level_name(level);
+  line += "] ";
+  line += msg;
+  for (const Field& f : fields) {
+    line += ' ';
+    line += f.key;
+    line += '=';
+    line += f.value.is_string() ? f.value.str() : f.value.dump(-1);
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+void debug(const std::string& component, const std::string& msg,
+           const std::vector<Field>& fields) {
+  Logger::shared().write(Level::Debug, component, msg, fields);
+}
+void info(const std::string& component, const std::string& msg,
+          const std::vector<Field>& fields) {
+  Logger::shared().write(Level::Info, component, msg, fields);
+}
+void warn(const std::string& component, const std::string& msg,
+          const std::vector<Field>& fields) {
+  Logger::shared().write(Level::Warn, component, msg, fields);
+}
+void error(const std::string& component, const std::string& msg,
+           const std::vector<Field>& fields) {
+  Logger::shared().write(Level::Error, component, msg, fields);
+}
+
+}  // namespace pfc::obs::log

@@ -1,0 +1,86 @@
+// Structured logging for the daemon tier (pfc::obs::log): leveled records
+// with typed key/value fields, written either as human-readable lines to
+// stderr (the default) or as JSON-lines to a file (--log-file on
+// pfc_served). Every record carries a timestamp, level, component and any
+// fields the call site attaches — the serve daemon stamps each job's
+// correlation id ("job-<id>") on every record it emits for that job, so
+// one grep reconstructs a job's whole lifecycle from a shared log.
+//
+// JSON-lines record shape (one compact object per line):
+//
+//   {"ts": 1754650000.123, "level": "info", "component": "pfc_served",
+//    "msg": "job finished", "correlation_id": "job-3", "job": 3, ...}
+//
+// The logger is deliberately small: a global instance (Logger::shared()),
+// a level gate read lock-free, and a mutex only around the actual write,
+// so concurrent workers interleave whole lines, never bytes.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pfc/obs/json.hpp"
+
+namespace pfc::obs::log {
+
+enum class Level { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+/// "debug" | "info" | "warn" | "error"; throws pfc::Error otherwise.
+Level level_from_string(const std::string& s);
+const char* level_name(Level l);
+
+/// One typed key/value attachment of a record.
+struct Field {
+  std::string key;
+  Json value;
+};
+
+class Logger {
+ public:
+  Logger() = default;
+  ~Logger();
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  /// The process-wide logger the daemon (and anything else) writes to.
+  static Logger& shared();
+
+  /// min_level gates records; json_path selects the JSON-lines file sink
+  /// (empty = human-readable stderr). Reconfiguring closes a previous
+  /// file sink. Throws pfc::Error if the file cannot be opened.
+  void configure(Level min_level, const std::string& json_path = "");
+
+  bool enabled(Level l) const {
+    return int(l) >= min_level_.load(std::memory_order_relaxed);
+  }
+
+  /// Writes one record (no-op below the configured level).
+  void write(Level level, const std::string& component,
+             const std::string& msg, const std::vector<Field>& fields = {});
+
+  /// Records written since construction/configure (test visibility).
+  std::uint64_t records_written() const {
+    return records_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int> min_level_{int(Level::Info)};
+  std::atomic<std::uint64_t> records_{0};
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;  ///< owned JSON-lines sink (null = stderr)
+};
+
+// Convenience funnels onto Logger::shared().
+void debug(const std::string& component, const std::string& msg,
+           const std::vector<Field>& fields = {});
+void info(const std::string& component, const std::string& msg,
+          const std::vector<Field>& fields = {});
+void warn(const std::string& component, const std::string& msg,
+          const std::vector<Field>& fields = {});
+void error(const std::string& component, const std::string& msg,
+           const std::vector<Field>& fields = {});
+
+}  // namespace pfc::obs::log

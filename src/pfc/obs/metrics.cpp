@@ -1,0 +1,308 @@
+#include "pfc/obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "pfc/support/assert.hpp"
+
+namespace pfc::obs {
+
+// --- Gauge -------------------------------------------------------------------
+
+std::uint64_t Gauge::pack(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+double Gauge::unpack(std::uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    PFC_REQUIRE(bounds_[i] < bounds_[i + 1],
+                "histogram bounds must be strictly increasing");
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::observe(double value) {
+  // Lower-bound search over the (short, fixed) edge list; the overflow
+  // bucket catches everything past the last edge, NaN included.
+  std::size_t b = bounds_.size();
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      b = i;
+      break;
+    }
+  }
+  counts_[b].fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t old = sum_bits_.load(std::memory_order_relaxed);
+  double s;
+  std::uint64_t next;
+  do {
+    std::memcpy(&s, &old, sizeof s);
+    s += value;
+    std::memcpy(&next, &s, sizeof next);
+  } while (!sum_bits_.compare_exchange_weak(old, next,
+                                            std::memory_order_relaxed));
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    s.count += s.counts[i];
+  }
+  const std::uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  std::memcpy(&s.sum, &bits, sizeof s.sum);
+  return s;
+}
+
+std::vector<double> Histogram::duration_bounds() {
+  return {0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+          2.5,  5.0,   10.0, 30.0, 60.0, 120.0, 300.0};
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  const auto ok_first = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!ok_first(name[0])) return false;
+  for (const char c : name) {
+    if (!ok_first(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+MetricsRegistry& MetricsRegistry::shared() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+namespace {
+
+std::string label_key(const MetricLabels& labels) {
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    key += k;
+    key += '\x1f';
+    key += v;
+    key += '\x1e';
+  }
+  return key;
+}
+
+/// Prometheus label-value escaping: backslash, double-quote, newline.
+std::string escape_label(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+std::string render_labels(const MetricLabels& labels,
+                          const std::string& extra_key = "",
+                          const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + escape_label(v) + '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key + "=\"" + extra_value + '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string format_number(double v) {
+  if (v == (long long)(v) && std::fabs(v) < 1e15) {
+    return std::to_string((long long)(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+MetricsRegistry::Family& MetricsRegistry::family(const std::string& name,
+                                                 const std::string& help,
+                                                 Kind kind) {
+  PFC_REQUIRE(valid_metric_name(name),
+              "invalid metric name \"" + name + '"');
+  PFC_REQUIRE(!help.empty(), "metric \"" + name + "\" needs help text");
+  Family& f = families_[name];
+  if (f.help.empty()) {
+    f.kind = kind;
+    f.help = help;
+    return f;
+  }
+  PFC_REQUIRE(f.kind == kind, "metric \"" + name +
+                                  "\" re-registered with a different kind");
+  return f;
+}
+
+MetricsRegistry::Series& MetricsRegistry::series(Family& f,
+                                                 const MetricLabels& labels) {
+  Series& s = f.series[label_key(labels)];
+  s.labels = labels;
+  return s;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series& s = series(family(name, help, Kind::Counter), labels);
+  if (s.counter == nullptr) s.counter = std::make_unique<Counter>();
+  return *s.counter;
+}
+
+Gauge& MetricsRegistry::counter_double(const std::string& name,
+                                       const std::string& help,
+                                       const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series& s = series(family(name, help, Kind::CounterDouble), labels);
+  if (s.gauge == nullptr) s.gauge = std::make_unique<Gauge>();
+  return *s.gauge;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help,
+                              const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series& s = series(family(name, help, Kind::Gauge), labels);
+  if (s.gauge == nullptr) s.gauge = std::make_unique<Gauge>();
+  return *s.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      std::vector<double> bounds,
+                                      const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series& s = series(family(name, help, Kind::Histogram), labels);
+  if (s.histogram == nullptr) {
+    s.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *s.histogram;
+}
+
+Json MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json metrics = Json::object();
+  for (const auto& [name, f] : families_) {
+    const char* type = f.kind == Kind::Histogram ? "histogram"
+                       : f.kind == Kind::Gauge   ? "gauge"
+                                                 : "counter";
+    Json values = Json::array();
+    for (const auto& [key, s] : f.series) {
+      (void)key;
+      Json labels = Json::object();
+      for (const auto& [k, v] : s.labels) labels.set(k, Json(v));
+      Json entry = Json::object().set("labels", std::move(labels));
+      if (f.kind == Kind::Histogram) {
+        const Histogram::Snapshot snap = s.histogram->snapshot();
+        Json buckets = Json::array();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+          cumulative += snap.counts[i];
+          Json b = Json::object();
+          if (i < snap.bounds.size()) {
+            b.set("le", Json(snap.bounds[i]));
+          } else {
+            b.set("le", Json("+Inf"));
+          }
+          b.set("count", Json(cumulative));
+          buckets.push(std::move(b));
+        }
+        entry.set("count", Json(snap.count))
+            .set("sum", Json(snap.sum))
+            .set("buckets", std::move(buckets));
+      } else if (f.kind == Kind::Counter) {
+        entry.set("value", Json(s.counter->value()));
+      } else {
+        entry.set("value", Json(s.gauge->value()));
+      }
+      values.push(std::move(entry));
+    }
+    metrics.set(name, Json::object()
+                          .set("type", Json(type))
+                          .set("help", Json(f.help))
+                          .set("values", std::move(values)));
+  }
+  return Json::object()
+      .set("schema", Json(kMetricsSchema))
+      .set("metrics", std::move(metrics));
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, f] : families_) {
+    // CounterDouble is a Prometheus counter; the distinction is only which
+    // in-process primitive backs it.
+    const char* type = f.kind == Kind::Histogram ? "histogram"
+                       : f.kind == Kind::Gauge   ? "gauge"
+                                                 : "counter";
+    out += "# HELP " + name + ' ' + f.help + '\n';
+    out += "# TYPE " + name + ' ' + type + '\n';
+    for (const auto& [key, s] : f.series) {
+      (void)key;
+      if (f.kind == Kind::Histogram) {
+        const Histogram::Snapshot snap = s.histogram->snapshot();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+          cumulative += snap.counts[i];
+          const std::string le = i < snap.bounds.size()
+                                     ? format_number(snap.bounds[i])
+                                     : "+Inf";
+          out += name + "_bucket" + render_labels(s.labels, "le", le) + ' ' +
+                 std::to_string(cumulative) + '\n';
+        }
+        out += name + "_sum" + render_labels(s.labels) + ' ' +
+               format_number(snap.sum) + '\n';
+        out += name + "_count" + render_labels(s.labels) + ' ' +
+               std::to_string(snap.count) + '\n';
+      } else if (f.kind == Kind::Counter) {
+        out += name + render_labels(s.labels) + ' ' +
+               std::to_string(s.counter->value()) + '\n';
+      } else {
+        out += name + render_labels(s.labels) + ' ' +
+               format_number(s.gauge->value()) + '\n';
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  families_.clear();
+}
+
+}  // namespace pfc::obs

@@ -138,24 +138,68 @@ obs::Json event_accepted(long long job, const std::string& name) {
       .set("name", obs::Json(name));
 }
 
-obs::Json event_started(long long job) {
-  return obs::Json::object()
-      .set("event", obs::Json("started"))
-      .set("job", obs::Json(job));
+obs::Json event_started(long long job, double queued_seconds) {
+  obs::Json e = obs::Json::object()
+                    .set("event", obs::Json("started"))
+                    .set("job", obs::Json(job));
+  if (queued_seconds >= 0.0) {
+    e.set("queued_seconds", obs::Json(queued_seconds));
+  }
+  return e;
 }
 
-obs::Json event_finished(long long job, obs::Json result) {
+obs::Json event_progress(long long job, const app::ProgressUpdate& u) {
   return obs::Json::object()
-      .set("event", obs::Json("finished"))
+      .set("event", obs::Json("progress"))
       .set("job", obs::Json(job))
-      .set("result", std::move(result));
+      .set("step", obs::Json(u.step))
+      .set("steps_total", obs::Json(u.steps_total))
+      .set("fraction", obs::Json(u.fraction))
+      .set("mlups", obs::Json(u.mlups))
+      .set("eta_seconds", obs::Json(u.eta_seconds))
+      .set("health_violations", obs::Json(u.health_violations));
 }
 
-obs::Json event_error(long long job, const std::string& message) {
+obs::Json event_finished(long long job, obs::Json result,
+                         double duration_seconds, double queued_seconds) {
+  obs::Json e = obs::Json::object()
+                    .set("event", obs::Json("finished"))
+                    .set("job", obs::Json(job))
+                    .set("result", std::move(result));
+  if (duration_seconds >= 0.0) {
+    e.set("duration_seconds", obs::Json(duration_seconds));
+  }
+  if (queued_seconds >= 0.0) {
+    e.set("queued_seconds", obs::Json(queued_seconds));
+  }
+  return e;
+}
+
+obs::Json event_error(long long job, const std::string& message,
+                      double duration_seconds, double queued_seconds) {
+  obs::Json e = obs::Json::object()
+                    .set("event", obs::Json("error"))
+                    .set("job", obs::Json(job))
+                    .set("message", obs::Json(message));
+  if (duration_seconds >= 0.0) {
+    e.set("duration_seconds", obs::Json(duration_seconds));
+  }
+  if (queued_seconds >= 0.0) {
+    e.set("queued_seconds", obs::Json(queued_seconds));
+  }
+  return e;
+}
+
+obs::Json event_metrics(obs::Json snapshot) {
   return obs::Json::object()
-      .set("event", obs::Json("error"))
-      .set("job", obs::Json(job))
-      .set("message", obs::Json(message));
+      .set("event", obs::Json("metrics"))
+      .set("snapshot", std::move(snapshot));
+}
+
+obs::Json event_metrics_text(const std::string& text) {
+  return obs::Json::object()
+      .set("event", obs::Json("metrics_text"))
+      .set("text", obs::Json(text));
 }
 
 obs::Json event_bye() {

@@ -7,21 +7,32 @@
 //   {"op": "ping"}
 //   {"op": "submit", "spec": { <pfc-jobspec-v1> }}
 //   {"op": "list"}
+//   {"op": "metrics"}       JSON metrics snapshot (pfc-serve-metrics-v1)
+//   {"op": "metrics_text"}  Prometheus text exposition of the same registry
 //   {"op": "shutdown"}
 //
 // Events:
 //   {"event": "pong", "protocol": "pfc-serve-v1"}
 //   {"event": "accepted", "job": N, "name": "..."}     submit: queued
-//   {"event": "started",  "job": N}                    submit: picked up
-//   {"event": "finished", "job": N, "result": {...}}   JobResult::to_json()
-//   {"event": "error",    "job": N, "message": "..."}  (job = -1: request
-//                                                       itself was invalid)
-//   {"event": "jobs", "jobs": [{"job":N,"name":..,"state":..}, ...]}
+//   {"event": "started",  "job": N, "queued_seconds": S}
+//   {"event": "progress", "job": N, "step": K, "steps_total": T,
+//    "fraction": F, "mlups": M, "eta_seconds": E,
+//    "health_violations": V}                           periodic, while running
+//   {"event": "finished", "job": N, "result": {...},   JobResult::to_json()
+//    "duration_seconds": D, "queued_seconds": S}
+//   {"event": "error",    "job": N, "message": "...",  (job = -1: request
+//    "duration_seconds": D, "queued_seconds": S}        itself was invalid;
+//                                                       durations omitted)
+//   {"event": "jobs", "jobs": [{"job":N,"name":..,"state":..,
+//    "preset":..,"submitted_unix":..,"fraction":..,...}, ...]}
+//   {"event": "metrics", "snapshot": { <pfc-serve-metrics-v1> }}
+//   {"event": "metrics_text", "text": "..."}
 //   {"event": "bye"}                                   shutdown ack
 #pragma once
 
 #include <string>
 
+#include "pfc/app/progress.hpp"
 #include "pfc/obs/json.hpp"
 
 namespace pfc::serve {
@@ -66,11 +77,20 @@ class LineChannel {
 };
 
 // --- event constructors (shared by server and client-side tests) -------------
+// Durations are in wall seconds; pass a negative value to omit the key
+// (request-level errors have no job timing to report).
 obs::Json event_pong();
 obs::Json event_accepted(long long job, const std::string& name);
-obs::Json event_started(long long job);
-obs::Json event_finished(long long job, obs::Json result);
-obs::Json event_error(long long job, const std::string& message);
+obs::Json event_started(long long job, double queued_seconds = -1.0);
+obs::Json event_progress(long long job, const app::ProgressUpdate& u);
+obs::Json event_finished(long long job, obs::Json result,
+                         double duration_seconds = -1.0,
+                         double queued_seconds = -1.0);
+obs::Json event_error(long long job, const std::string& message,
+                      double duration_seconds = -1.0,
+                      double queued_seconds = -1.0);
+obs::Json event_metrics(obs::Json snapshot);
+obs::Json event_metrics_text(const std::string& text);
 obs::Json event_bye();
 
 }  // namespace pfc::serve

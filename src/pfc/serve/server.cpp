@@ -7,17 +7,65 @@
 #include <cstdio>
 #include <cstring>
 
+#include "pfc/obs/log.hpp"
 #include "pfc/support/assert.hpp"
 
 namespace pfc::serve {
 
 using obs::Json;
 
+namespace {
+
+constexpr const char* kLogComponent = "pfc_served";
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+double unix_now() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The per-job correlation fields every log record of a job carries.
+std::vector<obs::log::Field> job_fields(long long id,
+                                        const std::string& name) {
+  return {{"correlation_id", Json("job-" + std::to_string(id))},
+          {"job", Json(id)},
+          {"name", Json(name)}};
+}
+
+}  // namespace
+
 JobServer::~JobServer() { stop(); }
+
+void JobServer::register_metrics() {
+  auto& m = obs::MetricsRegistry::shared();
+  m_submitted_ = &m.counter("pfc_jobs_submitted_total",
+                            "Jobs accepted by the daemon");
+  m_finished_ = &m.counter("pfc_jobs_finished_total",
+                           "Jobs that completed successfully");
+  m_failed_ = &m.counter("pfc_jobs_failed_total", "Jobs that failed");
+  m_queue_depth_ =
+      &m.gauge("pfc_queue_depth", "Jobs accepted but not yet started");
+  m_inflight_ = &m.gauge("pfc_jobs_inflight", "Jobs currently running");
+  m_duration_ = &m.histogram("pfc_job_duration_seconds",
+                             "Wall time from started to terminal event",
+                             obs::Histogram::duration_bounds());
+  m_queue_seconds_ = &m.histogram("pfc_job_queue_seconds",
+                                  "Wall time from accepted to started",
+                                  obs::Histogram::duration_bounds());
+  m_busy_seconds_ = &m.counter_double(
+      "pfc_worker_busy_seconds_total",
+      "Cumulative wall seconds workers spent running jobs");
+}
 
 void JobServer::start() {
   PFC_REQUIRE(!started_, "JobServer::start() called twice");
   PFC_REQUIRE(opts_.workers >= 1, "need at least one worker");
+  register_metrics();
   listen_fd_ = listen_unix(opts_.socket_path);
   started_ = true;
   pool_ = std::make_unique<ThreadPool>(opts_.workers);
@@ -78,6 +126,15 @@ void JobServer::set_state(long long id, const std::string& state,
   if (!error.empty()) st.error = error;
 }
 
+void JobServer::note_progress(long long id, const app::ProgressUpdate& u) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  JobStatus& st = status_[id];
+  st.step = u.step;
+  st.steps_total = u.steps_total;
+  st.fraction = u.fraction;
+  st.mlups = u.mlups;
+}
+
 void JobServer::accept_loop() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -96,9 +153,8 @@ void JobServer::accept_loop() {
       handle_connection(LineChannel(fd));
     } catch (const std::exception& e) {
       // A malformed connection must not take the dispatcher down.
-      if (!opts_.quiet) {
-        std::fprintf(stderr, "pfc_served: connection error: %s\n", e.what());
-      }
+      obs::log::error(kLogComponent, "connection error",
+                      {{"error", Json(e.what())}});
     }
     std::lock_guard<std::mutex> lk(mutex_);
     if (stopping_) break;
@@ -129,12 +185,35 @@ void JobServer::handle_connection(LineChannel conn) {
       Json e = Json::object()
                    .set("job", Json(st.id))
                    .set("name", Json(st.name))
-                   .set("state", Json(st.state));
+                   .set("state", Json(st.state))
+                   .set("preset", Json(st.preset))
+                   .set("submitted_unix", Json(st.submitted_unix))
+                   .set("step", Json(st.step))
+                   .set("steps_total", Json(st.steps_total))
+                   .set("fraction", Json(st.fraction))
+                   .set("mlups", Json(st.mlups));
+      if (st.queued_seconds >= 0.0) {
+        e.set("queued_seconds", Json(st.queued_seconds));
+      }
+      if (st.duration_seconds >= 0.0) {
+        e.set("duration_seconds", Json(st.duration_seconds));
+      }
       if (!st.error.empty()) e.set("error", Json(st.error));
       arr.push(std::move(e));
     }
     conn.write_json(
         Json::object().set("event", Json("jobs")).set("jobs", std::move(arr)));
+    return;
+  }
+
+  if (op->str() == "metrics") {
+    conn.write_json(event_metrics(obs::MetricsRegistry::shared().to_json()));
+    return;
+  }
+
+  if (op->str() == "metrics_text") {
+    conn.write_json(
+        event_metrics_text(obs::MetricsRegistry::shared().to_prometheus()));
     return;
   }
 
@@ -153,7 +232,7 @@ void JobServer::handle_connection(LineChannel conn) {
       conn.write_json(event_error(-1, "submit needs a \"spec\""));
       return;
     }
-    PendingJob job{0, app::JobSpec{}, std::move(conn)};
+    PendingJob job{0, app::JobSpec{}, std::move(conn), {}};
     try {
       job.spec = app::JobSpec::from_json(*spec_json, "spec");
       job.spec.validate();
@@ -172,19 +251,37 @@ void JobServer::handle_connection(LineChannel conn) {
         }
       }
     }
+    // Daemon-level progress default: a spec that does not pin a cadence
+    // samples at the daemon's configured one (run_job still falls back to
+    // ~steps/8 when both are 0).
+    if (job.spec.progress_every == 0 && opts_.progress_every > 0) {
+      job.spec.progress_every = opts_.progress_every;
+    }
+    job.submitted = std::chrono::steady_clock::now();
     {
       std::lock_guard<std::mutex> lk(mutex_);
       job.id = next_id_++;
-      status_[job.id] = {job.id, job.spec.name, "queued", ""};
+      JobStatus st;
+      st.id = job.id;
+      st.name = job.spec.name;
+      st.state = "queued";
+      st.preset = job.spec.model.preset;
+      st.submitted_unix = unix_now();
+      st.steps_total = job.spec.steps;
+      status_[job.id] = std::move(st);
     }
     job.channel.write_json(event_accepted(job.id, job.spec.name));
+    m_submitted_->add(1);
     if (!opts_.quiet) {
-      std::fprintf(stderr, "pfc_served: job %lld (%s) queued\n", job.id,
-                   job.spec.name.c_str());
+      auto fields = job_fields(job.id, job.spec.name);
+      fields.push_back({"preset", Json(job.spec.model.preset)});
+      fields.push_back({"steps", Json(job.spec.steps)});
+      obs::log::info(kLogComponent, "job queued", fields);
     }
     {
       std::lock_guard<std::mutex> lk(mutex_);
       queue_.push_back(std::move(job));
+      m_queue_depth_->set(double(queue_.size()));
     }
     cv_work_.notify_one();
     return;
@@ -201,35 +298,95 @@ void JobServer::worker_loop() {
     if (queue_.empty()) return;
     PendingJob job = std::move(queue_.front());
     queue_.pop_front();
+    m_queue_depth_->set(double(queue_.size()));
     lk.unlock();
     run_one(std::move(job));
   }
 }
 
 void JobServer::run_one(PendingJob job) {
-  set_state(job.id, "running");
-  job.channel.write_json(event_started(job.id));
+  const auto started = std::chrono::steady_clock::now();
+  const double queued = seconds_between(job.submitted, started);
+  m_queue_seconds_->observe(queued);
+  m_inflight_->add(1);
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    JobStatus& st = status_[job.id];
+    st.state = "running";
+    st.queued_seconds = queued;
+  }
+  job.channel.write_json(event_started(job.id, queued));
+  if (!opts_.quiet) {
+    auto fields = job_fields(job.id, job.spec.name);
+    fields.push_back({"queued_seconds", Json(queued)});
+    obs::log::info(kLogComponent, "job started", fields);
+  }
+
+  // The stepping thread is this worker, so the sink writes straight to the
+  // submitter's channel. A vanished client (write_json == false) stops the
+  // event stream but not the job — status/gauges keep updating.
+  obs::Gauge& mlups_gauge = obs::MetricsRegistry::shared().gauge(
+      "pfc_job_mlups", "Live throughput of the most recent progress sample",
+      {{"preset", job.spec.model.preset}});
+  bool peer_gone = false;
+  const app::ProgressSink sink = [&](const app::ProgressUpdate& u) {
+    note_progress(job.id, u);
+    mlups_gauge.set(u.mlups);
+    if (!peer_gone) {
+      peer_gone = !job.channel.write_json(event_progress(job.id, u));
+    }
+  };
+
+  const auto finish = [&](const char* state) {
+    const double duration =
+        seconds_between(started, std::chrono::steady_clock::now());
+    m_inflight_->add(-1);
+    m_duration_->observe(duration);
+    m_busy_seconds_->add(duration);
+    std::lock_guard<std::mutex> lk(mutex_);
+    JobStatus& st = status_[job.id];
+    st.state = state;
+    st.duration_seconds = duration;
+    return duration;
+  };
+
   try {
-    const app::JobResult result = app::run_job(job.spec);
-    set_state(job.id, "finished");
-    job.channel.write_json(event_finished(job.id, result.to_json()));
+    const app::JobResult result = app::run_job(job.spec, sink);
+    const double duration = finish("finished");
+    const double mlups = result.run.mlups();
+    m_finished_->add(1);
+    mlups_gauge.set(mlups);
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      JobStatus& st = status_[job.id];
+      st.step = result.steps;
+      st.steps_total = result.steps;
+      st.fraction = 1.0;
+      st.mlups = mlups;
+    }
+    job.channel.write_json(
+        event_finished(job.id, result.to_json(), duration, queued));
     if (!opts_.quiet) {
-      std::fprintf(stderr,
-                   "pfc_served: job %lld (%s) finished: %lld steps, "
-                   "cache %s\n",
-                   job.id, job.spec.name.c_str(), result.steps,
-                   result.compile.cache_used
-                       ? (result.compile.cache_hit ? "hit" : "miss")
-                       : "off");
+      auto fields = job_fields(job.id, job.spec.name);
+      fields.push_back({"steps", Json(result.steps)});
+      fields.push_back({"duration_seconds", Json(duration)});
+      fields.push_back({"mlups", Json(mlups)});
+      fields.push_back(
+          {"cache", Json(result.compile.cache_used
+                             ? (result.compile.cache_hit ? "hit" : "miss")
+                             : "off")});
+      obs::log::info(kLogComponent, "job finished", fields);
     }
   } catch (const std::exception& e) {
     // Per-job isolation: one failing job reports and dies alone.
+    const double duration = finish("failed");
+    m_failed_->add(1);
     set_state(job.id, "failed", e.what());
-    job.channel.write_json(event_error(job.id, e.what()));
-    if (!opts_.quiet) {
-      std::fprintf(stderr, "pfc_served: job %lld (%s) failed: %s\n", job.id,
-                   job.spec.name.c_str(), e.what());
-    }
+    job.channel.write_json(event_error(job.id, e.what(), duration, queued));
+    auto fields = job_fields(job.id, job.spec.name);
+    fields.push_back({"duration_seconds", Json(duration)});
+    fields.push_back({"error", Json(e.what())});
+    obs::log::error(kLogComponent, "job failed", fields);
   }
 }
 
@@ -247,11 +404,36 @@ Json Client::ping() { return request_single(Json::object().set("op", Json("ping"
 
 Json Client::list() { return request_single(Json::object().set("op", Json("list"))); }
 
+Json Client::metrics() {
+  const Json reply =
+      request_single(Json::object().set("op", Json("metrics")));
+  const Json* snap = reply.find("snapshot");
+  PFC_REQUIRE(snap != nullptr && snap->is_object(),
+              "malformed metrics reply: " + reply.dump(-1));
+  return *snap;
+}
+
+std::string Client::metrics_text() {
+  const Json reply =
+      request_single(Json::object().set("op", Json("metrics_text")));
+  const Json* text = reply.find("text");
+  PFC_REQUIRE(text != nullptr && text->is_string(),
+              "malformed metrics_text reply: " + reply.dump(-1));
+  return text->str();
+}
+
 Json Client::shutdown_server() {
   return request_single(Json::object().set("op", Json("shutdown")));
 }
 
 Json Client::submit(const Json& spec, std::vector<Json>* events) {
+  return submit(spec, [events](const Json& ev) {
+    if (events != nullptr) events->push_back(ev);
+  });
+}
+
+Json Client::submit(const Json& spec,
+                    const std::function<void(const Json&)>& on_event) {
   LineChannel conn(connect_unix(path_));
   PFC_REQUIRE(conn.write_json(Json::object()
                                   .set("op", Json("submit"))
@@ -266,7 +448,7 @@ Json Client::submit(const Json& spec, std::vector<Json>* events) {
     PFC_REQUIRE(kind != nullptr && kind->is_string(),
                 "malformed event from daemon: " + ev.dump(-1));
     if (kind->str() == "finished" || kind->str() == "error") return ev;
-    if (events != nullptr) events->push_back(ev);
+    if (on_event) on_event(ev);
   }
 }
 

@@ -9,8 +9,10 @@
 // time in its compile report.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -19,6 +21,7 @@
 
 #include "pfc/app/jobspec.hpp"
 #include "pfc/backend/kernel_cache.hpp"
+#include "pfc/obs/metrics.hpp"
 #include "pfc/serve/protocol.hpp"
 #include "pfc/support/thread_pool.hpp"
 
@@ -32,15 +35,26 @@ struct ServeOptions {
   /// Kernel cache every job defaults to (a spec's own compile.cache_dir
   /// wins). Empty directory: per-job env/spec settings decide.
   backend::KernelCacheConfig cache;
-  /// Suppress the per-job stderr log lines.
+  /// Suppress the per-job info-level log records (errors always log).
   bool quiet = false;
+  /// Default progress cadence (steps between samples) for specs that
+  /// leave progress_every at 0. 0 = run_job's own default (~steps / 8).
+  long long progress_every = 0;
 };
 
 struct JobStatus {
   long long id = 0;
   std::string name;
-  std::string state;  ///< "queued" | "running" | "finished" | "failed"
-  std::string error;  ///< message when state == "failed"
+  std::string state;   ///< "queued" | "running" | "finished" | "failed"
+  std::string error;   ///< message when state == "failed"
+  std::string preset;  ///< model preset of the spec
+  double submitted_unix = 0.0;     ///< system clock at accept (unix seconds)
+  double queued_seconds = -1.0;    ///< accept → started (-1 while queued)
+  double duration_seconds = -1.0;  ///< started → terminal (-1 until then)
+  long long step = 0;              ///< last progress sample
+  long long steps_total = 0;
+  double fraction = 0.0;  ///< live progress in [0, 1] (1 when finished)
+  double mlups = 0.0;     ///< live throughput of the last sample
 };
 
 class JobServer {
@@ -68,6 +82,7 @@ class JobServer {
     long long id = 0;
     app::JobSpec spec;
     LineChannel channel;  ///< the submitter, kept open for event streaming
+    std::chrono::steady_clock::time_point submitted;
   };
 
   void accept_loop();
@@ -77,6 +92,10 @@ class JobServer {
   void join_all();
   void set_state(long long id, const std::string& state,
                  const std::string& error = "");
+  /// Looks up the shared-registry instruments once (start()).
+  void register_metrics();
+  /// Folds one ProgressUpdate into status_[id] (worker threads).
+  void note_progress(long long id, const app::ProgressUpdate& u);
 
   ServeOptions opts_;
   int listen_fd_ = -1;
@@ -92,6 +111,17 @@ class JobServer {
   long long next_id_ = 1;
   bool stopping_ = false;
   bool started_ = false;
+
+  // Shared-registry instruments (obs::MetricsRegistry::shared(); valid for
+  // the process lifetime, updated lock-free from dispatcher + workers).
+  obs::Counter* m_submitted_ = nullptr;
+  obs::Counter* m_finished_ = nullptr;
+  obs::Counter* m_failed_ = nullptr;
+  obs::Gauge* m_queue_depth_ = nullptr;
+  obs::Gauge* m_inflight_ = nullptr;
+  obs::Histogram* m_duration_ = nullptr;
+  obs::Histogram* m_queue_seconds_ = nullptr;
+  obs::Gauge* m_busy_seconds_ = nullptr;  ///< counter_double
 
   std::mutex join_mutex_;  ///< serializes join_all from wait()/stop()/dtor
 };
@@ -110,7 +140,16 @@ class Client {
   /// appended to *events when given.
   obs::Json submit(const obs::Json& spec,
                    std::vector<obs::Json>* events = nullptr);
+  /// Like submit(), but invokes `on_event` for every non-terminal event
+  /// as it arrives (what `pfc_servectl submit --follow` renders live).
+  obs::Json submit(const obs::Json& spec,
+                   const std::function<void(const obs::Json&)>& on_event);
   obs::Json list();
+  /// The daemon's pfc-serve-metrics-v1 snapshot ("metrics" event's
+  /// "snapshot" member).
+  obs::Json metrics();
+  /// The daemon's Prometheus text exposition.
+  std::string metrics_text();
   /// Asks the daemon to exit; returns its "bye" ack.
   obs::Json shutdown_server();
 

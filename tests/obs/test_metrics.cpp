@@ -1,0 +1,184 @@
+// MetricsRegistry (the daemon-wide telemetry spine): lock-free gauge /
+// histogram determinism under the thread pool, torn-free snapshots while
+// writers keep observing, and the two exposition formats' shapes
+// (pfc-serve-metrics-v1 JSON, Prometheus text).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "pfc/obs/metrics.hpp"
+#include "pfc/support/assert.hpp"
+#include "pfc/support/thread_pool.hpp"
+
+namespace pfc::obs {
+namespace {
+
+TEST(MetricsGaugeTest, SetAndAddRoundTrip) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_EQ(g.value(), 2.5);
+  g.add(-1.25);
+  EXPECT_EQ(g.value(), 1.25);
+}
+
+TEST(MetricsGaugeTest, ConcurrentAddIsDeterministic) {
+  Gauge g;
+  ThreadPool pool(4);
+  const std::int64_t n = 100000;
+  // 0.25 is exactly representable, so n * 4 threads' worth of CAS adds
+  // must sum without rounding slack.
+  pool.parallel_for(0, n, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) g.add(0.25);
+  });
+  EXPECT_EQ(g.value(), double(n) * 0.25);
+}
+
+TEST(MetricsHistogramTest, BucketsPartitionTheLine) {
+  Histogram h({1.0, 10.0});
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // <= 1 (inclusive upper edge)
+  h.observe(5.0);   // <= 10
+  h.observe(100.0); // +Inf
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 3u);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 106.5);
+}
+
+TEST(MetricsHistogramTest, ConcurrentObserveIsDeterministic) {
+  Histogram h({1.0, 2.0, 3.0});
+  ThreadPool pool(4);
+  const std::int64_t n = 50000;
+  pool.parallel_for(0, n, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      h.observe(0.5);
+      h.observe(1.5);
+      h.observe(9.0);
+    }
+  });
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], std::uint64_t(n));
+  EXPECT_EQ(s.counts[1], std::uint64_t(n));
+  EXPECT_EQ(s.counts[2], 0u);
+  EXPECT_EQ(s.counts[3], std::uint64_t(n));
+  EXPECT_EQ(s.count, std::uint64_t(3 * n));
+  // 0.5 + 1.5 + 9.0 = 11.0 is exactly representable
+  EXPECT_EQ(s.sum, 11.0 * double(n));
+}
+
+TEST(MetricsHistogramTest, SnapshotIsTornFreeUnderConcurrentWriters) {
+  Histogram h(Histogram::duration_bounds());
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    double v = 0.001;
+    while (!stop.load(std::memory_order_relaxed)) {
+      h.observe(v);
+      v = v > 400.0 ? 0.001 : v * 1.7;
+    }
+  });
+  // The invariant a reader may rely on mid-flight: the total count always
+  // equals the sum of the per-bucket counts (it is derived, not stored).
+  for (int i = 0; i < 2000; ++i) {
+    const auto s = h.snapshot();
+    std::uint64_t bucket_total = 0;
+    for (const std::uint64_t c : s.counts) bucket_total += c;
+    ASSERT_EQ(s.count, bucket_total) << "torn snapshot at iteration " << i;
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(MetricsRegistryTest, FamiliesKeepKindAndRejectConflicts) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("pfc_test_total", "help");
+  c.add(3);
+  EXPECT_EQ(&reg.counter("pfc_test_total", "help"), &c);
+  EXPECT_THROW(reg.gauge("pfc_test_total", "help"), Error);
+  EXPECT_THROW(reg.counter("bad name", "help"), Error);
+  EXPECT_THROW(reg.counter("pfc_nohelp_total", ""), Error);
+}
+
+TEST(MetricsRegistryTest, LabeledSeriesAreDistinct) {
+  MetricsRegistry reg;
+  Gauge& a = reg.gauge("pfc_mlups", "help", {{"preset", "p1"}});
+  Gauge& b = reg.gauge("pfc_mlups", "help", {{"preset", "p2"}});
+  EXPECT_NE(&a, &b);
+  a.set(1.0);
+  b.set(2.0);
+  EXPECT_EQ(&reg.gauge("pfc_mlups", "help", {{"preset", "p1"}}), &a);
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotShape) {
+  MetricsRegistry reg;
+  reg.counter("pfc_jobs_total", "Jobs seen").add(2);
+  reg.gauge("pfc_depth", "Queue depth").set(1.0);
+  reg.histogram("pfc_dur_seconds", "Durations", {0.1, 1.0}).observe(0.5);
+
+  const Json j = reg.to_json();
+  ASSERT_TRUE(j.find("schema") != nullptr);
+  EXPECT_EQ(j.find("schema")->str(), kMetricsSchema);
+  const Json* metrics = j.find("metrics");
+  ASSERT_TRUE(metrics != nullptr && metrics->is_object());
+
+  const Json* ctr = metrics->find("pfc_jobs_total");
+  ASSERT_TRUE(ctr != nullptr);
+  EXPECT_EQ(ctr->find("type")->str(), "counter");
+  EXPECT_EQ(ctr->find("help")->str(), "Jobs seen");
+  ASSERT_EQ(ctr->find("values")->elements().size(), 1u);
+  EXPECT_EQ(ctr->find("values")->elements()[0].find("value")->number(), 2.0);
+
+  const Json* hist = metrics->find("pfc_dur_seconds");
+  ASSERT_TRUE(hist != nullptr);
+  EXPECT_EQ(hist->find("type")->str(), "histogram");
+  const Json& v = hist->find("values")->elements()[0];
+  EXPECT_EQ(v.find("count")->number(), 1.0);
+  EXPECT_EQ(v.find("sum")->number(), 0.5);
+  const auto& buckets = v.find("buckets")->elements();
+  ASSERT_EQ(buckets.size(), 3u);  // 0.1, 1.0, +Inf — cumulative
+  EXPECT_EQ(buckets[0].find("count")->number(), 0.0);
+  EXPECT_EQ(buckets[1].find("count")->number(), 1.0);
+  EXPECT_EQ(buckets[2].find("count")->number(), 1.0);
+  EXPECT_EQ(buckets[2].find("le")->str(), "+Inf");
+}
+
+TEST(MetricsRegistryTest, PrometheusExpositionShape) {
+  MetricsRegistry reg;
+  reg.counter("pfc_jobs_total", "Jobs seen").add(2);
+  reg.gauge("pfc_mlups", "Live MLUPS", {{"preset", "two_phase"}}).set(12.5);
+  reg.histogram("pfc_dur_seconds", "Durations", {0.1, 1.0}).observe(0.5);
+
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("# HELP pfc_jobs_total Jobs seen\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pfc_jobs_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("pfc_jobs_total 2\n"), std::string::npos);
+  EXPECT_NE(text.find("pfc_mlups{preset=\"two_phase\"} 12.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE pfc_dur_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pfc_dur_seconds_bucket{le=\"0.1\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pfc_dur_seconds_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pfc_dur_seconds_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pfc_dur_seconds_sum 0.5\n"), std::string::npos);
+  EXPECT_NE(text.find("pfc_dur_seconds_count 1\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ValidMetricNames) {
+  EXPECT_TRUE(valid_metric_name("pfc_jobs_total"));
+  EXPECT_TRUE(valid_metric_name("a:b_c9"));
+  EXPECT_FALSE(valid_metric_name(""));
+  EXPECT_FALSE(valid_metric_name("9leading"));
+  EXPECT_FALSE(valid_metric_name("has space"));
+  EXPECT_FALSE(valid_metric_name("has-dash"));
+}
+
+}  // namespace
+}  // namespace pfc::obs

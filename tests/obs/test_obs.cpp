@@ -45,6 +45,36 @@ TEST(ObsRegistryTest, ScopesOfDifferentRegistriesDoNotNest) {
   EXPECT_EQ(tb.path(), "inner") << "foreign registry must start a new root";
 }
 
+TEST(ObsRegistryTest, StepRingWrapsKeepingNewestOldestFirst) {
+  Registry reg(4);
+  for (long long i = 0; i < 10; ++i) {
+    StepStats s;
+    s.step = i;
+    s.cell_updates = std::uint64_t(i) * 100;
+    reg.push_step(s);
+  }
+  EXPECT_EQ(reg.steps_recorded(), 10);
+  const auto recent = reg.recent_steps();
+  ASSERT_EQ(recent.size(), 4u) << "ring must cap at its capacity";
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(recent[i].step, (long long)(6 + i))
+        << "oldest-first order after wraparound";
+    EXPECT_EQ(recent[i].cell_updates, std::uint64_t(6 + i) * 100);
+  }
+  // exactly at the wrap boundary: capacity pushes leave 0..3 in order
+  Registry exact(4);
+  for (long long i = 0; i < 4; ++i) {
+    StepStats s;
+    s.step = i;
+    exact.push_step(s);
+  }
+  const auto full = exact.recent_steps();
+  ASSERT_EQ(full.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(full[i].step, (long long)(i));
+  }
+}
+
 TEST(ObsRegistryTest, CounterDeterministicAcrossThreads) {
   Registry reg;
   Counter& c = reg.counter("updates");

@@ -111,13 +111,18 @@ TEST(Serve, RoundTripSecondJobHitsKernelCache) {
   EXPECT_EQ(field(r1, "mu_fnv1a64").str(),
             field(local_json, "mu_fnv1a64").str());
 
-  // list reflects both finished jobs.
+  // list reflects both finished jobs, with the telemetry enrichment.
   const Json listing = client.list();
   const auto jobs = field(listing, "jobs").elements();
   ASSERT_EQ(jobs.size(), 2u);
   for (const Json& job : jobs) {
     EXPECT_EQ(field(job, "state").str(), "finished");
     EXPECT_EQ(field(job, "name").str(), "serve-roundtrip");
+    EXPECT_EQ(field(job, "preset").str(), "two_phase");
+    EXPECT_GT(field(job, "submitted_unix").number(), 0.0);
+    EXPECT_EQ(field(job, "fraction").number(), 1.0);
+    EXPECT_GE(field(job, "duration_seconds").number(), 0.0);
+    EXPECT_GE(field(job, "queued_seconds").number(), 0.0);
   }
   const auto statuses = server.jobs();
   ASSERT_EQ(statuses.size(), 2u);
@@ -127,6 +132,135 @@ TEST(Serve, RoundTripSecondJobHitsKernelCache) {
   const Json bye = client.shutdown_server();
   EXPECT_EQ(field(bye, "event").str(), "bye");
   server.wait();
+  backend::KernelCache::shared().reset();
+}
+
+TEST(Serve, ProgressEventsStreamMonotoneToCompletion) {
+  TempDir tmp;
+  ServeOptions opts;
+  opts.socket_path = tmp.path + "/serve.sock";
+  opts.workers = 1;
+  opts.quiet = true;
+  JobServer server(opts);
+  server.start();
+  Client client(opts.socket_path);
+
+  app::JobSpec spec = small_spec();
+  spec.name = "progress-job";
+  spec.steps = 24;
+  spec.progress_every = 4;  // samples at steps 4, 8, ..., 24
+
+  std::vector<Json> events;
+  const Json terminal = client.submit(spec.to_json(), &events);
+  ASSERT_EQ(field(terminal, "event").str(), "finished") << terminal.dump(-1);
+  EXPECT_GE(field(terminal, "duration_seconds").number(), 0.0);
+  EXPECT_GE(field(terminal, "queued_seconds").number(), 0.0);
+
+  int progress_count = 0;
+  long long prev_step = 0;
+  bool saw_started = false;
+  for (const Json& ev : events) {
+    const std::string kind = field(ev, "event").str();
+    if (kind == "started") {
+      saw_started = true;
+      EXPECT_GE(field(ev, "queued_seconds").number(), 0.0);
+      continue;
+    }
+    if (kind != "progress") continue;
+    ++progress_count;
+    const long long step = (long long)(field(ev, "step").number());
+    EXPECT_GT(step, prev_step) << "progress steps must strictly increase";
+    EXPECT_EQ(step % 4, 0) << "samples land on the configured cadence";
+    prev_step = step;
+    EXPECT_EQ(field(ev, "steps_total").number(), 24.0);
+    EXPECT_EQ(field(ev, "fraction").number(), double(step) / 24.0);
+    EXPECT_GE(field(ev, "mlups").number(), 0.0);
+    EXPECT_GE(field(ev, "eta_seconds").number(), 0.0);
+    EXPECT_EQ(field(ev, "health_violations").number(), 0.0);
+  }
+  EXPECT_TRUE(saw_started);
+  EXPECT_GE(progress_count, 3);
+  EXPECT_EQ(prev_step, 24) << "the final sample covers the last step";
+
+  // list reflects the completed progress.
+  const Json listing = client.list();
+  const auto jobs = field(listing, "jobs").elements();
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(field(jobs[0], "step").number(), 24.0);
+  EXPECT_EQ(field(jobs[0], "fraction").number(), 1.0);
+  server.stop();
+}
+
+TEST(Serve, MetricsOpsExposeJobActivity) {
+  TempDir tmp;
+  backend::KernelCache::shared().reset();
+  ServeOptions opts;
+  opts.socket_path = tmp.path + "/serve.sock";
+  opts.workers = 1;
+  opts.cache.directory = tmp.path + "/cache";
+  opts.quiet = true;
+  JobServer server(opts);
+  server.start();
+  Client client(opts.socket_path);
+
+  const Json spec_json = small_spec().to_json();
+  ASSERT_EQ(field(client.submit(spec_json), "event").str(), "finished");
+  ASSERT_EQ(field(client.submit(spec_json), "event").str(), "finished");
+
+  // The shared registry is process-wide and cumulative, so assert floors.
+  const Json snap = client.metrics();
+  EXPECT_EQ(field(snap, "schema").str(), obs::kMetricsSchema);
+  const Json& metrics = field(snap, "metrics");
+  const auto family_total = [&](const char* name) {
+    const Json* fam = metrics.find(name);
+    EXPECT_NE(fam, nullptr) << "missing family " << name;
+    if (fam == nullptr) return 0.0;
+    double total = 0.0;
+    for (const Json& v : field(*fam, "values").elements()) {
+      const Json* value = v.find("value");
+      const Json* count = v.find("count");
+      total += value != nullptr ? value->number()
+                                : (count != nullptr ? count->number() : 0.0);
+    }
+    return total;
+  };
+  EXPECT_GE(family_total("pfc_jobs_submitted_total"), 2.0);
+  EXPECT_GE(family_total("pfc_jobs_finished_total"), 2.0);
+  EXPECT_GE(family_total("pfc_job_duration_seconds"), 2.0);
+  EXPECT_GE(family_total("pfc_job_queue_seconds"), 2.0);
+  EXPECT_GE(family_total("pfc_kernel_cache_hits_total"), 1.0)
+      << "second identical job must hit the daemon's kernel cache";
+  EXPECT_GE(family_total("pfc_kernel_cache_misses_total"), 1.0);
+  EXPECT_GE(family_total("pfc_worker_busy_seconds_total"), 0.0);
+  // idle daemon: nothing queued or running right now
+  EXPECT_EQ(family_total("pfc_queue_depth"), 0.0);
+  EXPECT_EQ(family_total("pfc_jobs_inflight"), 0.0);
+  EXPECT_GT(family_total("pfc_job_mlups"), 0.0);
+
+  // histogram internal consistency: +Inf cumulative == count
+  const Json& dur = *metrics.find("pfc_job_duration_seconds");
+  EXPECT_EQ(field(dur, "type").str(), "histogram");
+  for (const Json& v : field(dur, "values").elements()) {
+    const auto& buckets = field(v, "buckets").elements();
+    ASSERT_FALSE(buckets.empty());
+    EXPECT_EQ(field(buckets.back(), "le").str(), "+Inf");
+    EXPECT_EQ(field(buckets.back(), "count").number(),
+              field(v, "count").number());
+  }
+
+  // Prometheus exposition of the same registry
+  const std::string prom = client.metrics_text();
+  EXPECT_NE(prom.find("# TYPE pfc_jobs_submitted_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# HELP pfc_queue_depth"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE pfc_job_duration_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("pfc_job_duration_seconds_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("pfc_job_mlups{preset=\"two_phase\"}"),
+            std::string::npos);
+
+  server.stop();
   backend::KernelCache::shared().reset();
 }
 
@@ -147,6 +281,9 @@ TEST(Serve, FailedJobReportsErrorAndServerSurvives) {
   bad.initial.solid_phase = 7;
   const Json terminal = client.submit(bad.to_json());
   EXPECT_EQ(field(terminal, "event").str(), "error");
+  // job-level errors carry the same timing fields as finished events
+  EXPECT_GE(field(terminal, "duration_seconds").number(), 0.0);
+  EXPECT_GE(field(terminal, "queued_seconds").number(), 0.0);
 
   const Json pong = client.ping();
   EXPECT_EQ(field(pong, "event").str(), "pong");

@@ -1,20 +1,29 @@
 // Control client of pfc_served.
 //
 //   pfc_servectl --socket=PATH ping
-//   pfc_servectl --socket=PATH submit <jobspec.json>
+//   pfc_servectl --socket=PATH submit [--follow] <jobspec.json>
 //   pfc_servectl --socket=PATH list
+//   pfc_servectl --socket=PATH metrics [--text]
+//   pfc_servectl --socket=PATH top [--interval-ms=N] [--iterations=N]
 //   pfc_servectl --socket=PATH shutdown
 //   pfc_servectl --socket=PATH selftest <jobspec.json>
 //
 // submit streams the job's events to stderr and prints the terminal event
-// (finished/error) JSON to stdout; exit 1 if the job errored. selftest is
-// the end-to-end round-trip the serve_roundtrip ctest runs: submit the
-// same spec twice, run it a third time in-process, and verify that (a) the
-// second daemon job reports a kernel-cache hit with near-zero external-
-// compiler time, and (b) all three runs produce bitwise-identical fields
-// (equal FNV-1a checksums).
+// (finished/error) JSON to stdout; exit 1 if the job errored. --follow
+// renders the progress events as a human-readable live line instead of
+// raw JSON. metrics prints the daemon's pfc-serve-metrics-v1 snapshot
+// (--text: Prometheus exposition). top polls metrics + list and renders a
+// one-screen summary per iteration. selftest is the end-to-end round-trip
+// the serve_roundtrip ctest runs: submit the same spec twice, run it a
+// third time in-process, and verify that (a) the second daemon job
+// reports a kernel-cache hit with near-zero external-compiler time, and
+// (b) all three runs produce bitwise-identical fields (equal FNV-1a
+// checksums).
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "pfc/app/jobspec.hpp"
@@ -125,16 +134,148 @@ int selftest(pfc::serve::Client& client, const char* spec_path) {
   return errors == 0 ? 0 : 1;
 }
 
+double num_or(const Json& j, const char* key, double def) {
+  const Json* v = j.find(key);
+  return v != nullptr && v->is_number() ? v->number() : def;
+}
+
+std::string str_or(const Json& j, const char* key, const std::string& def) {
+  const Json* v = j.find(key);
+  return v != nullptr && v->is_string() ? v->str() : def;
+}
+
+/// Sum over every labeled series of one family: "value" for counters and
+/// gauges, "count" for histograms. 0 when the family is absent.
+double family_total(const Json& snapshot, const char* name) {
+  const Json* metrics = snapshot.find("metrics");
+  const Json* fam = metrics != nullptr ? metrics->find(name) : nullptr;
+  const Json* values = fam != nullptr ? fam->find("values") : nullptr;
+  if (values == nullptr) return 0.0;
+  double total = 0.0;
+  for (const Json& v : values->elements()) {
+    total += num_or(v, "value", num_or(v, "count", 0.0));
+  }
+  return total;
+}
+
+/// "2026-08-08 13:45:02" local time from unix seconds (0 → "-").
+std::string format_time(double unix_seconds) {
+  if (unix_seconds <= 0.0) return "-";
+  const std::time_t t = std::time_t(unix_seconds);
+  std::tm tm{};
+  localtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%d %H:%M:%S", &tm);
+  return buf;
+}
+
+/// The human-readable jobs table `list` and `top` render.
+void print_jobs_table(const Json& jobs_event, std::FILE* out) {
+  const Json* jobs = jobs_event.find("jobs");
+  if (jobs == nullptr || jobs->elements().empty()) {
+    std::fprintf(out, "no jobs\n");
+    return;
+  }
+  std::fprintf(out, "%4s  %-16s %-9s %-10s %-19s %9s %8s\n", "JOB", "NAME",
+               "STATE", "PRESET", "SUBMITTED", "PROGRESS", "MLUP/s");
+  for (const Json& j : jobs->elements()) {
+    const double fraction = num_or(j, "fraction", 0.0);
+    char progress[16];
+    std::snprintf(progress, sizeof progress, "%5.1f%%", 100.0 * fraction);
+    std::fprintf(out, "%4lld  %-16s %-9s %-10s %-19s %9s %8.2f\n",
+                 (long long)(num_or(j, "job", 0.0)),
+                 str_or(j, "name", "?").c_str(),
+                 str_or(j, "state", "?").c_str(),
+                 str_or(j, "preset", "?").c_str(),
+                 format_time(num_or(j, "submitted_unix", 0.0)).c_str(),
+                 progress, num_or(j, "mlups", 0.0));
+    const std::string error = str_or(j, "error", "");
+    if (!error.empty()) {
+      std::fprintf(out, "      error: %s\n", error.c_str());
+    }
+  }
+}
+
+/// One live line per non-terminal event (submit --follow).
+void print_follow_event(const Json& ev) {
+  const std::string kind = str_or(ev, "event", "?");
+  if (kind == "accepted") {
+    std::fprintf(stderr, "accepted: job %lld (%s)\n",
+                 (long long)(num_or(ev, "job", -1)),
+                 str_or(ev, "name", "?").c_str());
+    return;
+  }
+  if (kind == "started") {
+    std::fprintf(stderr, "started: job %lld (queued %.3f s)\n",
+                 (long long)(num_or(ev, "job", -1)),
+                 num_or(ev, "queued_seconds", 0.0));
+    return;
+  }
+  if (kind == "progress") {
+    const double fraction = num_or(ev, "fraction", 0.0);
+    char bar[22];
+    const int fill = int(fraction * 20.0 + 0.5);
+    for (int i = 0; i < 20; ++i) bar[i] = i < fill ? '=' : ' ';
+    bar[20] = '\0';
+    std::fprintf(stderr,
+                 "[%s] %5.1f%%  step %lld/%lld  %.2f MLUP/s  eta %.1f s%s\n",
+                 bar, 100.0 * fraction, (long long)(num_or(ev, "step", 0)),
+                 (long long)(num_or(ev, "steps_total", 0)),
+                 num_or(ev, "mlups", 0.0), num_or(ev, "eta_seconds", 0.0),
+                 num_or(ev, "health_violations", 0.0) > 0.0
+                     ? "  [health!]"
+                     : "");
+    return;
+  }
+  std::fprintf(stderr, "%s\n", ev.dump(-1).c_str());
+}
+
+int top(pfc::serve::Client& client, long long interval_ms,
+        long long iterations) {
+  for (long long i = 0; iterations <= 0 || i < iterations; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    const Json snap = client.metrics();
+    const Json jobs = client.list();
+    std::printf(
+        "queue %lld  inflight %lld  submitted %lld  finished %lld  "
+        "failed %lld  cache hit/miss/evict %lld/%lld/%lld\n",
+        (long long)family_total(snap, "pfc_queue_depth"),
+        (long long)family_total(snap, "pfc_jobs_inflight"),
+        (long long)family_total(snap, "pfc_jobs_submitted_total"),
+        (long long)family_total(snap, "pfc_jobs_finished_total"),
+        (long long)family_total(snap, "pfc_jobs_failed_total"),
+        (long long)family_total(snap, "pfc_kernel_cache_hits_total"),
+        (long long)family_total(snap, "pfc_kernel_cache_misses_total"),
+        (long long)family_total(snap, "pfc_kernel_cache_evictions_total"));
+    print_jobs_table(jobs, stdout);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace pfc;
   std::string socket_path;
+  bool follow = false, text = false, json = false;
+  long long interval_ms = 2000, iterations = 0;
   support::ArgParser args(
       "pfc_servectl",
-      "pfc_servectl --socket=PATH ping|list|shutdown\n"
-      "             --socket=PATH submit|selftest <jobspec.json>");
+      "pfc_servectl --socket=PATH ping|shutdown\n"
+      "             --socket=PATH submit [--follow] <jobspec.json>\n"
+      "             --socket=PATH list [--json]\n"
+      "             --socket=PATH metrics [--text]\n"
+      "             --socket=PATH top [--interval-ms=N] [--iterations=N]\n"
+      "             --socket=PATH selftest <jobspec.json>");
   args.value("socket", &socket_path);
+  args.flag("follow", &follow);
+  args.flag("text", &text);
+  args.flag("json", &json);
+  args.count("interval-ms", &interval_ms);
+  args.count("iterations", &iterations);
   const auto pos = args.parse(argc, argv);
 
   if (socket_path.empty()) args.fail("--socket=PATH is required");
@@ -143,13 +284,36 @@ int main(int argc, char** argv) {
 
   serve::Client client(socket_path);
   try {
-    if (cmd == "ping" || cmd == "list" || cmd == "shutdown") {
+    if (cmd == "ping" || cmd == "shutdown") {
       if (pos.size() != 1) args.fail(cmd + " takes no arguments");
-      const obs::Json reply = cmd == "ping"        ? client.ping()
-                              : cmd == "list"      ? client.list()
-                                                   : client.shutdown_server();
+      const obs::Json reply =
+          cmd == "ping" ? client.ping() : client.shutdown_server();
       std::printf("%s\n", reply.dump(-1).c_str());
       return 0;
+    }
+    if (cmd == "list") {
+      if (pos.size() != 1) args.fail("list takes no arguments");
+      const obs::Json reply = client.list();
+      if (json) {
+        std::printf("%s\n", reply.dump(-1).c_str());
+      } else {
+        print_jobs_table(reply, stdout);
+      }
+      return 0;
+    }
+    if (cmd == "metrics") {
+      if (pos.size() != 1) args.fail("metrics takes no arguments");
+      if (text) {
+        std::fputs(client.metrics_text().c_str(), stdout);
+      } else {
+        std::printf("%s\n", client.metrics().dump(2).c_str());
+      }
+      return 0;
+    }
+    if (cmd == "top") {
+      if (pos.size() != 1) args.fail("top takes no arguments");
+      if (interval_ms <= 0) args.fail("--interval-ms must be >= 1");
+      return top(client, interval_ms, iterations);
     }
     if (cmd == "submit") {
       if (pos.size() != 2) args.fail("submit needs exactly one jobspec file");
@@ -159,11 +323,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "pfc_servectl: %s: %s\n", pos[1], err.c_str());
         return 1;
       }
-      std::vector<obs::Json> events;
-      const obs::Json terminal = client.submit(spec, &events);
-      for (const obs::Json& ev : events) {
-        std::fprintf(stderr, "%s\n", ev.dump(-1).c_str());
-      }
+      const obs::Json terminal =
+          client.submit(spec, [follow](const obs::Json& ev) {
+            if (follow) {
+              print_follow_event(ev);
+            } else {
+              std::fprintf(stderr, "%s\n", ev.dump(-1).c_str());
+            }
+          });
       std::printf("%s\n", terminal.dump(-1).c_str());
       return terminal.find("event")->str() == "finished" ? 0 : 1;
     }

@@ -3,14 +3,18 @@
 // addressed kernel cache across jobs (DESIGN.md §9).
 //
 //   pfc_served --socket=PATH [--workers=N] [--cache-dir=DIR]
-//              [--cache-mb=N] [--quiet]
+//              [--cache-mb=N] [--progress-every=N] [--quiet]
+//              [--log-file=PATH] [--log-level=debug|info|warn|error]
 //
 // Runs in the foreground until a client sends {"op":"shutdown"} (or the
 // process is signalled). --cache-dir enables the kernel cache for every
 // job that does not configure its own; --cache-mb bounds it (LRU, 0 =
-// unlimited).
+// unlimited). --progress-every sets the default step cadence of the
+// per-job "progress" event stream. --log-file switches the structured
+// log from human-readable stderr lines to JSON-lines in PATH.
 #include <cstdio>
 
+#include "pfc/obs/log.hpp"
 #include "pfc/serve/server.hpp"
 #include "pfc/support/argparse.hpp"
 
@@ -22,20 +26,32 @@ int main(int argc, char** argv) {
   support::ArgParser args(
       "pfc_served",
       "pfc_served --socket=PATH [--workers=N] [--cache-dir=DIR]\n"
-      "           [--cache-mb=N] [--quiet]");
+      "           [--cache-mb=N] [--progress-every=N] [--quiet]\n"
+      "           [--log-file=PATH] [--log-level=debug|info|warn|error]");
   args.value("socket", &opts.socket_path);
   int workers = 2;
   args.positive("workers", &workers);
   args.value("cache-dir", &opts.cache.directory);
   long long cache_mb = -1;
   args.count("cache-mb", &cache_mb);
+  args.count("progress-every", &opts.progress_every);
   args.flag("quiet", &opts.quiet);
+  std::string log_file, log_level = "info";
+  args.value("log-file", &log_file);
+  args.value("log-level", &log_level);
   const auto pos = args.parse(argc, argv);
 
   if (!pos.empty()) args.fail("unexpected positional argument");
   if (opts.socket_path.empty()) args.fail("--socket=PATH is required");
   opts.workers = workers;
   if (cache_mb >= 0) opts.cache.max_bytes = std::uint64_t(cache_mb) << 20;
+  try {
+    obs::log::Logger::shared().configure(
+        obs::log::level_from_string(log_level), log_file);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "pfc_served: %s\n", e.what());
+    return 1;
+  }
 
   serve::JobServer server(opts);
   try {
@@ -45,13 +61,15 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (!opts.quiet) {
-    std::fprintf(stderr,
-                 "pfc_served: listening on %s (%d workers, cache %s)\n",
-                 opts.socket_path.c_str(), opts.workers,
-                 opts.cache.directory.empty() ? "off"
-                                              : opts.cache.directory.c_str());
+    obs::log::info(
+        "pfc_served", "listening",
+        {{"socket", obs::Json(opts.socket_path)},
+         {"workers", obs::Json(opts.workers)},
+         {"cache", obs::Json(opts.cache.directory.empty()
+                                 ? std::string("off")
+                                 : opts.cache.directory)}});
   }
   server.wait();
-  if (!opts.quiet) std::fprintf(stderr, "pfc_served: shut down\n");
+  if (!opts.quiet) obs::log::info("pfc_served", "shut down");
   return 0;
 }

@@ -36,18 +36,37 @@
 // the same strict decoder the serve daemon uses (unknown keys and type
 // mismatches are errors) and cross-field validated.
 //
+// With --metrics the argument is a pfc-serve-metrics-v1 snapshot (what
+// the daemon's "metrics" request returns): schema, per-family type/help,
+// label shapes and histogram consistency (cumulative bucket counts are
+// monotone, end at "+Inf" and agree with the total count) are validated.
+// Any further arguments name families that must exist with a nonzero
+// total — what the serve_roundtrip test pins after running real jobs.
+//
+// With --prom the argument is a Prometheus text exposition (the daemon's
+// "metrics_text" reply): every sample's family must carry # HELP and
+// # TYPE lines before its first sample, metric names must match the
+// Prometheus charset, counters must end in _total, and histograms must
+// expose _bucket/_sum/_count series with a "+Inf" bucket.
+//
 // Usage: report_check [--require-vector-width] [--require-overlap]
 //                     [--require-cache] <report.json> [expected-kind]
 //        report_check --trace <trace.json>
 //        report_check --checkpoint <manifest.json>
 //        report_check --jobspec <jobspec.json>
+//        report_check --metrics <metrics.json> [required-family...]
+//        report_check --prom <metrics.prom>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "pfc/app/jobspec.hpp"
 #include "pfc/obs/json.hpp"
+#include "pfc/obs/metrics.hpp"
 #include "pfc/obs/report.hpp"
 #include "pfc/resilience/checkpoint.hpp"
 
@@ -350,6 +369,324 @@ void check_cache(const pfc::obs::Json& c) {
   }
 }
 
+/// One labeled series of a --metrics family. Returns the series' scalar
+/// total (value, or count for histograms) so required-family checks can
+/// assert nonzero activity.
+double check_metric_series(const pfc::obs::Json& v, const std::string& type,
+                           const std::string& where) {
+  if (!v.is_object()) {
+    fail(where + ": expected an object");
+    return 0.0;
+  }
+  const pfc::obs::Json* labels = v.find("labels");
+  if (!labels || !labels->is_object()) {
+    fail(where + "/labels must be an object");
+  } else {
+    for (const auto& [k, lv] : labels->items()) {
+      if (!lv.is_string()) fail(where + "/labels/" + k + ": expected a string");
+    }
+  }
+  if (type == "counter" || type == "gauge") {
+    const pfc::obs::Json* value = v.find("value");
+    if (!value) {
+      fail(where + ": missing \"value\"");
+      return 0.0;
+    }
+    if (type == "counter") {
+      check_finite_nonneg(*value, where + "/value");
+    } else {
+      check_finite(*value, where + "/value");
+    }
+    return value->is_number() ? value->number() : 0.0;
+  }
+  // histogram
+  const pfc::obs::Json* count = v.find("count");
+  const pfc::obs::Json* sum = v.find("sum");
+  const pfc::obs::Json* buckets = v.find("buckets");
+  if (!count || !sum || !buckets) {
+    fail(where + ": histogram needs \"count\", \"sum\" and \"buckets\"");
+    return 0.0;
+  }
+  check_finite_nonneg(*count, where + "/count");
+  check_finite(*sum, where + "/sum");
+  if (!buckets->is_array() || buckets->elements().empty()) {
+    fail(where + "/buckets must be a non-empty array");
+    return 0.0;
+  }
+  double prev = 0.0;
+  bool saw_inf = false;
+  for (std::size_t i = 0; i < buckets->elements().size(); ++i) {
+    const pfc::obs::Json& b = buckets->elements()[i];
+    const std::string bw = where + "/buckets[" + std::to_string(i) + ']';
+    if (!b.is_object()) {
+      fail(bw + ": expected an object");
+      continue;
+    }
+    const pfc::obs::Json* le = b.find("le");
+    const pfc::obs::Json* bc = b.find("count");
+    if (!le || !bc) {
+      fail(bw + ": needs \"le\" and \"count\"");
+      continue;
+    }
+    if (le->is_string()) {
+      if (le->str() != "+Inf") {
+        fail(bw + "/le: string edge must be \"+Inf\"");
+      } else if (i + 1 != buckets->elements().size()) {
+        fail(bw + "/le: \"+Inf\" must be the last bucket");
+      } else {
+        saw_inf = true;
+      }
+    } else {
+      check_finite_nonneg(*le, bw + "/le");
+    }
+    check_finite_nonneg(*bc, bw + "/count");
+    if (bc->is_number()) {
+      if (bc->number() < prev) {
+        fail(bw + "/count: cumulative counts must be nondecreasing");
+      }
+      prev = bc->number();
+    }
+  }
+  if (!saw_inf) fail(where + "/buckets: missing the \"+Inf\" bucket");
+  if (count->is_number() && prev != count->number()) {
+    fail(where + ": +Inf bucket count (" +
+         std::to_string((long long)prev) + ") must equal count (" +
+         std::to_string((long long)count->number()) + ')');
+  }
+  return count->is_number() ? count->number() : 0.0;
+}
+
+/// --metrics mode: structural validation of a pfc-serve-metrics-v1
+/// snapshot; `required` families must exist with a nonzero total.
+int check_metrics(const char* path, const std::vector<std::string>& required) {
+  const std::string text = read_file(path);
+  if (g_errors) return 1;
+  std::string err;
+  const pfc::obs::Json j = pfc::obs::Json::parse(text, &err);
+  if (!err.empty()) {
+    fail("parse error: " + err);
+    return 1;
+  }
+  if (!j.is_object()) {
+    fail("top level must be an object");
+    return 1;
+  }
+  const pfc::obs::Json* schema = j.find("schema");
+  if (!schema || !schema->is_string() ||
+      schema->str() != pfc::obs::kMetricsSchema) {
+    fail(std::string("schema must be \"") + pfc::obs::kMetricsSchema + '"');
+  }
+  const pfc::obs::Json* metrics = j.find("metrics");
+  if (!metrics || !metrics->is_object()) {
+    fail("\"metrics\" must be an object");
+    return 1;
+  }
+  std::map<std::string, double> totals;
+  for (const auto& [name, fam] : metrics->items()) {
+    const std::string where = "metrics/" + name;
+    if (!pfc::obs::valid_metric_name(name)) {
+      fail(where + ": invalid metric name");
+    }
+    if (!fam.is_object()) {
+      fail(where + ": expected an object");
+      continue;
+    }
+    const pfc::obs::Json* type = fam.find("type");
+    const pfc::obs::Json* help = fam.find("help");
+    const pfc::obs::Json* values = fam.find("values");
+    if (!type || !type->is_string() ||
+        (type->str() != "counter" && type->str() != "gauge" &&
+         type->str() != "histogram")) {
+      fail(where + "/type must be \"counter\", \"gauge\" or \"histogram\"");
+      continue;
+    }
+    if (!help || !help->is_string() || help->str().empty()) {
+      fail(where + "/help must be a non-empty string");
+    }
+    if (!values || !values->is_array() || values->elements().empty()) {
+      fail(where + "/values must be a non-empty array");
+      continue;
+    }
+    double total = 0.0;
+    for (std::size_t i = 0; i < values->elements().size(); ++i) {
+      total += check_metric_series(
+          values->elements()[i], type->str(),
+          where + "/values[" + std::to_string(i) + ']');
+    }
+    totals[name] = total;
+  }
+  for (const std::string& name : required) {
+    auto it = totals.find(name);
+    if (it == totals.end()) {
+      fail("required family \"" + name + "\" is missing");
+    } else if (!(it->second > 0.0)) {
+      fail("required family \"" + name + "\" has a zero total");
+    }
+  }
+  if (g_errors) {
+    std::fprintf(stderr, "report_check: %s FAILED (%d error%s)\n", path,
+                 g_errors, g_errors == 1 ? "" : "s");
+    return 1;
+  }
+  std::printf("report_check: %s OK (metrics, %zu families, %zu required)\n",
+              path, metrics->items().size(), required.size());
+  return 0;
+}
+
+/// --prom mode: lint of the Prometheus text exposition.
+int check_prom(const char* path) {
+  const std::string text = read_file(path);
+  if (g_errors) return 1;
+  std::map<std::string, std::string> types;  // family -> counter|gauge|...
+  std::set<std::string> helped;
+  std::set<std::string> sampled;  // families with >= 1 sample line
+  std::map<std::string, std::set<std::string>> histogram_series;
+  std::map<std::string, bool> histogram_inf;
+  std::size_t samples = 0;
+  std::size_t lineno = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find('\n', start);
+    const std::string line =
+        text.substr(start, end == std::string::npos ? end : end - start);
+    start = end == std::string::npos ? text.size() + 1 : end + 1;
+    ++lineno;
+    if (line.empty()) continue;
+    const std::string where = "line " + std::to_string(lineno);
+    if (line[0] == '#') {
+      // "# HELP name text" / "# TYPE name counter|gauge|histogram"
+      std::size_t p = line.find_first_not_of(' ', 1);
+      if (p == std::string::npos) continue;
+      const std::size_t kw_end = line.find(' ', p);
+      const std::string kw =
+          line.substr(p, kw_end == std::string::npos ? kw_end : kw_end - p);
+      if (kw != "HELP" && kw != "TYPE") continue;  // other comments are legal
+      if (kw_end == std::string::npos) {
+        fail(where + ": # " + kw + " without a metric name");
+        continue;
+      }
+      p = line.find_first_not_of(' ', kw_end);
+      const std::size_t name_end = line.find(' ', p);
+      const std::string name = line.substr(
+          p, name_end == std::string::npos ? name_end : name_end - p);
+      if (!pfc::obs::valid_metric_name(name)) {
+        fail(where + ": invalid metric name \"" + name + '"');
+        continue;
+      }
+      if (sampled.count(name) != 0) {
+        fail(where + ": # " + kw + " for \"" + name +
+             "\" after its first sample");
+      }
+      if (kw == "HELP") {
+        if (name_end == std::string::npos ||
+            line.find_first_not_of(' ', name_end) == std::string::npos) {
+          fail(where + ": # HELP " + name + " has no text");
+        }
+        if (!helped.insert(name).second) {
+          fail(where + ": duplicate # HELP for \"" + name + '"');
+        }
+      } else {
+        const std::string type =
+            name_end == std::string::npos
+                ? ""
+                : line.substr(line.find_first_not_of(' ', name_end));
+        if (type != "counter" && type != "gauge" && type != "histogram") {
+          fail(where + ": # TYPE " + name + " has unknown type \"" + type +
+               '"');
+        }
+        if (!types.emplace(name, type).second) {
+          fail(where + ": duplicate # TYPE for \"" + name + '"');
+        }
+      }
+      continue;
+    }
+    // sample line: name[{labels}] value
+    const std::size_t name_end = line.find_first_of("{ ");
+    const std::string series =
+        line.substr(0, name_end == std::string::npos ? name_end : name_end);
+    if (!pfc::obs::valid_metric_name(series)) {
+      fail(where + ": invalid metric name \"" + series + '"');
+      continue;
+    }
+    // resolve the family: histogram series drop a _bucket/_sum/_count
+    // suffix, everything else is its own family
+    std::string family = series;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::size_t len = std::strlen(suffix);
+      if (series.size() > len &&
+          series.compare(series.size() - len, len, suffix) == 0) {
+        const std::string base = series.substr(0, series.size() - len);
+        auto it = types.find(base);
+        if (it != types.end() && it->second == "histogram") {
+          family = base;
+          histogram_series[base].insert(suffix);
+          break;
+        }
+      }
+    }
+    auto type_it = types.find(family);
+    if (type_it == types.end()) {
+      fail(where + ": sample \"" + series + "\" has no preceding # TYPE");
+      continue;
+    }
+    if (helped.count(family) == 0) {
+      fail(where + ": sample \"" + series + "\" has no preceding # HELP");
+    }
+    if (type_it->second == "counter" &&
+        (series.size() < 6 ||
+         series.compare(series.size() - 6, 6, "_total") != 0)) {
+      fail(where + ": counter \"" + series + "\" must end in _total");
+    }
+    if (type_it->second == "histogram" && family == series) {
+      fail(where + ": histogram \"" + family +
+           "\" sample must be a _bucket/_sum/_count series");
+    }
+    if (family != series && series.size() > 7 &&
+        series.compare(series.size() - 7, 7, "_bucket") == 0 &&
+        line.find("le=\"+Inf\"") != std::string::npos) {
+      histogram_inf[family] = true;
+    }
+    // the value is the last space-separated token
+    const std::size_t sp = line.find_last_of(' ');
+    if (sp == std::string::npos) {
+      fail(where + ": sample without a value");
+    } else {
+      char* endp = nullptr;
+      const std::string value = line.substr(sp + 1);
+      std::strtod(value.c_str(), &endp);
+      if (endp == value.c_str() || *endp != '\0') {
+        fail(where + ": unparseable sample value \"" + value + '"');
+      }
+    }
+    sampled.insert(family);
+    ++samples;
+  }
+  for (const auto& [name, type] : types) {
+    if (helped.count(name) == 0) {
+      fail("# TYPE " + name + " without a # HELP line");
+    }
+    if (type != "histogram") continue;
+    const auto& series = histogram_series[name];
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      if (series.count(suffix) == 0) {
+        fail("histogram \"" + name + "\" has no " + suffix + " series");
+      }
+    }
+    if (!histogram_inf[name]) {
+      fail("histogram \"" + name + "\" has no le=\"+Inf\" bucket");
+    }
+  }
+  if (types.empty()) fail("no # TYPE lines (empty exposition)");
+  if (g_errors) {
+    std::fprintf(stderr, "report_check: %s FAILED (%d error%s)\n", path,
+                 g_errors, g_errors == 1 ? "" : "s");
+    return 1;
+  }
+  std::printf("report_check: %s OK (prometheus, %zu families, %zu samples)\n",
+              path, types.size(), samples);
+  return 0;
+}
+
 /// --jobspec mode: strict decode + cross-field validation of a job spec.
 int check_jobspec(const char* path) {
   const std::string text = read_file(path);
@@ -380,6 +717,14 @@ int main(int argc, char** argv) {
   if (argc == 3 && std::strcmp(argv[1], "--jobspec") == 0) {
     return check_jobspec(argv[2]);
   }
+  if (argc >= 3 && std::strcmp(argv[1], "--metrics") == 0) {
+    std::vector<std::string> required;
+    for (int i = 3; i < argc; ++i) required.emplace_back(argv[i]);
+    return check_metrics(argv[2], required);
+  }
+  if (argc == 3 && std::strcmp(argv[1], "--prom") == 0) {
+    return check_prom(argv[2]);
+  }
   bool require_vector_width = false;
   bool require_overlap = false;
   bool require_cache = false;
@@ -404,7 +749,10 @@ int main(int argc, char** argv) {
                  "[kind]\n"
                  "       report_check --trace <trace.json>\n"
                  "       report_check --checkpoint <manifest.json>\n"
-                 "       report_check --jobspec <jobspec.json>\n");
+                 "       report_check --jobspec <jobspec.json>\n"
+                 "       report_check --metrics <metrics.json> "
+                 "[required-family...]\n"
+                 "       report_check --prom <metrics.prom>\n");
     return 2;
   }
   const std::string text = read_file(argv[1]);

@@ -2,7 +2,10 @@
 # Serve round-trip ctest: start pfc_served on a private socket with a fresh
 # kernel-cache directory, run pfc_servectl selftest (submit the same spec
 # twice, verify the second job is a kernel-cache hit with near-zero compile
-# time and all runs are bitwise-identical), then shut the daemon down.
+# time and all runs are bitwise-identical), follow a third job's live
+# progress stream, dump the telemetry snapshot (metrics.json) and the
+# Prometheus exposition (metrics.prom) for the fixture-chained report_check
+# tests, then shut the daemon down.
 #
 #   serve_roundtrip.sh <pfc_served> <pfc_servectl> <jobspec.json> <workdir>
 set -u
@@ -17,7 +20,8 @@ mkdir -p "$WORKDIR"
 SOCKET="$WORKDIR/serve.sock"
 
 "$SERVED" --socket="$SOCKET" --workers=2 \
-  --cache-dir="$WORKDIR/kernel_cache" --cache-mb=64 &
+  --cache-dir="$WORKDIR/kernel_cache" --cache-mb=64 \
+  --log-file="$WORKDIR/served.log" --log-level=info &
 SERVED_PID=$!
 trap 'kill "$SERVED_PID" 2>/dev/null; wait "$SERVED_PID" 2>/dev/null' EXIT
 
@@ -35,6 +39,34 @@ fi
 "$SERVECTL" --socket="$SOCKET" selftest "$JOBSPEC"
 STATUS=$?
 
+# Third job with --follow: the daemon must stream live progress events and
+# the client render them one line each ("... step N/M ...").
+"$SERVECTL" --socket="$SOCKET" submit --follow "$JOBSPEC" \
+  >"$WORKDIR/follow.out" 2>"$WORKDIR/follow.err"
+if [ $? -ne 0 ]; then
+  echo "serve_roundtrip: follow submit failed" >&2
+  cat "$WORKDIR/follow.err" >&2
+  exit 1
+fi
+STEPS=$(sed -n 's/.* step \([0-9][0-9]*\)\/[0-9].*/\1/p' "$WORKDIR/follow.err")
+NPROGRESS=$(printf '%s\n' "$STEPS" | sed '/^$/d' | wc -l)
+if [ "$NPROGRESS" -lt 3 ]; then
+  echo "serve_roundtrip: expected >= 3 progress lines, got $NPROGRESS" >&2
+  cat "$WORKDIR/follow.err" >&2
+  exit 1
+fi
+SORTED=$(printf '%s\n' "$STEPS" | sed '/^$/d' | sort -n)
+if [ "$STEPS" != "$SORTED" ]; then
+  echo "serve_roundtrip: progress steps not monotone:" >&2
+  printf '%s\n' "$STEPS" >&2
+  exit 1
+fi
+
+# Dump both exposition formats while the daemon is still up; the
+# metrics_schema_valid / prom_lint ctests validate these files.
+"$SERVECTL" --socket="$SOCKET" metrics >"$WORKDIR/metrics.json" || exit 1
+"$SERVECTL" --socket="$SOCKET" metrics --text >"$WORKDIR/metrics.prom" || exit 1
+
 "$SERVECTL" --socket="$SOCKET" shutdown || exit 1
 wait "$SERVED_PID"
 DAEMON_STATUS=$?
@@ -48,4 +80,19 @@ if [ "$DAEMON_STATUS" -ne 0 ]; then
   echo "serve_roundtrip: daemon exited with $DAEMON_STATUS" >&2
   exit 1
 fi
-echo "serve_roundtrip: OK"
+
+# Structured log: non-empty JSON-lines file with the expected keys and a
+# job correlation id from at least one per-job record.
+if ! [ -s "$WORKDIR/served.log" ]; then
+  echo "serve_roundtrip: structured log is empty" >&2
+  exit 1
+fi
+if ! grep -q '"component":"pfc_served"' "$WORKDIR/served.log"; then
+  echo "serve_roundtrip: structured log lacks component field" >&2
+  exit 1
+fi
+if ! grep -q '"correlation_id":"job-' "$WORKDIR/served.log"; then
+  echo "serve_roundtrip: structured log lacks job correlation ids" >&2
+  exit 1
+fi
+echo "serve_roundtrip: OK ($NPROGRESS progress events)"
