@@ -29,17 +29,15 @@ double model_mlups(Which w, bool split, int cores,
   return 1.0 / inv;
 }
 
-double measure_phi(Which w, bool split, int threads, int steps,
-                   const std::array<long long, 3>& cells,
-                   int vector_width = 0) {
+obs::RunReport run_sim(Which w, bool split, int steps,
+                       const std::array<long long, 3>& cells,
+                       const app::SimulationOptions& base) {
   app::GrandChemParams params =
       w == Which::PhiP1 ? app::make_p1(3) : app::make_p2(3);
   app::GrandChemModel model(params);
-  app::SimulationOptions o;
+  app::SimulationOptions o = base;
   o.cells = cells;
-  o.threads = threads;
   o.compile.split_phi = split;
-  o.compile.vector_width = vector_width;
   app::Simulation sim(model, o);
   sim.init_phi([](long long x, long long, long long, int c) {
     const double s = app::interface_profile(double(x % 16) - 8.0, 10.0);
@@ -47,7 +45,16 @@ double measure_phi(Which w, bool split, int threads, int steps,
     return c == 1 ? s : 0.0;
   });
   sim.init_mu([](long long, long long, long long, int) { return 0.0; });
-  const obs::RunReport rep = sim.run(steps);
+  return sim.run(steps);
+}
+
+double measure_phi(Which w, bool split, int threads, int steps,
+                   const std::array<long long, 3>& cells,
+                   int vector_width = 0) {
+  app::SimulationOptions o;
+  o.threads = threads;
+  o.compile.vector_width = vector_width;
+  const obs::RunReport rep = run_sim(w, split, steps, cells, o);
   double phi_seconds = 0;
   for (const auto& [name, t] : rep.kernel_timers) {
     if (name.rfind("phi", 0) == 0) phi_seconds += t.seconds;
@@ -117,24 +124,77 @@ int main() {
               "MLUP/s -> %.2fx\n",
               vw, b_p1_full, b_p1_full_scalar, vector_speedup);
 
+  std::map<std::string, double> derived{
+      {"model_socket_p1_phi_split_mlups", m_p1_split},
+      {"model_socket_p1_phi_full_mlups", m_p1_full},
+      {"model_socket_p2_phi_split_mlups", m_p2_split},
+      {"model_socket_p2_phi_full_mlups", m_p2_full},
+      {"model_p1_chooses_full", p1_full_wins ? 1.0 : 0.0},
+      {"model_p2_chooses_split", p2_split_wins ? 1.0 : 0.0},
+      {"measured_p1_phi_split_mlups", b_p1_split},
+      {"measured_p1_phi_full_mlups", b_p1_full},
+      {"measured_p1_phi_full_scalar_mlups", b_p1_full_scalar},
+      {"measured_vector_speedup", vector_speedup},
+      {"measured_p2_phi_split_mlups", b_p2_split},
+      {"measured_p2_phi_full_mlups", b_p2_full},
+      {"measured_threads", double(max_threads)}};
+
+  // --- thread-scaling axis: pinned workers, static slabs, first-touch ---
+  // Explicit counts keep the axis deterministic on any container; counts
+  // beyond the visible cores oversubscribe but still exercise the
+  // machinery. The model curve gives the full-socket expectation next to
+  // each measured point.
+  std::printf("\n%8s %18s %18s   [threads axis: compact pin, static "
+              "slabs, first-touch]\n",
+              "threads", "measured MLUP/s", "model MLUP/s");
+  for (int t : {1, 2, 4}) {
+    app::SimulationOptions o;
+    o.threads = t;
+    o.pin = support::PinPolicy::Compact;
+    o.dispatch = app::Dispatch::Static;
+    o.first_touch = true;
+    const obs::RunReport rep = run_sim(Which::PhiP1, false, 3, meas, o);
+    const double measured = rep.mlups();
+    const double modeled =
+        model_mlups(Which::PhiP1, false, t, machine, block, vw);
+    std::printf("%8d %18.2f %18.2f\n", t, measured, modeled);
+    derived["measured_phi_full_t" + std::to_string(t) + "_mlups"] = measured;
+    derived["model_phi_full_t" + std::to_string(t) + "_mlups"] = modeled;
+  }
+
+  // --- temporal-blocking axis: fused wavefront vs reference order ---
+  // 3-D (the models here are dims=3) with enough outer-axis rows that both
+  // workers' slabs clear the wavefront prologue; the tile height is forced
+  // so the axis also runs on cache-less containers.
+  {
+    const std::array<long long, 3> c3d{40, 40, 24};
+    app::SimulationOptions unfused;
+    unfused.threads = 2;
+    unfused.dispatch = app::Dispatch::Static;
+    app::SimulationOptions fused = unfused;
+    fused.blocking = app::BlockingMode::Fixed;
+    fused.blocking_tile_rows = 4;
+    const obs::RunReport r_ref = run_sim(Which::PhiP1, true, 4, c3d, unfused);
+    const obs::RunReport r_wf = run_sim(Which::PhiP1, true, 4, c3d, fused);
+    const double speedup = obs::safe_rate(r_wf.mlups(), r_ref.mlups());
+    std::printf("\nblocking axis (3-D, tile 4): unfused %.2f MLUP/s, "
+                "wavefront %.2f MLUP/s (%.2fx), fused substeps %lld\n",
+                r_ref.mlups(), r_wf.mlups(), speedup,
+                r_wf.threading.fused_substeps);
+    derived["measured_blocking_unfused_mlups"] = r_ref.mlups();
+    derived["measured_blocking_wavefront_mlups"] = r_wf.mlups();
+    derived["measured_blocking_speedup"] = speedup;
+    derived["blocking_fused_substeps"] = double(r_wf.threading.fused_substeps);
+    derived["blocking_bytes_per_update_unfused"] =
+        r_wf.threading.bytes_per_update_unfused;
+    derived["blocking_bytes_per_update_fused"] =
+        r_wf.threading.bytes_per_update_fused;
+  }
+
   write_bench_report(
       "fig2_ecm_phi",
-      bench_report_json(
-          "fig2_ecm_phi",
-          {{"model_socket_p1_phi_split_mlups", m_p1_split},
-           {"model_socket_p1_phi_full_mlups", m_p1_full},
-           {"model_socket_p2_phi_split_mlups", m_p2_split},
-           {"model_socket_p2_phi_full_mlups", m_p2_full},
-           {"model_p1_chooses_full", p1_full_wins ? 1.0 : 0.0},
-           {"model_p2_chooses_split", p2_split_wins ? 1.0 : 0.0},
-           {"measured_p1_phi_split_mlups", b_p1_split},
-           {"measured_p1_phi_full_mlups", b_p1_full},
-           {"measured_p1_phi_full_scalar_mlups", b_p1_full_scalar},
-           {"measured_vector_speedup", vector_speedup},
-           {"measured_p2_phi_split_mlups", b_p2_split},
-           {"measured_p2_phi_full_mlups", b_p2_full},
-           {"measured_threads", double(max_threads)}},
-          /*timers=*/{},
-          /*counters=*/{{"vector_width", std::uint64_t(vw)}}));
+      bench_report_json("fig2_ecm_phi", derived,
+                        /*timers=*/{},
+                        /*counters=*/{{"vector_width", std::uint64_t(vw)}}));
   return 0;
 }

@@ -5,6 +5,8 @@
 //   ./quickstart [--trace[=trace.json]] [--health=<policy>] [--overlap]
 //                [--checkpoint-every=N] [--checkpoint-dir=DIR]
 //                [--restart[=DIR]] [--jobspec=FILE]
+//                [--threads=N] [--pin=none|compact|scatter]
+//                [--blocking=off|auto|N]
 //                [output.vtk] [report.json] [bursts]
 //
 // --trace records a chrome://tracing span timeline (per-kernel, per-slab
@@ -17,6 +19,11 @@
 // bitwise-identical physics, and the report gains an "overlap" section.
 // --jobspec runs a pfc-jobspec-v1 file through the same engine the serve
 // daemon uses (app::run_job) and writes its result JSON instead.
+// --threads sets the worker-pool width (default 4); --pin binds workers to
+// CPUs (compact fills a package first, scatter round-robins NUMA nodes);
+// --blocking fuses the φ/µ sweeps over wavefront tiles — "auto" sizes the
+// tile from the layer-condition model, a number forces that tile height.
+// See "Running on a full socket" in the README.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +38,7 @@
 #include "pfc/grid/vtk.hpp"
 #include "pfc/support/argparse.hpp"
 #include "pfc/support/assert.hpp"
+#include "pfc/support/topology.hpp"
 
 namespace {
 
@@ -58,6 +66,10 @@ int main(int argc, char** argv) {
   bool restart = false;
   std::string restart_dir;
   std::string jobspec_path;
+  long long threads = 4;
+  support::PinPolicy pin = support::PinPolicy::None;
+  app::BlockingMode blocking = app::BlockingMode::Off;
+  long long blocking_tile = 0;
 
   support::ArgParser args(
       "quickstart",
@@ -65,7 +77,10 @@ int main(int argc, char** argv) {
       "[--health=ignore|warn|throw|recover] [--overlap]\n"
       "           [--checkpoint-every=N] [--checkpoint-dir=DIR] "
       "[--restart[=DIR]]\n"
-      "           [--jobspec=FILE] [output.vtk] [report.json] [bursts]");
+      "           [--jobspec=FILE] [--threads=N] "
+      "[--pin=none|compact|scatter]\n"
+      "           [--blocking=off|auto|N] "
+      "[output.vtk] [report.json] [bursts]");
   args.on_optional_value("trace", [&](const std::string* v) {
     trace = true;
     if (v != nullptr) trace_path = *v;
@@ -81,7 +96,22 @@ int main(int argc, char** argv) {
     if (v != nullptr) restart_dir = *v;
   });
   args.value("jobspec", &jobspec_path);
+  args.count("threads", &threads);
+  args.on_value("pin", [&](const std::string& v) {
+    pin = support::parse_pin_policy(v);
+  });
+  args.on_value("blocking", [&](const std::string& v) {
+    if (v == "off") {
+      blocking = app::BlockingMode::Off;
+    } else if (v == "auto") {
+      blocking = app::BlockingMode::Auto;
+    } else {
+      blocking = app::BlockingMode::Fixed;
+      blocking_tile = support::parse_count(v.c_str(), "blocking");
+    }
+  });
   const std::vector<const char*> pos = args.parse(argc, argv);
+  if (threads < 1) args.fail("--threads must be >= 1");
 
   const char* vtk_path = pos.size() > 0 ? pos[0] : "quickstart.vtk";
   const char* report_path = pos.size() > 1 ? pos[1]
@@ -177,7 +207,9 @@ int main(int argc, char** argv) {
 
   // 2. compile: energy functional -> PDEs -> stencils -> optimized C -> JIT
   auto opts = app::SimulationOptions{}.with_cells(128, 128)
-                  .with_threads(4)
+                  .with_threads(int(threads))
+                  .with_pin(pin)
+                  .with_blocking(blocking, blocking_tile)
                   .with_health(health);
   if (trace) {
     opts.with_trace(obs::TraceOptions{}.enable().with_path(trace_path));
@@ -227,6 +259,10 @@ int main(int argc, char** argv) {
   }
   std::printf("kernel throughput: %.2f MLUP/s over %lld steps\n",
               report.mlups(), report.steps);
+  std::printf("threads: %lld (pin %s) | blocking: %s — %s\n", threads,
+              support::pin_policy_name(pin),
+              sim.blocking_active() ? "wavefront" : "off",
+              sim.blocking_plan().reason.c_str());
 
   grid::write_vtk(vtk_path, {&sim.phi()});
 

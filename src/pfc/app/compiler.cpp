@@ -23,10 +23,11 @@ void CompiledKernel::run(const backend::Binding& b,
                          const std::array<long long, 3>& n, double t,
                          long long t_step, ThreadPool* pool,
                          obs::TraceRecorder* tracer,
-                         const backend::CellRange* range) const {
+                         const backend::CellRange* range,
+                         const SlabPlan* plan) const {
   if (fn_ != nullptr) {
     backend::run_compiled(ir, fn_, b, n, t, t_step, pool, tracer,
-                          vector_width_, range);
+                          vector_width_, range, plan);
   } else {
     PFC_ASSERT(interp_ != nullptr, "CompiledKernel has no backend");
     // Interpreter slabs carry no per-thread spans; the driver's kernel span

@@ -65,10 +65,13 @@ class CompiledKernel {
 
   /// `range` restricts the sweep to a sub-box (nullptr = full box); the
   /// distributed driver uses it for interior/frontier overlap execution.
+  /// `plan` selects static slab ownership (see backend::run_compiled);
+  /// the interpreter backend ignores it (fallback path, dynamic split).
   void run(const backend::Binding& b, const std::array<long long, 3>& n,
            double t, long long t_step, ThreadPool* pool = nullptr,
            obs::TraceRecorder* tracer = nullptr,
-           const backend::CellRange* range = nullptr) const;
+           const backend::CellRange* range = nullptr,
+           const SlabPlan* plan = nullptr) const;
 
   /// SIMD width the kernel's code was emitted with (1 = scalar).
   int vector_width() const { return vector_width_; }

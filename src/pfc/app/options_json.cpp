@@ -142,6 +142,30 @@ OverlapMode parse_overlap_mode(const std::string& name) {
               "\" (valid: off, interior_frontier)");
 }
 
+const char* dispatch_name(Dispatch d) {
+  return d == Dispatch::Static ? "static" : "dynamic";
+}
+Dispatch parse_dispatch(const std::string& name) {
+  if (name == "static") return Dispatch::Static;
+  if (name == "dynamic") return Dispatch::Dynamic;
+  throw Error("unknown dispatch \"" + name + "\" (valid: dynamic, static)");
+}
+
+const char* blocking_mode_name(BlockingMode m) {
+  switch (m) {
+    case BlockingMode::Auto: return "auto";
+    case BlockingMode::Fixed: return "fixed";
+    default: return "off";
+  }
+}
+BlockingMode parse_blocking_mode(const std::string& name) {
+  if (name == "off") return BlockingMode::Off;
+  if (name == "auto") return BlockingMode::Auto;
+  if (name == "fixed") return BlockingMode::Fixed;
+  throw Error("unknown blocking mode \"" + name +
+              "\" (valid: off, auto, fixed)");
+}
+
 // --- compile -----------------------------------------------------------------
 
 Json compile_options_to_json(const CompileOptions& o) {
@@ -426,14 +450,22 @@ Json simulation_options_to_json(const SimulationOptions& o) {
   return domain_to_json(o)
       .set("threads", Json(o.threads))
       .set("time_scheme", Json(time_scheme_name(o.time_scheme)))
-      .set("block_offset", array_json(o.block_offset));
+      .set("block_offset", array_json(o.block_offset))
+      .set("pin", Json(support::pin_policy_name(o.pin)))
+      .set("first_touch", Json(o.first_touch))
+      .set("dispatch", Json(dispatch_name(o.dispatch)))
+      .set("blocking", Json(blocking_mode_name(o.blocking)))
+      .set("blocking_tile_rows", Json(double(o.blocking_tile_rows)));
 }
 
 SimulationOptions simulation_options_from_json(const Json& j,
                                                const std::string& where) {
   require_object(j, where);
   std::vector<const char*> allowed(kDomainKeys);
-  allowed.insert(allowed.end(), {"threads", "time_scheme", "block_offset"});
+  allowed.insert(allowed.end(),
+                 {"threads", "time_scheme", "block_offset", "pin",
+                  "first_touch", "dispatch", "blocking",
+                  "blocking_tile_rows"});
   for (const auto& [key, v] : j.items()) {
     (void)v;
     bool ok = false;
@@ -447,6 +479,18 @@ SimulationOptions simulation_options_from_json(const Json& j,
   o.time_scheme = parse_time_scheme(
       read_str(j, "time_scheme", time_scheme_name(o.time_scheme), where));
   o.block_offset = read_array(j, "block_offset", o.block_offset, where);
+  o.pin = support::parse_pin_policy(
+      read_str(j, "pin", support::pin_policy_name(o.pin), where));
+  o.first_touch = read_bool(j, "first_touch", o.first_touch, where);
+  o.dispatch = parse_dispatch(
+      read_str(j, "dispatch", dispatch_name(o.dispatch), where));
+  o.blocking = parse_blocking_mode(
+      read_str(j, "blocking", blocking_mode_name(o.blocking), where));
+  o.blocking_tile_rows = read_int(j, "blocking_tile_rows",
+                                  o.blocking_tile_rows, where);
+  if (o.blocking_tile_rows < 0) {
+    bad(where + ".blocking_tile_rows", "must be >= 0");
+  }
   return o;
 }
 

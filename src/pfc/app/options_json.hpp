@@ -59,5 +59,9 @@ const char* time_scheme_name(TimeScheme s);
 TimeScheme parse_time_scheme(const std::string& name);
 const char* overlap_mode_name(OverlapMode m);
 OverlapMode parse_overlap_mode(const std::string& name);
+const char* dispatch_name(Dispatch d);
+Dispatch parse_dispatch(const std::string& name);
+const char* blocking_mode_name(BlockingMode m);
+BlockingMode parse_blocking_mode(const std::string& name);
 
 }  // namespace pfc::app

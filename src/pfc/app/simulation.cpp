@@ -44,25 +44,35 @@ Simulation::Simulation(GrandChemModel model, const SimulationOptions& opts)
     : model_(std::move(model)),
       opts_(opts),
       compiled_(ModelCompiler(compile_opts_with_faults(opts)).compile(model_)),
+      pool_(opts.threads > 1
+                ? std::make_unique<ThreadPool>(
+                      ThreadPoolOptions{opts.threads, opts.pin})
+                : nullptr),
       phi_src_arr_(model_.phi_src(),
-                   {opts.cells[0], opts.cells[1], opts.cells[2]}, 1),
+                   {opts.cells[0], opts.cells[1], opts.cells[2]}, 1,
+                   first_touch_pool()),
       phi_dst_arr_(model_.phi_dst(),
-                   {opts.cells[0], opts.cells[1], opts.cells[2]}, 1),
+                   {opts.cells[0], opts.cells[1], opts.cells[2]}, 1,
+                   first_touch_pool()),
       mu_src_arr_(model_.mu_src(),
-                  {opts.cells[0], opts.cells[1], opts.cells[2]}, 1),
+                  {opts.cells[0], opts.cells[1], opts.cells[2]}, 1,
+                  first_touch_pool()),
       mu_dst_arr_(model_.mu_dst(),
-                  {opts.cells[0], opts.cells[1], opts.cells[2]}, 1),
+                  {opts.cells[0], opts.cells[1], opts.cells[2]}, 1,
+                  first_touch_pool()),
       health_(opts.health, &reg_) {
   const int dims = model_.params().dims;
   if (compiled_.phi_flux_field) {
     phi_flux_arr_.emplace(*compiled_.phi_flux_field,
-                          flux_size(opts.cells, dims), 0);
+                          flux_size(opts.cells, dims), 0,
+                          first_touch_pool());
   }
   if (compiled_.mu_flux_field) {
     mu_flux_arr_.emplace(*compiled_.mu_flux_field,
-                         flux_size(opts.cells, dims), 0);
+                         flux_size(opts.cells, dims), 0,
+                         first_touch_pool());
   }
-  if (opts.threads > 1) pool_ = std::make_unique<ThreadPool>(opts.threads);
+  setup_schedule();
 
   tracer_.configure(opts.trace, /*pid=*/0);
   if (tracer_.enabled()) {
@@ -85,11 +95,11 @@ Simulation::Simulation(GrandChemModel model, const SimulationOptions& opts)
     phi_0_.emplace(model_.phi_src(),
                    std::array<std::int64_t, 3>{opts.cells[0], opts.cells[1],
                                                opts.cells[2]},
-                   1);
+                   1, first_touch_pool());
     mu_0_.emplace(model_.mu_src(),
                   std::array<std::int64_t, 3>{opts.cells[0], opts.cells[1],
                                               opts.cells[2]},
-                  1);
+                  1, first_touch_pool());
   }
 
   dt_current_ = model_.params().dt;
@@ -157,10 +167,14 @@ double Simulation::euler_substep(double t) {
   const std::array<long long, 3> cells = opts_.cells;
   obs::TraceRecorder* tr = trace_this_step_ ? &tracer_ : nullptr;
   double substep_seconds = 0.0;
+  const SlabPlan* plan = opts_.dispatch == Dispatch::Static && pool_ != nullptr
+                             ? &slab_plan_
+                             : nullptr;
   const auto timed_run = [&](const CompiledKernel& ck) {
     Timer timer;
     const double ts = tr != nullptr ? tr->now_us() : 0.0;
-    ck.run(bind(ck.ir, false), cells, t, step_, pool_.get(), tr);
+    ck.run(bind(ck.ir, false), cells, t, step_, pool_.get(), tr, nullptr,
+           plan);
     const double s = timer.seconds();
     if (tr != nullptr) {
       tr->complete(ck.ir.name.c_str(), "kernel", ts, s * 1e6, step_, 0);
@@ -179,6 +193,116 @@ double Simulation::euler_substep(double t) {
   phi_src_arr_.swap_data(phi_dst_arr_);
   mu_src_arr_.swap_data(mu_dst_arr_);
   return substep_seconds;
+}
+
+double Simulation::fused_substep(double t) {
+  obs::TraceRecorder* tr = trace_this_step_ ? &tracer_ : nullptr;
+  WavefrontRun wr;
+  wr.schedule = &wavefront_;
+  for (const auto& st : wavefront_.stages) {
+    wr.bindings.push_back(bind(st.kernel->ir, false));
+  }
+  wr.cells = opts_.cells;
+  wr.t = t;
+  wr.t_step = step_;
+  wr.pool = pool_.get();
+  wr.plan = &slab_plan_;
+  wr.boundary = opts_.boundary;
+  wr.tile_rows = blocking_.tile_rows;
+  const double ts = tr != nullptr ? tr->now_us() : 0.0;
+  Timer timer;
+  const std::vector<double> stage_seconds = run_wavefront(wr);
+  if (tr != nullptr) {
+    tr->complete("wavefront", "kernel", ts, timer.seconds() * 1e6, step_, 0);
+  }
+  double substep_seconds = 0.0;
+  for (std::size_t j = 0; j < wavefront_.stages.size(); ++j) {
+    reg_.add_time("kernel/" + wavefront_.stages[j].kernel->ir.name,
+                  stage_seconds[j]);
+    substep_seconds += stage_seconds[j];
+  }
+  ++fused_substeps_;
+  // φ_dst ghosts were completed inside the schedule (transverse per row
+  // band, outer axis at the barrier); only µ_dst still needs its fill.
+  {
+    obs::TraceSpan span(tr, "boundary", "ghost", step_, 0);
+    fill_all_ghosts(mu_dst_arr_);
+  }
+  phi_src_arr_.swap_data(phi_dst_arr_);
+  mu_src_arr_.swap_data(mu_dst_arr_);
+  return substep_seconds;
+}
+
+void Simulation::setup_schedule() {
+  const int dims = model_.params().dims;
+  const long long n_outer = opts_.cells[std::size_t(dims - 1)];
+  const int nt = pool_ != nullptr ? pool_->num_threads() : 1;
+  // In 1-D the slab axis is the vectorized axis: keep boundaries aligned
+  // so the static launches match parallel_for's chunk rounding bitwise.
+  const int align =
+      dims == 1 ? std::max(1, compiled_.compile_report().vector_width) : 1;
+  slab_plan_ = SlabPlan::make(0, n_outer, nt, align);
+
+  std::vector<const CompiledKernel*> chain;
+  std::vector<const ir::Kernel*> irs;
+  for (const auto& ck : compiled_.phi_kernels) chain.push_back(&ck);
+  for (const auto& ck : compiled_.mu_kernels) chain.push_back(&ck);
+  for (const CompiledKernel* ck : chain) irs.push_back(&ck->ir);
+
+  const auto array_of = [&](std::uint64_t id) -> Array* {
+    if (id == model_.phi_src()->id()) return &phi_src_arr_;
+    if (id == model_.phi_dst()->id()) return &phi_dst_arr_;
+    if (id == model_.mu_src()->id()) return &mu_src_arr_;
+    if (id == model_.mu_dst()->id()) return &mu_dst_arr_;
+    if (compiled_.phi_flux_field &&
+        id == (*compiled_.phi_flux_field)->id()) {
+      return &*phi_flux_arr_;
+    }
+    if (compiled_.mu_flux_field && id == (*compiled_.mu_flux_field)->id()) {
+      return &*mu_flux_arr_;
+    }
+    return nullptr;
+  };
+
+  wavefront_ = WavefrontSchedule{};
+  blocking_ = perf::BlockingPlan{};
+  if (opts_.blocking == BlockingMode::Off) {
+    blocking_.reason = "temporal blocking not requested";
+    return;
+  }
+  WavefrontSchedule ws =
+      build_wavefront(chain, dims, /*ghost=*/1, array_of);
+  if (!ws.valid()) {
+    blocking_.reason =
+        "no fusable wavefront schedule (1-D chain, or a domain-edge "
+        "prologue stage reads a mid-chain ghosted field)";
+    return;
+  }
+  blocking_ =
+      perf::blocking_plan(irs, opts_.cells, opts_.machine, nt, ws.span,
+                          /*ghost=*/1);
+  if (opts_.blocking == BlockingMode::Fixed) {
+    blocking_.enabled = opts_.blocking_tile_rows > 0;
+    blocking_.tile_rows = opts_.blocking_tile_rows;
+    blocking_.reason = blocking_.enabled
+                           ? "fixed tile height requested"
+                           : "BlockingMode::Fixed needs tile_rows > 0";
+  }
+  if (!blocking_.enabled) return;
+  // Prologue strips of adjacent workers must not overlap — decline fusion
+  // (rather than racing) when a slab is too thin.
+  for (int w = 0; w < nt; ++w) {
+    const auto [lo, hi] = slab_plan_.slab(w, 0, n_outer);
+    if (hi - lo < ws.min_slab_rows) {
+      blocking_.enabled = false;
+      blocking_.reason = "worker slab of " + std::to_string(hi - lo) +
+                         " rows is thinner than the " +
+                         std::to_string(ws.min_slab_rows) +
+                         " the wavefront prologue needs";
+      return;
+    }
+  }
+  wavefront_ = std::move(ws);
 }
 
 obs::RunReport Simulation::run(int n) {
@@ -201,8 +325,11 @@ obs::RunReport Simulation::run(int n) {
     trace_this_step_ = tracer_.sampled(step_);
     const double step_ts = trace_this_step_ ? tracer_.now_us() : 0.0;
     double step_seconds = 0.0;
+    const auto substep = [&](double t) {
+      return blocking_active() ? fused_substep(t) : euler_substep(t);
+    };
     if (opts_.time_scheme == TimeScheme::Euler) {
-      step_seconds = euler_substep(time_);
+      step_seconds = substep(time_);
     } else {
       // Heun: u1 = u0 + dt f(u0); u2 = u1 + dt f(u1); u_new = (u0 + u2) / 2
       // Staging copy and trapezoidal average are memory-bound; both split
@@ -210,8 +337,8 @@ obs::RunReport Simulation::run(int n) {
       // blending them too is harmless).
       phi_0_->copy_from(phi_src_arr_, pool_.get());
       mu_0_->copy_from(mu_src_arr_, pool_.get());
-      step_seconds += euler_substep(time_);       // src now holds u1
-      step_seconds += euler_substep(time_ + dt);  // src now holds u2
+      step_seconds += substep(time_);       // src now holds u1
+      step_seconds += substep(time_ + dt);  // src now holds u2
       phi_src_arr_.average_with(*phi_0_, pool_.get());
       mu_src_arr_.average_with(*mu_0_, pool_.get());
       fill_all_ghosts(phi_src_arr_);
@@ -322,12 +449,17 @@ void Simulation::rebuild_with_dt(double new_dt) {
   mu_flux_arr_.reset();
   if (compiled_.phi_flux_field) {
     phi_flux_arr_.emplace(*compiled_.phi_flux_field,
-                          flux_size(opts_.cells, dims), 0);
+                          flux_size(opts_.cells, dims), 0,
+                          first_touch_pool());
   }
   if (compiled_.mu_flux_field) {
     mu_flux_arr_.emplace(*compiled_.mu_flux_field,
-                         flux_size(opts_.cells, dims), 0);
+                         flux_size(opts_.cells, dims), 0,
+                         first_touch_pool());
   }
+  // The schedule holds CompiledKernel/Array pointers into the old compiled
+  // model — rebuild it against the fresh one.
+  setup_schedule();
 }
 
 void Simulation::maybe_inject_nan() {
@@ -414,6 +546,24 @@ obs::RunReport Simulation::report() const {
   r.health_policy = opts_.health.policy;
   r.resilience = res_stats_;
   r.resilience.dt_current = dt_current_;
+  r.threading.threads = opts_.threads;
+  r.threading.pin_policy = support::pin_policy_name(opts_.pin);
+  r.threading.dispatch =
+      opts_.dispatch == Dispatch::Static ? "static" : "dynamic";
+  r.threading.first_touch = opts_.first_touch && pool_ != nullptr;
+  const support::Topology topo = support::Topology::detect();
+  r.threading.cpus = int(topo.cpus.size());
+  r.threading.cores = topo.cores;
+  r.threading.packages = topo.packages;
+  r.threading.numa_nodes = topo.nodes;
+  r.threading.blocking_enabled = blocking_active();
+  r.threading.blocking_tile_rows = blocking_.tile_rows;
+  r.threading.blocking_lookahead = blocking_.lookahead;
+  r.threading.fused_stages = int(wavefront_.stages.size());
+  r.threading.fused_substeps = fused_substeps_;
+  r.threading.blocking_reason = blocking_.reason;
+  r.threading.bytes_per_update_unfused = blocking_.bytes_per_update_unfused;
+  r.threading.bytes_per_update_fused = blocking_.bytes_per_update_fused;
   perf::fill_model_accuracy(r, predicted_mlups_, cells_per_step(),
                             model_.params().dims);
   return r;

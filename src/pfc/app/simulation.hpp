@@ -16,8 +16,11 @@
 
 #include "pfc/app/options.hpp"
 #include "pfc/app/progress.hpp"
+#include "pfc/app/wavefront.hpp"
 #include "pfc/obs/report.hpp"
+#include "pfc/perf/blocking.hpp"
 #include "pfc/resilience/checkpoint.hpp"
+#include "pfc/support/topology.hpp"
 
 namespace pfc::app {
 
@@ -27,11 +30,37 @@ namespace pfc::app {
 /// the driver level.
 enum class TimeScheme { Euler, Heun };
 
+/// How kernel launches split the outer loop across the pool.
+enum class Dispatch {
+  /// parallel_for chunks re-enqueued per launch (the seed behaviour).
+  Dynamic,
+  /// Static slab ownership: worker w runs the same rows for every launch
+  /// of every step — the rows first-touch placed on w's NUMA node.
+  Static,
+};
+
+/// Temporal-blocking (wavefront) schedule of the fused φ/µ substep.
+enum class BlockingMode {
+  Off,   ///< reference order: φ sweep, fill, µ sweep, fill
+  Auto,  ///< fuse with perf::blocking_plan-sized tiles when profitable
+  Fixed, ///< fuse with a caller-chosen tile height (blocking_tile_rows)
+};
+
 struct SimulationOptions : DomainOptions {
   int threads = 1;
   TimeScheme time_scheme = TimeScheme::Euler;
   /// Global offset of this block (distributed runs).
   std::array<long long, 3> block_offset{0, 0, 0};
+  /// Worker→CPU binding policy of the pool (threads > 1).
+  support::PinPolicy pin = support::PinPolicy::None;
+  /// First-touch the field arrays through the pool so each worker's slab
+  /// is resident on its local NUMA node. On by default: with the static
+  /// dispatch below it is free, and harmless on single-node-memory boxes.
+  bool first_touch = true;
+  Dispatch dispatch = Dispatch::Static;
+  BlockingMode blocking = BlockingMode::Off;
+  /// Tile height for BlockingMode::Fixed (rows along the outer axis).
+  long long blocking_tile_rows = 0;
 
   SimulationOptions& with_cells(long long nx, long long ny,
                                 long long nz = 1) {
@@ -64,6 +93,23 @@ struct SimulationOptions : DomainOptions {
   }
   SimulationOptions& with_time_scheme(TimeScheme s) {
     time_scheme = s;
+    return *this;
+  }
+  SimulationOptions& with_pin(support::PinPolicy p) {
+    pin = p;
+    return *this;
+  }
+  SimulationOptions& with_first_touch(bool on) {
+    first_touch = on;
+    return *this;
+  }
+  SimulationOptions& with_dispatch(Dispatch d) {
+    dispatch = d;
+    return *this;
+  }
+  SimulationOptions& with_blocking(BlockingMode m, long long tile_rows = 0) {
+    blocking = m;
+    blocking_tile_rows = tile_rows;
     return *this;
   }
 };
@@ -116,6 +162,15 @@ class Simulation {
   /// Checkpoint/rollback accounting (mirrors report().resilience).
   const obs::ResilienceStats& resilience_stats() const { return res_stats_; }
 
+  /// The temporal-blocking decision (sized tile / why disabled).
+  const perf::BlockingPlan& blocking_plan() const { return blocking_; }
+  /// True when steps run the fused wavefront schedule.
+  bool blocking_active() const {
+    return blocking_.enabled && wavefront_.valid();
+  }
+  /// The pool (null when threads == 1) — exposed for placement inspection.
+  const ThreadPool* pool() const { return pool_.get(); }
+
   /// Enables periodic progress sampling: run() invokes p.sink every
   /// p.every completed steps (on the stepping thread; see progress.hpp).
   void set_progress(ProgressOptions p) { progress_ = std::move(p); }
@@ -126,6 +181,14 @@ class Simulation {
 
   /// Returns kernel seconds spent in this substep.
   double euler_substep(double t);
+  /// Fused (wavefront) variant of the substep body; same contract.
+  double fused_substep(double t);
+  /// (Re)derives the slab plan, wavefront schedule and blocking decision
+  /// from the compiled kernels (ctor and rebuild_with_dt).
+  void setup_schedule();
+  ThreadPool* first_touch_pool() const {
+    return opts_.first_touch ? pool_.get() : nullptr;
+  }
   long long cells_per_step() const {
     return opts_.cells[0] * opts_.cells[1] * opts_.cells[2];
   }
@@ -151,11 +214,19 @@ class Simulation {
   GrandChemModel model_;
   SimulationOptions opts_;
   CompiledModel compiled_;
+  /// Declared before the arrays: first-touch initialization runs on the
+  /// (pinned) pool during array construction.
+  std::unique_ptr<ThreadPool> pool_;
   Array phi_src_arr_, phi_dst_arr_, mu_src_arr_, mu_dst_arr_;
   std::optional<Array> phi_flux_arr_, mu_flux_arr_;
   /// Heun predictor storage for the state at the step start.
   std::optional<Array> phi_0_, mu_0_;
-  std::unique_ptr<ThreadPool> pool_;
+  /// Static outer-axis slab ownership shared by first-touch, every kernel
+  /// launch (Dispatch::Static) and the wavefront schedule.
+  SlabPlan slab_plan_;
+  WavefrontSchedule wavefront_;
+  perf::BlockingPlan blocking_;
+  long long fused_substeps_ = 0;
   long long step_ = 0;
   double time_ = 0.0;
   /// Live dt: starts at params().dt, shrunk by rollbacks (kernels are

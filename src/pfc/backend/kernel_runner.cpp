@@ -95,7 +95,7 @@ void run_compiled(const ir::Kernel& k, KernelFn fn, const Binding& b,
                   const std::array<long long, 3>& n, double t,
                   long long t_step, ThreadPool* pool,
                   obs::TraceRecorder* tracer, int vector_width,
-                  const CellRange* range) {
+                  const CellRange* range, const SlabPlan* plan) {
   const RawArgs raw = marshal(k, b, n);
   const CellRange box = range != nullptr ? *range : full_range(k, n);
   if (box.cells() == 0) return;
@@ -117,6 +117,13 @@ void run_compiled(const ir::Kernel& k, KernelFn fn, const Binding& b,
   if (pool == nullptr || pool->num_threads() == 1 ||
       outer_hi - outer_lo < 2) {
     launch(outer_lo, outer_hi);
+    return;
+  }
+  if (plan != nullptr) {
+    pool->run_on_all([&](int w) {
+      const auto [lo, hi] = plan->slab(w, outer_lo, outer_hi);
+      if (lo < hi) launch(lo, hi);
+    });
     return;
   }
   const long long align =

@@ -79,10 +79,19 @@ std::unordered_map<std::uint64_t, OffsetRange> read_offset_ranges(
 /// aligned main loop instead of re-peeling mid-row. `range` restricts the
 /// sweep to a sub-box (nullptr = full box); the emitted peel re-anchors to
 /// the sub-box so results are bitwise identical to the monolithic sweep.
+///
+/// `plan` switches the outer-loop split from dynamic parallel_for chunks to
+/// static ownership: worker w always executes the slab plan->slab(w, ...)
+/// of the box, the same rows for every kernel launch of a step and the same
+/// rows Array::first_touch_fill placed on w's NUMA node. Slab boundaries
+/// and therefore results are bitwise identical either way (the plan uses
+/// parallel_for's chunk math); static ownership only fixes *which worker*
+/// runs each slab. Ignored when pool is null.
 void run_compiled(const ir::Kernel& k, KernelFn fn, const Binding& b,
                   const std::array<long long, 3>& n, double t,
                   long long t_step, ThreadPool* pool = nullptr,
                   obs::TraceRecorder* tracer = nullptr,
-                  int vector_width = 1, const CellRange* range = nullptr);
+                  int vector_width = 1, const CellRange* range = nullptr,
+                  const SlabPlan* plan = nullptr);
 
 }  // namespace pfc::backend

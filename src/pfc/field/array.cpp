@@ -14,6 +14,10 @@ constexpr std::int64_t kLinePad = 8;  // doubles per AVX-512 vector
 
 Array::Array(FieldPtr field, std::array<std::int64_t, 3> interior_size,
              int ghost_layers)
+    : Array(std::move(field), interior_size, ghost_layers, nullptr) {}
+
+Array::Array(FieldPtr field, std::array<std::int64_t, 3> interior_size,
+             int ghost_layers, ThreadPool* first_touch_pool)
     : field_(std::move(field)), size_(interior_size), ghosts_(ghost_layers) {
   PFC_REQUIRE(ghost_layers >= 0, "negative ghost layers");
   for (int d = 0; d < 3; ++d) {
@@ -35,7 +39,36 @@ Array::Array(FieldPtr field, std::array<std::int64_t, 3> interior_size,
                    ghosts_per_dim_[2] * strides_[2];
   alloc_ = comp_stride_ * field_->components();
   data_ = make_aligned<double>(std::size_t(alloc_));
-  fill(0.0);
+  first_touch_fill(first_touch_pool, 0.0);
+}
+
+void Array::first_touch_fill(ThreadPool* pool, double v) {
+  if (pool == nullptr || pool->num_threads() == 1 ||
+      field_->spatial_dims() < 2) {
+    fill(v);
+    return;
+  }
+  // Partition raw outer-axis rows exactly like the static kernel dispatch:
+  // interior rows chunked by SlabPlan, worker 0 extended down over the
+  // lower ghost rows, the last worker up over the upper ones. Rows along
+  // the outer axis are contiguous within a component in fzyx layout, so
+  // each worker touches one contiguous region per component.
+  const int outer = field_->spatial_dims() - 1;
+  const std::int64_t n = size_[std::size_t(outer)];
+  const std::int64_t g = ghosts_per_dim_[std::size_t(outer)];
+  const std::int64_t row_stride = strides_[std::size_t(outer)];
+  const SlabPlan plan = SlabPlan::make(0, n, pool->num_threads());
+  double* base = data_.get();
+  const int comps = field_->components();
+  const std::int64_t comp_stride = comp_stride_;
+  pool->run_on_all([&](int w) {
+    const auto [lo, hi] = plan.slab(w, -g, n + g);
+    if (lo >= hi) return;
+    for (int c = 0; c < comps; ++c) {
+      double* p = base + c * comp_stride + (lo + g) * row_stride;
+      std::fill_n(p, std::size_t((hi - lo) * row_stride), v);
+    }
+  });
 }
 
 std::int64_t Array::index(std::int64_t x, std::int64_t y, std::int64_t z,

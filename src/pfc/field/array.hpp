@@ -28,6 +28,14 @@ class Array {
   Array(FieldPtr field, std::array<std::int64_t, 3> interior_size,
         int ghost_layers);
 
+  /// As above, but the zero fill is executed by `first_touch_pool` with the
+  /// same static outer-axis slab partition the kernel dispatch uses, so on
+  /// NUMA systems each worker's slab is first-touched — and therefore
+  /// page-resident — on that worker's local node (DESIGN.md §11). A null
+  /// pool falls back to the serial fill.
+  Array(FieldPtr field, std::array<std::int64_t, 3> interior_size,
+        int ghost_layers, ThreadPool* first_touch_pool);
+
   Array(Array&&) noexcept = default;
   Array& operator=(Array&&) noexcept = default;
 
@@ -64,6 +72,12 @@ class Array {
 
   void fill(double v);
   void fill_component(int c, double v);
+
+  /// Parallel fill partitioned like the kernel dispatch slabs (outer used
+  /// axis, worker 0 taking the lower ghost rows, the last worker the upper
+  /// ones). Establishes NUMA page placement on first touch; also safe to
+  /// call later (values only). Serial when pool is null or single-threaded.
+  void first_touch_fill(ThreadPool* pool, double v = 0.0);
 
   /// Copies interior + ghosts from another array of identical shape. With a
   /// pool the copy splits into per-thread memcpy chunks (the Heun staging

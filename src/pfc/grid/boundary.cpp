@@ -1,5 +1,9 @@
 #include "pfc/grid/boundary.hpp"
 
+#include <algorithm>
+
+#include "pfc/support/assert.hpp"
+
 namespace pfc::grid {
 
 namespace {
@@ -27,14 +31,10 @@ Range sweep_range(const Array& a, int axis) {
   return r;
 }
 
-}  // namespace
-
-void fill_ghosts_axis(Array& a, int axis, BoundaryKind kind, bool lower,
-                      bool upper) {
+void fill_axis_over(Array& a, int axis, BoundaryKind kind, bool lower,
+                    bool upper, const Range& r) {
   const int g = a.ghost_layers();
-  if (g == 0 || axis >= a.field()->spatial_dims()) return;
   const std::int64_t n = a.size()[std::size_t(axis)];
-  const Range r = sweep_range(a, axis);
 
   for (int c = 0; c < a.components(); ++c) {
     for (std::int64_t u = r.lo[(axis + 1) % 3]; u < r.hi[(axis + 1) % 3];
@@ -59,6 +59,35 @@ void fill_ghosts_axis(Array& a, int axis, BoundaryKind kind, bool lower,
         }
       }
     }
+  }
+}
+
+}  // namespace
+
+void fill_ghosts_axis(Array& a, int axis, BoundaryKind kind, bool lower,
+                      bool upper) {
+  if (a.ghost_layers() == 0 || axis >= a.field()->spatial_dims()) return;
+  fill_axis_over(a, axis, kind, lower, upper, sweep_range(a, axis));
+}
+
+void fill_ghosts_axis_rows(Array& a, int axis, BoundaryKind kind,
+                           int restrict_axis, std::int64_t row_lo,
+                           std::int64_t row_hi) {
+  if (a.ghost_layers() == 0 || axis >= a.field()->spatial_dims()) return;
+  PFC_ASSERT(restrict_axis > axis,
+             "row restriction must be on a later (interior-range) axis");
+  Range r = sweep_range(a, axis);
+  r.lo[restrict_axis] = std::max(r.lo[restrict_axis], row_lo);
+  r.hi[restrict_axis] = std::min(r.hi[restrict_axis], row_hi);
+  if (r.lo[restrict_axis] >= r.hi[restrict_axis]) return;
+  fill_axis_over(a, axis, kind, true, true, r);
+}
+
+void fill_ghosts_transverse_rows(Array& a, BoundaryKind kind, int outer_axis,
+                                 std::int64_t row_lo, std::int64_t row_hi) {
+  for (int axis = 0; axis < outer_axis && axis < a.field()->spatial_dims();
+       ++axis) {
+    fill_ghosts_axis_rows(a, axis, kind, outer_axis, row_lo, row_hi);
   }
 }
 

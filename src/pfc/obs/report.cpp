@@ -56,6 +56,29 @@ Json OverlapStats::to_json() const {
       .set("hidden_fraction", Json(hidden_fraction));
 }
 
+Json ThreadingStats::to_json() const {
+  return Json::object()
+      .set("threads", Json(double(threads)))
+      .set("pin_policy", Json(pin_policy))
+      .set("dispatch", Json(dispatch))
+      .set("first_touch", Json(first_touch))
+      .set("cpus", Json(double(cpus)))
+      .set("cores", Json(double(cores)))
+      .set("packages", Json(double(packages)))
+      .set("numa_nodes", Json(double(numa_nodes)))
+      .set("blocking",
+           Json::object()
+               .set("enabled", Json(blocking_enabled))
+               .set("tile_rows", Json(double(blocking_tile_rows)))
+               .set("lookahead", Json(double(blocking_lookahead)))
+               .set("fused_stages", Json(double(fused_stages)))
+               .set("fused_substeps", Json(double(fused_substeps)))
+               .set("reason", Json(blocking_reason))
+               .set("bytes_per_update_unfused",
+                    Json(bytes_per_update_unfused))
+               .set("bytes_per_update_fused", Json(bytes_per_update_fused)));
+}
+
 Json RunReport::to_json() const {
   std::map<std::string, TimerStat> timers;
   for (const auto& [k, t] : kernel_timers) timers["kernel/" + k] = t;
@@ -92,6 +115,7 @@ Json RunReport::to_json() const {
   j.set("health", std::move(h));
   j.set("resilience", resilience.to_json());
   if (overlap.enabled) j.set("overlap", overlap.to_json());
+  j.set("threading", threading.to_json());
   return j;
 }
 

@@ -49,6 +49,18 @@
 //                       process-wide cache counters after the request.
 //                       Uncached compiles omit the section.
 //
+// v6 adds the execution-resources accounting of the NUMA-aware threading
+// layer (DESIGN.md §11):
+//
+//     "threading":      ThreadingStats::to_json() on every run report —
+//                       pool width, pin policy, dispatch mode, first-touch
+//                       placement, the topology the process saw (cpus/
+//                       cores/packages/numa_nodes after the affinity mask)
+//                       and the temporal-blocking decision (enabled, tile
+//                       rows, lookahead, fused stage/substep counts, sizing
+//                       rationale, modeled bytes-per-update with and
+//                       without fusion).
+//
 // Producers may add extra keys (e.g. quickstart embeds its CompileReport
 // under "compile"); validators require only the six core sections. See
 // tools/report_check.cpp for the machine check run by ctest.
@@ -64,9 +76,10 @@
 
 namespace pfc::obs {
 
-inline constexpr const char* kReportSchema = "pfc-obs-report-v5";
+inline constexpr const char* kReportSchema = "pfc-obs-report-v6";
 /// Previous schema revisions; validators still accept them for stored
 /// reports.
+inline constexpr const char* kReportSchemaV5 = "pfc-obs-report-v5";
 inline constexpr const char* kReportSchemaV4 = "pfc-obs-report-v4";
 inline constexpr const char* kReportSchemaV3 = "pfc-obs-report-v3";
 inline constexpr const char* kReportSchemaV2 = "pfc-obs-report-v2";
@@ -123,6 +136,34 @@ struct OverlapStats {
   Json to_json() const;
 };
 
+/// Execution-resources accounting of one run (the v6 "threading" section):
+/// pool geometry, worker placement policy and the temporal-blocking
+/// decision. Always serialized, so consumers can read how a run used the
+/// node even for single-threaded runs (the all-default shape).
+struct ThreadingStats {
+  int threads = 1;
+  std::string pin_policy = "none";  ///< "none" | "compact" | "scatter"
+  std::string dispatch = "static";  ///< "dynamic" | "static"
+  bool first_touch = false;         ///< arrays placed by the pinned pool
+  /// Topology as visible to the process (after the affinity mask).
+  int cpus = 0;
+  int cores = 0;
+  int packages = 0;
+  int numa_nodes = 0;
+  /// Temporal-blocking (wavefront) decision.
+  bool blocking_enabled = false;
+  long long blocking_tile_rows = 0;
+  long long blocking_lookahead = 0;
+  int fused_stages = 0;          ///< kernels in the fused chain (0 = unfused)
+  long long fused_substeps = 0;  ///< substeps that actually ran fused
+  std::string blocking_reason;   ///< sizing rationale / why disabled
+  /// Modeled memory traffic per cell update over the chain (bytes).
+  double bytes_per_update_unfused = 0.0;
+  double bytes_per_update_fused = 0.0;
+
+  Json to_json() const;
+};
+
 /// Cumulative signals of a (possibly distributed) simulation run. Returned
 /// by Simulation::run() / DistributedSimulation::run(); totals cover the
 /// simulation's whole lifetime, not just the last run() call, so the
@@ -155,6 +196,8 @@ struct RunReport {
   /// Communication-hiding accounting (v4 "overlap" section; serialized
   /// only when enabled).
   OverlapStats overlap;
+  /// Execution-resources accounting (v6 "threading" section).
+  ThreadingStats threading;
   /// Worst measured/predicted ratio distance from 1.0 across all targets
   /// with a prediction (0.0 when model_accuracy is empty).
   double worst_model_drift() const;

@@ -1,0 +1,117 @@
+#include "pfc/perf/blocking.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "pfc/perf/layer_condition.hpp"
+
+namespace pfc::perf {
+
+namespace {
+
+/// Distinct (field, component) planes any chain kernel touches — each is
+/// one row-sized stream the wavefront keeps live per tile row.
+long long chain_stream_count(const std::vector<const ir::Kernel*>& chain) {
+  std::set<std::uint64_t> touched;
+  long long streams = 0;
+  for (const ir::Kernel* k : chain) {
+    for (const auto& f : k->fields) {
+      if (touched.insert(f->id()).second) streams += f->components();
+    }
+  }
+  return streams;
+}
+
+/// Components of fields produced by one chain kernel and read by a later
+/// one — the traffic fusion keeps cache-resident.
+long long internal_component_count(const std::vector<const ir::Kernel*>& chain) {
+  std::set<std::uint64_t> written;
+  std::set<std::uint64_t> internal;
+  long long comps = 0;
+  for (const ir::Kernel* k : chain) {
+    for (const auto& r : k->reads) {
+      if (written.count(r->id()) != 0 && internal.insert(r->id()).second) {
+        comps += r->components();
+      }
+    }
+    for (const auto& w : k->writes) written.insert(w->id());
+  }
+  return comps;
+}
+
+}  // namespace
+
+BlockingPlan blocking_plan(const std::vector<const ir::Kernel*>& chain,
+                           const std::array<long long, 3>& cells,
+                           const MachineModel& m, int threads,
+                           long long lookahead, int ghost) {
+  BlockingPlan plan;
+  plan.lookahead = lookahead;
+  if (chain.empty()) {
+    plan.reason = "empty kernel chain";
+    return plan;
+  }
+  int dims = 1;
+  for (const ir::Kernel* k : chain) dims = std::max(dims, k->dims);
+  if (dims < 2) {
+    plan.reason = "1-D sweep: the outer axis is the vector axis";
+    return plan;
+  }
+
+  // Memory-boundary traffic per update, with and without fusion.
+  for (const ir::Kernel* k : chain) {
+    const auto t = layer_condition_traffic(*k, cells, m);
+    if (!t.bytes_per_update.empty()) {
+      plan.bytes_per_update_unfused += t.bytes_per_update.back();
+    }
+  }
+  // Fusion credit: each internal (produced-then-consumed) component skips
+  // one memory write-back plus one reload of 8 bytes per update when the
+  // tile keeps it cache-resident.
+  plan.bytes_per_update_fused =
+      std::max(0.0, plan.bytes_per_update_unfused -
+                        16.0 * double(internal_component_count(chain)));
+
+  // Live rows per tile: tile_rows + lookahead fronts, each holding every
+  // (field, component) row of N0 (x N1 in 3D) cells.
+  const long long n0 = cells[0];
+  const long long n1 = dims == 3 ? cells[1] : 1;
+  const long long n_outer = cells[std::size_t(dims - 1)];
+  const double bytes_per_row =
+      double(chain_stream_count(chain)) * double(n0) * double(n1) * 8.0;
+
+  // Budget: the last-level cache shared by the active workers, at half
+  // occupancy (the other half absorbs the non-blocked streams).
+  const double llc =
+      m.caches.empty() ? 0.0 : double(m.caches.back().size_bytes);
+  const double budget = 0.5 * llc / double(std::max(1, threads));
+  if (bytes_per_row <= 0.0 || budget <= 0.0) {
+    plan.reason = "no cache model to size the tile against";
+    return plan;
+  }
+
+  const long long span = lookahead + 2 * std::max(0, ghost);
+  long long tile = static_cast<long long>(budget / bytes_per_row) - span;
+  const long long min_tile = std::max<long long>(4, lookahead + 1);
+  if (tile < min_tile) {
+    std::ostringstream os;
+    os << "tile of " << tile << " rows (budget " << budget / 1024.0
+       << " KiB / row " << bytes_per_row / 1024.0
+       << " KiB) below minimum " << min_tile;
+    plan.reason = os.str();
+    return plan;
+  }
+  tile = std::min(tile, std::max<long long>(1, n_outer));
+  plan.enabled = true;
+  plan.tile_rows = tile;
+  std::ostringstream os;
+  os << "tile " << tile << " rows x " << bytes_per_row / 1024.0
+     << " KiB/row fits " << budget / 1024.0 << " KiB per-worker "
+     << (m.caches.empty() ? "cache" : m.caches.back().name)
+     << " share (lookahead " << lookahead << ")";
+  plan.reason = os.str();
+  return plan;
+}
+
+}  // namespace pfc::perf

@@ -1,0 +1,45 @@
+// Temporal-blocking tile sizing driven by the layer-condition traffic
+// model (DESIGN.md §11). The wavefront schedule fuses the φ and µ sweeps
+// of one step over outer-axis tiles; a tile is only profitable when the
+// rows it keeps live (tile + the dependency lookahead of the fused chain)
+// fit in cache, so intermediate fields are consumed before they are
+// evicted instead of making a round trip through memory.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "pfc/ir/kernel.hpp"
+#include "pfc/perf/machine.hpp"
+
+namespace pfc::perf {
+
+struct BlockingPlan {
+  bool enabled = false;
+  /// Outer-axis tile height of the wavefront (rows advanced per front).
+  long long tile_rows = 0;
+  /// Dependency depth of the fused chain along the outer axis: how many
+  /// rows a stage may run ahead of the final stage (max over stages of
+  /// ext_hi - ext_lo, provided by the schedule builder).
+  long long lookahead = 0;
+  /// Modeled memory-boundary traffic (bytes per cell update, summed over
+  /// the chain) without and with fusion. The fused figure credits fields
+  /// produced and consumed inside the chain with staying cache-resident.
+  double bytes_per_update_unfused = 0.0;
+  double bytes_per_update_fused = 0.0;
+  /// Human-readable sizing rationale (or why blocking is disabled).
+  std::string reason;
+};
+
+/// Sizes the wavefront tile for `chain` (the kernels of one fused step, in
+/// execution order) on a per-worker slab of `cells`, assuming `threads`
+/// workers share the last-level cache. `lookahead` and `ghost` come from
+/// the dependency analysis (app::build_wavefront). Returns a disabled plan
+/// (with reason) for 1-D models or when no tile fits.
+BlockingPlan blocking_plan(const std::vector<const ir::Kernel*>& chain,
+                           const std::array<long long, 3>& cells,
+                           const MachineModel& m, int threads,
+                           long long lookahead, int ghost);
+
+}  // namespace pfc::perf

@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -60,6 +61,9 @@ void JobServer::register_metrics() {
   m_busy_seconds_ = &m.counter_double(
       "pfc_worker_busy_seconds_total",
       "Cumulative wall seconds workers spent running jobs");
+  m_threads_clamped_ = &m.counter(
+      "pfc_threads_clamped_total",
+      "Jobs whose per-job thread count was clamped to the admission budget");
 }
 
 void JobServer::start() {
@@ -320,6 +324,27 @@ void JobServer::run_one(PendingJob job) {
     auto fields = job_fields(job.id, job.spec.name);
     fields.push_back({"queued_seconds", Json(queued)});
     obs::log::info(kLogComponent, "job started", fields);
+  }
+
+  // Admission clamp: `workers` jobs may run concurrently, so a job asking
+  // for more threads than its share of the machine would oversubscribe
+  // every core the moment the queue fills. Cap threads at
+  // hardware_threads / workers (at least 1) instead of failing the job.
+  {
+    const int budget =
+        std::max(1, ThreadPool::hardware_threads() / opts_.workers);
+    int* threads = job.spec.mode == "distributed"
+                       ? &job.spec.distributed.threads
+                       : &job.spec.simulation.threads;
+    if (*threads > budget) {
+      m_threads_clamped_->add(1);
+      auto fields = job_fields(job.id, job.spec.name);
+      fields.push_back({"requested_threads", Json(*threads)});
+      fields.push_back({"granted_threads", Json(budget)});
+      fields.push_back({"workers", Json(opts_.workers)});
+      obs::log::warn(kLogComponent, "thread request clamped", fields);
+      *threads = budget;
+    }
   }
 
   // The stepping thread is this worker, so the sink writes straight to the

@@ -122,6 +122,7 @@ class JobServer {
   obs::Histogram* m_duration_ = nullptr;
   obs::Histogram* m_queue_seconds_ = nullptr;
   obs::Gauge* m_busy_seconds_ = nullptr;  ///< counter_double
+  obs::Counter* m_threads_clamped_ = nullptr;
 
   std::mutex join_mutex_;  ///< serializes join_all from wait()/stop()/dtor
 };

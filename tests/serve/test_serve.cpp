@@ -6,6 +6,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
@@ -262,6 +263,53 @@ TEST(Serve, MetricsOpsExposeJobActivity) {
 
   server.stop();
   backend::KernelCache::shared().reset();
+}
+
+TEST(Serve, ThreadRequestClampedToBudget) {
+  // Admission control: workers × threads_per_job must not oversubscribe
+  // the machine, so an absurd per-job thread request is clamped to
+  // hardware_threads() / workers (floor 1) and counted in
+  // pfc_threads_clamped_total. The job still runs to completion.
+  TempDir tmp;
+  ServeOptions opts;
+  opts.socket_path = tmp.path + "/serve.sock";
+  opts.workers = 2;
+  opts.quiet = true;
+  JobServer server(opts);
+  server.start();
+  Client client(opts.socket_path);
+
+  app::JobSpec greedy = small_spec();
+  greedy.name = "greedy-job";
+  greedy.simulation.threads = 1024;
+  const Json terminal = client.submit(greedy.to_json());
+  ASSERT_EQ(field(terminal, "event").str(), "finished") << terminal.dump(-1);
+
+  const int budget =
+      std::max(1, ThreadPool::hardware_threads() / opts.workers);
+  const Json& run = field(field(terminal, "result"), "run");
+  const Json& threading = field(run, "threading");
+  EXPECT_EQ(field(threading, "threads").number(), double(budget));
+
+  const Json snap = client.metrics();
+  const Json* fam = field(snap, "metrics").find("pfc_threads_clamped_total");
+  ASSERT_NE(fam, nullptr);
+  double clamped = 0.0;
+  for (const Json& v : field(*fam, "values").elements()) {
+    clamped += field(v, "value").number();
+  }
+  EXPECT_GE(clamped, 1.0);
+
+  // A modest request inside the budget passes through untouched.
+  app::JobSpec modest = small_spec();
+  modest.simulation.threads = 1;
+  const Json ok = client.submit(modest.to_json());
+  ASSERT_EQ(field(ok, "event").str(), "finished");
+  EXPECT_EQ(field(field(field(ok, "result"), "run"), "threading")
+                .find("threads")
+                ->number(),
+            1.0);
+  server.stop();
 }
 
 TEST(Serve, FailedJobReportsErrorAndServerSurvives) {

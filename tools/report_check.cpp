@@ -1,10 +1,10 @@
 // Validates a pfc-obs report JSON file against the shared schema
-// (pfc-obs-report-v5; stored v4/v3/v2 reports are still accepted),
+// (pfc-obs-report-v6; stored v5/v4/v3/v2 reports are still accepted),
 // including the optional model_accuracy (ECM/netmodel drift), health,
-// resilience, overlap (communication-hiding phase split) and cache
-// (kernel-cache provenance) sections. Run by ctest against the file
-// quickstart emits, so every producer that funnels through
-// obs::make_report_json stays honest.
+// resilience, overlap (communication-hiding phase split), cache
+// (kernel-cache provenance) and threading (execution resources) sections.
+// Run by ctest against the file quickstart emits, so every producer that
+// funnels through obs::make_report_json stays honest.
 //
 // With --trace the argument is instead a chrome://tracing trace file (as
 // written by obs::TraceRecorder) and the structure of its traceEvents is
@@ -32,6 +32,11 @@
 // (hit flag, 64-hex content key, process-wide hit/miss/evict/byte
 // counters). The section is structurally validated whenever present.
 //
+// With --require-threading the run report must carry the v6 "threading"
+// section (pool width >= 1, pinning/dispatch policy, first-touch flag and
+// the temporal-blocking decision). The section is structurally validated
+// whenever present, flag or not.
+//
 // With --jobspec the argument is a pfc-jobspec-v1 file; it is parsed with
 // the same strict decoder the serve daemon uses (unknown keys and type
 // mismatches are errors) and cross-field validated.
@@ -50,7 +55,8 @@
 // expose _bucket/_sum/_count series with a "+Inf" bucket.
 //
 // Usage: report_check [--require-vector-width] [--require-overlap]
-//                     [--require-cache] <report.json> [expected-kind]
+//                     [--require-cache] [--require-threading]
+//                     <report.json> [expected-kind]
 //        report_check --trace <trace.json>
 //        report_check --checkpoint <manifest.json>
 //        report_check --jobspec <jobspec.json>
@@ -337,6 +343,67 @@ void check_overlap(const pfc::obs::Json& o, double local_cells) {
          std::to_string((long long)cells) +
          ") must tile the local lattice (derived/cells_per_step = " +
          std::to_string((long long)local_cells) + ')');
+  }
+}
+
+/// "threading" section (v6): execution resources of a run — pool width,
+/// placement policy and the temporal-blocking decision.
+void check_threading(const pfc::obs::Json& t) {
+  if (!t.is_object()) {
+    fail("threading must be an object");
+    return;
+  }
+  for (const char* key : {"threads", "cpus", "cores", "packages",
+                          "numa_nodes"}) {
+    const pfc::obs::Json* v = t.find(key);
+    if (!v) {
+      fail(std::string("threading: missing \"") + key + '"');
+      continue;
+    }
+    check_finite_nonneg(*v, std::string("threading/") + key);
+  }
+  const pfc::obs::Json* pin = t.find("pin_policy");
+  if (!pin || !pin->is_string() ||
+      (pin->str() != "none" && pin->str() != "compact" &&
+       pin->str() != "scatter")) {
+    fail("threading/pin_policy must be \"none\", \"compact\" or \"scatter\"");
+  }
+  const pfc::obs::Json* dispatch = t.find("dispatch");
+  if (!dispatch || !dispatch->is_string() ||
+      (dispatch->str() != "dynamic" && dispatch->str() != "static")) {
+    fail("threading/dispatch must be \"dynamic\" or \"static\"");
+  }
+  const pfc::obs::Json* ft = t.find("first_touch");
+  if (!ft || ft->kind() != pfc::obs::Json::Kind::Bool) {
+    fail("threading/first_touch must be a bool");
+  }
+  const pfc::obs::Json* b = t.find("blocking");
+  if (!b || !b->is_object()) {
+    fail("threading/blocking must be an object");
+    return;
+  }
+  const pfc::obs::Json* enabled = b->find("enabled");
+  if (!enabled || enabled->kind() != pfc::obs::Json::Kind::Bool) {
+    fail("threading/blocking/enabled must be a bool");
+  }
+  for (const char* key :
+       {"tile_rows", "lookahead", "fused_stages", "fused_substeps",
+        "bytes_per_update_unfused", "bytes_per_update_fused"}) {
+    const pfc::obs::Json* v = b->find(key);
+    if (!v) {
+      fail(std::string("threading/blocking: missing \"") + key + '"');
+      continue;
+    }
+    check_finite_nonneg(*v, std::string("threading/blocking/") + key);
+  }
+  const pfc::obs::Json* reason = b->find("reason");
+  if (!reason || !reason->is_string()) {
+    fail("threading/blocking/reason must be a string");
+  }
+  // an enabled blocking plan must carry a positive tile
+  if (!g_errors && enabled->boolean() &&
+      b->find("tile_rows")->number() < 1.0) {
+    fail("threading/blocking enabled but tile_rows < 1");
   }
 }
 
@@ -728,6 +795,7 @@ int main(int argc, char** argv) {
   bool require_vector_width = false;
   bool require_overlap = false;
   bool require_cache = false;
+  bool require_threading = false;
   while (argc >= 2 && std::strncmp(argv[1], "--", 2) == 0) {
     if (std::strcmp(argv[1], "--require-vector-width") == 0) {
       require_vector_width = true;
@@ -735,6 +803,8 @@ int main(int argc, char** argv) {
       require_overlap = true;
     } else if (std::strcmp(argv[1], "--require-cache") == 0) {
       require_cache = true;
+    } else if (std::strcmp(argv[1], "--require-threading") == 0) {
+      require_threading = true;
     } else {
       std::fprintf(stderr, "report_check: unknown flag %s\n", argv[1]);
       return 2;
@@ -745,8 +815,8 @@ int main(int argc, char** argv) {
   if (argc < 2 || argc > 3) {
     std::fprintf(stderr,
                  "usage: report_check [--require-vector-width] "
-                 "[--require-overlap] [--require-cache] <report.json> "
-                 "[kind]\n"
+                 "[--require-overlap] [--require-cache] "
+                 "[--require-threading] <report.json> [kind]\n"
                  "       report_check --trace <trace.json>\n"
                  "       report_check --checkpoint <manifest.json>\n"
                  "       report_check --jobspec <jobspec.json>\n"
@@ -773,19 +843,21 @@ int main(int argc, char** argv) {
   }
   if (g_errors) return 1;
 
-  const bool is_v5 = j.find("schema")->is_string() &&
+  const bool is_v6 = j.find("schema")->is_string() &&
                      j.find("schema")->str() == pfc::obs::kReportSchema;
+  const bool is_v5 = j.find("schema")->is_string() &&
+                     j.find("schema")->str() == pfc::obs::kReportSchemaV5;
   const bool is_v4 = j.find("schema")->is_string() &&
                      j.find("schema")->str() == pfc::obs::kReportSchemaV4;
   const bool is_v3 = j.find("schema")->is_string() &&
                      j.find("schema")->str() == pfc::obs::kReportSchemaV3;
   const bool is_v2 = j.find("schema")->is_string() &&
                      j.find("schema")->str() == pfc::obs::kReportSchemaV2;
-  if (!is_v5 && !is_v4 && !is_v3 && !is_v2) {
+  if (!is_v6 && !is_v5 && !is_v4 && !is_v3 && !is_v2) {
     fail(std::string("schema must be \"") + pfc::obs::kReportSchema +
-         "\" (or the stored \"" + pfc::obs::kReportSchemaV4 + "\" / \"" +
-         pfc::obs::kReportSchemaV3 + "\" / \"" + pfc::obs::kReportSchemaV2 +
-         "\")");
+         "\" (or the stored \"" + pfc::obs::kReportSchemaV5 + "\" / \"" +
+         pfc::obs::kReportSchemaV4 + "\" / \"" + pfc::obs::kReportSchemaV3 +
+         "\" / \"" + pfc::obs::kReportSchemaV2 + "\")");
   }
   const pfc::obs::Json& kind = *j.find("kind");
   if (!kind.is_string() || (kind.str() != "run" && kind.str() != "compile" &&
@@ -896,7 +968,7 @@ int main(int argc, char** argv) {
         fail("resilience/restarted must be a bool");
       }
     }
-  } else if ((is_v5 || is_v4 || is_v3) && kind.is_string() &&
+  } else if ((is_v6 || is_v5 || is_v4 || is_v3) && kind.is_string() &&
              kind.str() == "run") {
     fail("v3+ run reports must carry a \"resilience\" section");
   }
@@ -912,7 +984,7 @@ int main(int argc, char** argv) {
     } else {
       check_finite_nonneg(*attempts, "fallback_attempts");
     }
-  } else if ((is_v5 || is_v4 || is_v3) && kind.is_string() &&
+  } else if ((is_v6 || is_v5 || is_v4 || is_v3) && kind.is_string() &&
              kind.str() == "compile") {
     fail("v3+ compile reports must carry \"backend_tier\"");
   }
@@ -921,7 +993,9 @@ int main(int argc, char** argv) {
   // schemas never wrote it, so its presence pins the report to v4.
   const pfc::obs::Json* overlap = j.find("overlap");
   if (overlap != nullptr) {
-    if (!is_v5 && !is_v4) fail("\"overlap\" section requires the v4 schema");
+    if (!is_v6 && !is_v5 && !is_v4) {
+      fail("\"overlap\" section requires the v4 schema");
+    }
     const pfc::obs::Json* cps =
         derived.is_object() ? derived.find("cells_per_step") : nullptr;
     check_overlap(*overlap,
@@ -949,11 +1023,33 @@ int main(int argc, char** argv) {
     }
   }
   if (cache != nullptr) {
-    if (!is_v5) fail("\"cache\" section requires the v5 schema");
+    if (!is_v6 && !is_v5) fail("\"cache\" section requires the v5 schema");
     check_cache(*cache);
   } else if (require_cache) {
     fail("--require-cache: report carries no \"cache\" section (checked "
          "top-level and embedded \"compile\" report)");
+  }
+
+  // v6 section: execution resources of a run (pool width, pinning policy,
+  // first-touch placement, temporal-blocking decision). Mandatory on v6
+  // run reports; compile/bench reports never carry it.
+  const pfc::obs::Json* threading = j.find("threading");
+  if (threading != nullptr) {
+    if (!is_v6) fail("\"threading\" section requires the v6 schema");
+    check_threading(*threading);
+  } else if (is_v6 && kind.is_string() && kind.str() == "run") {
+    fail("v6 run reports must carry a \"threading\" section");
+  }
+  if (require_threading) {
+    if (threading == nullptr) {
+      fail("--require-threading: report carries no \"threading\" section");
+    } else if (!g_errors) {
+      const pfc::obs::Json* threads = threading->find("threads");
+      if (threads == nullptr || !threads->is_number() ||
+          threads->number() < 1.0) {
+        fail("--require-threading: threading/threads must be >= 1");
+      }
+    }
   }
 
   if (g_errors) {
