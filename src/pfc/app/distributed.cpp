@@ -275,6 +275,14 @@ obs::RunReport DistributedSimulation::run(int steps) {
   // the loop keeps going until the target step is reached.
   const long long target = step_ + steps;
   while (step_ < target) {
+    // Cooperative cancellation at step granularity (see Simulation::run).
+    // All ranks share one in-process token, so they agree without a
+    // reduction; a real-MPI transport would broadcast the flag instead.
+    if (progress_.cancel != nullptr && progress_.cancel->requested()) {
+      if (!res.directory.empty()) capture_checkpoint(/*to_disk=*/true);
+      throw JobCancelled(progress_.cancel->kind(),
+                         progress_.cancel->reason());
+    }
     const double t = time_;
     Timer step_wall;
     trace_this_step_ = tracer_.sampled(step_);

@@ -98,6 +98,8 @@ Json JobSpec::to_json() const {
       .set("steps", Json(steps))
       .set("mode", Json(mode))
       .set("progress_every", Json(progress_every))
+      .set("tenant", Json(tenant))
+      .set("deadline_seconds", Json(deadline_seconds))
       .set("simulation", simulation_options_to_json(simulation))
       .set("distributed", distributed_options_to_json(distributed));
 }
@@ -106,7 +108,8 @@ JobSpec JobSpec::from_json(const Json& j, const std::string& where) {
   require_object(j, where);
   check_keys(j,
              {"schema", "name", "model", "initial", "steps", "mode",
-              "progress_every", "simulation", "distributed"},
+              "progress_every", "tenant", "deadline_seconds", "simulation",
+              "distributed"},
              where);
   const std::string schema = read_str(j, "schema", "", where);
   if (schema != kJobSpecSchema) {
@@ -160,6 +163,9 @@ JobSpec JobSpec::from_json(const Json& j, const std::string& where) {
   s.steps = read_int(j, "steps", s.steps, where);
   s.mode = read_str(j, "mode", s.mode, where);
   s.progress_every = read_int(j, "progress_every", s.progress_every, where);
+  s.tenant = read_str(j, "tenant", s.tenant, where);
+  s.deadline_seconds =
+      read_num(j, "deadline_seconds", s.deadline_seconds, where);
   if (const Json* v = j.find("simulation")) {
     s.simulation = simulation_options_from_json(*v, where + ".simulation");
   }
@@ -205,6 +211,9 @@ void JobSpec::validate() const {
   if (initial.solid_phase < 0) bad("initial.solid_phase", "must be >= 0");
   if (steps < 0) bad("steps", "must be >= 0");
   if (progress_every < 0) bad("progress_every", "must be >= 0");
+  if (tenant.empty()) bad("tenant", "must not be empty");
+  if (tenant.size() > 64) bad("tenant", "must be <= 64 characters");
+  if (deadline_seconds < 0.0) bad("deadline_seconds", "must be >= 0");
   if (mode != "single" && mode != "distributed") {
     bad("mode", "unknown mode \"" + mode +
                     "\" (valid: single, distributed)");
@@ -295,8 +304,14 @@ struct InitialCondition {
 
 }  // namespace
 
-JobResult run_job(const JobSpec& spec, const ProgressSink& progress) {
+JobResult run_job(const JobSpec& spec, const ProgressSink& progress,
+                  const CancelToken* cancel) {
   spec.validate();
+  // A token that fired while the job sat in a queue stops it before any
+  // compile work; the run loops re-check once per step after that.
+  if (cancel != nullptr && cancel->requested()) {
+    throw JobCancelled(cancel->kind(), cancel->reason());
+  }
   const GrandChemParams params = spec.make_params();
   GrandChemModel model(params);
 
@@ -311,8 +326,8 @@ JobResult run_job(const JobSpec& spec, const ProgressSink& progress) {
 
   if (spec.mode == "distributed") {
     DistributedSimulation sim(model, spec.distributed, nullptr);
-    if (progress && spec.steps > 0) {
-      sim.set_progress({progress, every, spec.steps});
+    if ((progress && spec.steps > 0) || cancel != nullptr) {
+      sim.set_progress({progress, every, spec.steps, cancel});
     }
     const InitialCondition ic{spec, params, spec.distributed.cells};
     sim.init(
@@ -330,8 +345,8 @@ JobResult run_job(const JobSpec& spec, const ProgressSink& progress) {
   }
 
   Simulation sim(model, spec.simulation);
-  if (progress && spec.steps > 0) {
-    sim.set_progress({progress, every, spec.steps});
+  if ((progress && spec.steps > 0) || cancel != nullptr) {
+    sim.set_progress({progress, every, spec.steps, cancel});
   }
   const InitialCondition ic{spec, params, spec.simulation.cells};
   sim.init_phi([&](long long x, long long y, long long z, int c) {

@@ -64,6 +64,14 @@ struct JobSpec {
   /// Steps between progress samples when a sink is attached (run_job's
   /// `progress` argument). 0 = caller default (the daemon picks ~steps/8).
   long long progress_every = 0;
+  /// Accounting/quota identity of the submitter. The serve daemon keys
+  /// its per-tenant admission limits and the pfc_tenant_inflight gauge on
+  /// this; a spec that doesn't care inherits "default".
+  std::string tenant = "default";
+  /// Wall-clock budget measured from submit. 0 = none. A job past its
+  /// deadline (queued or running) terminates with a "deadline_exceeded"
+  /// event — running jobs stop cooperatively within one step cadence.
+  double deadline_seconds = 0.0;
   SimulationOptions simulation;
   DistributedOptions distributed;
 
@@ -102,7 +110,10 @@ struct JobResult {
 /// non-null the driver samples its step loop every
 /// `spec.progress_every > 0 ? spec.progress_every : max(1, steps / 8)`
 /// steps and invokes the sink on the stepping thread (see progress.hpp).
-JobResult run_job(const JobSpec& spec, const ProgressSink& progress = nullptr);
+/// When `cancel` is non-null the run stops cooperatively (one step
+/// cadence) once the token fires, raising JobCancelled (cancel.hpp).
+JobResult run_job(const JobSpec& spec, const ProgressSink& progress = nullptr,
+                  const CancelToken* cancel = nullptr);
 
 /// FNV-1a over the interior cells of `a`, component-major (test utility;
 /// what JobResult's checksums are computed with).

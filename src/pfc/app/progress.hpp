@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "pfc/app/cancel.hpp"
+
 namespace pfc::app {
 
 /// One periodic sample of a running simulation.
@@ -37,6 +39,11 @@ struct ProgressOptions {
   ProgressSink sink;          ///< null = progress reporting off
   long long every = 0;        ///< steps between samples (<= 0 = off)
   long long steps_total = 0;  ///< fraction/ETA denominator (0 = unknown)
+  /// Cooperative cancellation (cancel.hpp): the run loop checks the token
+  /// once per step and raises JobCancelled when it fires — after writing
+  /// a final checkpoint if the run configured a checkpoint directory.
+  /// Null = not cancellable. Checked even when `sink` is null.
+  const CancelToken* cancel = nullptr;
 };
 
 /// EWMA smoothing factor for the per-step wall time (weight of the newest

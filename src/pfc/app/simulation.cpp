@@ -320,6 +320,14 @@ obs::RunReport Simulation::run(int n) {
   // keeps going until the target is reached (bounded by max_retries).
   const long long target = step_ + n;
   while (step_ < target) {
+    // Cooperative cancellation at step granularity: a cancelled/expired
+    // job stops within one step, checkpoints when configured (so a client
+    // cancel is resumable), then surfaces as JobCancelled.
+    if (progress_.cancel != nullptr && progress_.cancel->requested()) {
+      if (!res.directory.empty()) capture_checkpoint(/*to_disk=*/true);
+      throw JobCancelled(progress_.cancel->kind(),
+                         progress_.cancel->reason());
+    }
     const double dt = dt_current_;
     Timer step_wall;
     trace_this_step_ = tracer_.sampled(step_);

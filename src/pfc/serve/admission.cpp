@@ -1,0 +1,111 @@
+#include "pfc/serve/admission.hpp"
+
+namespace pfc::serve {
+
+AdmissionControl::AdmissionControl(AdmissionLimits limits) : limits_(limits) {}
+
+AdmissionControl::Tenant& AdmissionControl::tenant_slot(
+    const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    Tenant t;
+    t.inflight = &obs::MetricsRegistry::shared().gauge(
+        "pfc_tenant_inflight",
+        "Jobs queued or running per tenant (admission view)",
+        {{"tenant", tenant}});
+    it = tenants_.emplace(tenant, t).first;
+  }
+  return it->second;
+}
+
+void AdmissionControl::update_gauge(Tenant& t) {
+  t.inflight->set(double(t.queued + t.running));
+}
+
+void AdmissionControl::touch(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  update_gauge(tenant_slot(tenant));
+}
+
+bool AdmissionControl::try_admit(const std::string& tenant,
+                                 std::string* reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (limits_.max_queue > 0 && queued_ >= limits_.max_queue) {
+    if (reason != nullptr) {
+      *reason = "queue full (" + std::to_string(queued_) + "/" +
+                std::to_string(limits_.max_queue) + ")";
+    }
+    return false;
+  }
+  Tenant& t = tenant_slot(tenant);
+  if (limits_.tenant_max_queued > 0 && t.queued >= limits_.tenant_max_queued) {
+    if (reason != nullptr) {
+      *reason = "tenant \"" + tenant + "\" queued quota exhausted (" +
+                std::to_string(t.queued) + "/" +
+                std::to_string(limits_.tenant_max_queued) + ")";
+    }
+    return false;
+  }
+  ++queued_;
+  ++t.queued;
+  update_gauge(t);
+  return true;
+}
+
+bool AdmissionControl::can_start(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (limits_.tenant_max_running <= 0) return true;
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ||
+         it->second.running < limits_.tenant_max_running;
+}
+
+void AdmissionControl::on_start(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Tenant& t = tenant_slot(tenant);
+  if (t.queued > 0) --t.queued;
+  if (queued_ > 0) --queued_;
+  ++t.running;
+  ++running_;
+  update_gauge(t);
+}
+
+void AdmissionControl::on_release(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Tenant& t = tenant_slot(tenant);
+  if (t.running > 0) --t.running;
+  if (running_ > 0) --running_;
+  update_gauge(t);
+}
+
+void AdmissionControl::on_discard(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Tenant& t = tenant_slot(tenant);
+  if (t.queued > 0) --t.queued;
+  if (queued_ > 0) --queued_;
+  update_gauge(t);
+}
+
+long long AdmissionControl::queued_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_;
+}
+
+long long AdmissionControl::running_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+long long AdmissionControl::tenant_running(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.running;
+}
+
+long long AdmissionControl::tenant_queued(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.queued;
+}
+
+}  // namespace pfc::serve

@@ -1,0 +1,80 @@
+// Admission control for the serve daemon: a bounded submit queue plus
+// per-tenant quotas on queued and running jobs. Under overload the daemon
+// sheds gracefully — a submit past a queue limit gets an explicit
+// "rejected" event with the reason (the connection stays healthy) instead
+// of an unbounded queue absorbing work it will never get to. The running
+// quota gates *dispatch*: an admitted job whose tenant is at its
+// concurrency limit waits in the queue until a slot releases.
+//
+// The admitted-job lifecycle the counters track:
+//
+//   try_admit ──ok──▶ queued ──can_start? on_start──▶ running ──on_release──▶ done
+//       │               │
+//       └─▶ rejected    └──on_discard──▶ cancelled/expired while queued
+//
+// Thread-safety: all methods lock an internal mutex; callers (dispatcher,
+// workers, monitor) need no external coordination.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "pfc/obs/metrics.hpp"
+
+namespace pfc::serve {
+
+struct AdmissionLimits {
+  long long max_queue = 64;          ///< total queued jobs (0 = unlimited)
+  long long tenant_max_running = 0;  ///< concurrent jobs per tenant (0 = unlimited)
+  long long tenant_max_queued = 0;   ///< queued jobs per tenant (0 = unlimited)
+};
+
+class AdmissionControl {
+ public:
+  explicit AdmissionControl(AdmissionLimits limits);
+
+  /// Registers `tenant`'s pfc_tenant_inflight gauge (at 0) without
+  /// admitting anything — the daemon touches "default" at start so the
+  /// metric family exists before the first submit.
+  void touch(const std::string& tenant);
+
+  /// Admits a submit for `tenant` or fills `reason` ("queue full (64/64)",
+  /// "tenant \"x\" queued quota exhausted (2/2)"). On success the job is
+  /// counted as queued.
+  bool try_admit(const std::string& tenant, std::string* reason);
+
+  /// Whether a queued job of `tenant` may start now (running quota has a
+  /// free slot). Workers skip over queued jobs whose tenant is saturated.
+  bool can_start(const std::string& tenant) const;
+
+  /// Queued → running (a worker picked the job up).
+  void on_start(const std::string& tenant);
+  /// Running → done (finished, failed, cancelled, watchdog-killed).
+  void on_release(const std::string& tenant);
+  /// Queued → gone without running (cancelled or expired in the queue).
+  void on_discard(const std::string& tenant);
+
+  long long queued_total() const;
+  long long running_total() const;
+  long long tenant_running(const std::string& tenant) const;
+  long long tenant_queued(const std::string& tenant) const;
+
+ private:
+  struct Tenant {
+    long long queued = 0;
+    long long running = 0;
+    obs::Gauge* inflight = nullptr;  ///< pfc_tenant_inflight{tenant=...}
+  };
+
+  Tenant& tenant_slot(const std::string& tenant);  // callers hold mutex_
+  void update_gauge(Tenant& t);
+
+  AdmissionLimits limits_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Tenant> tenants_;
+  long long queued_ = 0;
+  long long running_ = 0;
+};
+
+}  // namespace pfc::serve

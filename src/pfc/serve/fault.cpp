@@ -1,0 +1,78 @@
+#include "pfc/serve/fault.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "pfc/support/assert.hpp"
+
+namespace pfc::serve {
+
+namespace {
+
+std::vector<std::string> split_clauses(const std::string& spec) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const auto comma = spec.find(',', start);
+    const auto end = comma == std::string::npos ? spec.size() : comma;
+    std::string clause = spec.substr(start, end - start);
+    // Trim surrounding spaces so "a, b" parses like "a,b".
+    while (!clause.empty() && clause.front() == ' ') clause.erase(0, 1);
+    while (!clause.empty() && clause.back() == ' ') clause.pop_back();
+    if (!clause.empty()) out.push_back(clause);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+long long parse_count(const std::string& text, const std::string& clause) {
+  PFC_REQUIRE(!text.empty() &&
+                  text.find_first_not_of("0123456789") == std::string::npos,
+              "fault clause needs a non-negative integer: \"" + clause + "\"");
+  return std::stoll(text);
+}
+
+}  // namespace
+
+ServeFaultPlan ServeFaultPlan::parse(const std::string& spec) {
+  ServeFaultPlan plan;
+  for (const std::string& clause : split_clauses(spec)) {
+    if (clause == "hang-worker") {
+      plan.hang_job = 1;  // first submitted job
+    } else if (clause.rfind("hang-worker@", 0) == 0) {
+      plan.hang_job = parse_count(clause.substr(12), clause);
+    } else if (clause.rfind("delay-ms=", 0) == 0) {
+      plan.delay_ms = parse_count(clause.substr(9), clause);
+    } else if (clause.rfind("drop-connection@", 0) == 0) {
+      plan.drop_after_writes = parse_count(clause.substr(16), clause);
+    } else if (clause == "partial-write") {
+      plan.partial_write = true;
+    } else {
+      throw Error("unknown fault clause \"" + clause +
+                  "\" (want hang-worker[@N], delay-ms=N, drop-connection@N, "
+                  "partial-write)");
+    }
+  }
+  return plan;
+}
+
+ServeFaultPlan ServeFaultPlan::from_env() {
+  const char* env = std::getenv("PFC_SERVE_FAULT");
+  if (env == nullptr || *env == '\0') return {};
+  return parse(env);
+}
+
+bool hang_until_cancelled(const app::CancelToken* token, double max_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(max_seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (token != nullptr && token->requested()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return token != nullptr && token->requested();
+}
+
+}  // namespace pfc::serve

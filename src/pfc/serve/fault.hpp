@@ -1,0 +1,51 @@
+// Deterministic fault injection for the serve tier, in the spirit of
+// resilience::FaultPlan (PR 4): every recovery path the hardened daemon
+// claims — watchdog kill, mid-stream client loss, slow/partial writes —
+// must be reproducible in a ctest without real bad luck.
+//
+// Plan grammar (PFC_SERVE_FAULT or ServeOptions::fault; comma-separated,
+// each clause at most once):
+//
+//   hang-worker          worker hangs before running job 1 (no progress
+//   hang-worker@N        heartbeat → the watchdog fires). The hang is
+//                        cooperative: it sleeps in short ticks watching
+//                        the job's cancel token, so a watchdog-killed
+//                        worker recovers and the daemon stays joinable.
+//   delay-ms=N           every job sleeps N ms before running (token-
+//                        checked — a deadline shorter than the delay
+//                        expires "during compile" deterministically)
+//   drop-connection@N    the daemon closes a job's event stream after its
+//                        N-th written event (client vanishing mid-stream)
+//   partial-write        event lines are sent in two halves with a pause
+//                        between (slow-writer / torn-packet framing test)
+#pragma once
+
+#include <string>
+
+#include "pfc/app/cancel.hpp"
+
+namespace pfc::serve {
+
+struct ServeFaultPlan {
+  long long hang_job = -1;          ///< job id to hang (-1 = off)
+  long long delay_ms = 0;           ///< pre-run delay per job
+  long long drop_after_writes = -1; ///< close stream after N events (-1 = off)
+  bool partial_write = false;
+
+  bool any() const {
+    return hang_job >= 0 || delay_ms > 0 || drop_after_writes >= 0 ||
+           partial_write;
+  }
+
+  /// Strict parse of the grammar above; throws pfc::Error naming the bad
+  /// clause. Empty spec = no faults.
+  static ServeFaultPlan parse(const std::string& spec);
+  /// parse(getenv("PFC_SERVE_FAULT")).
+  static ServeFaultPlan from_env();
+};
+
+/// Cooperative hang: sleeps in 5 ms ticks until the token fires or
+/// `max_seconds` elapses. Returns true when the token ended the hang.
+bool hang_until_cancelled(const app::CancelToken* token, double max_seconds);
+
+}  // namespace pfc::serve

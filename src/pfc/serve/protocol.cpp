@@ -4,10 +4,14 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
+#include "pfc/serve/transport.hpp"
 #include "pfc/support/assert.hpp"
 
 namespace pfc::serve {
@@ -91,6 +95,12 @@ bool LineChannel::read_line(std::string& out) {
     if (n == 0) return false;  // EOF (any partial line is dropped)
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO elapsed: the peer holds the connection open but
+        // sends nothing (slow loris). Distinct from EOF and from hard
+        // socket errors so callers can drop just this connection.
+        throw TimeoutError("recv(): read deadline elapsed");
+      }
       throw Error(std::string("recv(): ") + std::strerror(errno));
     }
     buf_.append(chunk, std::size_t(n));
@@ -102,7 +112,7 @@ obs::Json LineChannel::read_json() {
   if (!read_line(line)) return obs::Json();
   std::string err;
   obs::Json j = obs::Json::parse(line, &err);
-  if (!err.empty()) throw Error("protocol: bad JSON line: " + err);
+  if (!err.empty()) throw ProtocolError("protocol: bad JSON line: " + err);
   return j;
 }
 
@@ -111,16 +121,30 @@ bool LineChannel::write_json(const obs::Json& j) {
   std::string line = j.dump(-1);
   line += '\n';
   std::size_t off = 0;
+  // Fault injection: stop after the first half of the line, pause, then
+  // resume — the peer must reassemble on '\n', not on packet boundaries.
+  const std::size_t pause_at =
+      fault_partial_write_ ? std::max<std::size_t>(1, line.size() / 2)
+                           : line.size();
+  bool paused = false;
   while (off < line.size()) {
+    const std::size_t limit = paused ? line.size() : pause_at;
     // MSG_NOSIGNAL: a vanished client must not SIGPIPE the daemon.
-    const ssize_t n = ::send(fd_, line.data() + off, line.size() - off,
-                             MSG_NOSIGNAL);
+    const ssize_t n =
+        ::send(fd_, line.data() + off, limit - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EPIPE || errno == ECONNRESET) return false;
+      // SO_SNDTIMEO elapsed: the peer stopped draining. Treat like a
+      // vanished peer — the caller drops the stream, the job lives on.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
       throw Error(std::string("send(): ") + std::strerror(errno));
     }
     off += std::size_t(n);
+    if (!paused && off >= pause_at && off < line.size()) {
+      paused = true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
   }
   return true;
 }
@@ -173,6 +197,53 @@ obs::Json event_finished(long long job, obs::Json result,
     e.set("queued_seconds", obs::Json(queued_seconds));
   }
   return e;
+}
+
+obs::Json event_rejected(const std::string& reason) {
+  return obs::Json::object()
+      .set("event", obs::Json("rejected"))
+      .set("reason", obs::Json(reason));
+}
+
+namespace {
+
+obs::Json terminal_with_reason(const char* kind, long long job,
+                               const std::string& reason,
+                               double duration_seconds,
+                               double queued_seconds) {
+  obs::Json e = obs::Json::object()
+                    .set("event", obs::Json(kind))
+                    .set("job", obs::Json(job))
+                    .set("reason", obs::Json(reason));
+  if (duration_seconds >= 0.0) {
+    e.set("duration_seconds", obs::Json(duration_seconds));
+  }
+  if (queued_seconds >= 0.0) {
+    e.set("queued_seconds", obs::Json(queued_seconds));
+  }
+  return e;
+}
+
+}  // namespace
+
+obs::Json event_cancelled(long long job, const std::string& reason,
+                          double duration_seconds, double queued_seconds) {
+  return terminal_with_reason("cancelled", job, reason, duration_seconds,
+                              queued_seconds);
+}
+
+obs::Json event_deadline_exceeded(long long job, const std::string& reason,
+                                  double duration_seconds,
+                                  double queued_seconds) {
+  return terminal_with_reason("deadline_exceeded", job, reason,
+                              duration_seconds, queued_seconds);
+}
+
+obs::Json event_cancel_ack(long long job, const std::string& state) {
+  return obs::Json::object()
+      .set("event", obs::Json("cancel_ack"))
+      .set("job", obs::Json(job))
+      .set("state", obs::Json(state));
 }
 
 obs::Json event_error(long long job, const std::string& message,

@@ -1,0 +1,108 @@
+// Transport layer of the serve daemon: one Endpoint grammar covering the
+// Unix-domain socket (local clients, tests) and a TCP listener (remote
+// clients), plus the client-side resilience the daemon's wire protocol
+// relies on — connect retry with exponential backoff and deterministic
+// jitter, per-connection I/O deadlines (slow-loris protection on the
+// server, `--timeout-seconds` on the client), and an error taxonomy that
+// lets pfc_servectl distinguish "nothing is listening" from "it is
+// listening but too slow" from "it replied garbage" with distinct exit
+// codes.
+//
+// Endpoint grammar:
+//   "path/to/serve.sock"      Unix-domain stream socket (the default)
+//   "unix:path/to/serve.sock" same, explicit
+//   "tcp:HOST:PORT"           TCP stream socket (HOST may be a name,
+//                             dotted quad, or empty for 0.0.0.0 when
+//                             listening / 127.0.0.1 when connecting)
+#pragma once
+
+#include <string>
+
+#include "pfc/support/assert.hpp"
+
+namespace pfc::serve {
+
+// --- error taxonomy ----------------------------------------------------------
+
+/// Base of every transport-level failure.
+class TransportError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// The peer is unreachable: connection refused, socket file missing,
+/// unresolvable host. Retryable.
+class ConnectError : public TransportError {
+ public:
+  using TransportError::TransportError;
+};
+
+/// An I/O deadline elapsed (connect, read or write). The peer exists but
+/// did not answer in time.
+class TimeoutError : public TransportError {
+ public:
+  using TransportError::TransportError;
+};
+
+/// The peer answered, but not in the protocol's language (bad JSON line,
+/// missing reply, malformed event).
+class ProtocolError : public Error {
+ public:
+  using Error::Error;
+};
+
+// --- endpoints ---------------------------------------------------------------
+
+struct Endpoint {
+  enum class Kind { Unix, Tcp };
+  Kind kind = Kind::Unix;
+  std::string path;  ///< Unix: socket file path
+  std::string host;  ///< Tcp: host ("" = wildcard/loopback)
+  int port = 0;      ///< Tcp: port (0 = ephemeral when listening)
+
+  /// Canonical string form ("unix:..." / "tcp:host:port").
+  std::string describe() const;
+};
+
+/// Parses the endpoint grammar above. Throws pfc::Error on junk (bad
+/// port, empty spec).
+Endpoint parse_endpoint(const std::string& spec);
+
+/// Binds + listens. For TCP with port 0 the kernel picks a port;
+/// `*bound_port` (when non-null) receives the actual one either way.
+/// Throws TransportError on failure.
+int listen_endpoint(const Endpoint& ep, int backlog = 16,
+                    int* bound_port = nullptr);
+
+/// One connect attempt. `timeout_seconds > 0` bounds the TCP connect
+/// (nonblocking + poll); 0 = OS default. Throws ConnectError when nothing
+/// is listening, TimeoutError when the deadline elapses.
+int connect_endpoint(const Endpoint& ep, double timeout_seconds = 0.0);
+
+/// Client-side connect resilience: `attempts` tries, exponential backoff
+/// from `backoff_initial_seconds` doubling up to `backoff_max_seconds`,
+/// each sleep scaled by a deterministic jitter in [1, 1.25) derived from
+/// the attempt index (no global RNG — retry storms from many clients
+/// still decorrelate because each is offset by its own attempt phase).
+struct RetryPolicy {
+  int attempts = 1;  ///< total tries (1 = no retry)
+  double backoff_initial_seconds = 0.05;
+  double backoff_max_seconds = 2.0;
+  double timeout_seconds = 0.0;  ///< per-attempt connect deadline
+};
+
+/// The backoff the k-th failed attempt sleeps before attempt k+1
+/// (k is 0-based). Exposed for tests: deterministic by design.
+double retry_backoff_seconds(const RetryPolicy& policy, int attempt);
+
+/// connect_endpoint with RetryPolicy semantics. Only ConnectError is
+/// retried (a timeout means the peer exists — retrying would double the
+/// caller's wait for nothing). Throws the last error when exhausted.
+int connect_with_retry(const Endpoint& ep, const RetryPolicy& policy);
+
+/// Arms SO_RCVTIMEO/SO_SNDTIMEO on a connected socket; subsequent reads/
+/// writes past the deadline fail with EAGAIN, surfaced as TimeoutError by
+/// LineChannel. seconds <= 0 clears the deadline.
+void set_io_timeout(int fd, double seconds);
+
+}  // namespace pfc::serve

@@ -1,0 +1,43 @@
+#include "pfc/serve/watchdog.hpp"
+
+#include <chrono>
+
+namespace pfc::serve {
+
+void Watchdog::start(double period_seconds, Tick tick) {
+  if (thread_.joinable() || period_seconds <= 0.0 || !tick) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = false;
+  }
+  tick_ = std::move(tick);
+  thread_ = std::thread([this, period_seconds] { loop(period_seconds); });
+}
+
+void Watchdog::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::loop(double period_seconds) {
+  const auto period = std::chrono::duration<double>(period_seconds);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, period, [this] { return stopping_; })) break;
+    lock.unlock();
+    tick_();
+    lock.lock();
+  }
+}
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace pfc::serve

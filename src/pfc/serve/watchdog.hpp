@@ -1,0 +1,51 @@
+// The daemon's monitor thread: a periodic ticker that runs the server's
+// health scan (deadline sweep over queued+running jobs, hung-worker
+// detection via progress heartbeats) on its own thread, decoupled from
+// workers — a wedged worker cannot take the watchdog down with it.
+//
+// The class is deliberately dumb: it owns the thread and the cadence,
+// the server owns the policy (what "hung" means, what to do about it).
+// stop() is prompt (condition-variable sleep, not a plain sleep_for) so
+// daemon shutdown never waits out a full period.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace pfc::serve {
+
+class Watchdog {
+ public:
+  using Tick = std::function<void()>;
+
+  Watchdog() = default;
+  ~Watchdog() { stop(); }
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Starts ticking `tick` every `period_seconds` (first tick after one
+  /// period). No-op when already running or period <= 0.
+  void start(double period_seconds, Tick tick);
+
+  /// Stops and joins the ticker. Idempotent; safe when never started.
+  void stop();
+
+  bool running() const { return thread_.joinable(); }
+
+ private:
+  void loop(double period_seconds);
+
+  Tick tick_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Monotonic seconds since an arbitrary epoch — the clock heartbeats and
+/// deadlines are measured on (immune to wall-clock jumps).
+double steady_seconds();
+
+}  // namespace pfc::serve

@@ -56,6 +56,18 @@ ArgParser& ArgParser::positive(const std::string& name, int* out) {
   });
 }
 
+ArgParser& ArgParser::seconds(const std::string& name, double* out) {
+  return on_value(name, [name, out](const std::string& v) {
+    char* end = nullptr;
+    const double s = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0' || !(s >= 0.0)) {
+      throw Error("invalid value \"" + v + "\" for --" + name +
+                  " (expected a non-negative number of seconds)");
+    }
+    *out = s;
+  });
+}
+
 const ArgParser::Spec* ArgParser::find(const std::string& name) const {
   for (const Spec& s : specs_) {
     if (s.name == name) return &s;

@@ -42,6 +42,8 @@ class ArgParser {
   ArgParser& count(const std::string& name, long long* out);
   /// Integer value >= 1.
   ArgParser& positive(const std::string& name, int* out);
+  /// Non-negative real value ("0.5", "30"); what timeout/deadline flags use.
+  ArgParser& seconds(const std::string& name, double* out);
 
   /// Parses argv; returns the positional arguments. Exits(2) with a usage
   /// message on any error (including pfc::Error thrown by a handler).

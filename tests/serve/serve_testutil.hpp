@@ -1,0 +1,33 @@
+// Shared fixtures for the serve-tier test suites.
+#pragma once
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace pfc::serve {
+
+/// A throwaway directory for sockets, caches and logs; removed on scope
+/// exit. Unix-socket paths must stay short (sun_path is ~108 bytes), so
+/// this lives under the system temp directory, not the build tree.
+struct TempDir {
+  TempDir() {
+    namespace fs = std::filesystem;
+    std::string tmpl = (fs::temp_directory_path() / "pfc_srv_XXXXXX").string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    path = ::mkdtemp(buf.data());
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  std::string path;
+};
+
+}  // namespace pfc::serve

@@ -16,25 +16,12 @@
 #include "pfc/backend/kernel_cache.hpp"
 #include "pfc/serve/server.hpp"
 
+#include "serve_testutil.hpp"
+
 namespace pfc::serve {
 namespace {
 
-namespace fs = std::filesystem;
 using obs::Json;
-
-struct TempDir {
-  TempDir() {
-    std::string tmpl = (fs::temp_directory_path() / "pfc_srv_XXXXXX").string();
-    std::vector<char> buf(tmpl.begin(), tmpl.end());
-    buf.push_back('\0');
-    path = ::mkdtemp(buf.data());
-  }
-  ~TempDir() {
-    std::error_code ec;
-    fs::remove_all(path, ec);
-  }
-  std::string path;
-};
 
 app::JobSpec small_spec() {
   app::JobSpec spec;

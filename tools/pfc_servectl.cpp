@@ -1,24 +1,37 @@
 // Control client of pfc_served.
 //
-//   pfc_servectl --socket=PATH ping
-//   pfc_servectl --socket=PATH submit [--follow] <jobspec.json>
-//   pfc_servectl --socket=PATH list
-//   pfc_servectl --socket=PATH metrics [--text]
-//   pfc_servectl --socket=PATH top [--interval-ms=N] [--iterations=N]
-//   pfc_servectl --socket=PATH shutdown
-//   pfc_servectl --socket=PATH selftest <jobspec.json>
+//   pfc_servectl --socket=ENDPOINT ping
+//   pfc_servectl --socket=ENDPOINT submit [--follow] <jobspec.json>
+//   pfc_servectl --socket=ENDPOINT cancel <job-id>
+//   pfc_servectl --socket=ENDPOINT list
+//   pfc_servectl --socket=ENDPOINT metrics [--text]
+//   pfc_servectl --socket=ENDPOINT top [--interval-ms=N] [--iterations=N]
+//   pfc_servectl --socket=ENDPOINT shutdown
+//   pfc_servectl --socket=ENDPOINT selftest <jobspec.json>
+//
+// ENDPOINT is a Unix socket path ("pfc.sock" or "unix:pfc.sock") or a TCP
+// endpoint ("tcp:HOST:PORT"). --timeout-seconds bounds connect and every
+// read/write of any op; --retries=N retries refused connections with
+// exponential backoff + jitter (daemon still starting up).
 //
 // submit streams the job's events to stderr and prints the terminal event
-// (finished/error) JSON to stdout; exit 1 if the job errored. --follow
-// renders the progress events as a human-readable live line instead of
-// raw JSON. metrics prints the daemon's pfc-serve-metrics-v1 snapshot
-// (--text: Prometheus exposition). top polls metrics + list and renders a
+// JSON to stdout; exit 1 unless it is "finished". --follow renders the
+// progress events as a human-readable live line instead of raw JSON.
+// cancel asks the daemon to stop a queued or running job (ack on stdout).
+// metrics prints the daemon's pfc-serve-metrics-v1 snapshot (--text:
+// Prometheus exposition). top polls metrics + list and renders a
 // one-screen summary per iteration. selftest is the end-to-end round-trip
 // the serve_roundtrip ctest runs: submit the same spec twice, run it a
 // third time in-process, and verify that (a) the second daemon job
 // reports a kernel-cache hit with near-zero external-compiler time, and
 // (b) all three runs produce bitwise-identical fields (equal FNV-1a
 // checksums).
+//
+// Exit codes (scripts branch on these):
+//   0  success          3  connection refused / daemon not there
+//   1  job/selftest     4  timed out (daemon there but unresponsive)
+//      failed           5  protocol error (daemon replied garbage)
+//   2  usage error
 #include <chrono>
 #include <cstdio>
 #include <ctime>
@@ -262,15 +275,22 @@ int main(int argc, char** argv) {
   std::string socket_path;
   bool follow = false, text = false, json = false;
   long long interval_ms = 2000, iterations = 0;
+  serve::ClientOptions copts;
+  long long retries = 1;
   support::ArgParser args(
       "pfc_servectl",
-      "pfc_servectl --socket=PATH ping|shutdown\n"
-      "             --socket=PATH submit [--follow] <jobspec.json>\n"
-      "             --socket=PATH list [--json]\n"
-      "             --socket=PATH metrics [--text]\n"
-      "             --socket=PATH top [--interval-ms=N] [--iterations=N]\n"
-      "             --socket=PATH selftest <jobspec.json>");
+      "pfc_servectl --socket=ENDPOINT [--timeout-seconds=S] [--retries=N]\n"
+      "             ping|shutdown\n"
+      "             submit [--follow] <jobspec.json>\n"
+      "             cancel <job-id>\n"
+      "             list [--json]\n"
+      "             metrics [--text]\n"
+      "             top [--interval-ms=N] [--iterations=N]\n"
+      "             selftest <jobspec.json>\n"
+      "ENDPOINT: a socket path, unix:PATH, or tcp:HOST:PORT");
   args.value("socket", &socket_path);
+  args.seconds("timeout-seconds", &copts.timeout_seconds);
+  args.count("retries", &retries);
   args.flag("follow", &follow);
   args.flag("text", &text);
   args.flag("json", &json);
@@ -278,11 +298,13 @@ int main(int argc, char** argv) {
   args.count("iterations", &iterations);
   const auto pos = args.parse(argc, argv);
 
-  if (socket_path.empty()) args.fail("--socket=PATH is required");
+  if (socket_path.empty()) args.fail("--socket=ENDPOINT is required");
   if (pos.empty()) args.fail("missing command");
+  if (retries < 1) args.fail("--retries must be >= 1");
+  copts.retries = int(retries);
   const std::string cmd = pos[0];
 
-  serve::Client client(socket_path);
+  serve::Client client(socket_path, copts);
   try {
     if (cmd == "ping" || cmd == "shutdown") {
       if (pos.size() != 1) args.fail(cmd + " takes no arguments");
@@ -290,6 +312,16 @@ int main(int argc, char** argv) {
           cmd == "ping" ? client.ping() : client.shutdown_server();
       std::printf("%s\n", reply.dump(-1).c_str());
       return 0;
+    }
+    if (cmd == "cancel") {
+      if (pos.size() != 2) args.fail("cancel needs exactly one job id");
+      const obs::Json reply =
+          client.cancel(support::parse_count(pos[1], "job id"));
+      std::printf("%s\n", reply.dump(-1).c_str());
+      const obs::Json* ev = reply.find("event");
+      return ev != nullptr && ev->is_string() && ev->str() == "cancel_ack"
+                 ? 0
+                 : 1;
     }
     if (cmd == "list") {
       if (pos.size() != 1) args.fail("list takes no arguments");
@@ -340,6 +372,15 @@ int main(int argc, char** argv) {
       }
       return selftest(client, pos[1]);
     }
+  } catch (const serve::ConnectError& e) {
+    std::fprintf(stderr, "pfc_servectl: cannot reach daemon: %s\n", e.what());
+    return 3;
+  } catch (const serve::TimeoutError& e) {
+    std::fprintf(stderr, "pfc_servectl: daemon unresponsive: %s\n", e.what());
+    return 4;
+  } catch (const serve::ProtocolError& e) {
+    std::fprintf(stderr, "pfc_servectl: protocol error: %s\n", e.what());
+    return 5;
   } catch (const Error& e) {
     std::fprintf(stderr, "pfc_servectl: %s\n", e.what());
     return 1;

@@ -548,6 +548,23 @@ int check_metrics(const char* path, const std::vector<std::string>& required) {
     fail("\"metrics\" must be an object");
     return 1;
   }
+  // The serve daemon's families have pinned kinds: a registry refactor
+  // must not silently demote pfc_jobs_rejected_total to a gauge or grow
+  // pfc_tenant_inflight series without their tenant label.
+  static const std::map<std::string, std::string> kServeKinds = {
+      {"pfc_jobs_submitted_total", "counter"},
+      {"pfc_jobs_finished_total", "counter"},
+      {"pfc_jobs_failed_total", "counter"},
+      {"pfc_jobs_rejected_total", "counter"},
+      {"pfc_jobs_cancelled_total", "counter"},
+      {"pfc_jobs_deadline_exceeded_total", "counter"},
+      {"pfc_jobs_watchdog_killed_total", "counter"},
+      {"pfc_queue_depth", "gauge"},
+      {"pfc_jobs_inflight", "gauge"},
+      {"pfc_tenant_inflight", "gauge"},
+      {"pfc_job_duration_seconds", "histogram"},
+      {"pfc_job_queue_seconds", "histogram"},
+  };
   std::map<std::string, double> totals;
   for (const auto& [name, fam] : metrics->items()) {
     const std::string where = "metrics/" + name;
@@ -570,15 +587,25 @@ int check_metrics(const char* path, const std::vector<std::string>& required) {
     if (!help || !help->is_string() || help->str().empty()) {
       fail(where + "/help must be a non-empty string");
     }
+    const auto pinned = kServeKinds.find(name);
+    if (pinned != kServeKinds.end() && type->str() != pinned->second) {
+      fail(where + "/type must be \"" + pinned->second +
+           "\" (serve-family kind is pinned), got \"" + type->str() + '"');
+    }
     if (!values || !values->is_array() || values->elements().empty()) {
       fail(where + "/values must be a non-empty array");
       continue;
     }
     double total = 0.0;
     for (std::size_t i = 0; i < values->elements().size(); ++i) {
-      total += check_metric_series(
-          values->elements()[i], type->str(),
-          where + "/values[" + std::to_string(i) + ']');
+      const std::string vw = where + "/values[" + std::to_string(i) + ']';
+      total += check_metric_series(values->elements()[i], type->str(), vw);
+      if (name == "pfc_tenant_inflight") {
+        const pfc::obs::Json* labels = values->elements()[i].find("labels");
+        if (!labels || labels->find("tenant") == nullptr) {
+          fail(vw + ": pfc_tenant_inflight series needs a \"tenant\" label");
+        }
+      }
     }
     totals[name] = total;
   }

@@ -95,4 +95,32 @@ if ! grep -q '"correlation_id":"job-' "$WORKDIR/served.log"; then
   echo "serve_roundtrip: structured log lacks job correlation ids" >&2
   exit 1
 fi
-echo "serve_roundtrip: OK ($NPROGRESS progress events)"
+
+# Graceful signal handling: a second daemon gets SIGTERM instead of the
+# shutdown op and must drain cleanly — exit code 0, no crash, no hang.
+SOCKET2="$WORKDIR/serve2.sock"
+"$SERVED" --socket="$SOCKET2" --workers=1 --drain-seconds=2 \
+  --log-file="$WORKDIR/served2.log" --log-level=info &
+SERVED2_PID=$!
+for _ in $(seq 1 100); do
+  [ -S "$SOCKET2" ] && break
+  sleep 0.1
+done
+if ! [ -S "$SOCKET2" ]; then
+  echo "serve_roundtrip: second daemon never bound $SOCKET2" >&2
+  kill "$SERVED2_PID" 2>/dev/null
+  exit 1
+fi
+"$SERVECTL" --socket="$SOCKET2" ping >/dev/null || exit 1
+kill -TERM "$SERVED2_PID"
+wait "$SERVED2_PID"
+SIGTERM_STATUS=$?
+if [ "$SIGTERM_STATUS" -ne 0 ]; then
+  echo "serve_roundtrip: SIGTERM shutdown exited $SIGTERM_STATUS (want 0)" >&2
+  exit 1
+fi
+if [ -S "$SOCKET2" ]; then
+  echo "serve_roundtrip: daemon left $SOCKET2 behind after SIGTERM" >&2
+  exit 1
+fi
+echo "serve_roundtrip: OK ($NPROGRESS progress events, SIGTERM clean)"
