@@ -12,8 +12,13 @@
 // 30-60 s for a full recompilation; our models are smaller).
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <memory>
+
+#include "bench_common.hpp"
 #include "pfc/app/params.hpp"
 #include "pfc/app/simulation.hpp"
+#include "pfc/app/tuning.hpp"
 
 using namespace pfc;
 
@@ -24,12 +29,10 @@ struct Variant {
   app::CompileOptions compile;
 };
 
-app::Simulation* make_sim(const app::CompileOptions& co) {
+app::Simulation* make_sim_opts(app::SimulationOptions o) {
   static app::GrandChemParams params = app::make_p1(2);
   static app::GrandChemModel model(params);
-  app::SimulationOptions o;
   o.cells = {96, 96, 1};
-  o.compile = co;
   auto* sim = new app::Simulation(model, o);
   sim->init_phi([&](long long x, long long, long long, int c) {
     const double s = app::interface_profile(double(x % 24) - 12.0, 10.0);
@@ -38,6 +41,12 @@ app::Simulation* make_sim(const app::CompileOptions& co) {
   });
   sim->init_mu([](long long, long long, long long, int) { return 0.0; });
   return sim;
+}
+
+app::Simulation* make_sim(const app::CompileOptions& co) {
+  app::SimulationOptions o;
+  o.compile = co;
+  return make_sim_opts(o);
 }
 
 void run_variant(benchmark::State& state, const app::CompileOptions& co) {
@@ -123,6 +132,55 @@ BENCHMARK(BM_P1_interpreter_backend)
     ->Unit(benchmark::kMillisecond)
     ->MinTime(0.5);
 
+/// Autotune axis: main() runs the measured search before the benchmarks
+/// execute and stores the winning configuration here, so the tuned variant
+/// lines up against the hand-picked ablation points above.
+app::SimulationOptions g_tuned_opts;
+
+void BM_P1_autotuned(benchmark::State& s) {
+  app::SimulationOptions o = g_tuned_opts;
+  o.compile.tune = app::TuneMode::Off;  // winner already applied
+  std::unique_ptr<app::Simulation> sim(make_sim_opts(o));
+  for (auto _ : s) {
+    sim->run(1);
+  }
+  s.counters["MLUP/s"] =
+      benchmark::Counter(96.0 * 96.0 * double(s.iterations()) / 1e6,
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_P1_autotuned)->Unit(benchmark::kMillisecond)->MinTime(0.5);
+
+/// Runs the measured autotune search on the P1 model and emits
+/// BENCH_autotune.json: best-found vs. default-config MLUPS for the phi/mu
+/// kernel chain plus the search cost (candidates enumerated, measured runs,
+/// seconds spent). The tuner measures the baseline first and only replaces
+/// it on a strictly better measurement, so tuned >= default by construction.
+void run_autotune_axis() {
+  app::GrandChemParams params = app::make_p1(2);
+  app::GrandChemModel model(params);
+  app::SimulationOptions o;
+  o.cells = {96, 96, 1};
+  o.compile.tune = app::TuneMode::Full;
+  const obs::TuningStats stats = app::autotune_apply(model, o);
+  g_tuned_opts = o;  // autotune_apply applied the winner in place
+
+  std::printf("=== autotune (P1 phi/mu chain) ===\n");
+  std::printf("default %.2f MLUP/s -> tuned %.2f MLUP/s [%s]\n",
+              stats.baseline_mlups, stats.best_mlups,
+              stats.best_config.c_str());
+  std::printf("search: %d candidates, %d measured runs, %.2f s\n\n",
+              stats.candidates, stats.measured_runs, stats.search_seconds);
+
+  std::map<std::string, double> derived;
+  derived["phi_default_mlups"] = stats.baseline_mlups;
+  derived["phi_tuned_mlups"] = stats.best_mlups;
+  derived["search_candidates"] = double(stats.candidates);
+  derived["search_measured_runs"] = double(stats.measured_runs);
+  derived["search_seconds"] = stats.search_seconds;
+  bench::write_bench_report("autotune",
+                            bench::bench_report_json("autotune", derived));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -148,6 +206,7 @@ int main(int argc, char** argv) {
                 cr.ops_per_cell_pre, cr.ops_per_cell_post,
                 cr.ops_per_cell_widened, cr.vector_width);
   }
+  run_autotune_axis();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

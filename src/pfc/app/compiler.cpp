@@ -2,8 +2,8 @@
 
 #include <cstdio>
 
-#include "pfc/backend/c_emitter.hpp"
 #include "pfc/backend/kernel_cache.hpp"
+#include "pfc/backend/registry.hpp"
 #include "pfc/ir/opcount.hpp"
 #include "pfc/ir/schedule.hpp"
 #include "pfc/ir/vectorize.hpp"
@@ -108,101 +108,82 @@ CompiledModel ModelCompiler::compile_updates(
   attach(groups[0], out.phi_kernels);
   if (groups.size() > 1) attach(groups[1], out.mu_kernels);
 
-  if (opts_.backend == Backend::Interpreter) {
-    // The interpreter evaluates the IR cell by cell; width stays 1.
-    out.report_.ops_per_cell_widened = double(out.report_.ops_per_cell_post);
-    for (auto* group : {&out.phi_kernels, &out.mu_kernels}) {
-      for (auto& ck : *group) {
-        ck.interp_ = std::make_shared<backend::InterpreterKernel>(ck.ir);
-      }
+  // Flatten the kernels in execution order (φ group, then µ group) — the
+  // shape every registry backend compiles against.
+  std::vector<const ir::Kernel*> kernel_ptrs;
+  std::vector<CompiledKernel*> flat;
+  for (auto* group : {&out.phi_kernels, &out.mu_kernels}) {
+    for (auto& ck : *group) {
+      kernel_ptrs.push_back(&ck.ir);
+      flat.push_back(&ck);
     }
-    return out;
   }
 
-  // Resolve the SIMD width: 0 = probe the JIT target once per process.
-  int width = opts_.vector_width;
-  if (width <= 0) width = backend::probe_native_vector_width();
-  PFC_REQUIRE(ir::vector_width_supported(width),
-              "unsupported vector_width " + std::to_string(width) +
-                  " (use 0=auto, 1, 2, 4 or 8)");
+  // Resolve the SIMD width: 0 = probe the JIT target once per process. An
+  // interpreter request stays scalar and never probes.
+  int width = 1;
+  if (opts_.backend != Backend::Interpreter) {
+    width = opts_.vector_width;
+    if (width <= 0) width = backend::probe_native_vector_width();
+    PFC_REQUIRE(ir::vector_width_supported(width),
+                "unsupported vector_width " + std::to_string(width) +
+                    " (use 0=auto, 1, 2, 4 or 8)");
+  }
 
-  // Degradation chain: a JIT failure at the requested width retries scalar
-  // C, and a scalar failure falls back to the interpreter, instead of
-  // aborting the run. The surviving tier and the first failure are recorded
-  // in the compile report.
-  std::vector<int> attempt_widths{width};
-  if (width > 1) attempt_widths.push_back(1);
+  // Select through the backend registry: the degradation chain is every
+  // registered backend whose probe accepts the request, priority-descending
+  // (vector → scalar → interpreter for the built-ins). A JIT failure at one
+  // rung retries the next instead of aborting the run; the surviving tier
+  // and the first failure are recorded in the compile report. An explicit
+  // interpreter request pins the chain to that single tier.
+  std::vector<backend::ChainEntry> chain;
+  if (opts_.backend == Backend::Interpreter) {
+    const backend::Backend* interp =
+        backend::BackendRegistry::instance().find("interpreter");
+    PFC_ASSERT(interp != nullptr, "interpreter backend not registered");
+    chain.push_back(backend::ChainEntry{interp, 1});
+  } else {
+    chain = backend::BackendRegistry::instance().chain(width);
+  }
+
   int forced_failures = opts_.fail_jit_attempts;
+  for (const backend::ChainEntry& entry : chain) {
+    const backend::Backend& b = *entry.backend;
+    const bool is_jit = b.capabilities().jit;
 
-  for (const int w : attempt_widths) {
-    // Emit all kernels into one translation unit at this width and JIT it.
-    Timer stage;
-    backend::CEmitOptions eo;
-    eo.fast_math = opts_.fast_math;
-    eo.vector_width = w;
-    eo.streaming_stores = opts_.streaming_stores;
-    out.report_.ops_per_cell_widened = 0.0;
-    std::string source;
-    bool first = true;
-    for (auto* group : {&out.phi_kernels, &out.mu_kernels}) {
-      for (auto& ck : *group) {
-        eo.include_preamble = first;
-        first = false;
-        const ir::VectorPlan plan =
-            ir::plan_vectorize(ck.ir, {w, opts_.streaming_stores});
-        out.report_.ops_per_cell_widened +=
-            plan.enabled() ? plan.flops_per_cell_vector
-                           : double(plan.flops_per_cell_scalar);
-        ck.vector_width_ = plan.enabled() ? plan.width : 1;
-        source += backend::emit_c(ck.ir, eo);
-        source += "\n";
-      }
-    }
-    out.source_ = source;
-    out.report_.add_stage("emit", stage.seconds());
-
-    backend::JitLibrary::Options jo;
-    jo.extra_flags = opts_.jit_extra_flags;
-    const bool forced = forced_failures > 0;
-    if (forced) jo.compiler = "false";  // always exits 1: injected failure
+    backend::TierOptions to;
+    to.vector_width = entry.width;
+    to.fast_math = opts_.fast_math;
+    to.streaming_stores = opts_.streaming_stores;
+    to.extra_flags = opts_.jit_extra_flags;
+    const bool forced = is_jit && forced_failures > 0;
+    if (forced) to.compiler_override = "false";  // always exits 1: injected
 
     // Content-addressed kernel cache: options configure it explicitly, the
     // PFC_KERNEL_CACHE_DIR env enables it for unmodified binaries.
     // Injected-fault attempts bypass the cache — they must exercise the
     // external-compiler failure path, not be absorbed by an earlier hit.
-    backend::KernelCacheConfig cache;
     if (!opts_.cache_dir.empty()) {
-      cache.directory = opts_.cache_dir;
-      cache.max_bytes = opts_.cache_max_bytes;
+      to.cache.directory = opts_.cache_dir;
+      to.cache.max_bytes = opts_.cache_max_bytes;
     } else {
-      cache = backend::kernel_cache_config_from_env();
+      to.cache = backend::kernel_cache_config_from_env();
     }
-    const bool use_cache = !forced && !cache.directory.empty();
+    to.use_cache = !forced && !to.cache.directory.empty();
 
-    stage.reset();
-    double jit_seconds = 0.0;
+    backend::TierArtifact art;
+    Timer attempt;
     try {
-      if (use_cache) {
-        backend::KernelCacheResult cached =
-            backend::KernelCache::shared().acquire(source, jo, cache);
-        out.library_ = std::move(cached.library);
-        jit_seconds = cached.compile_seconds;
-        out.report_.cache_used = true;
-        out.report_.cache_hit = cached.hit;
-        out.report_.cache_key = cached.key;
-        const backend::KernelCacheStats cs =
-            backend::KernelCache::shared().stats();
-        out.report_.cache_hits = cs.hits;
-        out.report_.cache_misses = cs.misses;
-        out.report_.cache_evictions = cs.evictions;
-        out.report_.cache_bytes = cs.bytes;
-      } else {
-        out.library_ = std::make_shared<backend::JitLibrary>(
-            backend::JitLibrary::compile(source, jo));
-        jit_seconds = out.library_->compile_seconds();
-      }
+      b.compile(kernel_ptrs, to, art);
     } catch (const Error& e) {
-      out.report_.add_stage("jit", stage.seconds());
+      // The artifact keeps the generated source and emit timing of the
+      // failed attempt — the report still shows what was tried.
+      if (!art.source.empty()) out.source_ = art.source;
+      if (art.emit_seconds > 0.0) {
+        out.report_.add_stage("emit", art.emit_seconds);
+      }
+      out.report_.add_stage(
+          "jit", std::max(0.0, attempt.seconds() - art.emit_seconds));
       ++out.report_.fallback_attempts;
       if (forced) --forced_failures;
       if (out.report_.fallback_reason.empty()) {
@@ -210,32 +191,42 @@ CompiledModel ModelCompiler::compile_updates(
             forced ? "injected jit fault" : first_line(e.what());
       }
       std::fprintf(stderr,
-                   "pfc jit: width-%d compile failed (%s), degrading\n", w,
+                   "pfc jit: width-%d compile failed (%s), degrading\n",
+                   entry.width,
                    forced ? "injected fault" : first_line(e.what()).c_str());
       continue;
     }
-    out.report_.add_stage("jit", jit_seconds);
-    out.report_.vector_width = w;
-    out.report_.backend_tier = w > 1 ? "vector" : "scalar";
-    for (auto* group : {&out.phi_kernels, &out.mu_kernels}) {
-      for (auto& ck : *group) {
-        ck.fn_ = out.library_->get(backend::entry_name(ck.ir));
+
+    if (is_jit) {
+      out.source_ = art.source;
+      out.report_.add_stage("emit", art.emit_seconds);
+      out.report_.add_stage("jit", art.jit_seconds);
+    }
+    out.report_.ops_per_cell_widened = art.ops_per_cell_widened;
+    out.report_.vector_width = art.emit_width;
+    out.report_.backend_tier = b.tier();
+    if (art.cache_used) {
+      out.report_.cache_used = true;
+      out.report_.cache_hit = art.cache_hit;
+      out.report_.cache_key = art.cache_key;
+      out.report_.cache_hits = art.cache_stats.hits;
+      out.report_.cache_misses = art.cache_stats.misses;
+      out.report_.cache_evictions = art.cache_stats.evictions;
+      out.report_.cache_bytes = art.cache_stats.bytes;
+    }
+    out.library_ = art.library;
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+      flat[i]->vector_width_ = art.widths[i];
+      if (!art.fns.empty()) {
+        flat[i]->fn_ = art.fns[i];
+      } else {
+        flat[i]->interp_ = art.interps[i];
       }
     }
     return out;
   }
 
-  // Every JIT rung failed: degrade to the interpreter so the run survives
-  // (slow but correct — the IR is the same the C backend would compile).
-  out.report_.vector_width = 1;
-  out.report_.backend_tier = "interpreter";
-  out.report_.ops_per_cell_widened = double(out.report_.ops_per_cell_post);
-  for (auto* group : {&out.phi_kernels, &out.mu_kernels}) {
-    for (auto& ck : *group) {
-      ck.vector_width_ = 1;
-      ck.interp_ = std::make_shared<backend::InterpreterKernel>(ck.ir);
-    }
-  }
+  PFC_ASSERT(false, "backend chain exhausted (interpreter tier missing?)");
   return out;
 }
 

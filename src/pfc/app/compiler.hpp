@@ -17,6 +17,14 @@ namespace pfc::app {
 
 enum class Backend { Jit, Interpreter };
 
+/// Autotuning policy of a run (perf::autotune + app/tuning.hpp):
+///   Off    — use the options exactly as given (the seed behaviour).
+///   Cached — apply the persisted per-(model, machine) winner when the
+///            tuning cache has one; run a full measured search (and persist
+///            it) only on a miss.
+///   Full   — always run the measured search and persist the winner.
+enum class TuneMode { Off, Cached, Full };
+
 struct CompileOptions {
   Backend backend = Backend::Jit;
   /// Split staggered-flux precompute kernels ("φ-split"/"µ-split") instead
@@ -56,6 +64,10 @@ struct CompileOptions {
   /// caching is off; overridden by PFC_KERNEL_CACHE_MB only when cache_dir
   /// itself came from the environment.
   std::uint64_t cache_max_bytes = 256ull << 20;
+  /// Measured-autotuning policy (see TuneMode). The tuning cache lives next
+  /// to the kernel cache (cache_dir / PFC_KERNEL_CACHE_DIR); with neither
+  /// configured a search still runs but its winner cannot persist.
+  TuneMode tune = TuneMode::Off;
 };
 
 /// One executable kernel: the optimized IR plus a backend handle.

@@ -7,6 +7,7 @@
 #include "pfc/app/distributed.hpp"
 #include "pfc/app/params.hpp"
 #include "pfc/app/simulation.hpp"
+#include "pfc/app/tuning.hpp"
 #include "pfc/resilience/checkpoint.hpp"
 
 namespace pfc::app {
@@ -344,7 +345,15 @@ JobResult run_job(const JobSpec& spec, const ProgressSink& progress,
     return result;
   }
 
-  Simulation sim(model, spec.simulation);
+  // Measured autotuning (tune != "off"): resolve the winning knob
+  // configuration — from the per-machine tuning cache when warm, via a
+  // budgeted measured search otherwise — before the real Simulation is
+  // built, so the job itself compiles the winner directly. Distributed
+  // jobs skip tuning (the knob space is per-block; see DESIGN.md §13).
+  SimulationOptions sim_opts = spec.simulation;
+  const obs::TuningStats tuning = autotune_apply(model, sim_opts);
+
+  Simulation sim(model, sim_opts);
   if ((progress && spec.steps > 0) || cancel != nullptr) {
     sim.set_progress({progress, every, spec.steps, cancel});
   }
@@ -354,6 +363,7 @@ JobResult run_job(const JobSpec& spec, const ProgressSink& progress,
   });
   sim.init_mu([](long long, long long, long long, int) { return 0.0; });
   result.run = sim.run(int(spec.steps));
+  if (tuning.enabled) result.run.tuning = tuning;
   result.compile = sim.compiled().compile_report();
   result.phi_checksum = interior_checksum(sim.phi());
   result.mu_checksum = interior_checksum(sim.mu());

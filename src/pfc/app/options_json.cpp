@@ -151,6 +151,20 @@ Dispatch parse_dispatch(const std::string& name) {
   throw Error("unknown dispatch \"" + name + "\" (valid: dynamic, static)");
 }
 
+const char* tune_mode_name(TuneMode m) {
+  switch (m) {
+    case TuneMode::Cached: return "cached";
+    case TuneMode::Full: return "full";
+    default: return "off";
+  }
+}
+TuneMode parse_tune_mode(const std::string& name) {
+  if (name == "off") return TuneMode::Off;
+  if (name == "cached") return TuneMode::Cached;
+  if (name == "full") return TuneMode::Full;
+  throw Error("unknown tune mode \"" + name + "\" (valid: off, cached, full)");
+}
+
 const char* blocking_mode_name(BlockingMode m) {
   switch (m) {
     case BlockingMode::Auto: return "auto";
@@ -184,7 +198,8 @@ Json compile_options_to_json(const CompileOptions& o) {
       .set("jit_extra_flags", Json(o.jit_extra_flags))
       .set("fail_jit_attempts", Json(o.fail_jit_attempts))
       .set("cache_dir", Json(o.cache_dir))
-      .set("cache_max_bytes", Json(o.cache_max_bytes));
+      .set("cache_max_bytes", Json(o.cache_max_bytes))
+      .set("tune", Json(tune_mode_name(o.tune)));
 }
 
 CompileOptions compile_options_from_json(const Json& j,
@@ -195,7 +210,7 @@ CompileOptions compile_options_from_json(const Json& j,
               "hoist_invariants", "clamp_phi", "schedule",
               "schedule_beam_width", "vector_width", "streaming_stores",
               "jit_extra_flags", "fail_jit_attempts", "cache_dir",
-              "cache_max_bytes"},
+              "cache_max_bytes", "tune"},
              where);
   CompileOptions o;
   o.backend = parse_backend(read_str(j, "backend", backend_name(o.backend), where));
@@ -220,6 +235,7 @@ CompileOptions compile_options_from_json(const Json& j,
   o.cache_dir = read_str(j, "cache_dir", o.cache_dir, where);
   o.cache_max_bytes = std::uint64_t(
       read_int(j, "cache_max_bytes", (long long)(o.cache_max_bytes), where));
+  o.tune = parse_tune_mode(read_str(j, "tune", tune_mode_name(o.tune), where));
   return o;
 }
 

@@ -61,6 +61,8 @@ const char* overlap_mode_name(OverlapMode m);
 OverlapMode parse_overlap_mode(const std::string& name);
 const char* dispatch_name(Dispatch d);
 Dispatch parse_dispatch(const std::string& name);
+const char* tune_mode_name(TuneMode m);
+TuneMode parse_tune_mode(const std::string& name);
 const char* blocking_mode_name(BlockingMode m);
 BlockingMode parse_blocking_mode(const std::string& name);
 

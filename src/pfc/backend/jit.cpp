@@ -69,7 +69,10 @@ int probe_native_vector_width() {
     const char* env_cxx = std::getenv("CXX");
     const std::string compiler =
         (env_cxx != nullptr && *env_cxx != '\0') ? env_cxx : "c++";
-    char tmpl[] = "/tmp/pfc_probe_XXXXXX";
+    // Same scratch convention as the per-compile build dirs: honor
+    // PFC_JIT_TMPDIR so sandboxed runs never touch the real /tmp.
+    std::string tmpl_str = scratch_root() + "/pfc_probe_XXXXXX";
+    char* tmpl = tmpl_str.data();
     const int fd = ::mkstemp(tmpl);
     if (fd < 0) return 4;
     ::close(fd);

@@ -79,6 +79,31 @@ Json ThreadingStats::to_json() const {
                .set("bytes_per_update_fused", Json(bytes_per_update_fused)));
 }
 
+Json TuningRankEntry::to_json() const {
+  return Json::object()
+      .set("config", Json(config))
+      .set("predicted_mlups", Json(predicted_mlups))
+      .set("measured_mlups", Json(measured_mlups));
+}
+
+Json TuningStats::to_json() const {
+  Json rank = Json::array();
+  for (const auto& r : ranking) rank.push(r.to_json());
+  return Json::object()
+      .set("enabled", Json(enabled))
+      .set("mode", Json(mode))
+      .set("cache_hit", Json(cache_hit))
+      .set("cache_key", Json(cache_key))
+      .set("machine", Json(machine))
+      .set("candidates", Json(double(candidates)))
+      .set("measured_runs", Json(double(measured_runs)))
+      .set("search_seconds", Json(search_seconds))
+      .set("baseline_mlups", Json(baseline_mlups))
+      .set("best_mlups", Json(best_mlups))
+      .set("best_config", Json(best_config))
+      .set("ranking", std::move(rank));
+}
+
 Json RunReport::to_json() const {
   std::map<std::string, TimerStat> timers;
   for (const auto& [k, t] : kernel_timers) timers["kernel/" + k] = t;
@@ -116,6 +141,7 @@ Json RunReport::to_json() const {
   j.set("resilience", resilience.to_json());
   if (overlap.enabled) j.set("overlap", overlap.to_json());
   j.set("threading", threading.to_json());
+  if (tuning.enabled) j.set("tuning", tuning.to_json());
   return j;
 }
 

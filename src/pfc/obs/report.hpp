@@ -61,6 +61,16 @@
 //                       rationale, modeled bytes-per-update with and
 //                       without fusion).
 //
+// v7 adds the measured-autotuning decision (perf/autotune.hpp):
+//
+//     "tuning":         TuningStats::to_json() on run reports whose driver
+//                       ran with tune != off — mode (cached/full), tuning-
+//                       cache key + hit/miss, machine signature, candidates
+//                       enumerated vs. measured, search seconds, the
+//                       winning configuration and the prior-vs-measured
+//                       ranking of every measured candidate. Untuned runs
+//                       omit the section (overlap-style).
+//
 // Producers may add extra keys (e.g. quickstart embeds its CompileReport
 // under "compile"); validators require only the six core sections. See
 // tools/report_check.cpp for the machine check run by ctest.
@@ -76,9 +86,10 @@
 
 namespace pfc::obs {
 
-inline constexpr const char* kReportSchema = "pfc-obs-report-v6";
+inline constexpr const char* kReportSchema = "pfc-obs-report-v7";
 /// Previous schema revisions; validators still accept them for stored
 /// reports.
+inline constexpr const char* kReportSchemaV6 = "pfc-obs-report-v6";
 inline constexpr const char* kReportSchemaV5 = "pfc-obs-report-v5";
 inline constexpr const char* kReportSchemaV4 = "pfc-obs-report-v4";
 inline constexpr const char* kReportSchemaV3 = "pfc-obs-report-v3";
@@ -164,6 +175,39 @@ struct ThreadingStats {
   Json to_json() const;
 };
 
+/// One row of the autotuner's prior-vs-measured ranking: a candidate
+/// configuration with the ECM-model prediction that ordered it and the
+/// short-run measurement that judged it.
+struct TuningRankEntry {
+  std::string config;            ///< canonical candidate label
+  double predicted_mlups = 0.0;  ///< ECM/layer-condition prior
+  double measured_mlups = 0.0;   ///< short measured run (ground truth)
+
+  Json to_json() const;
+};
+
+/// Measured-autotuning decision of one run (the v7 "tuning" section):
+/// whether the winning configuration came from the per-machine tuning cache
+/// or a fresh measured search, what the search cost, and how the analytic
+/// prior ranked against reality. enabled == false (tune = off, the default)
+/// omits the section.
+struct TuningStats {
+  bool enabled = false;
+  std::string mode;            ///< "cached" | "full"
+  bool cache_hit = false;      ///< winner came from the persisted cache
+  std::string cache_key;       ///< SHA-256 over (model hash, machine sig)
+  std::string machine;         ///< machine signature the key embeds
+  int candidates = 0;          ///< configurations enumerated
+  int measured_runs = 0;       ///< short runs executed (0 on a cache hit)
+  double search_seconds = 0.0; ///< wall time of the measured search
+  double baseline_mlups = 0.0; ///< the spec's own configuration, measured
+  double best_mlups = 0.0;     ///< the winner, measured
+  std::string best_config;     ///< canonical label of the winner
+  std::vector<TuningRankEntry> ranking;  ///< measured candidates, search order
+
+  Json to_json() const;
+};
+
 /// Cumulative signals of a (possibly distributed) simulation run. Returned
 /// by Simulation::run() / DistributedSimulation::run(); totals cover the
 /// simulation's whole lifetime, not just the last run() call, so the
@@ -198,6 +242,9 @@ struct RunReport {
   OverlapStats overlap;
   /// Execution-resources accounting (v6 "threading" section).
   ThreadingStats threading;
+  /// Measured-autotuning decision (v7 "tuning" section; serialized only
+  /// when enabled).
+  TuningStats tuning;
   /// Worst measured/predicted ratio distance from 1.0 across all targets
   /// with a prediction (0.0 when model_accuracy is empty).
   double worst_model_drift() const;

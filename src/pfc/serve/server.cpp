@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "pfc/app/tuning.hpp"
 #include "pfc/obs/log.hpp"
 #include "pfc/support/assert.hpp"
 
@@ -464,6 +465,11 @@ void JobServer::handle_connection(LineChannel conn) {
     return;
   }
 
+  if (op->str() == "tune") {
+    handle_tune(std::move(conn), req);
+    return;
+  }
+
   conn.write_json(event_error(-1, "unknown op \"" + op->str() + "\""));
 }
 
@@ -574,6 +580,62 @@ void JobServer::handle_submit(LineChannel conn, const Json& req) {
   // notify_all: with per-tenant quota gating, the woken worker is not
   // always one that can start this job.
   cv_work_.notify_all();
+}
+
+void JobServer::handle_tune(LineChannel conn, const Json& req) {
+  const Json* spec_json = req.find("spec");
+  if (spec_json == nullptr) {
+    conn.write_json(event_error(-1, "tune needs a \"spec\""));
+    return;
+  }
+  app::JobSpec spec;
+  try {
+    spec = app::JobSpec::from_json(*spec_json, "spec");
+    spec.validate();
+  } catch (const Error& e) {
+    conn.write_json(event_error(-1, e.what()));
+    return;
+  }
+  if (spec.mode != "single") {
+    conn.write_json(
+        event_error(-1, "tune supports only \"single\" mode specs"));
+    return;
+  }
+  // Same cache-dir defaulting as submit, so the pre-warmed entry lands
+  // where the later job will look for it.
+  if (!opts_.cache.directory.empty() &&
+      spec.simulation.compile.cache_dir.empty()) {
+    spec.simulation.compile.cache_dir = opts_.cache.directory;
+    spec.simulation.compile.cache_max_bytes = opts_.cache.max_bytes;
+  }
+  // A pre-warm request with tune left "off" means "run the search":
+  // keeping "cached" (hit = instant reply) and "full" as given.
+  if (spec.simulation.compile.tune == app::TuneMode::Off) {
+    spec.simulation.compile.tune = app::TuneMode::Full;
+  }
+  if (!opts_.quiet) {
+    obs::log::info(kLogComponent, "tune requested",
+                   {{"name", Json(spec.name)},
+                    {"preset", Json(spec.model.preset)}});
+  }
+  // The measured search runs for seconds; a detached thread keeps the
+  // dispatcher accepting. Everything is captured by value — no `this` —
+  // so daemon teardown cannot race a search still in flight (the thread
+  // only touches its own spec copy and its own connection).
+  std::thread([spec = std::move(spec), conn = std::move(conn)]() mutable {
+    try {
+      const app::GrandChemParams params = spec.make_params();
+      app::GrandChemModel model(params);
+      app::SimulationOptions tuned = spec.simulation;
+      const obs::TuningStats stats = app::autotune_apply(model, tuned);
+      conn.write_json(Json::object()
+                          .set("event", Json("tuned"))
+                          .set("name", Json(spec.name))
+                          .set("tuning", stats.to_json()));
+    } catch (const Error& e) {
+      conn.write_json(event_error(-1, e.what()));
+    }
+  }).detach();
 }
 
 void JobServer::handle_cancel(LineChannel& conn, const Json& req) {
@@ -1022,6 +1084,11 @@ std::string Client::metrics_text() {
 
 Json Client::shutdown_server() {
   return request_single(Json::object().set("op", Json("shutdown")));
+}
+
+Json Client::tune(const Json& spec) {
+  return request_single(
+      Json::object().set("op", Json("tune")).set("spec", spec));
 }
 
 Json Client::submit(const Json& spec, std::vector<Json>* events) {

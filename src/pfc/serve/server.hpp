@@ -171,6 +171,7 @@ class JobServer {
   void accept_loop();
   void handle_connection(LineChannel conn);
   void handle_submit(LineChannel conn, const obs::Json& req);
+  void handle_tune(LineChannel conn, const obs::Json& req);
   void handle_cancel(LineChannel& conn, const obs::Json& req);
   void worker_loop();
   /// Runs one job; returns false when this worker was watchdog-replaced
@@ -279,6 +280,11 @@ class Client {
   std::string metrics_text();
   /// Asks the daemon to exit; returns its "bye" ack.
   obs::Json shutdown_server();
+  /// Pre-warms the tuning cache for a spec: the daemon runs the measured
+  /// autotune search (or reports the cached winner) and replies with one
+  /// "tuned" event carrying the v7 TuningStats shape. Blocks for the
+  /// search duration on a cold cache.
+  obs::Json tune(const obs::Json& spec);
 
   /// True when `ev` ends a submit stream.
   static bool is_terminal_event(const obs::Json& ev);

@@ -1,0 +1,210 @@
+// Backend registry tests (DESIGN.md §13): the built-in tiers register at
+// static-init time in degradation-chain order, probe() gates chain
+// membership, registration is latest-wins — and the round-trip property:
+// every registered backend compiles and runs the grandchem φ kernel
+// bitwise-identically to the pre-registry enum path (direct JitLibrary /
+// InterpreterKernel construction).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pfc/app/compiler.hpp"
+#include "pfc/app/params.hpp"
+#include "pfc/backend/c_emitter.hpp"
+#include "pfc/backend/interp.hpp"
+#include "pfc/backend/jit.hpp"
+#include "pfc/backend/kernel_runner.hpp"
+#include "pfc/backend/registry.hpp"
+#include "pfc/fd/discretize.hpp"
+#include "pfc/field/array.hpp"
+#include "pfc/ir/kernel.hpp"
+#include "pfc/ir/vectorize.hpp"
+#include "pfc/support/assert.hpp"
+
+namespace pfc::backend {
+namespace {
+
+TEST(Registry, BuiltinTiersRegisteredInPriorityOrder) {
+  BackendRegistry& reg = BackendRegistry::instance();
+  ASSERT_NE(reg.find("jit-vector"), nullptr);
+  ASSERT_NE(reg.find("jit-scalar"), nullptr);
+  ASSERT_NE(reg.find("interpreter"), nullptr);
+  EXPECT_EQ(reg.find("no-such-backend"), nullptr);
+  EXPECT_GE(reg.all().size(), 3u);
+
+  // A vector request walks vector -> scalar -> interpreter, each at the
+  // width its probe resolved.
+  const std::vector<ChainEntry> chain = reg.chain(8);
+  ASSERT_GE(chain.size(), 3u);
+  EXPECT_STREQ(chain[0].backend->name(), "jit-vector");
+  EXPECT_EQ(chain[0].width, 8);
+  EXPECT_STREQ(chain[1].backend->name(), "jit-scalar");
+  EXPECT_EQ(chain[1].width, 1);
+  EXPECT_STREQ(chain.back().backend->name(), "interpreter");
+  EXPECT_EQ(chain.back().width, 1);
+
+  // A scalar request skips the vector tier entirely.
+  const std::vector<ChainEntry> scalar = reg.chain(1);
+  ASSERT_GE(scalar.size(), 2u);
+  for (const ChainEntry& e : scalar) {
+    EXPECT_STRNE(e.backend->name(), "jit-vector");
+  }
+  EXPECT_STREQ(scalar[0].backend->name(), "jit-scalar");
+}
+
+TEST(Registry, CapabilitiesDescribeWhatTheAutotunerMayAsk) {
+  BackendRegistry& reg = BackendRegistry::instance();
+  const BackendCapabilities v = reg.find("jit-vector")->capabilities();
+  EXPECT_TRUE(v.jit);
+  EXPECT_EQ(v.max_vector_width, 8);
+  EXPECT_TRUE(v.streaming_stores);
+  const BackendCapabilities s = reg.find("jit-scalar")->capabilities();
+  EXPECT_TRUE(s.jit);
+  EXPECT_EQ(s.max_vector_width, 1);
+  const BackendCapabilities i = reg.find("interpreter")->capabilities();
+  EXPECT_FALSE(i.jit);
+  EXPECT_EQ(i.max_vector_width, 1);
+  EXPECT_FALSE(i.streaming_stores);
+}
+
+/// A tier that exists but never serves a request (probe 0) — registration
+/// must be visible to find()/all() without ever entering a chain.
+struct NullBackend final : Backend {
+  const char* name() const override { return "test-null"; }
+  const char* tier() const override { return "test"; }
+  BackendCapabilities capabilities() const override { return {}; }
+  int probe(int) const override { return 0; }
+  void compile(const std::vector<const ir::Kernel*>&, const TierOptions&,
+               TierArtifact&) const override {}
+};
+
+TEST(Registry, RegistrationIsLatestWinsAndProbeGatesChains) {
+  BackendRegistry& reg = BackendRegistry::instance();
+  reg.add(std::make_unique<NullBackend>(), 999);
+  ASSERT_NE(reg.find("test-null"), nullptr);
+  for (const ChainEntry& e : reg.chain(8)) {
+    EXPECT_STRNE(e.backend->name(), "test-null");
+  }
+  // Re-registering the same name replaces the entry instead of duplicating.
+  reg.add(std::make_unique<NullBackend>(), 998);
+  int count = 0;
+  for (const Backend* b : reg.all()) {
+    if (std::string(b->name()) == "test-null") ++count;
+  }
+  EXPECT_EQ(count, 1);
+}
+
+/// The grandchem φ update lowered as one full (unsplit) kernel — the same
+/// front half the enum path and the registry path both consume.
+ir::Kernel lower_phi_kernel() {
+  static app::GrandChemParams params = app::make_p1(2);
+  static app::GrandChemModel model(params);
+  fd::DiscretizeOptions d;
+  d.dims = 2;
+  d.dx = params.dx;
+  d.dt = params.dt;
+  d.split_staggered = false;
+  d.clamp_unit_interval = true;
+  d.renormalize_simplex = true;
+  std::optional<FieldPtr> flux;
+  std::vector<ir::Kernel> ks =
+      app::ModelCompiler::lower(model.phi_update(), d, app::CompileOptions{},
+                                &flux);
+  PFC_REQUIRE(ks.size() == 1, "full lowering must yield one kernel");
+  return ks[0];
+}
+
+/// Per-field arrays with a deterministic in-range fill (φ-like values well
+/// inside [0,1] so clamping/renormalization stay smooth), plus the binding
+/// over them. Both paths get an identically-initialized private set.
+Binding make_binding(const ir::Kernel& k,
+                     std::vector<std::unique_ptr<Array>>& store,
+                     const std::array<long long, 3>& n) {
+  const std::array<int, 3> r = k.access_radius();
+  const int g = std::max({r[0], r[1], r[2], 1});
+  Binding b;
+  for (const FieldPtr& f : k.fields) {
+    auto a = std::make_unique<Array>(
+        f, std::array<std::int64_t, 3>{n[0], n[1], n[2]}, g);
+    for (int c = 0; c < a->components(); ++c) {
+      for (long long y = -g; y < n[1] + g; ++y) {
+        for (long long x = -g; x < n[0] + g; ++x) {
+          a->at(x, y, 0, c) =
+              0.15 + 0.05 * double(c) +
+              0.01 * double(((x + 3) * 7 + (y + 3) * 3) % 13);
+        }
+      }
+    }
+    b.arrays.push_back(a.get());
+    store.push_back(std::move(a));
+  }
+  b.params.assign(k.scalar_params.size(), 0.3);
+  return b;
+}
+
+/// Round-trip: every registered backend that serves a width-4 request must
+/// produce bitwise-identical φ-kernel results to the direct (enum-path)
+/// construction of the same tier — JitLibrary::compile(emit_c(...)) for the
+/// JIT tiers, InterpreterKernel for the interpreter.
+TEST(RegistryRoundTrip, EveryBackendMatchesEnumPathBitwise) {
+  const ir::Kernel k = lower_phi_kernel();
+  const std::array<long long, 3> n{18, 11, 1};
+  BackendRegistry& reg = BackendRegistry::instance();
+
+  int exercised = 0;
+  for (const Backend* b : reg.all()) {
+    const int width = b->probe(4);
+    if (width == 0) continue;  // tier does not serve this request
+    SCOPED_TRACE(std::string("backend ") + b->name());
+
+    // Registry path: compile through the plugin interface.
+    TierOptions to;
+    to.vector_width = width;
+    TierArtifact art;
+    b->compile({&k}, to, art);
+
+    std::vector<std::unique_ptr<Array>> reg_store;
+    Binding reg_bind = make_binding(k, reg_store, n);
+    if (!art.fns.empty()) {
+      ASSERT_EQ(art.fns.size(), 1u);
+      run_compiled(k, art.fns[0], reg_bind, n, 0.0, 0, nullptr, nullptr,
+                   art.widths[0]);
+    } else {
+      ASSERT_EQ(art.interps.size(), 1u);
+      art.interps[0]->run(reg_bind, n, 0.0, 0);
+    }
+
+    // Enum path: the pre-registry direct construction of the same tier.
+    std::vector<std::unique_ptr<Array>> ref_store;
+    Binding ref_bind = make_binding(k, ref_store, n);
+    if (std::string(b->name()) == "interpreter") {
+      InterpreterKernel interp(k);
+      interp.run(ref_bind, n, 0.0, 0);
+    } else {
+      CEmitOptions eo;
+      eo.vector_width = width;
+      const ir::VectorPlan plan = ir::plan_vectorize(k, {width, false});
+      const int run_w = plan.enabled() ? plan.width : 1;
+      JitLibrary lib = JitLibrary::compile(emit_c(k, eo));
+      run_compiled(k, lib.get(entry_name(k)), ref_bind, n, 0.0, 0, nullptr,
+                   nullptr, run_w);
+    }
+
+    ASSERT_EQ(ref_store.size(), reg_store.size());
+    for (std::size_t i = 0; i < ref_store.size(); ++i) {
+      EXPECT_EQ(Array::max_abs_diff(*ref_store[i], *reg_store[i]), 0.0)
+          << "field " << k.fields[i]->name();
+    }
+    ++exercised;
+  }
+  // jit-vector (width 4), jit-scalar and the interpreter must all have run.
+  EXPECT_GE(exercised, 3);
+}
+
+}  // namespace
+}  // namespace pfc::backend

@@ -7,12 +7,19 @@
 //   pfc_servectl --socket=ENDPOINT metrics [--text]
 //   pfc_servectl --socket=ENDPOINT top [--interval-ms=N] [--iterations=N]
 //   pfc_servectl --socket=ENDPOINT shutdown
+//   pfc_servectl --socket=ENDPOINT tune <jobspec.json>
 //   pfc_servectl --socket=ENDPOINT selftest <jobspec.json>
 //
 // ENDPOINT is a Unix socket path ("pfc.sock" or "unix:pfc.sock") or a TCP
 // endpoint ("tcp:HOST:PORT"). --timeout-seconds bounds connect and every
 // read/write of any op; --retries=N retries refused connections with
 // exponential backoff + jitter (daemon still starting up).
+//
+// tune pre-warms the daemon's per-machine tuning cache for a preset: the
+// daemon runs the measured autotune search (or reports the cached winner)
+// and replies with one "tuned" event, printed to stdout. A later submit of
+// the same spec with "tune": "cached" then applies the persisted winner
+// with zero measurement runs.
 //
 // submit streams the job's events to stderr and prints the terminal event
 // JSON to stdout; exit 1 unless it is "finished". --follow renders the
@@ -286,6 +293,7 @@ int main(int argc, char** argv) {
       "             list [--json]\n"
       "             metrics [--text]\n"
       "             top [--interval-ms=N] [--iterations=N]\n"
+      "             tune <jobspec.json>\n"
       "             selftest <jobspec.json>\n"
       "ENDPOINT: a socket path, unix:PATH, or tcp:HOST:PORT");
   args.value("socket", &socket_path);
@@ -365,6 +373,19 @@ int main(int argc, char** argv) {
           });
       std::printf("%s\n", terminal.dump(-1).c_str());
       return terminal.find("event")->str() == "finished" ? 0 : 1;
+    }
+    if (cmd == "tune") {
+      if (pos.size() != 2) args.fail("tune needs exactly one jobspec file");
+      std::string err;
+      const obs::Json spec = obs::Json::parse(read_file(pos[1]), &err);
+      if (!err.empty()) {
+        std::fprintf(stderr, "pfc_servectl: %s: %s\n", pos[1], err.c_str());
+        return 1;
+      }
+      const obs::Json reply = client.tune(spec);
+      std::printf("%s\n", reply.dump(-1).c_str());
+      const obs::Json* ev = reply.find("event");
+      return ev != nullptr && ev->is_string() && ev->str() == "tuned" ? 0 : 1;
     }
     if (cmd == "selftest") {
       if (pos.size() != 2) {

@@ -407,6 +407,90 @@ void check_threading(const pfc::obs::Json& t) {
   }
 }
 
+/// "tuning" section (v7): measured-autotuning decision of a run — mode,
+/// cache identity, search cost and the prior-vs-measured ranking.
+void check_tuning(const pfc::obs::Json& t) {
+  if (!t.is_object()) {
+    fail("tuning must be an object");
+    return;
+  }
+  const pfc::obs::Json* enabled = t.find("enabled");
+  if (!enabled || enabled->kind() != pfc::obs::Json::Kind::Bool) {
+    fail("tuning/enabled must be a bool");
+  }
+  const pfc::obs::Json* mode = t.find("mode");
+  if (!mode || !mode->is_string() ||
+      (mode->str() != "cached" && mode->str() != "full")) {
+    fail("tuning/mode must be \"cached\" or \"full\"");
+  }
+  const pfc::obs::Json* hit = t.find("cache_hit");
+  if (!hit || hit->kind() != pfc::obs::Json::Kind::Bool) {
+    fail("tuning/cache_hit must be a bool");
+  }
+  const pfc::obs::Json* key = t.find("cache_key");
+  if (!key || !key->is_string() || key->str().size() != 64 ||
+      key->str().find_first_not_of("0123456789abcdef") != std::string::npos) {
+    fail("tuning/cache_key must be a 64-hex-digit content hash");
+  }
+  const pfc::obs::Json* machine = t.find("machine");
+  if (!machine || !machine->is_string() || machine->str().empty()) {
+    fail("tuning/machine must be a non-empty string");
+  }
+  for (const char* k : {"candidates", "measured_runs", "search_seconds",
+                        "baseline_mlups", "best_mlups"}) {
+    const pfc::obs::Json* v = t.find(k);
+    if (!v) {
+      fail(std::string("tuning: missing \"") + k + '"');
+      continue;
+    }
+    check_finite_nonneg(*v, std::string("tuning/") + k);
+  }
+  const pfc::obs::Json* best = t.find("best_config");
+  if (!best || !best->is_string() || best->str().empty()) {
+    fail("tuning/best_config must be a non-empty string");
+  }
+  const pfc::obs::Json* ranking = t.find("ranking");
+  if (!ranking || !ranking->is_array()) {
+    fail("tuning/ranking must be an array");
+    return;
+  }
+  for (std::size_t i = 0; i < ranking->elements().size(); ++i) {
+    const pfc::obs::Json& row = ranking->elements()[i];
+    const std::string where = "tuning/ranking[" + std::to_string(i) + ']';
+    if (!row.is_object()) {
+      fail(where + ": expected an object");
+      continue;
+    }
+    const pfc::obs::Json* config = row.find("config");
+    if (!config || !config->is_string() || config->str().empty()) {
+      fail(where + "/config must be a non-empty string");
+    }
+    for (const char* k : {"predicted_mlups", "measured_mlups"}) {
+      const pfc::obs::Json* v = row.find(k);
+      if (!v) {
+        fail(where + ": missing \"" + k + '"');
+        continue;
+      }
+      check_finite_nonneg(*v, where + '/' + k);
+    }
+  }
+  if (g_errors) return;
+  // Invariants of the search contract: a cache hit performed zero measured
+  // runs, a fresh search measured at least the baseline, and the winner is
+  // never slower than the baseline (it is measured first and keeps ties).
+  if (hit->boolean() && t.find("measured_runs")->number() != 0.0) {
+    fail("tuning: cache_hit is true but measured_runs != 0");
+  }
+  if (!hit->boolean() && t.find("measured_runs")->number() < 1.0) {
+    fail("tuning: fresh search must report measured_runs >= 1");
+  }
+  if (t.find("best_mlups")->number() <
+      t.find("baseline_mlups")->number()) {
+    fail("tuning: best_mlups below baseline_mlups (the baseline is always "
+         "measured, so the winner can never be slower)");
+  }
+}
+
 /// "cache" section (v5): kernel-cache provenance of a compile report.
 void check_cache(const pfc::obs::Json& c) {
   if (!c.is_object()) {
@@ -823,6 +907,7 @@ int main(int argc, char** argv) {
   bool require_overlap = false;
   bool require_cache = false;
   bool require_threading = false;
+  bool require_tuning = false;
   while (argc >= 2 && std::strncmp(argv[1], "--", 2) == 0) {
     if (std::strcmp(argv[1], "--require-vector-width") == 0) {
       require_vector_width = true;
@@ -832,6 +917,8 @@ int main(int argc, char** argv) {
       require_cache = true;
     } else if (std::strcmp(argv[1], "--require-threading") == 0) {
       require_threading = true;
+    } else if (std::strcmp(argv[1], "--require-tuning") == 0) {
+      require_tuning = true;
     } else {
       std::fprintf(stderr, "report_check: unknown flag %s\n", argv[1]);
       return 2;
@@ -843,7 +930,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: report_check [--require-vector-width] "
                  "[--require-overlap] [--require-cache] "
-                 "[--require-threading] <report.json> [kind]\n"
+                 "[--require-threading] [--require-tuning] "
+                 "<report.json> [kind]\n"
                  "       report_check --trace <trace.json>\n"
                  "       report_check --checkpoint <manifest.json>\n"
                  "       report_check --jobspec <jobspec.json>\n"
@@ -870,8 +958,10 @@ int main(int argc, char** argv) {
   }
   if (g_errors) return 1;
 
-  const bool is_v6 = j.find("schema")->is_string() &&
+  const bool is_v7 = j.find("schema")->is_string() &&
                      j.find("schema")->str() == pfc::obs::kReportSchema;
+  const bool is_v6 = j.find("schema")->is_string() &&
+                     j.find("schema")->str() == pfc::obs::kReportSchemaV6;
   const bool is_v5 = j.find("schema")->is_string() &&
                      j.find("schema")->str() == pfc::obs::kReportSchemaV5;
   const bool is_v4 = j.find("schema")->is_string() &&
@@ -880,11 +970,12 @@ int main(int argc, char** argv) {
                      j.find("schema")->str() == pfc::obs::kReportSchemaV3;
   const bool is_v2 = j.find("schema")->is_string() &&
                      j.find("schema")->str() == pfc::obs::kReportSchemaV2;
-  if (!is_v6 && !is_v5 && !is_v4 && !is_v3 && !is_v2) {
+  if (!is_v7 && !is_v6 && !is_v5 && !is_v4 && !is_v3 && !is_v2) {
     fail(std::string("schema must be \"") + pfc::obs::kReportSchema +
-         "\" (or the stored \"" + pfc::obs::kReportSchemaV5 + "\" / \"" +
-         pfc::obs::kReportSchemaV4 + "\" / \"" + pfc::obs::kReportSchemaV3 +
-         "\" / \"" + pfc::obs::kReportSchemaV2 + "\")");
+         "\" (or the stored \"" + pfc::obs::kReportSchemaV6 + "\" / \"" +
+         pfc::obs::kReportSchemaV5 + "\" / \"" + pfc::obs::kReportSchemaV4 +
+         "\" / \"" + pfc::obs::kReportSchemaV3 + "\" / \"" +
+         pfc::obs::kReportSchemaV2 + "\")");
   }
   const pfc::obs::Json& kind = *j.find("kind");
   if (!kind.is_string() || (kind.str() != "run" && kind.str() != "compile" &&
@@ -995,7 +1086,7 @@ int main(int argc, char** argv) {
         fail("resilience/restarted must be a bool");
       }
     }
-  } else if ((is_v6 || is_v5 || is_v4 || is_v3) && kind.is_string() &&
+  } else if ((is_v7 || is_v6 || is_v5 || is_v4 || is_v3) && kind.is_string() &&
              kind.str() == "run") {
     fail("v3+ run reports must carry a \"resilience\" section");
   }
@@ -1011,7 +1102,7 @@ int main(int argc, char** argv) {
     } else {
       check_finite_nonneg(*attempts, "fallback_attempts");
     }
-  } else if ((is_v6 || is_v5 || is_v4 || is_v3) && kind.is_string() &&
+  } else if ((is_v7 || is_v6 || is_v5 || is_v4 || is_v3) && kind.is_string() &&
              kind.str() == "compile") {
     fail("v3+ compile reports must carry \"backend_tier\"");
   }
@@ -1020,7 +1111,7 @@ int main(int argc, char** argv) {
   // schemas never wrote it, so its presence pins the report to v4.
   const pfc::obs::Json* overlap = j.find("overlap");
   if (overlap != nullptr) {
-    if (!is_v6 && !is_v5 && !is_v4) {
+    if (!is_v7 && !is_v6 && !is_v5 && !is_v4) {
       fail("\"overlap\" section requires the v4 schema");
     }
     const pfc::obs::Json* cps =
@@ -1050,7 +1141,9 @@ int main(int argc, char** argv) {
     }
   }
   if (cache != nullptr) {
-    if (!is_v6 && !is_v5) fail("\"cache\" section requires the v5 schema");
+    if (!is_v7 && !is_v6 && !is_v5) {
+      fail("\"cache\" section requires the v5 schema");
+    }
     check_cache(*cache);
   } else if (require_cache) {
     fail("--require-cache: report carries no \"cache\" section (checked "
@@ -1062,10 +1155,12 @@ int main(int argc, char** argv) {
   // run reports; compile/bench reports never carry it.
   const pfc::obs::Json* threading = j.find("threading");
   if (threading != nullptr) {
-    if (!is_v6) fail("\"threading\" section requires the v6 schema");
+    if (!is_v7 && !is_v6) {
+      fail("\"threading\" section requires the v6 schema");
+    }
     check_threading(*threading);
-  } else if (is_v6 && kind.is_string() && kind.str() == "run") {
-    fail("v6 run reports must carry a \"threading\" section");
+  } else if ((is_v7 || is_v6) && kind.is_string() && kind.str() == "run") {
+    fail("v6+ run reports must carry a \"threading\" section");
   }
   if (require_threading) {
     if (threading == nullptr) {
@@ -1076,6 +1171,24 @@ int main(int argc, char** argv) {
           threads->number() < 1.0) {
         fail("--require-threading: threading/threads must be >= 1");
       }
+    }
+  }
+
+  // v7 section: the measured-autotuning decision. Optional (runs with
+  // tune = off never write it); its presence pins the report to v7.
+  const pfc::obs::Json* tuning = j.find("tuning");
+  if (tuning != nullptr) {
+    if (!is_v7) fail("\"tuning\" section requires the v7 schema");
+    check_tuning(*tuning);
+  } else if (require_tuning) {
+    fail("--require-tuning: report carries no \"tuning\" section");
+  }
+  if (require_tuning && tuning != nullptr && !g_errors) {
+    const pfc::obs::Json* enabled = tuning->find("enabled");
+    if (enabled == nullptr ||
+        enabled->kind() != pfc::obs::Json::Kind::Bool ||
+        !enabled->boolean()) {
+      fail("--require-tuning: tuning/enabled must be true");
     }
   }
 
